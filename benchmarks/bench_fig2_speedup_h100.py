@@ -1,0 +1,91 @@
+"""Figure 2 — overall speedup (Equation 1) on the H100.
+
+speedup = 1 / (1/CR + BW/T) with BW the measured loaded link bandwidth
+(35.7 GB/s, Table 1), CR measured on the evaluation grid and T from the
+calibrated cost model.
+
+Shape claims (§4.3.2): cuSZp2 has a clear advantage on the H100, and
+FZMod-Default posts a higher overall speedup than both PFPL and
+FZMod-Quality in most cells (paper: 8 of 12).
+"""
+
+from __future__ import annotations
+
+from _common import EBS, emit
+
+from repro.baselines import ALL_COMPRESSOR_NAMES
+from repro.data import get_dataset
+from repro.metrics import overall_speedup
+from repro.data import get_dataset
+from repro.perf import H100, RunStats, estimate_throughput
+
+DATASETS = ("cesm", "hacc", "hurr", "nyx")
+PLATFORM = H100
+
+
+def speedup_grid(grid, platform):
+    out = {}
+    for ds in DATASETS:
+        for eb in EBS:
+            for name in ALL_COMPRESSOR_NAMES:
+                cell = grid.mean_stats(ds, eb, name)
+                full_bytes = get_dataset(ds).field_size_bytes
+                stats = RunStats(input_bytes=full_bytes,
+                                 cr=cell.cr,
+                                 code_fraction=cell.code_fraction,
+                                 outlier_fraction=cell.outlier_fraction,
+                                 interp_levels=cell.interp_levels)
+                th = estimate_throughput(name, stats, platform)
+                out[(ds, eb, name)] = overall_speedup(
+                    cell.cr, th.compress_bps, platform.measured_link_bw)
+    return out
+
+
+def render(grid, platform, figure: str) -> str:
+    sp = speedup_grid(grid, platform)
+    lines = [f"{figure}: Overall speedup (Eq. 1) on {platform.name} "
+             f"(BW={platform.link_bw_gbps:.2f} GB/s)", "-" * 84,
+             f"{'dataset':<8} {'eb':>6} | "
+             + " | ".join(f"{n[:11]:>11}" for n in ALL_COMPRESSOR_NAMES)]
+    for ds in DATASETS:
+        for eb in EBS:
+            vals = [sp[(ds, eb, n)] for n in ALL_COMPRESSOR_NAMES]
+            lines.append(f"{ds:<8} {eb:>6g} | "
+                         + " | ".join(f"{v:11.2f}" for v in vals))
+    return "\n".join(lines)
+
+
+def test_fig2_render(benchmark, eval_grid):
+    benchmark(speedup_grid, eval_grid, PLATFORM)
+    emit("fig2_speedup_h100", render(eval_grid, PLATFORM, "Figure 2"))
+
+
+class TestFig2Shape:
+    def test_cuszp2_clear_advantage_h100(self, eval_grid):
+        sp = speedup_grid(eval_grid, PLATFORM)
+        wins = sum(
+            1 for ds in DATASETS for eb in EBS
+            if sp[(ds, eb, "cuszp2")] == max(sp[(ds, eb, n)]
+                                             for n in ALL_COMPRESSOR_NAMES))
+        assert wins >= 8  # of 12 cells
+
+    def test_default_beats_pfpl_and_quality_often(self, eval_grid):
+        sp = speedup_grid(eval_grid, PLATFORM)
+        wins = sum(
+            1 for ds in DATASETS for eb in EBS
+            if sp[(ds, eb, "fzmod-default")] > max(
+                sp[(ds, eb, "pfpl")], sp[(ds, eb, "fzmod-quality")]))
+        assert wins >= 7  # paper: 8 of 12
+
+    def test_sz3_speedup_lowest(self, eval_grid):
+        """High CR cannot save a slow CPU compressor on a fast link."""
+        sp = speedup_grid(eval_grid, PLATFORM)
+        for ds in DATASETS:
+            for eb in EBS:
+                assert sp[(ds, eb, "sz3")] == min(
+                    sp[(ds, eb, n)] for n in ALL_COMPRESSOR_NAMES)
+
+    def test_speedup_bounded_by_cr(self, eval_grid):
+        sp = speedup_grid(eval_grid, PLATFORM)
+        for (ds, eb, name), s in sp.items():
+            assert s <= eval_grid.mean_cr(ds, eb, name) + 1e-9

@@ -1,0 +1,67 @@
+"""Figure 3 — overall speedup (Equation 1) on the V100.
+
+The V100 node pairs a slow loaded link (6.91 GB/s) and older GPU with 96
+newer CPU cores; §4.3.2's claim is that PFPL's high CR lets it beat
+cuSZp2 in about half the cells there — the crossover Figure 3 exists to
+show.
+"""
+
+from __future__ import annotations
+
+from _common import EBS, emit
+from bench_fig2_speedup_h100 import DATASETS, render, speedup_grid
+
+from repro.baselines import ALL_COMPRESSOR_NAMES
+from repro.perf import V100
+
+PLATFORM = V100
+
+
+def test_fig3_render(benchmark, eval_grid):
+    benchmark(speedup_grid, eval_grid, PLATFORM)
+    emit("fig3_speedup_v100", render(eval_grid, PLATFORM, "Figure 3"))
+
+
+class TestFig3Shape:
+    def test_pfpl_closes_on_cuszp2_on_v100(self, eval_grid):
+        """Paper: PFPL beats cuSZp2 in ~50% of V100 cells.  The absolute
+        crossover needs PFPL's full-size CR lead (10-15x over cuSZp2 on
+        real CESM/Nyx; the surrogates give ~1.5-2x at default scale — see
+        EXPERIMENTS.md), so the bench asserts the *direction*: the
+        cuSZp2-over-PFPL speedup gap must shrink from H100 to V100 in
+        (nearly) every cell, which is exactly the mechanism behind
+        Figure 3's crossovers.  The model-level crossover with the paper's
+        own CRs is asserted in tests/perf/test_perf_model.py."""
+        from repro.perf import H100
+        sp_v = speedup_grid(eval_grid, PLATFORM)
+        sp_h = speedup_grid(eval_grid, H100)
+        closes = sum(
+            1 for ds in DATASETS for eb in EBS
+            if (sp_v[(ds, eb, "cuszp2")] / sp_v[(ds, eb, "pfpl")])
+            < (sp_h[(ds, eb, "cuszp2")] / sp_h[(ds, eb, "pfpl")]))
+        assert closes >= 10  # of 12 cells
+
+    def test_low_bandwidth_compresses_the_field(self, eval_grid):
+        """On the slow link the spread between compressors narrows: the
+        best/worst *GPU-compressor* speedup ratio is smaller on V100 than
+        on H100 ('brings the compressors much more in line')."""
+        gpu = [n for n in ALL_COMPRESSOR_NAMES if n != "sz3"]
+        sp_v = speedup_grid(eval_grid, PLATFORM)
+        from repro.perf import H100
+        sp_h = speedup_grid(eval_grid, H100)
+        narrower = 0
+        for ds in DATASETS:
+            for eb in EBS:
+                v = [sp_v[(ds, eb, n)] for n in gpu]
+                h = [sp_h[(ds, eb, n)] for n in gpu]
+                if max(v) / min(v) <= max(h) / min(h):
+                    narrower += 1
+        assert narrower >= 8  # of 12 cells
+
+    def test_fzmod_default_wins_over_raw_transfer_somewhere(self, eval_grid):
+        """On a 6.91 GB/s link, compression should pay off (speedup > 1)
+        for the default pipeline in most cells."""
+        sp = speedup_grid(eval_grid, PLATFORM)
+        wins = sum(1 for ds in DATASETS for eb in EBS
+                   if sp[(ds, eb, "fzmod-default")] > 1.0)
+        assert wins >= 4  # loose-bound cells; tight bounds drop below 1.0

@@ -1,0 +1,103 @@
+"""Kernel microbenchmarks.
+
+Wall-clock of every data-parallel kernel on a fixed 1M-element workload —
+the numbers a contributor checks before/after touching a kernel (the asv
+role).  Not compared to the paper: these are NumPy, not CUDA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import (bitshuffle, delta, dictionary, fixedlen,
+                           histogram, huffman, interp, lorenzo, lz, quantize)
+
+N = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def field3d() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    base = np.cumsum(rng.standard_normal((64, 128, 128)), axis=0)
+    return base.astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def codes(field3d) -> np.ndarray:
+    eb = float(np.ptp(field3d)) * 1e-4
+    return lorenzo.compress(field3d, eb).codes.reshape(-1)
+
+
+class TestPredictorKernels:
+    def test_lorenzo_compress(self, benchmark, field3d):
+        eb = float(np.ptp(field3d)) * 1e-4
+        benchmark(lorenzo.compress, field3d, eb)
+
+    def test_lorenzo_decompress(self, benchmark, field3d):
+        eb = float(np.ptp(field3d)) * 1e-4
+        res = lorenzo.compress(field3d, eb)
+        benchmark(lorenzo.decompress, res)
+
+    def test_interp_compress(self, benchmark, field3d):
+        eb = float(np.ptp(field3d)) * 1e-4
+        benchmark(interp.compress, field3d, eb)
+
+    def test_interp_decompress(self, benchmark, field3d):
+        eb = float(np.ptp(field3d)) * 1e-4
+        res = interp.compress(field3d, eb)
+        benchmark(interp.decompress, res)
+
+    def test_prequantize(self, benchmark, field3d):
+        benchmark(quantize.prequantize, field3d, 0.01)
+
+
+class TestStatisticsKernels:
+    def test_histogram(self, benchmark, codes):
+        benchmark(histogram.histogram, codes, 1024)
+
+    def test_histogram_topk(self, benchmark, codes):
+        benchmark(histogram.histogram_topk, codes, 1024, 16)
+
+
+class TestEncoderKernels:
+    def test_huffman_encode(self, benchmark, codes):
+        counts = np.bincount(codes, minlength=1024)
+        book = huffman.build_codebook(counts)
+        benchmark(huffman.encode, codes, book)
+
+    def test_huffman_decode(self, benchmark, codes):
+        counts = np.bincount(codes, minlength=1024)
+        book = huffman.build_codebook(counts)
+        enc = huffman.encode(codes, book)
+        benchmark(huffman.decode, enc)
+
+    def test_bitshuffle(self, benchmark, codes):
+        benchmark(bitshuffle.shuffle, codes.astype(np.uint16), 16)
+
+    def test_zero_elimination(self, benchmark, codes):
+        payload = bitshuffle.shuffle(codes.astype(np.uint16), 16)
+        benchmark(dictionary.eliminate, payload)
+
+    def test_fixedlen_encode(self, benchmark, codes):
+        zz = bitshuffle.zigzag(codes.astype(np.int64) - 512)
+        benchmark(fixedlen.encode, zz.astype(np.uint32))
+
+    def test_delta(self, benchmark, codes):
+        benchmark(delta.delta_forward, codes)
+
+    def test_lz_compress(self, benchmark, codes):
+        payload = codes.astype(np.uint16).tobytes()[:1 << 20]
+        benchmark(lz.compress, payload)
+
+
+class TestThroughputSanity:
+    def test_lorenzo_vectorisation_floor(self, field3d):
+        """The hot path must stay vectorised: > 100 MB/s on any machine
+        (a per-element Python loop would be ~1000x slower)."""
+        import time
+        eb = float(np.ptp(field3d)) * 1e-4
+        t0 = time.perf_counter()
+        lorenzo.compress(field3d, eb)
+        dt = time.perf_counter() - t0
+        assert field3d.nbytes / dt > 100e6

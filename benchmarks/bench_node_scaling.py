@@ -1,0 +1,70 @@
+"""Ablation: multi-GPU node snapshot scaling (the Table-1 context).
+
+The paper measures loaded link bandwidth with all four GPUs transferring;
+this bench shows the system-level consequence: node throughput scales with
+GPUs until the shared host link saturates, and the saturation point moves
+with the compressor's CR — the hardware-dependence argument of §4.3.2 at
+node granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _common import emit
+
+from repro.parallel import FieldJob, scaling_series, simulate_snapshot
+from repro.perf import H100, V100
+
+
+def _jobs(cr: float, n: int = 16) -> list[FieldJob]:
+    return [FieldJob(name=f"f{i}", input_bytes=512 << 20, cr=cr)
+            for i in range(n)]
+
+
+def render(platform) -> str:
+    lines = [f"Node snapshot scaling on {platform.name} "
+             "(16 x 512 MB fields, fzmod-speed)", "-" * 64,
+             f"{'CR':>6} | " + " | ".join(f"{g} GPU" for g in range(1, 5))
+             + "   (node GB/s)"]
+    for cr in (2.0, 8.0, 64.0):
+        series = scaling_series(_jobs(cr), "fzmod-speed", platform)
+        lines.append(f"{cr:>6.0f} | " + " | ".join(
+            f"{series[g] / 1e9:5.0f}" for g in range(1, 5)))
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("platform", [H100, V100],
+                         ids=["h100", "v100"])
+def test_node_scaling(benchmark, platform):
+    series = benchmark.pedantic(scaling_series,
+                                args=(_jobs(8.0), "fzmod-speed", platform),
+                                rounds=1, iterations=1)
+    emit(f"node_scaling_{platform.name.split()[-1].lower()}",
+         render(platform))
+    # more GPUs never hurt
+    assert series[4] >= series[1]
+
+
+def test_node_link_saturation(benchmark):
+    """Low CR saturates the shared link; high CR restores linear scaling."""
+    lo = benchmark.pedantic(scaling_series,
+                            args=(_jobs(1.5), "cuszp2", V100),
+                            rounds=1, iterations=1)
+    hi = scaling_series(_jobs(128.0), "cuszp2", V100)
+    # scaling efficiency at 4 GPUs
+    eff_lo = lo[4] / (4 * lo[1])
+    eff_hi = hi[4] / (4 * hi[1])
+    assert eff_hi > eff_lo
+    assert eff_hi > 0.8
+    assert eff_lo < 0.7
+
+
+def test_node_compression_beats_raw_io(benchmark):
+    """The end-to-end argument: compressing before the link beats shipping
+    raw bytes whenever the node is link-bound."""
+    jobs = _jobs(16.0, n=8)
+    rep = benchmark.pedantic(simulate_snapshot,
+                             args=(jobs, "fzmod-speed", V100),
+                             rounds=1, iterations=1)
+    raw_seconds = rep.total_input_bytes / V100.host_agg_bw
+    assert rep.makespan < raw_seconds

@@ -1,0 +1,82 @@
+"""STF engine microbenchmarks.
+
+§5 future-work item 1 is "optimize the CUDASTF pipeline to ... have less
+runtime overhead" — these benches quantify this implementation's
+per-task overhead: graph construction, serial dispatch, thread-pool
+dispatch, and the simulated-timeline replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _common import emit
+
+from repro.stf import StfContext
+
+
+def _build_chain(n: int) -> StfContext:
+    ctx = StfContext()
+    v = ctx.logical_data(np.zeros(8), "v")
+
+    def bump(arr):
+        arr += 1
+
+    for k in range(n):
+        ctx.task(f"t{k}", bump, [v.rw()], device="cpu0", duration=0.0)
+    return ctx
+
+
+def _build_fanout(n: int) -> StfContext:
+    ctx = StfContext()
+    x = ctx.logical_data(np.zeros(8), "x")
+    for k in range(n):
+        o = ctx.logical_data_empty(f"o{k}")
+        ctx.task(f"t{k}", lambda v: (v + 1,), [x.read(), o.write()],
+                 device="cpu0", duration=0.0)
+    return ctx
+
+
+def test_graph_construction(benchmark):
+    """Task declaration + hazard inference throughput."""
+    benchmark(_build_chain, 200)
+
+
+@pytest.mark.parametrize("mode", ["serial", "async"])
+def test_dispatch_overhead(benchmark, mode):
+    """End-to-end per-task cost for trivial kernels."""
+
+    def run():
+        ctx = _build_chain(100)
+        ctx.run(mode=mode, workers=4)
+
+    benchmark(run)
+
+
+def test_fanout_async(benchmark):
+    def run():
+        ctx = _build_fanout(100)
+        return ctx.run(mode="async", workers=8)
+
+    rep = benchmark(run)
+    assert len(rep.tasks) == 100
+
+
+def test_engine_overhead_report(benchmark):
+    import time
+
+    def measure(n, builder, mode):
+        ctx = builder(n)
+        t0 = time.perf_counter()
+        ctx.run(mode=mode, workers=4)
+        return (time.perf_counter() - t0) / n
+
+    benchmark.pedantic(measure, args=(100, _build_chain, "serial"),
+                       rounds=1, iterations=1)
+    rows = ["STF engine per-task overhead (trivial kernels)"]
+    for label, builder, mode in (("chain/serial", _build_chain, "serial"),
+                                 ("chain/async", _build_chain, "async"),
+                                 ("fanout/async", _build_fanout, "async")):
+        per_task = measure(200, builder, mode)
+        rows.append(f"  {label:<14} {per_task * 1e6:8.1f} us/task")
+    emit("stf_engine_overhead", "\n".join(rows))

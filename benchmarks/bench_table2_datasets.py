@@ -1,0 +1,40 @@
+"""Table 2 — the evaluation datasets.
+
+Renders the dataset inventory and benchmarks the synthetic generators that
+stand in for the SDRBench downloads (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import pytest
+from _common import bench_scale, emit
+
+from repro.data import get_dataset, table2_rows
+
+
+def render_table2() -> str:
+    lines = ["Table 2: Real-world datasets used in the evaluation "
+             "(synthetic surrogates)", "-" * 78]
+    for row in table2_rows():
+        lines.append("  ".join(f"{k}={v}" for k, v in row.items()))
+    lines.append("")
+    lines.append("surrogate grids at current FZMOD_BENCH_SCALE:")
+    for ds in ("cesm", "hacc", "hurr", "nyx"):
+        spec = get_dataset(ds)
+        data = spec.load(field=spec.fields[0], scale=bench_scale(ds))
+        lines.append(f"  {spec.name:<10} {data.shape!s:<20} "
+                     f"{data.nbytes / 1e6:7.2f} MB/field")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("dataset", ["cesm", "hacc", "hurr", "nyx"])
+def test_table2_generator(benchmark, dataset):
+    spec = get_dataset(dataset)
+    data = benchmark(spec.load, field=spec.fields[0],
+                     scale=bench_scale(dataset))
+    assert data.size > 0
+
+
+def test_table2_render(benchmark):
+    benchmark(table2_rows)
+    emit("table2_datasets", render_table2())

@@ -1,0 +1,12 @@
+"""Pytest fixtures for the benchmark suite (helpers live in _common.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import EvalGrid, _build_grid
+
+
+@pytest.fixture(scope="session")
+def eval_grid() -> EvalGrid:
+    return _build_grid()

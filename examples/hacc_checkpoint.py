@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Domain scenario: HACC particle checkpointing under an I/O budget.
+
+HACC (the paper's hardest dataset) writes six 1-D particle arrays per
+snapshot; positions compress well at loose bounds but collapse toward
+CR ~ 2 at tight ones.  This example sweeps error bounds, reports the CR /
+fidelity / end-to-end-speedup trade per field, and answers the operational
+question: *what is the loosest bound that still wins over raw transfer on
+each platform?*
+
+    python examples/hacc_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import fzmod_default
+from repro.baselines import get_compressor
+from repro.data import get_dataset
+from repro.metrics import overall_speedup, psnr
+from repro.perf import H100, V100, RunStats, estimate_throughput
+
+EBS = (1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def sweep_field(field: str, data: np.ndarray) -> None:
+    spec = get_dataset("hacc")
+    comp = get_compressor("fzmod-default")
+    print(f"\n-- field {field!r}, {data.size:,} particles --")
+    print(f"{'eb':>7} {'CR':>7} {'PSNR dB':>8} "
+          f"{'speedup H100':>13} {'speedup V100':>13}")
+    for eb in EBS:
+        cf = comp.compress(data, eb)
+        recon = comp.decompress(cf)
+        stats = RunStats(input_bytes=spec.field_size_bytes, cr=cf.stats.cr,
+                         code_fraction=cf.stats.code_fraction,
+                         outlier_fraction=cf.stats.outlier_fraction)
+        row = []
+        for plat in (H100, V100):
+            th = estimate_throughput("fzmod-default", stats, plat)
+            row.append(overall_speedup(cf.stats.cr, th.compress_bps,
+                                       plat.measured_link_bw))
+        print(f"{eb:>7g} {cf.stats.cr:>7.2f} {psnr(data, recon):>8.1f} "
+              f"{row[0]:>13.2f} {row[1]:>13.2f}")
+
+
+def main() -> None:
+    spec = get_dataset("hacc")
+    print("HACC checkpoint compression with FZMod-Default "
+          "(value-range-relative bounds)")
+    for field in ("x", "vx"):
+        data = spec.load(field=field, scale=0.002)
+        sweep_field(field, data)
+
+    print("\nReading the table: positions ('x') keep spatial locality from")
+    print("rank-ordered storage and compress well at loose bounds, while")
+    print("velocities ('vx') are nearly white and barely beat CR 4 anywhere;")
+    print("on the V100's slow loaded link even modest CRs pay off, exactly")
+    print("the hardware dependence Figures 2-3 of the paper demonstrate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a scientific field with an error bound.
+
+Runs the default FZModules pipeline (Lorenzo predictor + histogram +
+Huffman) on a synthetic Nyx cosmology field, verifies the error bound,
+and prints the numbers that matter: compression ratio, bit rate, PSNR.
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ErrorBound, decompress, fzmod_default
+from repro.data import load_field
+from repro.metrics import bit_rate, max_abs_error, psnr
+
+
+def main() -> None:
+    # 1. get a field — swap in `np.fromfile(...)` for your own data
+    field = load_field("nyx", "temperature", scale=0.1)
+    print(f"field: {field.shape} {field.dtype}, "
+          f"{field.nbytes / 1e6:.1f} MB")
+
+    # 2. compress under a value-range-relative bound of 1e-4
+    pipeline = fzmod_default()
+    compressed = pipeline.compress(field, ErrorBound(1e-4))
+    s = compressed.stats
+    print(f"compressed: {s.output_bytes / 1e6:.3f} MB  "
+          f"CR={s.cr:.1f}  bitrate={s.bit_rate:.3f} bits/value")
+
+    # 3. decompress — works from the blob alone, anywhere the library is
+    #    installed (the container header names the modules used)
+    restored = decompress(compressed.blob)
+
+    # 4. verify the contract
+    value_range = float(field.max() - field.min())
+    err = max_abs_error(field, restored)
+    print(f"max error: {err:.4g}  (bound: {1e-4 * value_range:.4g})")
+    print(f"PSNR: {psnr(field, restored):.1f} dB")
+    assert err <= 1e-4 * value_range * 1.0001
+
+    # 5. per-stage timing breakdown of the compression run
+    for stage, seconds in s.stage_seconds.items():
+        print(f"  {stage:<12} {seconds * 1e3:8.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""FZModules reproduction: customizable scientific-data compression pipelines.
+
+A pure-Python, NumPy-vectorised reproduction of *"FZModules: A Heterogeneous
+Computing Framework for Customizable Scientific Data Compression Pipelines"*
+(SC Workshops '25), including:
+
+* :mod:`repro.core` — the modular pipeline framework (preprocess /
+  predictor / statistics / encoder / secondary stages, registry, presets,
+  container format, STF-backed pipeline, auto-tuner);
+* :mod:`repro.kernels` — the data-parallel kernel library every compressor
+  is built from;
+* :mod:`repro.stf` — the CUDASTF-analogue asynchronous task engine;
+* :mod:`repro.runtime` — the simulated heterogeneous device runtime;
+* :mod:`repro.baselines` — cuSZp2, FZ-GPU, PFPL and SZ3 from scratch;
+* :mod:`repro.data` — SDRBench-style synthetic datasets;
+* :mod:`repro.metrics` / :mod:`repro.perf` — evaluation metrics and the
+  calibrated platform cost model behind the throughput/speedup figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import fzmod_default, decompress
+
+    field = np.fromfile("velocity.f32", dtype=np.float32).reshape(512, 512, 512)
+    compressed = fzmod_default().compress(field, eb=1e-4)   # rel. bound
+    restored = decompress(compressed.blob)
+    print(compressed.stats.cr, compressed.stats.bit_rate)
+"""
+
+from .core import (CompressedField, CompressionStats, Pipeline,
+                   PipelineBuilder, decompress, fzmod_default, fzmod_quality,
+                   fzmod_speed, get_preset, register)
+from .types import EbMode, ErrorBound
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedField", "CompressionStats", "Pipeline", "PipelineBuilder",
+    "decompress", "fzmod_default", "fzmod_quality", "fzmod_speed",
+    "get_preset", "register", "EbMode", "ErrorBound", "__version__",
+]

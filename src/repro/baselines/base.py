@@ -1,0 +1,84 @@
+"""Common interface for the baseline compressors (§4.1 "Baselines").
+
+Every baseline implements the same two-method contract as the FZModules
+pipelines (compress -> self-describing blob + stats, decompress from blob),
+on top of the same kernel substrate, so benches treat pipelines and
+baselines uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+import numpy as np
+
+from ..core.header import ContainerHeader, assemble, parse, split_sections
+from ..core.pipeline import CompressedField, CompressionStats
+from ..errors import HeaderError
+from ..types import EbMode, ErrorBound, check_field
+
+
+class Compressor(abc.ABC):
+    """A complete error-bounded compressor."""
+
+    #: canonical name (matches :data:`repro.perf.estimator.COMPRESSORS`)
+    name: str
+
+    def resolve_eb(self, data: np.ndarray, eb: ErrorBound | float,
+                   mode: EbMode | str = EbMode.REL) -> tuple[ErrorBound, float]:
+        """Normalise the bound argument and resolve it to absolute."""
+        if not isinstance(eb, ErrorBound):
+            eb = ErrorBound(float(eb), EbMode(mode))
+        if eb.mode is EbMode.REL:
+            eb_abs = eb.absolute(float(data.min()), float(data.max()))
+        else:
+            eb_abs = eb.value
+        return eb, float(eb_abs)
+
+    @abc.abstractmethod
+    def _encode(self, data: np.ndarray, eb_abs: float
+                ) -> tuple[dict[str, bytes], dict]:
+        """Produce (sections, meta) for ``data``; meta must round-trip JSON."""
+
+    @abc.abstractmethod
+    def _decode(self, sections: dict[str, bytes], meta: dict,
+                header: ContainerHeader) -> np.ndarray:
+        """Exactly invert :meth:`_encode` (within the stored bound)."""
+
+    # ------------------------------------------------------------------ #
+    def compress(self, data: np.ndarray, eb: ErrorBound | float,
+                 mode: EbMode | str = EbMode.REL) -> CompressedField:
+        """Compress ``data`` into a self-describing container."""
+        data = check_field(data)
+        eb, eb_abs = self.resolve_eb(data, eb, mode)
+        t0 = time.perf_counter()
+        sections, meta = self._encode(data, eb_abs)
+        elapsed = time.perf_counter() - t0
+        header = ContainerHeader(
+            shape=data.shape, dtype=data.dtype.str, eb_value=eb.value,
+            eb_mode=eb.mode.value, eb_abs=eb_abs, radius=0,
+            modules={"baseline": self.name},
+            stage_meta={"baseline": meta})
+        header_bytes, body = assemble(header, sections)
+        blob = header_bytes + body
+        stats = CompressionStats(
+            input_bytes=data.nbytes, output_bytes=len(blob),
+            element_count=data.size, eb_abs=eb_abs,
+            code_fraction=float(meta.get("code_fraction", 0.5)),
+            outlier_fraction=0.0, outlier_count=0,
+            section_sizes={k: len(v) for k, v in sections.items()},
+            stage_seconds={self.name: elapsed})
+        return CompressedField(blob=blob, stats=stats, header=header)
+
+    def decompress(self, blob: bytes | CompressedField) -> np.ndarray:
+        """Reconstruct the field from a container produced by this compressor."""
+        if isinstance(blob, CompressedField):
+            blob = blob.blob
+        header, body = parse(blob)
+        if header.modules.get("baseline") != self.name:
+            raise HeaderError(
+                f"blob was produced by {header.modules!r}, not by {self.name!r}")
+        sections = split_sections(header, body)
+        return self._decode(sections, header.stage_meta.get("baseline", {}),
+                            header)

@@ -1,0 +1,207 @@
+"""SZ3 baseline: high-quality CPU modular compressor.
+
+SZ3 [Liang et al., TBD'23] composes a dynamic multilevel spline
+interpolation predictor with error-controlled quantisation, Huffman coding
+and a general lossless backend.  It is the rate-distortion and CR leader of
+Table 3 across the board — at CPU throughput.
+
+This implementation reuses the same interpolation kernel as FZMod-Quality
+but with the quality advantages real SZ3 has over the GPU port:
+
+* **predictor auto-selection** — real SZ3 samples the data and picks among
+  its predictors (interpolation, Lorenzo, regression); here both an
+  interpolation variant and a delta variant are encoded and the smaller
+  container wins (recorded in the header, so decode is unambiguous);
+* a much larger quant-code alphabet (radius 32768 instead of 512), so
+  almost nothing becomes an outlier even at tight bounds;
+* a longer Huffman length limit (20 bits) fitting that alphabet optimally;
+* a final generic lossless pass (zstd in the paper; the token-dedup +
+  Huffman codec here) over every payload, which squeezes the anchor values
+  and residual structure the primary codec leaves behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.header import ContainerHeader
+from ..errors import CodecError
+from ..kernels import bitshuffle as bs
+from ..kernels import delta, dictionary, huffman, interp, lz, quantize
+from .base import Compressor
+
+_RADIUS = 1 << 15
+_MAX_LEN = 20
+
+
+class SZ3(Compressor):
+    """High-ratio CPU compressor (auto-selected predictor + Huffman +
+    lossless backend)."""
+
+    name = "sz3"
+
+    def __init__(self, max_level: int | None = None) -> None:
+        self.max_level = max_level
+
+    # -- interp variant ------------------------------------------------- #
+    def _encode_interp(self, data: np.ndarray, eb_abs: float,
+                       radius: int = _RADIUS) -> tuple[dict[str, bytes], dict]:
+        res = interp.compress(data, eb_abs, radius=radius,
+                              max_level=self.max_level, dynamic=True)
+        if res.codes.size == 0:
+            enc = huffman.encode_empty(2 * radius, max_len=_MAX_LEN)
+        else:
+            counts = np.bincount(res.codes, minlength=2 * radius)
+            book = huffman.build_codebook(counts, max_len=_MAX_LEN)
+            enc = huffman.encode(res.codes, book)
+        idx, val, count = quantize.pack_outliers(res.outliers)
+        sections = {
+            "payload": lz.compress(enc.payload),
+            "lengths": lz.compress(enc.lengths.tobytes()),
+            "chunk_syms": enc.chunk_symbols.tobytes(),
+            "chunk_bits": enc.chunk_bits.tobytes(),
+            "anchors": lz.compress(res.anchors.tobytes()),
+            "outlier.idx": idx,
+            "outlier.val": val,
+        }
+        meta = {"variant": "interp", "radius": radius, "count": enc.count,
+                "max_len": enc.max_len,
+                "nchunks": int(enc.chunk_symbols.size),
+                "max_level": res.max_level, "outlier_count": count,
+                "choices": list(res.choices),
+                "code_fraction": res.codes.nbytes / data.nbytes}
+        return sections, meta
+
+    def _decode_interp(self, sections: dict[str, bytes], meta: dict,
+                       header: ContainerHeader) -> np.ndarray:
+        nchunks = int(meta["nchunks"])
+        enc = huffman.HuffmanEncoded(
+            payload=lz.decompress(sections["payload"]),
+            chunk_symbols=np.frombuffer(sections["chunk_syms"],
+                                        dtype=np.int64, count=nchunks),
+            chunk_bits=np.frombuffer(sections["chunk_bits"],
+                                     dtype=np.int64, count=nchunks),
+            count=int(meta["count"]),
+            lengths=np.frombuffer(lz.decompress(sections["lengths"]),
+                                  dtype=np.uint8),
+            max_len=int(meta["max_len"]))
+        codes = huffman.decode(enc).astype(np.uint16)
+        outliers = quantize.unpack_outliers(
+            sections.get("outlier.idx", b""), sections.get("outlier.val", b""),
+            int(meta["outlier_count"]))
+        anchors = np.frombuffer(lz.decompress(sections["anchors"]),
+                                dtype=header.np_dtype)
+        res = interp.InterpResult(
+            codes=codes, outliers=outliers, anchors=anchors,
+            radius=int(meta.get("radius", _RADIUS)),
+            eb_abs=header.eb_abs, max_level=int(meta["max_level"]),
+            shape=header.shape, dtype=header.np_dtype,
+            choices=tuple(int(c) for c in meta.get("choices", ())))
+        out = interp.decompress(res)
+        if out.shape != header.shape:
+            raise CodecError("sz3 shape mismatch after decode")
+        return out
+
+    # -- lorenzo variant -------------------------------------------------- #
+    def _encode_lorenzo(self, data: np.ndarray, eb_abs: float
+                        ) -> tuple[dict[str, bytes], dict]:
+        from ..kernels import lorenzo
+        res = lorenzo.compress(data, eb_abs, radius=_RADIUS)
+        codes = res.codes.reshape(-1)
+        counts = np.bincount(codes, minlength=2 * _RADIUS)
+        book = huffman.build_codebook(counts, max_len=_MAX_LEN)
+        enc = huffman.encode(codes, book)
+        idx, val, count = quantize.pack_outliers(res.outliers)
+        sections = {
+            "payload": lz.compress(enc.payload),
+            "lengths": lz.compress(enc.lengths.tobytes()),
+            "chunk_syms": enc.chunk_symbols.tobytes(),
+            "chunk_bits": enc.chunk_bits.tobytes(),
+            "outlier.idx": idx,
+            "outlier.val": val,
+        }
+        meta = {"variant": "lorenzo", "count": enc.count,
+                "max_len": enc.max_len,
+                "nchunks": int(enc.chunk_symbols.size),
+                "outlier_count": count,
+                "code_fraction": codes.nbytes / data.nbytes}
+        return sections, meta
+
+    def _decode_lorenzo(self, sections: dict[str, bytes], meta: dict,
+                        header: ContainerHeader) -> np.ndarray:
+        from ..kernels import lorenzo
+        nchunks = int(meta["nchunks"])
+        enc = huffman.HuffmanEncoded(
+            payload=lz.decompress(sections["payload"]),
+            chunk_symbols=np.frombuffer(sections["chunk_syms"],
+                                        dtype=np.int64, count=nchunks),
+            chunk_bits=np.frombuffer(sections["chunk_bits"],
+                                     dtype=np.int64, count=nchunks),
+            count=int(meta["count"]),
+            lengths=np.frombuffer(lz.decompress(sections["lengths"]),
+                                  dtype=np.uint8),
+            max_len=int(meta["max_len"]))
+        codes = huffman.decode(enc).astype(np.uint16)
+        outliers = quantize.unpack_outliers(
+            sections.get("outlier.idx", b""), sections.get("outlier.val", b""),
+            int(meta["outlier_count"]))
+        return lorenzo.decompress_parts(
+            codes=codes.reshape(header.shape), outliers=outliers,
+            radius=_RADIUS, eb_abs=header.eb_abs, shape=header.shape,
+            dtype=header.np_dtype)
+
+    # -- delta variant ---------------------------------------------------- #
+    def _encode_delta(self, data: np.ndarray, eb_abs: float
+                      ) -> tuple[dict[str, bytes], dict]:
+        grid = quantize.prequantize(data, eb_abs)
+        zz = bs.zigzag(delta.delta_forward(grid))
+        if zz.size and int(zz.max()) >= 2**32:
+            raise CodecError("error bound too tight for 32-bit bitshuffle")
+        shuffled = bs.shuffle(zz.astype(np.uint32), width_bits=32)
+        z = dictionary.eliminate(shuffled, word_bytes=4)
+        sections = {
+            "bitmap2": z.bitmap2,
+            "bitmap1": lz.compress(z.bitmap1),
+            "words": lz.compress(z.words),
+        }
+        meta = {"variant": "delta", "count": int(zz.size),
+                "orig_len": z.orig_len, "word_bytes": z.word_bytes,
+                "code_fraction": z.nbytes() / data.nbytes}
+        return sections, meta
+
+    def _decode_delta(self, sections: dict[str, bytes], meta: dict,
+                      header: ContainerHeader) -> np.ndarray:
+        z = dictionary.ZeroEliminated(
+            bitmap2=sections["bitmap2"],
+            bitmap1=lz.decompress(sections["bitmap1"]),
+            words=lz.decompress(sections["words"]),
+            orig_len=int(meta["orig_len"]),
+            word_bytes=int(meta["word_bytes"]))
+        shuffled = dictionary.restore(z)
+        zz = bs.unshuffle(shuffled, int(meta["count"]), width_bits=32)
+        grid = delta.delta_inverse(bs.unzigzag(zz.astype(np.uint64)))
+        out = quantize.dequantize(grid, header.eb_abs, header.np_dtype)
+        return out.reshape(header.shape)
+
+    # -- auto-selection ---------------------------------------------------- #
+    def _encode(self, data: np.ndarray, eb_abs: float
+                ) -> tuple[dict[str, bytes], dict]:
+        # real SZ3 samples the input and picks a predictor configuration;
+        # here every variant is encoded and the smallest container wins
+        candidates = [self._encode_interp(data, eb_abs),
+                      self._encode_interp(data, eb_abs, radius=512),
+                      self._encode_lorenzo(data, eb_abs),
+                      self._encode_delta(data, eb_abs)]
+        return min(candidates,
+                   key=lambda sm: sum(len(v) for v in sm[0].values()))
+
+    def _decode(self, sections: dict[str, bytes], meta: dict,
+                header: ContainerHeader) -> np.ndarray:
+        variant = meta.get("variant", "interp")
+        if variant == "interp":
+            return self._decode_interp(sections, meta, header)
+        if variant == "lorenzo":
+            return self._decode_lorenzo(sections, meta, header)
+        if variant == "delta":
+            return self._decode_delta(sections, meta, header)
+        raise CodecError(f"unknown sz3 variant {variant!r}")

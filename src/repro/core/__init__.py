@@ -1,0 +1,35 @@
+"""Core framework: modules, registry, pipelines, presets, container format."""
+
+from .archive import Archive, ArchiveEntry, ArchiveWriter
+from .builder import PipelineBuilder
+from .chunked import TiledField, compress_tiled
+from .header import ContainerHeader, parse
+from .progressive import ProgressiveField, compress_progressive
+from .target import TargetResult, compress_to_target
+from .streamio import StreamingCompressor, StreamingDecompressor
+from .temporal import TemporalCompressor, TemporalDecompressor
+from .verify import VerificationReport, verify_pipeline
+from .module import (EncodedStream, EncoderModule, Module, PredictorArtifacts,
+                     PredictorModule, PreprocessModule, PreprocessResult,
+                     SecondaryModule, StatisticsModule)
+from .pipeline import (DEFAULT_RADIUS, CompressedField, CompressionStats,
+                       Pipeline, decompress)
+from .presets import (PRESET_NAMES, fzmod_default, fzmod_quality, fzmod_speed,
+                      get_preset)
+from .registry import DEFAULT_REGISTRY, ModuleRegistry, get_module, register
+
+__all__ = [
+    "Archive", "ArchiveEntry", "ArchiveWriter", "TargetResult",
+    "compress_to_target", "TiledField", "compress_tiled",
+    "TemporalCompressor", "TemporalDecompressor",
+    "ProgressiveField", "compress_progressive",
+    "VerificationReport", "verify_pipeline",
+    "StreamingCompressor", "StreamingDecompressor",
+    "PipelineBuilder", "ContainerHeader", "parse", "EncodedStream",
+    "EncoderModule", "Module", "PredictorArtifacts", "PredictorModule",
+    "PreprocessModule", "PreprocessResult", "SecondaryModule",
+    "StatisticsModule", "DEFAULT_RADIUS", "CompressedField",
+    "CompressionStats", "Pipeline", "decompress", "PRESET_NAMES",
+    "fzmod_default", "fzmod_quality", "fzmod_speed", "get_preset",
+    "DEFAULT_REGISTRY", "ModuleRegistry", "get_module", "register",
+]

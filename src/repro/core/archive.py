@@ -1,0 +1,197 @@
+"""Multi-field snapshot archives.
+
+Scientific applications write dozens of fields per snapshot (Table 2:
+CESM-ATM has 33, HURR 20).  An :class:`ArchiveWriter` packs many
+independently-compressed fields — possibly with *different* pipelines per
+field, which is exactly what the auto-tuner recommends — into one
+self-describing file that :class:`Archive` reads back field-by-field
+without decompressing the rest.
+
+Layout::
+
+    magic "FZAR" | u16 version | u32 index_len | index JSON | blob*
+
+The index records, per field: name, byte offset/length of its container
+blob, and summary stats (CR, eb).  Each member blob is a complete
+``FZMD`` container (with its own CRC), so members can also be extracted
+and decoded standalone.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import HeaderError, PipelineError
+from ..types import EbMode, ErrorBound
+from .pipeline import CompressedField, Pipeline, decompress as _decompress
+
+ARCHIVE_MAGIC = b"FZAR"
+ARCHIVE_VERSION = 1
+_PREFIX = struct.Struct("<4sHI")
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """Index record for one archived field."""
+
+    name: str
+    offset: int
+    length: int
+    shape: tuple[int, ...]
+    dtype: str
+    eb_value: float
+    eb_mode: str
+    cr: float
+    pipeline: str
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form of this entry."""
+        return {"name": self.name, "offset": self.offset,
+                "length": self.length, "shape": list(self.shape),
+                "dtype": self.dtype, "eb_value": self.eb_value,
+                "eb_mode": self.eb_mode, "cr": self.cr,
+                "pipeline": self.pipeline}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ArchiveEntry":
+        return cls(name=str(obj["name"]), offset=int(obj["offset"]),
+                   length=int(obj["length"]),
+                   shape=tuple(int(x) for x in obj["shape"]),
+                   dtype=str(obj["dtype"]), eb_value=float(obj["eb_value"]),
+                   eb_mode=str(obj["eb_mode"]), cr=float(obj["cr"]),
+                   pipeline=str(obj["pipeline"]))
+
+
+class ArchiveWriter:
+    """Accumulates compressed fields and serialises the archive."""
+
+    def __init__(self) -> None:
+        self._entries: list[ArchiveEntry] = []
+        self._blobs: list[bytes] = []
+        self._names: set[str] = set()
+
+    def add(self, name: str, data: np.ndarray, eb: ErrorBound | float,
+            pipeline: Pipeline, mode: EbMode | str = EbMode.REL
+            ) -> CompressedField:
+        """Compress ``data`` with ``pipeline`` and append it."""
+        cf = pipeline.compress(data, eb, mode)
+        self.add_compressed(name, cf, pipeline_name=pipeline.name)
+        return cf
+
+    def add_compressed(self, name: str, cf: CompressedField,
+                       pipeline_name: str | None = None) -> None:
+        """Append an already-compressed field."""
+        if name in self._names:
+            raise PipelineError(f"archive already contains field {name!r}")
+        self._names.add(name)
+        offset = sum(len(b) for b in self._blobs)
+        pname = pipeline_name
+        if pname is None:
+            pname = cf.header.modules.get("baseline",
+                                          cf.header.modules.get("predictor",
+                                                                "unknown"))
+        self._entries.append(ArchiveEntry(
+            name=name, offset=offset, length=len(cf.blob),
+            shape=cf.header.shape, dtype=cf.header.dtype,
+            eb_value=cf.header.eb_value, eb_mode=cf.header.eb_mode,
+            cr=cf.stats.cr, pipeline=pname))
+        self._blobs.append(cf.blob)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the archive (index first, then member blobs)."""
+        index = json.dumps([e.to_json() for e in self._entries],
+                           separators=(",", ":")).encode("utf-8")
+        return (_PREFIX.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, len(index))
+                + index + b"".join(self._blobs))
+
+    def write(self, path: str) -> int:
+        """Serialise to ``path``; returns the byte count written."""
+        blob = self.to_bytes()
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        return len(blob)
+
+    @property
+    def field_count(self) -> int:
+        return len(self._entries)
+
+
+class Archive:
+    """Read-side view of an archive (lazy per-field decompression)."""
+
+    def __init__(self, blob: bytes) -> None:
+        if len(blob) < _PREFIX.size:
+            raise HeaderError("archive too short")
+        magic, version, ilen = _PREFIX.unpack_from(blob, 0)
+        if magic != ARCHIVE_MAGIC:
+            raise HeaderError(f"bad archive magic {magic!r}")
+        if version != ARCHIVE_VERSION:
+            raise HeaderError(f"unsupported archive version {version}")
+        start = _PREFIX.size
+        if len(blob) < start + ilen:
+            raise HeaderError("truncated archive index")
+        try:
+            index = json.loads(blob[start:start + ilen].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HeaderError(f"unreadable archive index: {exc}") from exc
+        self._entries = {e["name"]: ArchiveEntry.from_json(e) for e in index}
+        self._body = blob[start + ilen:]
+
+    @classmethod
+    def open(cls, path: str) -> "Archive":
+        with open(path, "rb") as fh:
+            return cls(fh.read())
+
+    def names(self) -> list[str]:
+        """Member names, in insertion order."""
+        return list(self._entries)
+
+    def entry(self, name: str) -> ArchiveEntry:
+        """Index record for one member (raises for unknown names)."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise HeaderError(f"archive has no field {name!r}; "
+                              f"have {sorted(self._entries)}") from None
+
+    def raw_blob(self, name: str) -> bytes:
+        """The member's container bytes, unparsed."""
+        e = self.entry(name)
+        blob = self._body[e.offset:e.offset + e.length]
+        if len(blob) != e.length:
+            raise HeaderError(f"archive member {name!r} truncated")
+        return blob
+
+    def read(self, name: str) -> np.ndarray:
+        """Decompress one field (the rest of the archive is untouched).
+
+        Members may be pipeline containers or baseline containers; the
+        member header decides the decode path.
+        """
+        blob = self.raw_blob(name)
+        from .header import parse
+        header, _ = parse(blob)
+        if "baseline" in header.modules:
+            from ..baselines import get_compressor  # late: avoids cycle
+            return get_compressor(header.modules["baseline"]).decompress(blob)
+        return _decompress(blob)
+
+    def read_all(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(name, array)`` for every member, decoding lazily."""
+        for name in self._entries:
+            yield name, self.read(name)
+
+    def total_stats(self) -> dict[str, float]:
+        """Aggregate uncompressed/compressed sizes and the campaign CR."""
+        comp = sum(e.length for e in self._entries.values())
+        orig = sum(int(np.prod(e.shape)) * np.dtype(e.dtype).itemsize
+                   for e in self._entries.values())
+        return {"fields": float(len(self._entries)),
+                "uncompressed_bytes": float(orig),
+                "compressed_bytes": float(comp),
+                "cr": orig / comp if comp else 0.0}

@@ -1,0 +1,99 @@
+"""Container diffing — regression analysis for codec changes.
+
+When a kernel or module changes, the question is "what happened to my
+containers?".  ``diff_containers`` compares two compressed fields on three
+levels — header/configuration, per-section sizes, and (optionally) the
+reconstructed values — and reports the differences structurally.  Backs
+``fzmod diff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import HeaderError
+from .header import parse
+from .pipeline import decompress
+
+
+@dataclass
+class ContainerDiff:
+    """Structured comparison of two containers."""
+
+    identical_bytes: bool
+    header_changes: dict[str, tuple] = field(default_factory=dict)
+    section_changes: dict[str, tuple[int, int]] = field(default_factory=dict)
+    size_a: int = 0
+    size_b: int = 0
+    max_value_delta: float | None = None
+    reconstructions_equal: bool | None = None
+
+    @property
+    def size_delta(self) -> int:
+        return self.size_b - self.size_a
+
+    def render(self) -> str:
+        """Human-readable summary of the differences."""
+        if self.identical_bytes:
+            return "containers are byte-identical"
+        lines = [f"size: {self.size_a} -> {self.size_b} B "
+                 f"({self.size_delta:+d})"]
+        for key, (a, b) in sorted(self.header_changes.items()):
+            lines.append(f"header.{key}: {a!r} -> {b!r}")
+        for name, (a, b) in sorted(self.section_changes.items()):
+            lines.append(f"section {name}: {a} -> {b} B ({b - a:+d})")
+        if self.reconstructions_equal is not None:
+            if self.reconstructions_equal:
+                lines.append("reconstructions: bit-identical")
+            else:
+                lines.append(f"reconstructions differ, max |delta| = "
+                             f"{self.max_value_delta:.6g}")
+        return "\n".join(lines)
+
+
+def diff_containers(blob_a: bytes, blob_b: bytes,
+                    compare_values: bool = True) -> ContainerDiff:
+    """Compare two pipeline/baseline containers.
+
+    ``compare_values=True`` also decodes both (via their own headers) and
+    compares the reconstructions; requires compatible shapes.
+    """
+    if blob_a == blob_b:
+        return ContainerDiff(identical_bytes=True,
+                             size_a=len(blob_a), size_b=len(blob_b))
+    ha, _ = parse(blob_a)
+    hb, _ = parse(blob_b)
+    diff = ContainerDiff(identical_bytes=False,
+                         size_a=len(blob_a), size_b=len(blob_b))
+
+    for key in ("shape", "dtype", "eb_value", "eb_mode", "eb_abs",
+                "radius", "modules"):
+        va, vb = getattr(ha, key), getattr(hb, key)
+        if va != vb:
+            diff.header_changes[key] = (va, vb)
+
+    sa = {n: l for n, _, l in ha.sections}
+    sb = {n: l for n, _, l in hb.sections}
+    for name in sorted(set(sa) | set(sb)):
+        a, b = sa.get(name, 0), sb.get(name, 0)
+        if a != b:
+            diff.section_changes[name] = (a, b)
+
+    if compare_values:
+        if ha.shape != hb.shape or ha.np_dtype != hb.np_dtype:
+            raise HeaderError("cannot value-compare containers with "
+                              "different geometry")
+        from ..baselines import get_compressor
+        def _decode(blob, header):
+            if "baseline" in header.modules:
+                return get_compressor(header.modules["baseline"]) \
+                    .decompress(blob)
+            return decompress(blob)
+        ra = _decode(blob_a, ha)
+        rb = _decode(blob_b, hb)
+        diff.reconstructions_equal = bool(np.array_equal(ra, rb))
+        diff.max_value_delta = float(
+            np.abs(ra.astype(np.float64) - rb.astype(np.float64)).max())
+    return diff

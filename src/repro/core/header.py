@@ -1,0 +1,159 @@
+"""Compressed-container format.
+
+Layout::
+
+    magic "FZMD" | u16 version | u32 header_len | u32 header_crc
+    | header (JSON, UTF-8) | body
+
+``header_crc`` covers the JSON header; the header itself records a CRC of
+the stored body, so any single corrupted byte anywhere in a container is
+detected before a codec runs (fuzz-tested).
+
+The JSON header records the field geometry, the error bound actually
+applied, the module names of every stage, scalar per-stage metadata, and a
+section table (name, offset, length) describing the *decoded* body.  The
+body is the concatenation of all binary sections, passed through the
+secondary module (so the secondary stage compresses quant-code payloads,
+outlier channels and anchors together, as zstd does in the paper).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import HeaderError
+
+MAGIC = b"FZMD"
+VERSION = 1
+
+_PREFIX = struct.Struct("<4sHII")
+
+
+@dataclass
+class ContainerHeader:
+    """Everything needed to reverse a pipeline, minus the binary payloads."""
+
+    shape: tuple[int, ...]
+    dtype: str
+    eb_value: float
+    eb_mode: str
+    eb_abs: float
+    radius: int
+    modules: dict[str, str]          # stage -> module name
+    stage_meta: dict[str, dict]      # stage -> scalar metadata
+    sections: list[tuple[str, int, int]] = field(default_factory=list)
+    #: CRC-32 of the stored body (0 = unchecked, for pre-integrity blobs)
+    body_crc: int = 0
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form of the header."""
+        return {
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "eb_value": self.eb_value,
+            "eb_mode": self.eb_mode,
+            "eb_abs": self.eb_abs,
+            "radius": self.radius,
+            "modules": self.modules,
+            "stage_meta": self.stage_meta,
+            "sections": [[n, o, l] for n, o, l in self.sections],
+            "body_crc": self.body_crc,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ContainerHeader":
+        try:
+            return cls(
+                shape=tuple(int(x) for x in obj["shape"]),
+                dtype=str(obj["dtype"]),
+                eb_value=float(obj["eb_value"]),
+                eb_mode=str(obj["eb_mode"]),
+                eb_abs=float(obj["eb_abs"]),
+                radius=int(obj["radius"]),
+                modules={str(k): str(v) for k, v in obj["modules"].items()},
+                stage_meta={str(k): dict(v) for k, v in obj["stage_meta"].items()},
+                sections=[(str(n), int(o), int(l)) for n, o, l in obj["sections"]],
+                body_crc=int(obj.get("body_crc", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HeaderError(f"malformed container header: {exc}") from exc
+
+    @property
+    def element_count(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+
+def assemble(header: ContainerHeader, sections: dict[str, bytes],
+             stored_body: bytes | None = None) -> tuple[bytes, bytes]:
+    """Build (header_bytes, body_bytes); fills the header's section table.
+
+    When ``stored_body`` is given (the body after the secondary encoder),
+    its CRC-32 is recorded so :func:`parse` can detect corruption before
+    any codec touches the payload.
+    """
+    header.sections = []
+    parts: list[bytes] = []
+    offset = 0
+    for name, payload in sections.items():
+        header.sections.append((name, offset, len(payload)))
+        parts.append(payload)
+        offset += len(payload)
+    body = b"".join(parts)
+    if stored_body is not None:
+        header.body_crc = zlib.crc32(stored_body) & 0xFFFFFFFF
+    else:
+        header.body_crc = zlib.crc32(body) & 0xFFFFFFFF
+    hjson = json.dumps(header.to_json(), separators=(",", ":")).encode("utf-8")
+    hcrc = zlib.crc32(hjson) & 0xFFFFFFFF
+    return _PREFIX.pack(MAGIC, VERSION, len(hjson), hcrc) + hjson, body
+
+
+def parse(blob: bytes) -> tuple[ContainerHeader, bytes]:
+    """Split a container into (header, raw-body) — the body may still be
+    secondary-encoded; use the header's secondary module to decode it."""
+    if len(blob) < _PREFIX.size:
+        raise HeaderError("container too short")
+    magic, version, hlen, hcrc = _PREFIX.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise HeaderError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise HeaderError(f"unsupported container version {version}")
+    start = _PREFIX.size
+    if len(blob) < start + hlen:
+        raise HeaderError("truncated container header")
+    hjson = blob[start:start + hlen]
+    if (zlib.crc32(hjson) & 0xFFFFFFFF) != hcrc:
+        raise HeaderError("container header CRC mismatch; the blob is "
+                          "corrupt or truncated")
+    try:
+        obj = json.loads(hjson.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HeaderError(f"unreadable container header: {exc}") from exc
+    header = ContainerHeader.from_json(obj)
+    stored = blob[start + hlen:]
+    if header.body_crc:
+        actual = zlib.crc32(stored) & 0xFFFFFFFF
+        if actual != header.body_crc:
+            raise HeaderError(
+                f"container body CRC mismatch (stored {header.body_crc:#x}, "
+                f"computed {actual:#x}); the blob is corrupt or truncated")
+    return header, stored
+
+
+def split_sections(header: ContainerHeader, body: bytes) -> dict[str, bytes]:
+    """Slice the decoded body back into named sections."""
+    out: dict[str, bytes] = {}
+    for name, offset, length in header.sections:
+        if offset + length > len(body):
+            raise HeaderError(f"section {name!r} exceeds body size")
+        out[name] = body[offset:offset + length]
+    return out

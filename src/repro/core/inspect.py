@@ -1,0 +1,112 @@
+"""Container inspection (no decompression).
+
+``describe(blob)`` classifies any bytes this library produces — pipeline
+or baseline containers, archives, tiled fields, temporal streams,
+progressive containers, streamed files — and returns a structured
+description; ``render(blob)`` pretty-prints it.  Backs ``fzmod inspect``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HeaderError
+from .archive import ARCHIVE_MAGIC, Archive
+from .header import MAGIC as CONTAINER_MAGIC
+from .header import parse
+from .streamio import STREAM_MAGIC
+
+
+@dataclass
+class Description:
+    """What a blob is and what's inside."""
+
+    kind: str                      # container | archive | stream
+    detail: dict = field(default_factory=dict)
+    members: list[dict] = field(default_factory=list)
+
+
+def _describe_container(blob: bytes) -> Description:
+    header, stored = parse(blob)
+    return Description(
+        kind="container",
+        detail={
+            "shape": list(header.shape),
+            "dtype": header.dtype,
+            "eb": f"{header.eb_value:g} ({header.eb_mode})",
+            "eb_abs": header.eb_abs,
+            "radius": header.radius,
+            "modules": dict(header.modules),
+            "stored_body_bytes": len(stored),
+            "sections": [{"name": n, "bytes": l}
+                         for n, _, l in header.sections],
+        })
+
+
+def _describe_archive(blob: bytes) -> Description:
+    ar = Archive(blob)
+    names = ar.names()
+    kind = "archive"
+    if any(n.startswith("tile_") for n in names):
+        kind = "tiled-field archive"
+    elif any(n.startswith("frame_") for n in names):
+        kind = "temporal-stream archive"
+    elif any(n.startswith("level_") for n in names):
+        kind = "progressive archive"
+    stats = ar.total_stats()
+    d = Description(kind=kind,
+                    detail={"fields": int(stats["fields"]),
+                            "uncompressed_bytes": int(stats["uncompressed_bytes"]),
+                            "compressed_bytes": int(stats["compressed_bytes"]),
+                            "cr": round(stats["cr"], 3)})
+    for name in names:
+        e = ar.entry(name)
+        d.members.append({"name": name, "shape": list(e.shape),
+                          "bytes": e.length, "cr": round(e.cr, 2),
+                          "pipeline": e.pipeline})
+    return d
+
+
+def describe(blob: bytes) -> Description:
+    """Classify and describe ``blob``; raises HeaderError for foreign data."""
+    if len(blob) < 4:
+        raise HeaderError("blob too short to classify")
+    magic = blob[:4]
+    if magic == CONTAINER_MAGIC:
+        return _describe_container(blob)
+    if magic == ARCHIVE_MAGIC:
+        return _describe_archive(blob)
+    if magic == STREAM_MAGIC:
+        import io
+
+        from .streamio import StreamingDecompressor
+        sd = StreamingDecompressor(io.BytesIO(blob))
+        return Description(
+            kind="stream",
+            detail={"slabs": sd.slab_count, "rows": sd.total_rows,
+                    "tail_shape": list(sd.tail_shape),
+                    "dtype": str(sd.dtype), "eb_abs": sd.eb_abs})
+    raise HeaderError(f"unrecognised magic {magic!r}")
+
+
+def render(blob: bytes) -> str:
+    """Human-readable inspection report."""
+    d = describe(blob)
+    lines = [f"kind: {d.kind}"]
+    for key, value in d.detail.items():
+        if key == "sections":
+            lines.append("sections:")
+            for s in value:
+                lines.append(f"  {s['name']:<16} {s['bytes']:>10} B")
+        elif key == "modules":
+            lines.append("modules: " + ", ".join(
+                f"{k}={v}" for k, v in value.items()))
+        else:
+            lines.append(f"{key}: {value}")
+    if d.members:
+        lines.append("members:")
+        for m in d.members:
+            dims = "x".join(str(x) for x in m["shape"])
+            lines.append(f"  {m['name']:<16} {dims:<16} {m['bytes']:>10} B "
+                         f"CR {m['cr']:>8} via {m['pipeline']}")
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""The standard module library shipped with the framework (§3.2).
+
+Preprocessors
+    ``abs-eb`` / ``rel-eb`` — absolute vs value-range-relative bounds.
+Predictors
+    ``lorenzo`` (cuSZ) and ``interp`` (G-Interp, cuSZ-i).
+Statistics
+    ``histogram`` (standard) and ``histogram-topk``.
+Encoders
+    ``huffman`` (CPU canonical Huffman, needs a histogram) and
+    ``bitshuffle`` (FZ-GPU zigzag + bit-plane shuffle + zero elimination).
+Secondary
+    ``zstd-like`` (token-dedup + Huffman, the offline zstd substitute),
+    ``rle`` and ``none``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import CodecError
+from ..kernels import (bitshuffle, dictionary, histogram as khist, huffman,
+                       interp, lorenzo, lz, quantize, rle)
+from ..kernels.histogram import HistogramResult
+from ..kernels.quantize import OutlierSet
+from ..types import EbMode, ErrorBound
+from .module import (EncodedStream, EncoderModule, PredictorArtifacts,
+                     PredictorModule, PreprocessModule, PreprocessResult,
+                     SecondaryModule, StatisticsModule)
+
+
+# ---------------------------------------------------------------------- #
+# preprocess                                                              #
+# ---------------------------------------------------------------------- #
+class AbsEbPreprocess(PreprocessModule):
+    """Pass-through preprocessor for absolute error bounds."""
+
+    name = "abs-eb"
+
+    def forward(self, data: np.ndarray, eb: ErrorBound) -> PreprocessResult:
+        return PreprocessResult(data=data, eb_abs=eb.absolute(0.0, 0.0),
+                                meta={"mode": EbMode.ABS.value})
+
+
+class RelEbPreprocess(PreprocessModule):
+    """Value-range-relative bounds: scans min/max and scales the bound.
+
+    This is the paper's evaluation mode ("value-range-based relative error
+    bound"); the range scan is the single extra pass this module costs.
+    """
+
+    name = "rel-eb"
+
+    def forward(self, data: np.ndarray, eb: ErrorBound) -> PreprocessResult:
+        lo = float(data.min())
+        hi = float(data.max())
+        # ErrorBound.absolute honours the bound's own mode, so an ABS bound
+        # passes through unchanged even in the range-scanning preprocessor.
+        return PreprocessResult(data=data, eb_abs=eb.absolute(lo, hi),
+                                meta={"mode": eb.mode.value,
+                                      "min": lo, "max": hi})
+
+
+# ---------------------------------------------------------------------- #
+# predictors                                                              #
+# ---------------------------------------------------------------------- #
+class LorenzoPredictor(PredictorModule):
+    """cuSZ multidimensional Lorenzo predictor + dual quantisation."""
+
+    name = "lorenzo"
+
+    def encode(self, data: np.ndarray, eb_abs: float, radius: int
+               ) -> PredictorArtifacts:
+        res = lorenzo.compress(data, eb_abs, radius)
+        return PredictorArtifacts(codes=res.codes.reshape(-1),
+                                  outliers=res.outliers, anchors=None,
+                                  meta={})
+
+    def decode(self, artifacts: PredictorArtifacts, shape: tuple[int, ...],
+               dtype: np.dtype, eb_abs: float, radius: int) -> np.ndarray:
+        return lorenzo.decompress_parts(
+            codes=artifacts.codes.reshape(shape), outliers=artifacts.outliers,
+            radius=radius, eb_abs=eb_abs, shape=shape, dtype=dtype)
+
+
+class InterpPredictor(PredictorModule):
+    """G-Interp multilevel spline interpolation predictor (cuSZ-i)."""
+
+    name = "interp"
+
+    def __init__(self, max_level: int | None = None) -> None:
+        self.max_level = max_level
+
+    def encode(self, data: np.ndarray, eb_abs: float, radius: int
+               ) -> PredictorArtifacts:
+        res = interp.compress(data, eb_abs, radius, max_level=self.max_level)
+        return PredictorArtifacts(codes=res.codes, outliers=res.outliers,
+                                  anchors=res.anchors,
+                                  meta={"max_level": res.max_level})
+
+    def decode(self, artifacts: PredictorArtifacts, shape: tuple[int, ...],
+               dtype: np.dtype, eb_abs: float, radius: int) -> np.ndarray:
+        if artifacts.anchors is None:
+            raise CodecError("interp artifacts missing anchors")
+        res = interp.InterpResult(
+            codes=artifacts.codes, outliers=artifacts.outliers,
+            anchors=artifacts.anchors.astype(dtype), radius=radius,
+            eb_abs=eb_abs, max_level=int(artifacts.meta["max_level"]),
+            shape=shape, dtype=np.dtype(dtype))
+        return interp.decompress(res)
+
+
+# ---------------------------------------------------------------------- #
+# statistics                                                              #
+# ---------------------------------------------------------------------- #
+class StandardHistogram(StatisticsModule):
+    """Dense GPU-style histogram of the quant codes."""
+
+    name = "histogram"
+
+    def collect(self, codes: np.ndarray, num_bins: int) -> HistogramResult:
+        return khist.histogram(codes, num_bins)
+
+
+class TopKHistogram(StatisticsModule):
+    """Sparsity-aware top-k histogram (preferred after high-quality
+    prediction, per §3.2)."""
+
+    name = "histogram-topk"
+
+    def __init__(self, k: int = 16) -> None:
+        self.k = k
+
+    def collect(self, codes: np.ndarray, num_bins: int) -> HistogramResult:
+        return khist.histogram_topk(codes, num_bins, k=self.k)
+
+
+# ---------------------------------------------------------------------- #
+# encoders                                                                #
+# ---------------------------------------------------------------------- #
+class HuffmanEncoder(EncoderModule):
+    """Chunked canonical Huffman over quant codes (CPU stage of
+    FZMod-Default/Quality); optimal-ratio, slower than bitshuffle."""
+
+    name = "huffman"
+    needs_statistics = True
+
+    def __init__(self, chunk: int = huffman.DEFAULT_CHUNK,
+                 max_len: int = huffman.DEFAULT_MAX_LEN) -> None:
+        self.chunk = chunk
+        self.max_len = max_len
+
+    def encode(self, codes: np.ndarray, num_bins: int,
+               hist: HistogramResult | None) -> EncodedStream:
+        if hist is None:
+            raise CodecError("huffman encoder requires a statistics stage")
+        if codes.size == 0:
+            enc = huffman.encode_empty(num_bins, max_len=self.max_len)
+        else:
+            book = huffman.build_codebook(hist.counts, max_len=self.max_len)
+            enc = huffman.encode(codes, book, chunk=self.chunk)
+        return EncodedStream(
+            sections={
+                "enc.payload": enc.payload,
+                "enc.lengths": enc.lengths.tobytes(),
+                "enc.chunk_syms": enc.chunk_symbols.tobytes(),
+                "enc.chunk_bits": enc.chunk_bits.tobytes(),
+            },
+            meta={"count": enc.count, "max_len": enc.max_len,
+                  "nchunks": int(enc.chunk_symbols.size)})
+
+    def decode(self, stream: EncodedStream, count: int, num_bins: int
+               ) -> np.ndarray:
+        nchunks = int(stream.meta["nchunks"])
+        enc = huffman.HuffmanEncoded(
+            payload=stream.sections["enc.payload"],
+            chunk_symbols=np.frombuffer(stream.sections["enc.chunk_syms"],
+                                        dtype=np.int64, count=nchunks),
+            chunk_bits=np.frombuffer(stream.sections["enc.chunk_bits"],
+                                     dtype=np.int64, count=nchunks),
+            count=int(stream.meta["count"]),
+            lengths=np.frombuffer(stream.sections["enc.lengths"], dtype=np.uint8),
+            max_len=int(stream.meta["max_len"]))
+        out = huffman.decode(enc)
+        if out.size != count:
+            raise CodecError("huffman decode count mismatch")
+        return out.astype(np.uint16 if num_bins <= 65536 else np.uint32)
+
+
+class BitshuffleEncoder(EncoderModule):
+    """FZ-GPU-style encoder: recentre + zigzag + bit-plane shuffle +
+    hierarchical zero elimination.  Much faster than Huffman on a GPU,
+    lower ratio (the FZMod-Speed trade)."""
+
+    name = "bitshuffle"
+    needs_statistics = False
+
+    def __init__(self, word_bytes: int = dictionary.WORD_BYTES) -> None:
+        self.word_bytes = word_bytes
+
+    def encode(self, codes: np.ndarray, num_bins: int,
+               hist: HistogramResult | None) -> EncodedStream:
+        radius = num_bins // 2
+        signed = codes.astype(np.int64) - radius
+        zz = bitshuffle.zigzag(signed)
+        width = 16 if num_bins <= 65536 else 32
+        if zz.size and int(zz.max()) >> width:
+            raise CodecError("zigzagged code exceeds shuffle width")
+        shuffled = bitshuffle.shuffle(zz.astype(np.uint16 if width == 16
+                                                else np.uint32), width)
+        # Flat (single-level) bitmap, as in the staged FZ-GPU port: cheaper
+        # to produce but caps the ratio on near-constant data (the paper's
+        # FZMod-Speed posts visibly lower CRs than fused FZ-GPU).
+        z = dictionary.eliminate(shuffled, word_bytes=self.word_bytes,
+                                 two_level=False)
+        return EncodedStream(
+            sections={"enc.bitmap2": z.bitmap2, "enc.bitmap1": z.bitmap1,
+                      "enc.words": z.words},
+            meta={"count": int(codes.size), "orig_len": z.orig_len,
+                  "word_bytes": z.word_bytes, "width": width})
+
+    def decode(self, stream: EncodedStream, count: int, num_bins: int
+               ) -> np.ndarray:
+        z = dictionary.ZeroEliminated(
+            bitmap2=stream.sections["enc.bitmap2"],
+            bitmap1=stream.sections["enc.bitmap1"],
+            words=stream.sections["enc.words"],
+            orig_len=int(stream.meta["orig_len"]),
+            word_bytes=int(stream.meta["word_bytes"]))
+        shuffled = dictionary.restore(z)
+        width = int(stream.meta["width"])
+        zz = bitshuffle.unshuffle(shuffled, count, width)
+        signed = bitshuffle.unzigzag(zz.astype(np.uint64))
+        radius = num_bins // 2
+        out = signed + radius
+        if out.size and (int(out.min()) < 0 or int(out.max()) >= num_bins):
+            raise CodecError("bitshuffle decode produced out-of-range code")
+        return out.astype(np.uint16 if num_bins <= 65536 else np.uint32)
+
+
+# ---------------------------------------------------------------------- #
+# secondary                                                               #
+# ---------------------------------------------------------------------- #
+class ZstdLikeSecondary(SecondaryModule):
+    """Generic lossless pass (offline stand-in for the paper's zstd)."""
+
+    name = "zstd-like"
+
+    def encode(self, body: bytes) -> bytes:
+        return lz.compress(body)
+
+    def decode(self, body: bytes) -> bytes:
+        return lz.decompress(body)
+
+
+class RleSecondary(SecondaryModule):
+    """Byte run-length secondary pass (cheap, weaker alternative)."""
+
+    name = "rle"
+
+    def encode(self, body: bytes) -> bytes:
+        out = rle.encode(body)
+        # never let RLE expand past a 1-byte mode marker
+        if len(out) + 1 < len(body):
+            return b"\x01" + out
+        return b"\x00" + body
+
+    def decode(self, body: bytes) -> bytes:
+        if not body:
+            raise CodecError("empty RLE secondary body")
+        if body[0] == 0x01:
+            return rle.decode(body[1:])
+        if body[0] == 0x00:
+            return body[1:]
+        raise CodecError("bad RLE secondary marker")
+
+
+class NoSecondary(SecondaryModule):
+    """Identity secondary stage (the default for speed-oriented pipelines)."""
+
+    name = "none"
+
+    def encode(self, body: bytes) -> bytes:
+        return body
+
+    def decode(self, body: bytes) -> bytes:
+        return body

@@ -1,0 +1,265 @@
+"""Pipeline composition and execution (the heart of the framework).
+
+A :class:`Pipeline` wires one module per stage into an error-bounded
+compressor.  ``compress`` returns a :class:`CompressedField` — a
+self-describing container blob plus the run's measured statistics (sizes,
+per-stage wall time, code/outlier fractions) that the performance model and
+the benches consume.  ``decompress`` works from the blob alone: the header
+names the modules, which are looked up in the registry, so any process with
+the same modules registered can decode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..kernels.quantize import (OutlierSet, pack_outliers as quantize_pack,
+                                unpack_outliers as quantize_unpack)
+from ..types import EbMode, ErrorBound, check_field
+from .header import ContainerHeader, assemble, parse, split_sections
+from .module import (EncodedStream, EncoderModule, PredictorArtifacts,
+                     PredictorModule, PreprocessModule, SecondaryModule,
+                     StatisticsModule)
+from .modules_std import NoSecondary
+from .registry import DEFAULT_REGISTRY, ModuleRegistry
+from ..types import Stage
+
+#: Default quant-code radius (cuSZ's 1024-symbol dictionary).
+DEFAULT_RADIUS = 512
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Measured statistics of one compression run."""
+
+    input_bytes: int
+    output_bytes: int
+    element_count: int
+    eb_abs: float
+    code_fraction: float       # dense code stream bytes / input bytes
+    outlier_fraction: float    # outlier channel bytes / input bytes
+    outlier_count: int
+    section_sizes: dict[str, int]
+    stage_seconds: dict[str, float]
+    interp_levels: int = 0
+
+    @property
+    def cr(self) -> float:
+        return self.input_bytes / self.output_bytes
+
+    @property
+    def bit_rate(self) -> float:
+        return self.output_bytes * 8.0 / self.element_count
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+@dataclass(frozen=True)
+class CompressedField:
+    """The output of :meth:`Pipeline.compress`."""
+
+    blob: bytes
+    stats: CompressionStats
+    header: ContainerHeader
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.blob)
+
+
+def _serialize_outliers(out: OutlierSet) -> tuple[dict[str, bytes], int]:
+    idx, val, count = quantize_pack(out)
+    sections: dict[str, bytes] = {}
+    if count:
+        sections["outlier.idx"] = idx
+        sections["outlier.val"] = val
+    return sections, count
+
+
+def _deserialize_outliers(sections: dict[str, bytes], count: int) -> OutlierSet:
+    return quantize_unpack(sections.get("outlier.idx", b""),
+                           sections.get("outlier.val", b""), count)
+
+
+class Pipeline:
+    """An assembled compression pipeline (one module per stage)."""
+
+    def __init__(self, *, preprocess: PreprocessModule,
+                 predictor: PredictorModule, encoder: EncoderModule,
+                 statistics: StatisticsModule | None = None,
+                 secondary: SecondaryModule | None = None,
+                 radius: int = DEFAULT_RADIUS, name: str = "custom") -> None:
+        if encoder.needs_statistics and statistics is None:
+            raise PipelineError(
+                f"encoder {encoder.name!r} requires a statistics module")
+        self.preprocess = preprocess
+        self.predictor = predictor
+        self.statistics = statistics
+        self.encoder = encoder
+        self.secondary = secondary if secondary is not None else NoSecondary()
+        self.radius = int(radius)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_names(cls, *, preprocess: str = "rel-eb", predictor: str = "lorenzo",
+                   encoder: str = "huffman", statistics: str | None = None,
+                   secondary: str | None = None, radius: int = DEFAULT_RADIUS,
+                   name: str = "custom",
+                   registry: ModuleRegistry = DEFAULT_REGISTRY) -> "Pipeline":
+        """Assemble a pipeline from registry names."""
+        enc = registry.get(Stage.ENCODER, encoder)
+        stats = (registry.get(Stage.STATISTICS, statistics)
+                 if statistics is not None else None)
+        if stats is None and getattr(enc, "needs_statistics", False):
+            stats = registry.get(Stage.STATISTICS, "histogram")
+        return cls(
+            preprocess=registry.get(Stage.PREPROCESS, preprocess),
+            predictor=registry.get(Stage.PREDICTOR, predictor),
+            statistics=stats,
+            encoder=enc,
+            secondary=(registry.get(Stage.SECONDARY, secondary)
+                       if secondary is not None else None),
+            radius=radius, name=name)
+
+    @property
+    def num_bins(self) -> int:
+        return 2 * self.radius
+
+    def module_names(self) -> dict[str, str]:
+        """Stage -> module-name mapping stored in container headers."""
+        names = {
+            Stage.PREPROCESS.value: self.preprocess.name,
+            Stage.PREDICTOR.value: self.predictor.name,
+            Stage.ENCODER.value: self.encoder.name,
+            Stage.SECONDARY.value: self.secondary.name,
+        }
+        if self.statistics is not None:
+            names[Stage.STATISTICS.value] = self.statistics.name
+        return names
+
+    # ------------------------------------------------------------------ #
+    def compress(self, data: np.ndarray, eb: ErrorBound | float,
+                 mode: EbMode | str = EbMode.REL) -> CompressedField:
+        """Compress ``data`` under the given error bound."""
+        if not isinstance(eb, ErrorBound):
+            eb = ErrorBound(float(eb), EbMode(mode))
+        data = check_field(data)
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        pre = self.preprocess.forward(data, eb)
+        timings["preprocess"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        arts = self.predictor.encode(pre.data, pre.eb_abs, self.radius)
+        timings["predictor"] = time.perf_counter() - t0
+
+        hist = None
+        if self.encoder.needs_statistics:
+            t0 = time.perf_counter()
+            hist = self.statistics.collect(arts.codes, self.num_bins)
+            timings["statistics"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        stream = self.encoder.encode(arts.codes, self.num_bins, hist)
+        timings["encoder"] = time.perf_counter() - t0
+
+        sections: dict[str, bytes] = dict(stream.sections)
+        outlier_sections, outlier_count = _serialize_outliers(arts.outliers)
+        sections.update(outlier_sections)
+        if arts.anchors is not None:
+            sections["anchors"] = arts.anchors.tobytes()
+        aux_meta: dict[str, list] = {}
+        for aname, arr in arts.aux.items():
+            sections[f"aux.{aname}"] = np.ascontiguousarray(arr).tobytes()
+            aux_meta[aname] = [arr.dtype.str, list(arr.shape)]
+
+        header = ContainerHeader(
+            shape=data.shape, dtype=data.dtype.str, eb_value=eb.value,
+            eb_mode=eb.mode.value, eb_abs=pre.eb_abs, radius=self.radius,
+            modules=self.module_names(),
+            stage_meta={"predictor": dict(arts.meta),
+                        "encoder": dict(stream.meta),
+                        "preprocess": dict(pre.meta),
+                        "outliers": {"count": outlier_count},
+                        "aux": aux_meta})
+        _, body = assemble(header, sections)
+
+        t0 = time.perf_counter()
+        stored_body = self.secondary.encode(body)
+        timings["secondary"] = time.perf_counter() - t0
+
+        # rebuild the header with the CRC of the *stored* body so parse()
+        # can reject corruption before any codec runs
+        header_bytes, _ = assemble(header, sections, stored_body=stored_body)
+        blob = header_bytes + stored_body
+        stats = CompressionStats(
+            input_bytes=data.nbytes, output_bytes=len(blob),
+            element_count=data.size, eb_abs=pre.eb_abs,
+            code_fraction=arts.codes.nbytes / data.nbytes,
+            outlier_fraction=sum(len(v) for v in outlier_sections.values())
+            / data.nbytes,
+            outlier_count=arts.outliers.count,
+            section_sizes={k: len(v) for k, v in sections.items()},
+            stage_seconds=timings,
+            interp_levels=int(arts.meta.get("max_level", 0)))
+        return CompressedField(blob=blob, stats=stats, header=header)
+
+    def decompress(self, blob: bytes | CompressedField) -> np.ndarray:
+        """Reconstruct a field compressed by (any) pipeline."""
+        if isinstance(blob, CompressedField):
+            blob = blob.blob
+        return decompress(blob)
+
+
+def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY
+               ) -> np.ndarray:
+    """Container-driven decompression: module names come from the header."""
+    header, stored_body = parse(blob)
+    secondary = registry.get(Stage.SECONDARY,
+                             header.modules[Stage.SECONDARY.value])
+    body = secondary.decode(stored_body)
+    sections = split_sections(header, body)
+
+    enc_name = header.modules[Stage.ENCODER.value]
+    encoder = registry.get(Stage.ENCODER, enc_name)
+    stream = EncodedStream(
+        sections={k: v for k, v in sections.items() if k.startswith("enc.")},
+        meta=header.stage_meta.get("encoder", {}))
+    # interp predictors carry anchors: the dense code stream is shorter
+    # than the element count by the anchor count.  Predictors whose stream
+    # length differs from the element count for other reasons (e.g. the
+    # regression predictor's padded blocks) declare it explicitly.
+    anchors = None
+    anchor_count = 0
+    if "anchors" in sections:
+        anchors = np.frombuffer(sections["anchors"], dtype=header.np_dtype)
+        anchor_count = anchors.size
+    predictor_meta = header.stage_meta.get("predictor", {})
+    count = int(predictor_meta.get("stream_length",
+                                   header.element_count - anchor_count))
+    codes = encoder.decode(stream, count, 2 * header.radius)
+
+    outlier_count = int(header.stage_meta.get("outliers", {}).get("count", 0))
+    outliers = _deserialize_outliers(sections, outlier_count)
+    aux: dict[str, np.ndarray] = {}
+    for aname, (dtype_str, shape) in header.stage_meta.get("aux", {}).items():
+        arr = np.frombuffer(sections[f"aux.{aname}"], dtype=np.dtype(dtype_str))
+        aux[aname] = arr.reshape([int(s) for s in shape])
+    arts = PredictorArtifacts(codes=codes, outliers=outliers, anchors=anchors,
+                              aux=aux,
+                              meta=header.stage_meta.get("predictor", {}))
+    predictor = registry.get(Stage.PREDICTOR,
+                             header.modules[Stage.PREDICTOR.value])
+    out = predictor.decode(arts, header.shape, header.np_dtype,
+                           header.eb_abs, header.radius)
+    preprocess = registry.get(Stage.PREPROCESS,
+                              header.modules[Stage.PREPROCESS.value])
+    return preprocess.backward(out, header.stage_meta.get("preprocess", {}))

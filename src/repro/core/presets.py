@@ -1,0 +1,58 @@
+"""The three highlighted pipelines of §3.3.
+
+* **FZMod-Default** — Lorenzo predictor + standard histogram + CPU Huffman:
+  balances throughput, ratio and quality.
+* **FZMod-Speed** — Lorenzo + FZ-GPU bitshuffle/dictionary encoding: trades
+  ratio for encoder throughput.
+* **FZMod-Quality** — G-Interp predictor + top-k histogram + Huffman:
+  trades predictor throughput for rate-distortion.
+
+Each preset accepts an optional secondary module name (the paper supports
+zstd as the secondary encoder; ``"zstd-like"`` here).
+"""
+
+from __future__ import annotations
+
+from .pipeline import DEFAULT_RADIUS, Pipeline
+from .registry import DEFAULT_REGISTRY, ModuleRegistry
+
+PRESET_NAMES = ("fzmod-default", "fzmod-speed", "fzmod-quality")
+
+
+def fzmod_default(secondary: str | None = None, radius: int = DEFAULT_RADIUS,
+                  registry: ModuleRegistry = DEFAULT_REGISTRY) -> Pipeline:
+    """Lorenzo + histogram + Huffman (the framework default)."""
+    return Pipeline.from_names(
+        preprocess="rel-eb", predictor="lorenzo", statistics="histogram",
+        encoder="huffman", secondary=secondary, radius=radius,
+        name="fzmod-default", registry=registry)
+
+
+def fzmod_speed(secondary: str | None = None, radius: int = DEFAULT_RADIUS,
+                registry: ModuleRegistry = DEFAULT_REGISTRY) -> Pipeline:
+    """Lorenzo + bitshuffle/dictionary (throughput-oriented)."""
+    return Pipeline.from_names(
+        preprocess="rel-eb", predictor="lorenzo", statistics=None,
+        encoder="bitshuffle", secondary=secondary, radius=radius,
+        name="fzmod-speed", registry=registry)
+
+
+def fzmod_quality(secondary: str | None = None, radius: int = DEFAULT_RADIUS,
+                  registry: ModuleRegistry = DEFAULT_REGISTRY) -> Pipeline:
+    """G-Interp + top-k histogram + Huffman (quality-oriented)."""
+    return Pipeline.from_names(
+        preprocess="rel-eb", predictor="interp", statistics="histogram-topk",
+        encoder="huffman", secondary=secondary, radius=radius,
+        name="fzmod-quality", registry=registry)
+
+
+def get_preset(name: str, secondary: str | None = None,
+               radius: int = DEFAULT_RADIUS) -> Pipeline:
+    """Look up a preset pipeline by its canonical name."""
+    table = {"fzmod-default": fzmod_default, "fzmod-speed": fzmod_speed,
+             "fzmod-quality": fzmod_quality}
+    try:
+        factory = table[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; have {PRESET_NAMES}") from None
+    return factory(secondary=secondary, radius=radius)

@@ -1,0 +1,171 @@
+"""Out-of-core streaming compression.
+
+Extreme-scale fields don't fit in memory — the producing application
+writes them slab by slab.  :class:`StreamingCompressor` accepts slabs
+(chunks along axis 0), compresses each independently, and appends it to a
+file object immediately, so peak memory is one slab.  The member index is
+written *last* with a fixed-size trailer pointing at it, which is what
+makes the format appendable (a crash mid-write loses only the tail).
+
+Layout::
+
+    magic "FZST" | u16 version | member blobs ... | index JSON |
+    u64 index_offset | u32 index_len | magic "TSZF"
+
+:class:`StreamingDecompressor` reads the trailer, then serves slabs lazily
+(sequentially or by index) and can reassemble the full field when it does
+fit in memory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO
+
+import numpy as np
+
+from ..errors import ConfigError, HeaderError
+from ..types import EbMode, ErrorBound, check_field
+from .pipeline import Pipeline, decompress
+
+STREAM_MAGIC = b"FZST"
+STREAM_END_MAGIC = b"TSZF"
+STREAM_VERSION = 1
+_HEAD = struct.Struct("<4sH")
+_TRAILER = struct.Struct("<QI4s")
+
+
+@dataclass(frozen=True)
+class SlabEntry:
+    offset: int
+    length: int
+    rows: int
+
+
+class StreamingCompressor:
+    """Slab-at-a-time compressor writing straight to a file object."""
+
+    def __init__(self, fh: BinaryIO, pipeline: Pipeline,
+                 eb: ErrorBound | float, mode: EbMode | str = EbMode.REL
+                 ) -> None:
+        self.fh = fh
+        self.pipeline = pipeline
+        if not isinstance(eb, ErrorBound):
+            eb = ErrorBound(float(eb), EbMode(mode))
+        self._eb_user = eb
+        self._eb_abs: float | None = None
+        self._entries: list[SlabEntry] = []
+        self._tail_shape: tuple[int, ...] | None = None
+        self._dtype: str | None = None
+        self._closed = False
+        fh.write(_HEAD.pack(STREAM_MAGIC, STREAM_VERSION))
+        self._pos = _HEAD.size
+
+    def write_slab(self, slab: np.ndarray) -> float:
+        """Compress and append one slab; returns its CR.
+
+        All slabs must agree on dtype and on every dimension except the
+        first.  REL bounds resolve against the *first* slab's range and
+        freeze (consistent with the temporal stream's semantics; pass an
+        ABS bound for strict global control).
+        """
+        if self._closed:
+            raise ConfigError("stream already closed")
+        slab = check_field(slab)
+        tail = slab.shape[1:]
+        if self._tail_shape is None:
+            self._tail_shape = tail
+            self._dtype = slab.dtype.str
+        elif tail != self._tail_shape or slab.dtype.str != self._dtype:
+            raise ConfigError("slab geometry/dtype mismatch")
+        if self._eb_abs is None:
+            self._eb_abs = self._eb_user.absolute(float(slab.min()),
+                                                  float(slab.max()))
+        cf = self.pipeline.compress(slab, ErrorBound(self._eb_abs,
+                                                     EbMode.ABS))
+        self._entries.append(SlabEntry(offset=self._pos, length=len(cf.blob),
+                                       rows=slab.shape[0]))
+        self.fh.write(cf.blob)
+        self._pos += len(cf.blob)
+        return cf.stats.cr
+
+    def close(self) -> dict:
+        """Write the index + trailer; returns summary stats."""
+        if self._closed:
+            raise ConfigError("stream already closed")
+        if not self._entries:
+            raise ConfigError("no slabs written")
+        self._closed = True
+        index = {
+            "dtype": self._dtype,
+            "tail_shape": list(self._tail_shape),
+            "eb_abs": self._eb_abs,
+            "slabs": [[e.offset, e.length, e.rows] for e in self._entries],
+        }
+        blob = json.dumps(index, separators=(",", ":")).encode("utf-8")
+        index_offset = self._pos
+        self.fh.write(blob)
+        self.fh.write(_TRAILER.pack(index_offset, len(blob),
+                                    STREAM_END_MAGIC))
+        total_rows = sum(e.rows for e in self._entries)
+        return {"slabs": len(self._entries), "rows": total_rows,
+                "compressed_bytes": self._pos + len(blob) + _TRAILER.size}
+
+
+class StreamingDecompressor:
+    """Lazy reader for a streamed container."""
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self.fh = fh
+        head = fh.read(_HEAD.size)
+        magic, version = _HEAD.unpack(head)
+        if magic != STREAM_MAGIC:
+            raise HeaderError(f"bad stream magic {magic!r}")
+        if version != STREAM_VERSION:
+            raise HeaderError(f"unsupported stream version {version}")
+        fh.seek(-_TRAILER.size, io.SEEK_END)
+        index_offset, index_len, end_magic = _TRAILER.unpack(
+            fh.read(_TRAILER.size))
+        if end_magic != STREAM_END_MAGIC:
+            raise HeaderError("stream trailer missing (truncated write?)")
+        fh.seek(index_offset)
+        try:
+            index = json.loads(fh.read(index_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HeaderError(f"unreadable stream index: {exc}") from exc
+        self.dtype = np.dtype(index["dtype"])
+        self.tail_shape = tuple(int(x) for x in index["tail_shape"])
+        self.eb_abs = float(index["eb_abs"])
+        self.slabs = [SlabEntry(offset=o, length=l, rows=r)
+                      for o, l, r in index["slabs"]]
+
+    @property
+    def slab_count(self) -> int:
+        return len(self.slabs)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(e.rows for e in self.slabs)
+
+    def read_slab(self, k: int) -> np.ndarray:
+        """Decompress slab ``k`` (seeks directly to its bytes)."""
+        if not (0 <= k < len(self.slabs)):
+            raise ConfigError(f"slab {k} outside [0, {len(self.slabs)})")
+        e = self.slabs[k]
+        self.fh.seek(e.offset)
+        blob = self.fh.read(e.length)
+        if len(blob) != e.length:
+            raise HeaderError(f"slab {k} truncated")
+        return decompress(blob)
+
+    def iter_slabs(self):
+        """Yield every slab in order, decoding lazily."""
+        for k in range(len(self.slabs)):
+            yield self.read_slab(k)
+
+    def read_full(self) -> np.ndarray:
+        """Reassemble the whole field (must fit in memory)."""
+        return np.concatenate(list(self.iter_slabs()), axis=0)

@@ -1,0 +1,151 @@
+"""Target-driven error-bound search.
+
+Practitioners rarely know the right error bound; they know the quality or
+budget they need — "at least 60 dB PSNR", "at most 2 bits per value",
+"CR 20 or better".  Following the quality-metric-oriented line of work the
+paper cites (Liu et al., SC'22 [19]), this module searches the bound that
+meets a target by bisection on ``log10(eb)``, exploiting that CR grows and
+PSNR falls monotonically in the bound.
+
+The returned :class:`TargetResult` includes the full search trace so
+callers can see the trade-off curve the search walked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..metrics.quality import psnr
+from ..types import EbMode, ErrorBound
+from .pipeline import CompressedField, Pipeline, decompress
+
+METRICS = ("psnr", "cr", "bit_rate")
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    eb: float
+    cr: float
+    psnr_db: float
+    bit_rate: float
+
+
+@dataclass
+class TargetResult:
+    """Outcome of a target search."""
+
+    metric: str
+    target: float
+    eb: float
+    compressed: CompressedField
+    achieved: float
+    trace: list[SearchPoint] = field(default_factory=list)
+    converged: bool = True
+
+
+def _evaluate(pipeline: Pipeline, data: np.ndarray, eb: float,
+              mode: EbMode) -> tuple[CompressedField, SearchPoint]:
+    cf = pipeline.compress(data, ErrorBound(eb, mode))
+    recon = decompress(cf.blob)
+    point = SearchPoint(eb=eb, cr=cf.stats.cr,
+                        psnr_db=float(psnr(data, recon)),
+                        bit_rate=cf.stats.bit_rate)
+    return cf, point
+
+
+def _achieved(point: SearchPoint, metric: str) -> float:
+    return {"psnr": point.psnr_db, "cr": point.cr,
+            "bit_rate": point.bit_rate}[metric]
+
+
+def _satisfied(value: float, metric: str, target: float) -> bool:
+    # psnr and cr are at-least targets; bit_rate is an at-most budget
+    if metric in ("psnr", "cr"):
+        return value >= target
+    return value <= target
+
+
+def compress_to_target(data: np.ndarray, pipeline: Pipeline, metric: str,
+                       target: float, mode: EbMode | str = EbMode.REL,
+                       eb_lo: float = 1e-8, eb_hi: float = 1e-1,
+                       max_iter: int = 12, rel_tol: float = 0.02
+                       ) -> TargetResult:
+    """Find the loosest bound meeting ``target`` and return its container.
+
+    ``metric`` is one of ``"psnr"`` (dB, at-least), ``"cr"`` (at-least) or
+    ``"bit_rate"`` (bits/value, at-most).  The loosest satisfying bound
+    maximises CR subject to the quality constraint (for psnr/bit_rate) or
+    maximises quality subject to the size constraint (for cr).
+
+    Monotonicity used: tightening ``eb`` raises PSNR and bit rate and
+    lowers CR.  Bisection runs on ``log10(eb)``; if even the search-range
+    endpoints cannot satisfy the target, ``converged`` is False and the
+    closest endpoint is returned.
+    """
+    if metric not in METRICS:
+        raise ConfigError(f"metric must be one of {METRICS}")
+    if not (0 < eb_lo < eb_hi):
+        raise ConfigError("need 0 < eb_lo < eb_hi")
+    mode = EbMode(mode)
+    trace: list[SearchPoint] = []
+
+    # psnr: satisfied at small eb -> want the LARGEST satisfying eb
+    # bit_rate: satisfied at large eb? bit_rate falls as eb grows -> largest
+    #   satisfying is the one just meeting the budget... we want the
+    #   SMALLEST eb whose rate fits (max quality within budget).
+    # cr: satisfied at large eb -> want the SMALLEST satisfying eb (best
+    #   quality at the required ratio).
+    want_largest = metric == "psnr"
+
+    cf_lo, p_lo = _evaluate(pipeline, data, eb_lo, mode)
+    trace.append(p_lo)
+    cf_hi, p_hi = _evaluate(pipeline, data, eb_hi, mode)
+    trace.append(p_hi)
+
+    sat_lo = _satisfied(_achieved(p_lo, metric), metric, target)
+    sat_hi = _satisfied(_achieved(p_hi, metric), metric, target)
+
+    if want_largest:
+        if sat_hi:  # loosest endpoint already good
+            return TargetResult(metric, target, eb_hi, cf_hi,
+                                _achieved(p_hi, metric), trace)
+        if not sat_lo:
+            return TargetResult(metric, target, eb_lo, cf_lo,
+                                _achieved(p_lo, metric), trace,
+                                converged=False)
+    else:
+        if sat_lo:  # tightest endpoint already good
+            return TargetResult(metric, target, eb_lo, cf_lo,
+                                _achieved(p_lo, metric), trace)
+        if not sat_hi:
+            return TargetResult(metric, target, eb_hi, cf_hi,
+                                _achieved(p_hi, metric), trace,
+                                converged=False)
+
+    lo, hi = np.log10(eb_lo), np.log10(eb_hi)
+    best_cf, best_point = (cf_lo, p_lo) if want_largest else (cf_hi, p_hi)
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        eb = float(10.0 ** mid)
+        cf, point = _evaluate(pipeline, data, eb, mode)
+        trace.append(point)
+        ok = _satisfied(_achieved(point, metric), metric, target)
+        if want_largest:
+            if ok:
+                best_cf, best_point = cf, point
+                lo = mid
+            else:
+                hi = mid
+        else:
+            if ok:
+                best_cf, best_point = cf, point
+                hi = mid
+            else:
+                lo = mid
+        if hi - lo < np.log10(1.0 + rel_tol):
+            break
+    return TargetResult(metric, target, best_point.eb, best_cf,
+                        _achieved(best_point, metric), trace)

@@ -1,0 +1,151 @@
+"""Temporal (snapshot-sequence) compression.
+
+Simulation campaigns write *sequences* of snapshots whose consecutive
+frames are highly correlated (HACC's "hundred-snapshot simulation" in the
+paper's introduction).  This module adds time-dimension prediction on top
+of any spatial pipeline:
+
+* the first frame is compressed directly (an I-frame);
+* each later frame is predicted by the *previous reconstruction* and only
+  the residual is compressed (a D-frame), with an **absolute** bound equal
+  to the sequence bound — so every frame individually meets the user's
+  bound and, because prediction uses reconstructions (closed loop), error
+  never accumulates across frames.
+
+Decoding is sequential by construction (frame k needs frame k-1), but any
+prefix can be decoded without the rest, and the stream is just an
+:class:`~repro.core.archive.Archive` with ordered members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, HeaderError
+from ..types import EbMode, ErrorBound, check_field
+from .archive import Archive, ArchiveWriter
+from .pipeline import Pipeline
+
+
+def _frame_name(k: int) -> str:
+    return f"frame_{k:06d}"
+
+
+@dataclass
+class TemporalStats:
+    """Per-frame accounting of a temporal stream."""
+
+    frames: int
+    input_bytes: int
+    output_bytes: int
+    frame_crs: list[float]
+
+    @property
+    def cr(self) -> float:
+        return self.input_bytes / self.output_bytes if self.output_bytes else 0.0
+
+
+class TemporalCompressor:
+    """Closed-loop snapshot-sequence compressor.
+
+    Parameters
+    ----------
+    pipeline:
+        the spatial pipeline for both I- and D-frames.
+    eb:
+        the per-frame bound.  REL bounds are resolved against the *first*
+        frame's range and then frozen (sequence-consistent semantics: the
+        guarantee must not drift as later frames change range).
+    """
+
+    def __init__(self, pipeline: Pipeline, eb: ErrorBound | float,
+                 mode: EbMode | str = EbMode.REL) -> None:
+        self.pipeline = pipeline
+        if not isinstance(eb, ErrorBound):
+            eb = ErrorBound(float(eb), EbMode(mode))
+        self._eb_user = eb
+        self._eb_abs: float | None = None
+        self._prev_recon: np.ndarray | None = None
+        self._writer = ArchiveWriter()
+        self._count = 0
+        self._in_bytes = 0
+        self._frame_crs: list[float] = []
+
+    @property
+    def frame_count(self) -> int:
+        return self._count
+
+    def add_frame(self, data: np.ndarray) -> float:
+        """Compress one snapshot; returns the frame's CR."""
+        data = check_field(data)
+        if self._prev_recon is not None and data.shape != self._prev_recon.shape:
+            raise ConfigError("all frames must share one shape")
+        if self._eb_abs is None:
+            self._eb_abs = self._eb_user.absolute(float(data.min()),
+                                                  float(data.max()))
+        eb = ErrorBound(self._eb_abs, EbMode.ABS)
+        if self._prev_recon is None:
+            cf = self.pipeline.compress(data, eb)
+            from .pipeline import decompress
+            recon = decompress(cf.blob)
+        else:
+            residual = (data.astype(np.float64)
+                        - self._prev_recon.astype(np.float64)).astype(data.dtype)
+            cf = self.pipeline.compress(residual, eb)
+            from .pipeline import decompress
+            res_recon = decompress(cf.blob)
+            recon = (self._prev_recon.astype(np.float64)
+                     + res_recon.astype(np.float64)).astype(data.dtype)
+        self._writer.add_compressed(_frame_name(self._count), cf,
+                                    pipeline_name=self.pipeline.name)
+        self._prev_recon = recon
+        self._in_bytes += data.nbytes
+        self._frame_crs.append(cf.stats.cr)
+        self._count += 1
+        return cf.stats.cr
+
+    def finish(self) -> tuple[bytes, TemporalStats]:
+        """Serialise the stream and return (bytes, stats)."""
+        if self._count == 0:
+            raise ConfigError("no frames added")
+        blob = self._writer.to_bytes()
+        return blob, TemporalStats(frames=self._count,
+                                   input_bytes=self._in_bytes,
+                                   output_bytes=len(blob),
+                                   frame_crs=list(self._frame_crs))
+
+
+class TemporalDecompressor:
+    """Sequential decoder for a temporal stream (any prefix works)."""
+
+    def __init__(self, blob: bytes) -> None:
+        self.archive = Archive(blob)
+        names = sorted(n for n in self.archive.names()
+                       if n.startswith("frame_"))
+        if not names:
+            raise HeaderError("not a temporal stream (no frame members)")
+        self._names = names
+        self._prev: np.ndarray | None = None
+        self._next = 0
+
+    @property
+    def frame_count(self) -> int:
+        return len(self._names)
+
+    def read_next(self) -> np.ndarray:
+        """Decode and return the next frame."""
+        if self._next >= len(self._names):
+            raise ConfigError("temporal stream exhausted")
+        frame = self.archive.read(self._names[self._next])
+        if self._prev is not None:
+            frame = (self._prev.astype(np.float64)
+                     + frame.astype(np.float64)).astype(frame.dtype)
+        self._prev = frame
+        self._next += 1
+        return frame
+
+    def read_all(self) -> list[np.ndarray]:
+        """Decode every remaining frame in order."""
+        return [self.read_next() for _ in range(self.frame_count - self._next)]

@@ -1,0 +1,162 @@
+"""Pipeline verification harness.
+
+The framework exists so people can "rapidly build **and test**" custom
+pipelines (§1, §5).  This module is the *test* half as a one-call API: it
+throws a structured battery of checks at any pipeline — including ones
+containing user-written modules — and returns a pass/fail report per
+check, so a module author knows immediately whether their stage breaks a
+contract.
+
+Checks
+------
+``bound``          reconstruction error within the bound on every probe
+                   field (smooth / noisy / spiky / constant / 1-3D,
+                   f4 + f8)
+``determinism``    identical bytes for identical inputs
+``container``      header parses, module names resolve, generic
+                   ``decompress`` works from the blob alone
+``corruption``     flipped bytes are rejected loudly
+``monotonicity``   tighter bounds never lower PSNR
+``no_expansion``   compressible probes don't expand
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FZModError
+from ..metrics.quality import psnr, verify_error_bound
+from .pipeline import Pipeline, decompress
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one named check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """All check outcomes for one pipeline."""
+
+    pipeline: str
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> list[CheckResult]:
+        """The checks that did not pass."""
+        return [c for c in self.checks if not c.passed]
+
+    def table(self) -> str:
+        """Render the check outcomes as text."""
+        lines = [f"verification of pipeline {self.pipeline!r}:"]
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.name:<14} {c.detail}")
+        return "\n".join(lines)
+
+
+def _probe_fields(seed: int = 0) -> list[tuple[str, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    # large enough that fixed codec overheads (codebooks, chunk tables)
+    # don't mask a module's true behaviour
+    smooth = np.cumsum(rng.standard_normal((64, 80)), axis=0)
+    spiky = rng.standard_normal(3000) * 0.01
+    spiky[rng.integers(0, 3000, 20)] = 1e4
+    probes = [
+        ("smooth-2d-f4", smooth.astype(np.float32)),
+        ("smooth-2d-f8", smooth.astype(np.float64)),
+        ("noisy-3d", rng.standard_normal((8, 10, 12)).astype(np.float32)),
+        ("spiky-1d", spiky.astype(np.float32)),
+        ("constant", np.full((9, 9), 2.5, dtype=np.float32)),
+        ("tiny", np.asarray([1.0, 2.0, 3.0], dtype=np.float32)),
+    ]
+    return probes
+
+
+def verify_pipeline(pipeline: Pipeline, ebs: tuple[float, ...] = (1e-2, 1e-4),
+                    seed: int = 0) -> VerificationReport:
+    """Run the full check battery against ``pipeline``."""
+    report = VerificationReport(pipeline=pipeline.name)
+    probes = _probe_fields(seed)
+
+    # bound + container + no-expansion, per probe x eb
+    bound_ok, container_ok, expand_ok = True, True, True
+    detail_bound, detail_container, detail_expand = "", "", ""
+    for pname, data in probes:
+        rng_v = float(data.max() - data.min())
+        for eb in ebs:
+            try:
+                cf = pipeline.compress(data, eb)
+                recon = decompress(cf.blob)
+            except FZModError as exc:
+                bound_ok = False
+                detail_bound = f"{pname}@{eb:g}: raised {exc!r}"
+                continue
+            eb_abs = eb * rng_v if rng_v > 0 else eb
+            if not verify_error_bound(data, recon, eb_abs):
+                bound_ok = False
+                detail_bound = f"{pname}@{eb:g}: bound violated"
+            if recon.shape != data.shape or recon.dtype != data.dtype:
+                container_ok = False
+                detail_container = f"{pname}: geometry not restored"
+            if (pname.startswith("smooth") and eb == max(ebs)
+                    and cf.stats.cr <= 1.0):
+                expand_ok = False
+                detail_expand = f"{pname}@{eb:g}: CR {cf.stats.cr:.2f} <= 1"
+    report.checks.append(CheckResult("bound", bound_ok, detail_bound))
+    report.checks.append(CheckResult("container", container_ok,
+                                     detail_container))
+    report.checks.append(CheckResult("no_expansion", expand_ok,
+                                     detail_expand))
+
+    # determinism
+    data = probes[0][1]
+    try:
+        det = (pipeline.compress(data, ebs[0]).blob
+               == pipeline.compress(data, ebs[0]).blob)
+        report.checks.append(CheckResult(
+            "determinism", det, "" if det else "bytes differ across runs"))
+    except FZModError as exc:
+        report.checks.append(CheckResult("determinism", False, repr(exc)))
+
+    # corruption rejection (three byte positions)
+    try:
+        blob = bytearray(pipeline.compress(data, ebs[0]).blob)
+        loud = True
+        for pos in (5, len(blob) // 2, len(blob) - 2):
+            bad = bytearray(blob)
+            bad[pos] ^= 0xA5
+            try:
+                decompress(bytes(bad))
+                loud = False
+            except FZModError:
+                pass
+        report.checks.append(CheckResult(
+            "corruption", loud,
+            "" if loud else "a corrupted blob decoded without error"))
+    except FZModError as exc:  # pragma: no cover - compress failed earlier
+        report.checks.append(CheckResult("corruption", False, repr(exc)))
+
+    # monotonicity
+    try:
+        qs = []
+        for eb in sorted(ebs, reverse=True):
+            cf = pipeline.compress(data, eb)
+            qs.append(psnr(data, decompress(cf.blob)))
+        mono = all(b >= a - 1e-9 for a, b in zip(qs, qs[1:]))
+        report.checks.append(CheckResult(
+            "monotonicity", mono,
+            "" if mono else f"PSNR not monotone across bounds: {qs}"))
+    except FZModError as exc:
+        report.checks.append(CheckResult("monotonicity", False, repr(exc)))
+
+    return report

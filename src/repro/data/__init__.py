@@ -1,0 +1,13 @@
+"""Dataset substrate: SDRBench-style catalog + synthetic generators."""
+
+from .sdrbench import (CATALOG, DATASET_NAMES, DatasetSpec, export_dataset,
+                       get_dataset, load_field, load_raw_file, table2_rows)
+from .synthetic import (cesm_like, gaussian_random_field, hacc_like,
+                        hurricane_like, miranda_like, nyx_like, s3d_like)
+
+__all__ = [
+    "CATALOG", "DATASET_NAMES", "DatasetSpec", "export_dataset",
+    "get_dataset", "load_field",
+    "load_raw_file", "table2_rows", "cesm_like", "gaussian_random_field",
+    "hacc_like", "hurricane_like", "miranda_like", "nyx_like", "s3d_like",
+]

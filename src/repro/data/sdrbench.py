@@ -1,0 +1,170 @@
+"""SDRBench-style dataset catalog and loader.
+
+Mirrors the structure of the Scientific Data Reduction Benchmarks used in
+the paper (Table 2): each dataset has a name, logical dimensions, a set of
+named fields, and a loader.  Loading resolves to the synthetic generators
+of :mod:`repro.data.synthetic` by default, or to raw ``.f32``/``.f64``
+files on disk when a path is given (the format SDRBench distributes),
+so a user with the real data can re-run every experiment unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DataError
+from . import synthetic as syn
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark dataset (a row of the paper's Table 2)."""
+
+    name: str
+    domain: str
+    full_dims: tuple[int, ...]
+    field_size_bytes: int
+    total_fields: int
+    fields: tuple[str, ...]
+    generator: Callable[..., np.ndarray]
+    default_scale: float
+    #: True for the four datasets of the paper's Table 2
+    in_paper: bool = True
+
+    @property
+    def elements(self) -> int:
+        return int(np.prod(self.full_dims))
+
+    def load(self, field: str | None = None, scale: float | None = None,
+             seed: int | None = None) -> np.ndarray:
+        """Generate (or load) one field at the given scale."""
+        kwargs = {}
+        if field is not None:
+            kwargs["field"] = field
+        if seed is not None:
+            kwargs["seed"] = seed
+        kwargs["scale"] = scale if scale is not None else self.default_scale
+        return self.generator(**kwargs)
+
+    def load_all(self, scale: float | None = None):
+        """Yield ``(field_name, array)`` for every field."""
+        for f in self.fields:
+            yield f, self.load(field=f, scale=scale)
+
+
+CATALOG: dict[str, DatasetSpec] = {
+    "cesm": DatasetSpec(
+        name="CESM-ATM", domain="climate simulation",
+        full_dims=(26, 1800, 3600), field_size_bytes=673_900_000,
+        total_fields=33, fields=syn.CESM_FIELDS,
+        generator=syn.cesm_like, default_scale=0.05),
+    "hacc": DatasetSpec(
+        name="HACC", domain="cosmology: particle",
+        full_dims=(280_953_867,), field_size_bytes=1_120_000_000,
+        total_fields=6, fields=syn.HACC_FIELDS,
+        generator=syn.hacc_like, default_scale=0.004),
+    "hurr": DatasetSpec(
+        name="HURR", domain="hurricane simulation",
+        full_dims=(100, 500, 500), field_size_bytes=100_000_000,
+        total_fields=20, fields=syn.HURR_FIELDS,
+        generator=syn.hurricane_like, default_scale=0.2),
+    "nyx": DatasetSpec(
+        name="Nyx", domain="cosmology simulation",
+        full_dims=(512, 512, 512), field_size_bytes=536_870_912,
+        total_fields=6, fields=syn.NYX_FIELDS,
+        generator=syn.nyx_like, default_scale=0.125),
+    # Additional SDRBench families (not in the paper's Table 2, provided
+    # for users evaluating their own workloads against more regimes)
+    "miranda": DatasetSpec(
+        name="Miranda", domain="radiation hydrodynamics",
+        full_dims=(256, 384, 384), field_size_bytes=150_994_944,
+        total_fields=3, fields=syn.MIRANDA_FIELDS,
+        generator=syn.miranda_like, default_scale=0.1, in_paper=False),
+    "s3d": DatasetSpec(
+        name="S3D", domain="combustion simulation",
+        full_dims=(11, 500, 500), field_size_bytes=11_000_000,
+        total_fields=4, fields=syn.S3D_FIELDS,
+        generator=syn.s3d_like, default_scale=0.15, in_paper=False),
+}
+
+DATASET_NAMES = tuple(CATALOG)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look a dataset spec up by its catalog key."""
+    try:
+        return CATALOG[name.lower()]
+    except KeyError:
+        raise DataError(f"unknown dataset {name!r}; have {sorted(CATALOG)}") from None
+
+
+def load_field(dataset: str, field: str | None = None,
+               scale: float | None = None, seed: int | None = None) -> np.ndarray:
+    """Convenience: ``load_field("nyx", "temperature")``."""
+    return get_dataset(dataset).load(field=field, scale=scale, seed=seed)
+
+
+def load_raw_file(path: str, dims: tuple[int, ...],
+                  dtype: str = "f4") -> np.ndarray:
+    """Load an SDRBench raw binary field (row-major, little-endian)."""
+    dt = np.dtype(dtype).newbyteorder("<")
+    if dt.kind != "f":
+        raise DataError(f"expected a float dtype, got {dtype!r}")
+    if not os.path.exists(path):
+        raise DataError(f"no such file: {path}")
+    expected = int(np.prod(dims)) * dt.itemsize
+    actual = os.path.getsize(path)
+    if actual != expected:
+        raise DataError(f"{path}: size {actual} does not match dims {dims} "
+                        f"({expected} bytes expected)")
+    return np.fromfile(path, dtype=dt).reshape(dims)
+
+
+def table2_rows() -> list[dict[str, str]]:
+    """Rows matching the paper's Table 2 (for the bench harness printer)."""
+    rows = []
+    for spec in CATALOG.values():
+        if not spec.in_paper:
+            continue
+        dims = "x".join(str(d) for d in reversed(spec.full_dims))
+        rows.append({
+            "Dataset": spec.name,
+            "Domain": spec.domain,
+            "Field Size": f"{spec.field_size_bytes / 1e6:.1f} MB",
+            "Dimensions": dims,
+            "#Fields": f"{spec.total_fields} in total",
+        })
+    return rows
+
+
+def export_dataset(name: str, directory: str, scale: float | None = None,
+                   seed: int | None = None) -> dict:
+    """Write a dataset's fields as SDRBench-layout raw ``.f32`` files.
+
+    Produces one ``<field>_<dims>.f32`` per field plus a ``manifest.json``
+    (dims, dtype, seed, scale), so external compressors/tools can be
+    evaluated against exactly the surrogates this repo uses.  Returns the
+    manifest dict.
+    """
+    import json
+    import os
+    spec = get_dataset(name)
+    os.makedirs(directory, exist_ok=True)
+    manifest: dict = {"dataset": spec.name, "scale": scale
+                      if scale is not None else spec.default_scale,
+                      "seed": seed, "fields": []}
+    for field in spec.fields:
+        data = spec.load(field=field, scale=scale, seed=seed)
+        dims = "x".join(str(d) for d in reversed(data.shape))
+        fname = f"{field}_{dims}.f32"
+        data.tofile(os.path.join(directory, fname))
+        manifest["fields"].append({"name": field, "file": fname,
+                                   "shape": list(data.shape),
+                                   "dtype": str(data.dtype)})
+    with open(os.path.join(directory, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return manifest

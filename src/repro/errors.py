@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the framework derives from :class:`FZModError` so that
+callers can catch framework failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class FZModError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+class ConfigError(FZModError):
+    """An invalid configuration value was supplied (bad error bound, unknown
+    error-bound mode, unsupported dtype, ...)."""
+
+
+class PipelineError(FZModError):
+    """Pipeline composition or execution failed (incompatible module stages,
+    missing required artifact, ...)."""
+
+
+class ModuleNotFoundInRegistry(FZModError):
+    """A module name passed to the registry/builder is not registered."""
+
+
+class CodecError(FZModError):
+    """A lossless codec failed to encode or decode a payload."""
+
+
+class HeaderError(FZModError):
+    """A compressed container header is malformed or version-incompatible."""
+
+
+class DeviceError(FZModError):
+    """An operation referenced an unknown device or an invalid memory
+    space (e.g. launching a GPU kernel on a host-only buffer)."""
+
+
+class TransferError(FZModError):
+    """A host/device transfer was requested between incompatible spaces."""
+
+
+class StfError(FZModError):
+    """The sequential-task-flow engine rejected a task graph (cycle, access
+    to a destroyed logical datum, use of a finalized context, ...)."""
+
+
+class DataError(FZModError):
+    """A dataset loader/generator was asked for something it cannot
+    produce (unknown dataset name, bad field, corrupt file, ...)."""

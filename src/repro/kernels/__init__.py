@@ -1,0 +1,33 @@
+"""High-performance data-reduction kernels.
+
+Every kernel is formulated data-parallel (whole-array NumPy operations,
+never per-element Python loops on hot paths), mirroring the CUDA kernels of
+the systems being reproduced:
+
+================  =====================================================
+module            models
+================  =====================================================
+``bitio``         shared bit-packing primitives
+``quantize``      cuSZ dual-quantization pre-quantiser + outlier channel
+``lorenzo``       cuSZ multidimensional Lorenzo predictor (+ cuSZp2's
+                  1-D offset predictor)
+``interp``        cuSZ-i G-Interp multilevel spline interpolation
+``histogram``     cuSZ GPU histogram modules (standard, top-k)
+``huffman``       cuSZ chunked canonical Huffman (package-merge limited,
+                  wavefront-parallel decode)
+``bitshuffle``    FZ-GPU / PFPL bit-plane shuffle (+ zigzag mapping)
+``dictionary``    FZ-GPU dictionary / PFPL hierarchical zero elimination
+``delta``         PFPL delta coding
+``fixedlen``      cuSZp2 per-block fixed-length encoding
+``rle``           byte run-length coder (reference secondary module)
+``lz``            zstd-role secondary codec (token dedup + Huffman)
+================  =====================================================
+"""
+
+from . import (bitio, bitshuffle, delta, dictionary, fixedlen, histogram,
+               huffman, interp, lorenzo, lz, lz77, quantize, rle)
+
+__all__ = [
+    "bitio", "bitshuffle", "delta", "dictionary", "fixedlen", "histogram",
+    "huffman", "interp", "lorenzo", "lz", "lz77", "quantize", "rle",
+]

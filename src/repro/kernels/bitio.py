@@ -1,0 +1,147 @@
+"""Vectorised bit-stream packing/unpacking helpers.
+
+Every codec in :mod:`repro.kernels` works on whole arrays at a time, never
+value-by-value, following the data-parallel formulation of the GPU kernels
+they model.  This module provides the shared primitives:
+
+* :func:`pack_varlen` / :func:`unpack_windows` — pack per-symbol variable
+  length codes into a byte stream (the core of the Huffman encoder) and read
+  a fixed-width window at *every* bit offset of a stream (the core of the
+  wavefront-parallel Huffman decoder).
+* :func:`pack_fixed` / :func:`unpack_fixed` — pack ``n`` values of a uniform
+  bit width (cuSZp2-style fixed-length blocks).
+
+All functions operate on little-endian *bit order within a byte being MSB
+first* (``np.packbits`` convention), which keeps round-trips exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+
+
+def pack_varlen(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Concatenate variable-length codes into a packed byte string.
+
+    Parameters
+    ----------
+    codes:
+        ``uint32`` array; element ``i`` holds the code value for symbol ``i``
+        right-aligned (only the low ``lengths[i]`` bits are meaningful).
+    lengths:
+        per-symbol bit lengths, ``1 <= lengths[i] <= 32``.
+
+    Returns
+    -------
+    (payload, total_bits):
+        the packed bytes (zero-padded to a byte boundary) and the exact
+        number of meaningful bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint32)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape or codes.ndim != 1:
+        raise CodecError("codes and lengths must be 1-D arrays of equal shape")
+    if codes.size == 0:
+        return b"", 0
+    if lengths.min() < 1 or lengths.max() > 32:
+        raise CodecError("code lengths must be in [1, 32]")
+
+    total_bits = int(lengths.sum())
+    # Bit index of the first bit of each symbol in the output stream.
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    # For every output bit: which symbol does it come from, and which bit of
+    # that symbol's code is it (0 == most significant of the code)?
+    sym_of_bit = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
+    bit_in_sym = np.arange(total_bits, dtype=np.int64) - np.repeat(starts, lengths)
+    shift = (lengths[sym_of_bit] - 1 - bit_in_sym).astype(np.uint32)
+    bits = ((codes[sym_of_bit] >> shift) & np.uint32(1)).astype(np.uint8)
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 ``uint8`` bit array (MSB-first) into bytes."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8)).tobytes()
+
+
+def bytes_to_bits(payload: bytes, total_bits: int) -> np.ndarray:
+    """Unpack bytes to a 0/1 ``uint8`` array of exactly ``total_bits``."""
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    if bits.size < total_bits:
+        raise CodecError(f"payload holds {bits.size} bits, need {total_bits}")
+    return bits[:total_bits]
+
+
+def unpack_windows(payload: bytes, total_bits: int, width: int) -> np.ndarray:
+    """Read a ``width``-bit big-endian window starting at *every* bit offset.
+
+    Returns a ``uint32`` array ``w`` of length ``total_bits`` where ``w[p]``
+    is the value of bits ``p .. p+width-1`` of the stream (bits past the end
+    read as zero).  This is the enabling primitive for the wavefront-parallel
+    canonical-Huffman decoder in :mod:`repro.kernels.huffman`: a decode table
+    indexed by ``w[p]`` yields the symbol and code length at offset ``p``
+    for all ``p`` simultaneously.
+    """
+    if width < 1 or width > 24:
+        raise CodecError("window width must be in [1, 24]")
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint32)
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    # Pad so every window read of ceil((width+7)/8)+1 bytes is in bounds.
+    need = (total_bits + 7) // 8 + 4
+    if raw.size < need:
+        raw = np.concatenate([raw, np.zeros(need - raw.size, dtype=np.uint8)])
+    b = raw.astype(np.uint64)
+    byte0 = np.arange(total_bits, dtype=np.int64) // 8
+    bit0 = np.arange(total_bits, dtype=np.int64) % 8
+    # Assemble a 32-bit big-endian word starting at byte0, then shift so the
+    # requested window lands in the low `width` bits.
+    word = (b[byte0] << np.uint64(24)) | (b[byte0 + 1] << np.uint64(16)) \
+        | (b[byte0 + 2] << np.uint64(8)) | b[byte0 + 3]
+    win = (word >> (np.uint64(32 - width) - bit0.astype(np.uint64))) \
+        & np.uint64((1 << width) - 1)
+    return win.astype(np.uint32)
+
+
+def pack_fixed(values: np.ndarray, width: int) -> bytes:
+    """Pack ``values`` (non-negative ints ``< 2**width``) at a fixed width.
+
+    ``width`` may be 0, in which case the payload is empty (all values are
+    implicitly zero) — this is the common case for cuSZp2's all-predictable
+    blocks.
+    """
+    values = np.asarray(values)
+    if width == 0:
+        if values.size and int(values.max(initial=0)) != 0:
+            raise CodecError("width 0 requires all-zero values")
+        return b""
+    if width < 0 or width > 32:
+        raise CodecError("fixed width must be in [0, 32]")
+    v = values.astype(np.uint32)
+    if v.size and int(v.max()) >> width:
+        raise CodecError(f"value does not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint32)
+    bits = ((v[:, None] >> shifts[None, :]) & np.uint32(1)).astype(np.uint8)
+    return np.packbits(bits.reshape(-1)).tobytes()
+
+
+def unpack_fixed(payload: bytes, count: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_fixed`: read ``count`` ``width``-bit values."""
+    if width == 0:
+        return np.zeros(count, dtype=np.uint32)
+    total_bits = count * width
+    bits = bytes_to_bits(payload, total_bits).reshape(count, width).astype(np.uint32)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint32)
+    return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint32)
+
+
+def required_width(values: np.ndarray) -> int:
+    """Smallest bit width able to represent every value of ``values``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0
+    m = int(values.max(initial=0))
+    if m < 0 or int(values.min(initial=0)) < 0:
+        raise CodecError("required_width expects non-negative values")
+    return int(m).bit_length()

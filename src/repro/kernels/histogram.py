@@ -1,0 +1,95 @@
+"""Quant-code histogram kernels (standard and top-k variants).
+
+The Huffman encoder consumes a histogram of the quant codes.  The paper's
+framework ships two GPU histogram modules producing identical results with
+different cost profiles:
+
+* **standard** — a dense shared-memory histogram (here ``np.bincount``);
+* **top-k** — a sparsity-aware variant that wins when the code distribution
+  is dominated by a few symbols (the typical outcome of a high-accuracy
+  predictor, which concentrates residuals near zero).  The paper recommends
+  it for the spline interpolator.
+
+Both return the same counts; the top-k variant additionally reports the
+concentration statistics the auto-tuner and the performance model use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    """Histogram of an unsigned code array.
+
+    Attributes
+    ----------
+    counts:
+        dense ``int64`` counts, length ``num_bins``.
+    num_bins:
+        alphabet size (``2 * radius`` for quant codes).
+    topk_mass:
+        fraction of all samples covered by the ``k`` most frequent symbols
+        (1.0 when the distribution is fully concentrated).
+    k:
+        the ``k`` used for ``topk_mass`` (0 for the standard variant).
+    """
+
+    counts: np.ndarray
+    num_bins: int
+    topk_mass: float = 0.0
+    k: int = 0
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def nonzero_symbols(self) -> int:
+        return int(np.count_nonzero(self.counts))
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the empirical distribution, in bits/symbol."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        p = self.counts[self.counts > 0] / total
+        return float(-(p * np.log2(p)).sum())
+
+
+def histogram(codes: np.ndarray, num_bins: int) -> HistogramResult:
+    """Dense histogram (the *standard* GPU module)."""
+    codes = np.asarray(codes).reshape(-1)
+    if num_bins < 1:
+        raise CodecError("num_bins must be >= 1")
+    if codes.size and int(codes.max()) >= num_bins:
+        raise CodecError("code value exceeds histogram bins")
+    counts = np.bincount(codes, minlength=num_bins).astype(np.int64)
+    return HistogramResult(counts=counts, num_bins=num_bins)
+
+
+def histogram_topk(codes: np.ndarray, num_bins: int, k: int = 16) -> HistogramResult:
+    """Top-k histogram module.
+
+    Produces the same dense counts as :func:`histogram` but models the
+    sparsity-aware kernel: it also measures how much probability mass the
+    ``k`` most frequent symbols carry, which the performance model uses to
+    price this module (cheap when mass is concentrated, as after a
+    high-quality predictor).
+    """
+    base = histogram(codes, num_bins)
+    if k < 1:
+        raise CodecError("k must be >= 1")
+    k = min(k, num_bins)
+    if base.total == 0:
+        return HistogramResult(counts=base.counts, num_bins=num_bins,
+                               topk_mass=1.0, k=k)
+    top = np.partition(base.counts, num_bins - k)[num_bins - k:]
+    mass = float(top.sum()) / float(base.total)
+    return HistogramResult(counts=base.counts, num_bins=num_bins,
+                           topk_mass=mass, k=k)

@@ -1,0 +1,232 @@
+"""Multilevel spline-interpolation predictor (G-Interp, cuSZ-i construction).
+
+The predictor walks a hierarchy of grids from coarse to fine.  *Anchor*
+points on the coarsest grid (stride ``2**max_level`` along every axis) are
+stored losslessly, exactly as cuSZ-i does.  Each level then predicts the
+midpoints of the current grid axis-by-axis using a 4-point cubic
+interpolation stencil (falling back to linear / nearest at boundaries),
+quantises the prediction residual with the shared error-controlled
+quantiser, and immediately commits the *reconstructed* value so finer
+levels predict from exactly what the decompressor will see.
+
+Within one ``(level, axis)`` batch no predicted point depends on another —
+every stencil tap lies on the already-known coarser grid — so each batch is
+a single vectorised gather/scatter, mirroring the data-parallel formulation
+of the CUDA kernel.
+
+Compared with Lorenzo this predictor is markedly more accurate on smooth
+fields (higher CR / better rate-distortion) at the cost of ``O(levels·dims)``
+kernel passes instead of one — which is precisely the FZMod-Quality vs
+FZMod-Default trade-off evaluated in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError
+from . import quantize as q
+
+#: Default maximum level (anchor stride = 2**level) per rank.  Chosen so the
+#: raw-anchor overhead stays negligible: 3-D -> 1/4096, 2-D -> 1/1024,
+#: 1-D -> 1/256 of the input.
+_DEFAULT_MAX_LEVEL = {1: 8, 2: 5, 3: 4}
+
+
+def default_max_level(ndim: int) -> int:
+    """Default level count for a given rank (see module constants)."""
+    try:
+        return _DEFAULT_MAX_LEVEL[ndim]
+    except KeyError:  # pragma: no cover - guarded by check_field
+        raise CodecError(f"unsupported rank {ndim}")
+
+
+@dataclass(frozen=True)
+class InterpResult:
+    """Artifacts of the interpolation predictor stage.
+
+    ``choices`` is empty for the static (always-cubic) predictor; in
+    dynamic mode it records, per (level, axis) batch, which stencil won
+    (0 = cubic-with-fallbacks, 1 = linear) — the decoder must replay the
+    exact same choices.
+    """
+
+    codes: np.ndarray          # dense unsigned quant codes, 1-D stream
+    outliers: q.OutlierSet
+    anchors: np.ndarray        # raw anchor values (input dtype), 1-D
+    radius: int
+    eb_abs: float
+    max_level: int
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    choices: tuple[int, ...] = ()
+
+
+def _anchor_slices(shape: tuple[int, ...], stride: int) -> tuple[slice, ...]:
+    return tuple(slice(0, n, stride) for n in shape)
+
+
+def _batches(shape: tuple[int, ...], max_level: int):
+    """Yield the deterministic (level, axis, coordinate-vectors) schedule.
+
+    For a batch at ``(level, axis)`` with ``s = 2**level`` and ``h = s//2``:
+    the predicted points have coordinate ``c ≡ h (mod s)`` along ``axis``,
+    coordinates that are multiples of ``h`` along axes *before* ``axis``
+    (those axes were refined first at this level) and multiples of ``s``
+    along axes *after* it.
+    """
+    ndim = len(shape)
+    for level in range(max_level, 0, -1):
+        s = 1 << level
+        h = s >> 1
+        for axis in range(ndim):
+            coords: list[np.ndarray] = []
+            for a, n in enumerate(shape):
+                if a == axis:
+                    c = np.arange(h, n, s, dtype=np.int64)
+                elif a < axis:
+                    c = np.arange(0, n, h, dtype=np.int64)
+                else:
+                    c = np.arange(0, n, s, dtype=np.int64)
+                coords.append(c)
+            if all(c.size for c in coords):
+                yield level, axis, coords
+
+
+def _predict_batch(recon: np.ndarray, axis: int, coords: list[np.ndarray],
+                   h: int, linear_only: bool = False) -> np.ndarray:
+    """Cubic/linear/nearest prediction for one batch (fully vectorised).
+
+    All stencil taps along ``axis`` (at ``c ± h`` and ``c ± 3h``) lie on the
+    coarser grid, and taps are gathered with ``np.ix_`` so the batch is one
+    fancy-indexing read per tap.  ``linear_only`` skips the cubic stencil —
+    the alternative the dynamic mode chooses on non-smooth batches, where
+    cubic overshoot hurts.
+    """
+    n = recon.shape[axis]
+    c = coords[axis]
+
+    def tap(offset: int) -> np.ndarray:
+        cc = np.clip(c + offset, 0, n - 1)
+        ix = list(coords)
+        ix[axis] = cc
+        return recon[np.ix_(*ix)]
+
+    left = tap(-h)
+    right = tap(+h)
+    lin = 0.5 * (left + right)
+
+    # Masks depend only on the coordinate along `axis`; broadcast them.
+    bshape = [1] * recon.ndim
+    bshape[axis] = c.size
+    has_right = (c + h <= n - 1).reshape(bshape)
+    pred = np.where(has_right, lin, left)
+    if linear_only:
+        return pred
+    has_cubic = ((c - 3 * h >= 0) & (c + 3 * h <= n - 1)).reshape(bshape)
+    if bool(has_cubic.any()):
+        far_l = tap(-3 * h)
+        far_r = tap(+3 * h)
+        cubic = (-far_l + 9.0 * left + 9.0 * right - far_r) / 16.0
+        pred = np.where(has_cubic, cubic, pred)
+    return pred
+
+
+def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS,
+             max_level: int | None = None, dynamic: bool = False
+             ) -> InterpResult:
+    """Predict + quantise a field with multilevel interpolation.
+
+    ``dynamic=True`` enables per-(level, axis) stencil selection (cubic vs
+    linear, whichever quantises smaller residuals on that batch) — the
+    dynamic-spline-interpolation idea of Zhao et al. [30] that SZ3 uses.
+    The per-batch choices are recorded in the result and replayed by the
+    decoder.
+    """
+    if eb_abs <= 0 or not np.isfinite(eb_abs):
+        raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
+    data = np.asarray(data)
+    shape = data.shape
+    if max_level is None:
+        max_level = default_max_level(data.ndim)
+    if max_level < 1:
+        raise CodecError("max_level must be >= 1")
+    stride = 1 << max_level
+    twoeb = 2.0 * eb_abs
+
+    work = data.astype(np.float64, copy=False)
+    recon = np.zeros(shape, dtype=np.float64)
+    asl = _anchor_slices(shape, stride)
+    recon[asl] = work[asl]
+    anchors = data[asl].reshape(-1).copy()
+
+    code_batches: list[np.ndarray] = []
+    choices: list[int] = []
+    for level, axis, coords in _batches(shape, max_level):
+        h = 1 << (level - 1)
+        true = work[np.ix_(*coords)]
+        pred = _predict_batch(recon, axis, coords, h)
+        if dynamic:
+            pred_lin = _predict_batch(recon, axis, coords, h,
+                                      linear_only=True)
+            # pick the stencil whose quantised residuals are smaller in
+            # total magnitude (a cheap proxy for entropy)
+            cost_cubic = float(np.abs(np.rint((true - pred) / twoeb)).sum())
+            cost_lin = float(np.abs(np.rint((true - pred_lin) / twoeb)).sum())
+            if cost_lin < cost_cubic:
+                pred = pred_lin
+                choices.append(1)
+            else:
+                choices.append(0)
+        scaled = (true - pred) / twoeb
+        if scaled.size and float(np.abs(scaled).max()) >= 2**62:
+            raise CodecError("error bound too tight: interp code overflows int64")
+        codes = np.rint(scaled).astype(np.int64)
+        recon[np.ix_(*coords)] = pred + codes * twoeb
+        code_batches.append(codes.reshape(-1))
+
+    stream = (np.concatenate(code_batches) if code_batches
+              else np.zeros(0, dtype=np.int64))
+    dense, outliers = q.split_outliers(stream, radius)
+    return InterpResult(codes=dense, outliers=outliers, anchors=anchors,
+                        radius=radius, eb_abs=float(eb_abs), max_level=max_level,
+                        shape=shape, dtype=data.dtype,
+                        choices=tuple(choices))
+
+
+def decompress(result: InterpResult) -> np.ndarray:
+    """Reconstruct the field from interpolation artifacts.
+
+    Replays the exact batch schedule of :func:`compress`, consuming the code
+    stream in order; float64 arithmetic matches the compressor so the
+    reconstruction is bit-identical to the compressor's internal state.
+    """
+    shape = tuple(result.shape)
+    stride = 1 << result.max_level
+    twoeb = 2.0 * result.eb_abs
+    stream = q.merge_outliers(result.codes, result.outliers, result.radius).reshape(-1)
+
+    recon = np.zeros(shape, dtype=np.float64)
+    asl = _anchor_slices(shape, stride)
+    anchor_shape = tuple(len(range(0, n, stride)) for n in shape)
+    recon[asl] = result.anchors.reshape(anchor_shape).astype(np.float64)
+
+    pos = 0
+    batch_no = 0
+    for level, axis, coords in _batches(shape, result.max_level):
+        h = 1 << (level - 1)
+        linear_only = bool(result.choices
+                           and result.choices[batch_no] == 1)
+        pred = _predict_batch(recon, axis, coords, h,
+                              linear_only=linear_only)
+        batch_no += 1
+        count = pred.size
+        codes = stream[pos:pos + count].reshape(pred.shape)
+        pos += count
+        recon[np.ix_(*coords)] = pred + codes * twoeb
+    if pos != stream.size:
+        raise CodecError(f"interp stream length mismatch: consumed {pos}, "
+                         f"stream has {stream.size}")
+    return recon.astype(result.dtype)

@@ -1,0 +1,151 @@
+"""Generic lossless backend (the zstd-role secondary codec).
+
+The paper ships zstd as its supported secondary lossless module.  zstd is
+unavailable offline, so this module implements a from-scratch codec with
+the same structure — *dictionary de-duplication + entropy coding* — and the
+same role: squeezing residual redundancy out of already-encoded pipeline
+output.  See DESIGN.md §2 for the substitution record.
+
+Three modes are tried and the smallest wins (one mode byte leads the
+container):
+
+``TOKEN``
+    The stream is cut into aligned 8-byte tokens; ``np.unique`` builds the
+    token dictionary and the token-index sequence is canonical-Huffman
+    coded.  Extremely effective on pipeline output with repeated aligned
+    patterns (zero words, sentinel codes).
+``BYTE``
+    Canonical Huffman over raw bytes — the safe general-purpose fallback.
+``STORED``
+    Raw pass-through, guaranteeing the codec never expands data by more
+    than the fixed header.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import CodecError
+from . import huffman
+
+_MODE_STORED = 0
+_MODE_BYTE = 1
+_MODE_TOKEN = 2
+
+_TOKEN_BYTES = 8
+#: Token mode is only attempted below this dictionary size (Huffman decode
+#: tables grow as 2**max_len; 2**15 symbols fit comfortably in 16 bits).
+_MAX_TOKENS = 1 << 15
+
+
+def _pack_huffman(enc: huffman.HuffmanEncoded) -> bytes:
+    head = struct.pack("<QHI", enc.count, enc.max_len, enc.chunk_symbols.size)
+    return b"".join([
+        head,
+        struct.pack("<I", enc.lengths.size), enc.lengths.tobytes(),
+        enc.chunk_symbols.astype(np.int64).tobytes(),
+        enc.chunk_bits.astype(np.int64).tobytes(),
+        struct.pack("<Q", len(enc.payload)), enc.payload,
+    ])
+
+
+def _unpack_huffman(buf: bytes, pos: int) -> tuple[huffman.HuffmanEncoded, int]:
+    count, max_len, nchunks = struct.unpack_from("<QHI", buf, pos)
+    pos += struct.calcsize("<QHI")
+    (nlen,) = struct.unpack_from("<I", buf, pos)
+    pos += 4
+    lengths = np.frombuffer(buf, dtype=np.uint8, count=nlen, offset=pos)
+    pos += nlen
+    chunk_symbols = np.frombuffer(buf, dtype=np.int64, count=nchunks, offset=pos)
+    pos += 8 * nchunks
+    chunk_bits = np.frombuffer(buf, dtype=np.int64, count=nchunks, offset=pos)
+    pos += 8 * nchunks
+    (plen,) = struct.unpack_from("<Q", buf, pos)
+    pos += 8
+    payload = buf[pos:pos + plen]
+    if len(payload) != plen:
+        raise CodecError("truncated LZ huffman payload")
+    pos += plen
+    return huffman.HuffmanEncoded(payload=payload,
+                                  chunk_symbols=chunk_symbols,
+                                  chunk_bits=chunk_bits, count=count,
+                                  lengths=lengths, max_len=max_len), pos
+
+
+def _try_byte_mode(data: bytes) -> bytes | None:
+    buf = np.frombuffer(data, dtype=np.uint8)
+    counts = np.bincount(buf, minlength=256)
+    book = huffman.build_codebook(counts)
+    enc = huffman.encode(buf, book)
+    out = bytes([_MODE_BYTE]) + struct.pack("<Q", len(data)) + _pack_huffman(enc)
+    return out if len(out) < len(data) else None
+
+
+def _try_token_mode(data: bytes) -> bytes | None:
+    if len(data) < 4 * _TOKEN_BYTES:
+        return None
+    pad = (-len(data)) % _TOKEN_BYTES
+    padded = data + b"\x00" * pad
+    tokens = np.frombuffer(padded, dtype=np.uint64)
+    uniq, inverse = np.unique(tokens, return_inverse=True)
+    if uniq.size > _MAX_TOKENS or uniq.size < 1:
+        return None
+    counts = np.bincount(inverse, minlength=uniq.size)
+    book = huffman.build_codebook(counts)
+    enc = huffman.encode(inverse.astype(np.uint32), book)
+    out = b"".join([
+        bytes([_MODE_TOKEN]),
+        struct.pack("<QI", len(data), uniq.size),
+        uniq.tobytes(),
+        _pack_huffman(enc),
+    ])
+    return out if len(out) < len(data) else None
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data``; never expands beyond 9 header bytes."""
+    if len(data) == 0:
+        return bytes([_MODE_STORED]) + struct.pack("<Q", 0)
+    candidates = [bytes([_MODE_STORED]) + struct.pack("<Q", len(data)) + data]
+    token = _try_token_mode(data)
+    if token is not None:
+        candidates.append(token)
+    # Byte mode is most useful on small/medium payloads; on large payloads
+    # only bother when token mode did not already win big.
+    if len(data) <= (1 << 24) or token is None:
+        byte_mode = _try_byte_mode(data)
+        if byte_mode is not None:
+            candidates.append(byte_mode)
+    return min(candidates, key=len)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    if len(blob) < 9:
+        raise CodecError("LZ container too short")
+    mode = blob[0]
+    if mode == _MODE_STORED:
+        (n,) = struct.unpack_from("<Q", blob, 1)
+        data = blob[9:9 + n]
+        if len(data) != n:
+            raise CodecError("truncated stored LZ payload")
+        return data
+    if mode == _MODE_BYTE:
+        (n,) = struct.unpack_from("<Q", blob, 1)
+        enc, _ = _unpack_huffman(blob, 9)
+        out = huffman.decode(enc).astype(np.uint8).tobytes()
+        if len(out) != n:
+            raise CodecError("LZ byte-mode length mismatch")
+        return out
+    if mode == _MODE_TOKEN:
+        n, nuniq = struct.unpack_from("<QI", blob, 1)
+        pos = 1 + struct.calcsize("<QI")
+        uniq = np.frombuffer(blob, dtype=np.uint64, count=nuniq, offset=pos)
+        pos += 8 * nuniq
+        enc, _ = _unpack_huffman(blob, pos)
+        inverse = huffman.decode(enc)
+        tokens = uniq[inverse]
+        return tokens.tobytes()[:n]
+    raise CodecError(f"unknown LZ mode {mode}")

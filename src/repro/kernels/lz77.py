@@ -1,0 +1,110 @@
+"""Reference LZ77 codec (greedy hash-table matcher).
+
+The token-dedup codec in :mod:`repro.kernels.lz` only catches *aligned*
+8-byte repetition; this is the classic sliding-window matcher that catches
+unaligned repeats, used as a page mode by the Bitcomp-role secondary codec
+and available standalone for small payloads.
+
+Format (little-endian): a sequence of ops until the stream ends::
+
+    0x00 | u16 len | len literal bytes
+    0x01 | u16 offset (1-based, <= 32768) | u8 length (4..255)
+
+The encoder is a straightforward greedy matcher with a 4-byte-hash
+position table.  It is a *Python-loop* codec — O(n) interpreter steps —
+so it is deliberately only applied to bounded pages (the caller's job);
+decode copies may overlap (run-length-through-match), handled by
+byte-incremental copying, exactly as in DEFLATE decoders.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import CodecError
+
+WINDOW = 32768
+MIN_MATCH = 4
+MAX_MATCH = 255
+#: guardrail: refuse inputs where the Python-loop cost would be silly
+MAX_INPUT = 1 << 20
+
+
+def encode(data: bytes) -> bytes:
+    """Greedy LZ77 encode (lossless)."""
+    n = len(data)
+    if n > MAX_INPUT:
+        raise CodecError(f"lz77 reference codec is capped at {MAX_INPUT} "
+                         "bytes per call; page your input")
+    out = bytearray()
+    lit_start = 0
+    table: dict[bytes, int] = {}
+    i = 0
+
+    def flush_literals(upto: int) -> None:
+        nonlocal lit_start, out
+        pos = lit_start
+        while pos < upto:
+            run = min(upto - pos, 0xFFFF)
+            out.append(0x00)
+            out += struct.pack("<H", run)
+            out += data[pos:pos + run]
+            pos += run
+        lit_start = upto
+
+    while i + MIN_MATCH <= n:
+        key = data[i:i + MIN_MATCH]
+        cand = table.get(key)
+        table[key] = i
+        if cand is not None and i - cand <= WINDOW:
+            # extend the match
+            length = MIN_MATCH
+            max_len = min(MAX_MATCH, n - i)
+            while (length < max_len
+                   and data[cand + length] == data[i + length]):
+                length += 1
+            flush_literals(i)
+            out.append(0x01)
+            out += struct.pack("<HB", i - cand, length)
+            i += length
+            lit_start = i
+        else:
+            i += 1
+    flush_literals(n)
+    return bytes(out)
+
+
+def decode(payload: bytes) -> bytes:
+    """Inverse of :func:`encode`."""
+    out = bytearray()
+    pos = 0
+    n = len(payload)
+    while pos < n:
+        op = payload[pos]
+        pos += 1
+        if op == 0x00:
+            if pos + 2 > n:
+                raise CodecError("truncated lz77 literal header")
+            (run,) = struct.unpack_from("<H", payload, pos)
+            pos += 2
+            if pos + run > n:
+                raise CodecError("truncated lz77 literal run")
+            out += payload[pos:pos + run]
+            pos += run
+        elif op == 0x01:
+            if pos + 3 > n:
+                raise CodecError("truncated lz77 match")
+            offset, length = struct.unpack_from("<HB", payload, pos)
+            pos += 3
+            if offset == 0 or offset > len(out):
+                raise CodecError("lz77 match offset out of range")
+            start = len(out) - offset
+            if offset >= length:
+                out += out[start:start + length]
+            else:
+                # overlapping copy: byte-incremental, DEFLATE semantics
+                for k in range(length):
+                    out.append(out[start + k])
+        else:
+            raise CodecError(f"unknown lz77 op {op}")
+    return bytes(out)

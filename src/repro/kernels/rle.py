@@ -1,0 +1,78 @@
+"""Byte-level run-length coder (zero-run elimination helper).
+
+A small, exact codec used as an alternative secondary-stage module and by
+tests as a simple reference backend.  Runs of any byte are encoded as
+``(byte, varint-length)``; literals pass through in escaped segments.
+
+Format (all little-endian):
+``[u8 tag]`` per segment: ``0x00`` literal segment -> ``u32 len`` + bytes;
+``0x01`` run segment -> ``u8 value`` + ``u32 count``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import CodecError
+
+_MIN_RUN = 8
+
+
+def encode(data: bytes) -> bytes:
+    """Run-length encode ``data`` (lossless)."""
+    buf = np.frombuffer(data, dtype=np.uint8)
+    if buf.size == 0:
+        return b""
+    # Boundaries of equal-value runs.
+    change = np.flatnonzero(np.diff(buf)) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [buf.size]))
+    lengths = ends - starts
+    out: list[bytes] = []
+    lit_start = 0
+
+    def flush_literal(upto: int) -> None:
+        nonlocal lit_start
+        if upto > lit_start:
+            seg = buf[lit_start:upto].tobytes()
+            out.append(b"\x00" + struct.pack("<I", len(seg)) + seg)
+        lit_start = upto
+
+    for s, ln in zip(starts, lengths):
+        if ln >= _MIN_RUN:
+            flush_literal(int(s))
+            out.append(b"\x01" + bytes([int(buf[s])]) + struct.pack("<I", int(ln)))
+            lit_start = int(s + ln)
+    flush_literal(buf.size)
+    return b"".join(out)
+
+
+def decode(payload: bytes) -> bytes:
+    """Inverse of :func:`encode`."""
+    out: list[bytes] = []
+    pos = 0
+    n = len(payload)
+    while pos < n:
+        tag = payload[pos]
+        pos += 1
+        if tag == 0x00:
+            if pos + 4 > n:
+                raise CodecError("truncated RLE literal header")
+            (ln,) = struct.unpack_from("<I", payload, pos)
+            pos += 4
+            if pos + ln > n:
+                raise CodecError("truncated RLE literal segment")
+            out.append(payload[pos:pos + ln])
+            pos += ln
+        elif tag == 0x01:
+            if pos + 5 > n:
+                raise CodecError("truncated RLE run segment")
+            value = payload[pos]
+            (count,) = struct.unpack_from("<I", payload, pos + 1)
+            pos += 5
+            out.append(bytes([value]) * count)
+        else:
+            raise CodecError(f"unknown RLE segment tag {tag}")
+    return b"".join(out)

@@ -1,0 +1,21 @@
+"""Evaluation metrics: ratio, quality, throughput, overall speedup, and
+post-analysis fidelity (SSIM, spectra, gradients)."""
+
+from .advanced import (gradient_fidelity, histogram_intersection,
+                       spectral_fidelity, ssim)
+from .quality import (error_bound_tolerance, max_abs_error, mse, nrmse,
+                      psnr, value_range, verify_error_bound)
+from .ratio import bit_rate, bit_rate_from_ratio, compression_ratio
+from .speedup import breakeven_throughput, overall_speedup, required_cr
+from .throughput import GB, ThroughputSample, gbps, throughput_bps
+
+__all__ = [
+    "gradient_fidelity", "histogram_intersection", "spectral_fidelity",
+    "ssim",
+    "error_bound_tolerance", "max_abs_error", "mse", "nrmse", "psnr",
+    "value_range",
+    "verify_error_bound", "bit_rate", "bit_rate_from_ratio",
+    "compression_ratio", "breakeven_throughput", "overall_speedup",
+    "required_cr",
+    "GB", "ThroughputSample", "gbps", "throughput_bps",
+]

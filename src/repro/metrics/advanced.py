@@ -1,0 +1,130 @@
+"""Post-analysis quality metrics beyond PSNR.
+
+§4.3.3's point is that visualisation tolerates far more loss than
+quantitative post-analysis.  These metrics quantify the analysis-facing
+properties practitioners actually check before adopting a lossy setting:
+
+* :func:`ssim` — structural similarity (windowed, any rank 1-3);
+* :func:`spectral_fidelity` — how well the isotropic power spectrum is
+  preserved (turbulence/cosmology statistics live here);
+* :func:`gradient_fidelity` — PSNR of the first differences (derived
+  fields such as vorticity amplify high-frequency compression noise);
+* :func:`histogram_intersection` — distribution preservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .quality import _pair
+
+
+def _window_means(a: np.ndarray, w: int) -> np.ndarray:
+    """Non-overlapping ``w``-window means along every axis (crops tails)."""
+    sl = tuple(slice(0, (n // w) * w) for n in a.shape)
+    a = a[sl]
+    for axis in range(a.ndim):
+        shape = list(a.shape)
+        shape[axis] = a.shape[axis] // w
+        shape.insert(axis + 1, w)
+        a = a.reshape(shape).mean(axis=axis + 1)
+    return a
+
+
+def ssim(original: np.ndarray, reconstructed: np.ndarray,
+         window: int = 8) -> float:
+    """Mean structural similarity over non-overlapping windows.
+
+    The standard SSIM formula with the conventional stabilisers
+    (k1=0.01, k2=0.03) against the data range; windows are
+    non-overlapping (the cheap variant — adequate for ranking codecs).
+    """
+    a, b = _pair(original, reconstructed)
+    if window < 2:
+        raise ConfigError("window must be >= 2")
+    if any(n < window for n in a.shape):
+        raise ConfigError(f"field smaller than the {window}-wide window")
+    rng = float(a.max() - a.min())
+    if rng == 0.0:
+        return 1.0 if np.array_equal(a, b) else 0.0
+    c1 = (0.01 * rng) ** 2
+    c2 = (0.03 * rng) ** 2
+
+    mu_a = _window_means(a, window)
+    mu_b = _window_means(b, window)
+    mu_aa = _window_means(a * a, window)
+    mu_bb = _window_means(b * b, window)
+    mu_ab = _window_means(a * b, window)
+    var_a = np.maximum(mu_aa - mu_a * mu_a, 0.0)
+    var_b = np.maximum(mu_bb - mu_b * mu_b, 0.0)
+    cov = mu_ab - mu_a * mu_b
+    s = ((2 * mu_a * mu_b + c1) * (2 * cov + c2)
+         / ((mu_a ** 2 + mu_b ** 2 + c1) * (var_a + var_b + c2)))
+    return float(s.mean())
+
+
+def _isotropic_spectrum(a: np.ndarray, nbins: int) -> np.ndarray:
+    spec = np.abs(np.fft.rfftn(a)) ** 2
+    freqs = np.meshgrid(*[np.fft.fftfreq(n) for n in a.shape[:-1]]
+                        + [np.fft.rfftfreq(a.shape[-1])], indexing="ij")
+    k = np.sqrt(sum(g * g for g in freqs))
+    bins = np.linspace(0, 0.5, nbins + 1)
+    power = np.zeros(nbins)
+    idx = np.clip(np.digitize(k.reshape(-1), bins) - 1, 0, nbins - 1)
+    np.add.at(power, idx, spec.reshape(-1))
+    return power
+
+
+def spectral_fidelity(original: np.ndarray, reconstructed: np.ndarray,
+                      nbins: int = 16) -> float:
+    """1 minus the mean relative error of the binned power spectrum.
+
+    1.0 = spectrum perfectly preserved; values sink toward 0 when
+    compression noise injects (or removes) power at some scale.
+    """
+    a, b = _pair(original, reconstructed)
+    pa = _isotropic_spectrum(a, nbins)
+    pb = _isotropic_spectrum(b, nbins)
+    mask = pa > 0
+    if not mask.any():
+        return 1.0
+    rel = np.abs(pb[mask] - pa[mask]) / pa[mask]
+    return float(max(0.0, 1.0 - rel.mean()))
+
+
+def gradient_fidelity(original: np.ndarray, reconstructed: np.ndarray
+                      ) -> float:
+    """PSNR of the concatenated first differences along every axis (dB).
+
+    Differentiation amplifies high-frequency error, so this is strictly
+    harsher than plain PSNR — the metric that punishes noisy
+    reconstructions derived quantities would suffer from.
+    """
+    a, b = _pair(original, reconstructed)
+    diffs_a = [np.diff(a, axis=ax).reshape(-1) for ax in range(a.ndim)]
+    diffs_b = [np.diff(b, axis=ax).reshape(-1) for ax in range(b.ndim)]
+    da = np.concatenate(diffs_a)
+    db = np.concatenate(diffs_b)
+    err = float(np.mean((da - db) ** 2))
+    rng = float(da.max() - da.min())
+    if err == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(rng) - 10.0 * np.log10(err))
+
+
+def histogram_intersection(original: np.ndarray, reconstructed: np.ndarray,
+                           nbins: int = 64) -> float:
+    """Overlap of normalised value histograms (1.0 = identical)."""
+    a, b = _pair(original, reconstructed)
+    lo = min(float(a.min()), float(b.min()))
+    hi = max(float(a.max()), float(b.max()))
+    if hi == lo:
+        return 1.0
+    ha, _ = np.histogram(a, bins=nbins, range=(lo, hi))
+    hb, _ = np.histogram(b, bins=nbins, range=(lo, hi))
+    ha = ha / ha.sum()
+    hb = hb / hb.sum()
+    return float(np.minimum(ha, hb).sum())

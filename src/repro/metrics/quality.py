@@ -1,0 +1,84 @@
+"""Reconstruction-quality metrics (rate-distortion axes of Figure 4).
+
+PSNR follows the convention of the compression literature the paper cites:
+peak = value range of the *original* data, MSE over all elements.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray
+          ) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ConfigError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ConfigError("empty arrays")
+    return a, b
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """L-infinity reconstruction error (what an error bound constrains)."""
+    a, b = _pair(original, reconstructed)
+    return float(np.abs(a - b).max())
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between two fields."""
+    a, b = _pair(original, reconstructed)
+    d = a - b
+    return float(np.mean(d * d))
+
+
+def value_range(data: np.ndarray) -> float:
+    """max(data) - min(data), the PSNR peak convention."""
+    a = np.asarray(data, dtype=np.float64)
+    return float(a.max() - a.min())
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB; +inf for exact reconstruction."""
+    e = mse(original, reconstructed)
+    rng = value_range(original)
+    if e == 0.0:
+        return math.inf
+    if rng == 0.0:
+        return -math.inf if e > 0 else math.inf
+    return float(20.0 * math.log10(rng) - 10.0 * math.log10(e))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalised by the value range."""
+    rng = value_range(original)
+    if rng == 0.0:
+        return 0.0 if mse(original, reconstructed) == 0 else math.inf
+    return float(math.sqrt(mse(original, reconstructed)) / rng)
+
+
+def error_bound_tolerance(reconstructed: np.ndarray, eb_abs: float) -> float:
+    """The bound a finite-precision codec can actually honour.
+
+    The decompressor computes ``x̂ = cast(pred + 2·eb·k)``: exact arithmetic
+    guarantees ``|x − (pred + 2·eb·k)| ≤ eb``, and the final cast to the
+    storage dtype adds at most half an ulp of the value's magnitude.  (Real
+    float32 codecs — cuSZ, SZ3 — have the same property.)
+    """
+    r = np.asarray(reconstructed)
+    eps = float(np.finfo(r.dtype).eps) if r.dtype.kind == "f" else 0.0
+    mag = float(np.abs(r).max()) if r.size else 0.0
+    return eb_abs * (1.0 + 1e-9) + mag * eps
+
+
+def verify_error_bound(original: np.ndarray, reconstructed: np.ndarray,
+                       eb_abs: float) -> bool:
+    """Check the error-bound contract with ulp-aware tolerance
+    (see :func:`error_bound_tolerance`)."""
+    return (max_abs_error(original, reconstructed)
+            <= error_bound_tolerance(reconstructed, eb_abs))

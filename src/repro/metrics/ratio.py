@@ -1,0 +1,28 @@
+"""Size metrics: compression ratio and bit rate (Table 3 / Figure 4 axes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """CR = input size / compressed size (the paper's definition)."""
+    if original_bytes <= 0 or compressed_bytes <= 0:
+        raise ConfigError("sizes must be positive")
+    return original_bytes / compressed_bytes
+
+
+def bit_rate(original_elements: int, compressed_bytes: int) -> float:
+    """Average stored bits per input value (Figure 4's x-axis)."""
+    if original_elements <= 0 or compressed_bytes < 0:
+        raise ConfigError("element count must be positive")
+    return compressed_bytes * 8.0 / original_elements
+
+
+def bit_rate_from_ratio(cr: float, dtype: np.dtype) -> float:
+    """Bit rate implied by a CR for a given element width."""
+    if cr <= 0:
+        raise ConfigError("compression ratio must be positive")
+    return np.dtype(dtype).itemsize * 8.0 / cr

@@ -1,0 +1,65 @@
+"""Overall-speedup metric — Equation (1) of the paper.
+
+The paper adopts the end-to-end metric of Zhang et al. [27]: transferring a
+field of size ``S`` over a medium of bandwidth ``BW`` takes ``S/BW``
+seconds raw; with compression it takes ``S/(BW*CR)`` (moving the compressed
+bytes) plus ``S/T_compr`` (producing them).  Overall speedup is the ratio::
+
+    speedup = 1 / ((BW*CR)^-1 + T^-1) / BW  =  1 / (1/CR + BW/T)
+
+A compressor helps (>1) only when its throughput sufficiently exceeds the
+effective bandwidth gain — e.g. at CR=2 over a 100 GB/s link it must run
+faster than 200 GB/s.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def overall_speedup(cr: float, throughput: float, bandwidth: float) -> float:
+    """Equation (1).
+
+    Parameters
+    ----------
+    cr:
+        compression ratio (dimensionless).
+    throughput:
+        compression throughput in bytes/second (uncompressed bytes processed
+        per second).
+    bandwidth:
+        bandwidth of the transfer medium in bytes/second (the paper uses
+        measured loaded GPU<->CPU bandwidth from Table 1).
+    """
+    if cr <= 0 or throughput <= 0 or bandwidth <= 0:
+        raise ConfigError("cr, throughput and bandwidth must be positive")
+    return 1.0 / (1.0 / cr + bandwidth / throughput)
+
+
+def required_cr(throughput: float, bandwidth: float,
+                target_speedup: float = 1.0) -> float:
+    """CR needed to reach ``target_speedup`` at a given throughput.
+
+    Inverts Equation (1): ``CR = 1 / (1/S - BW/T)``.  Returns ``inf`` when
+    the target is unreachable at any ratio (the compressor is simply too
+    slow: ``BW/T >= 1/S``).
+    """
+    if throughput <= 0 or bandwidth <= 0 or target_speedup <= 0:
+        raise ConfigError("throughput, bandwidth and target must be positive")
+    denom = 1.0 / target_speedup - bandwidth / throughput
+    if denom <= 0.0:
+        return float("inf")
+    return 1.0 / denom
+
+
+def breakeven_throughput(cr: float, bandwidth: float) -> float:
+    """Throughput at which Equation (1) crosses 1.0 for a given CR.
+
+    Solving ``1/CR + BW/T = 1`` gives ``T = BW * CR / (CR - 1)``; compression
+    with CR <= 1 can never win, so this returns ``inf`` there.
+    """
+    if cr <= 1.0:
+        return float("inf")
+    if bandwidth <= 0:
+        raise ConfigError("bandwidth must be positive")
+    return bandwidth * cr / (cr - 1.0)

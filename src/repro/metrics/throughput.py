@@ -1,0 +1,39 @@
+"""Throughput helpers (GB/s accounting used by Figures 1-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+GB = 1e9
+
+
+def throughput_bps(uncompressed_bytes: int, seconds: float) -> float:
+    """Uncompressed bytes processed per second (the paper's convention)."""
+    if seconds <= 0:
+        raise ConfigError("elapsed time must be positive")
+    if uncompressed_bytes <= 0:
+        raise ConfigError("byte count must be positive")
+    return uncompressed_bytes / seconds
+
+
+def gbps(bps: float) -> float:
+    """Bytes/second -> GB/s (decimal, as in the paper's figures)."""
+    return bps / GB
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """A (compression, decompression) throughput observation in bytes/s."""
+
+    compress_bps: float
+    decompress_bps: float
+
+    @property
+    def compress_gbps(self) -> float:
+        return gbps(self.compress_bps)
+
+    @property
+    def decompress_gbps(self) -> float:
+        return gbps(self.decompress_bps)

@@ -1,0 +1,20 @@
+"""Multi-GPU node simulation: shared-link contention + snapshot driver.
+
+Reproduces the measurement context of Table 1 (loaded bandwidth with all
+four GPUs transferring) and models node-level snapshot compression with
+compute/transfer overlap.
+"""
+
+from .cluster import (CampaignReport, ClusterSpec, breakeven_nodes,
+                      simulate_campaign_write)
+from .link import TransferRequest, loaded_bandwidth, simulate_transfers
+from .node import (FieldJob, NodeReport, measured_bandwidth, scaling_series,
+                   simulate_snapshot)
+
+__all__ = [
+    "CampaignReport", "ClusterSpec", "breakeven_nodes",
+    "simulate_campaign_write",
+    "TransferRequest", "loaded_bandwidth", "simulate_transfers",
+    "FieldJob", "NodeReport", "measured_bandwidth", "scaling_series",
+    "simulate_snapshot",
+]

@@ -1,0 +1,123 @@
+"""Cluster-level campaign I/O simulation.
+
+The system context of the paper's introduction: a simulation running on
+many nodes must drain snapshot data to the parallel filesystem, and the
+PFS — not the compute — is the bottleneck ("high pressure onto
+supercomputing subsystems (storage, memory, I/O)").  This module scales
+the node model up: every node compresses its shard of a snapshot (the
+:mod:`repro.parallel.node` driver), then all nodes write their compressed
+bytes through a shared parallel-filesystem bandwidth.
+
+The headline output is the cluster-level analogue of Equation (1):
+``write speedup = raw-write time / (compress + compressed-write) time`` —
+with the compute/write phases overlapped per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..perf.platform import PlatformSpec
+from .link import TransferRequest, simulate_transfers
+from .node import FieldJob, simulate_snapshot
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of GPU nodes sharing one filesystem."""
+
+    nodes: int
+    platform: PlatformSpec
+    #: aggregate parallel-filesystem write bandwidth, bytes/s
+    pfs_bandwidth: float
+    #: per-node injection cap into the interconnect/PFS, bytes/s
+    node_injection_bw: float = 25e9   # ~200 Gb/s NIC
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError("cluster needs at least one node")
+        if self.pfs_bandwidth <= 0 or self.node_injection_bw <= 0:
+            raise ConfigError("bandwidths must be positive")
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one snapshot drain across the cluster."""
+
+    makespan: float
+    raw_write_seconds: float
+    compute_seconds: float
+    total_input_bytes: int
+    total_output_bytes: int
+    nodes: int
+
+    @property
+    def write_speedup(self) -> float:
+        """Cluster analogue of Eq. (1): raw drain time over compressed
+        drain time (compression included)."""
+        return self.raw_write_seconds / self.makespan if self.makespan else 0.0
+
+    @property
+    def pfs_bytes_saved(self) -> int:
+        return self.total_input_bytes - self.total_output_bytes
+
+
+def simulate_campaign_write(jobs_per_node: list[FieldJob], compressor: str,
+                            cluster: ClusterSpec) -> CampaignReport:
+    """Drain one snapshot: every node compresses its shard, then writes.
+
+    Per node, the shard's compression makespan comes from the node driver
+    (GPU compute + host staging overlap); the node then streams its
+    compressed bytes to the PFS, all nodes contending for
+    ``pfs_bandwidth`` under max-min fairness with per-node injection caps.
+    """
+    if not jobs_per_node:
+        raise ConfigError("empty shard")
+    node_rep = simulate_snapshot(jobs_per_node, compressor, cluster.platform)
+    # every node is identical (homogeneous cluster, identical shards), so
+    # all nodes finish compressing at the same simulated time and write
+    # concurrently
+    requests = [TransferRequest(start=node_rep.makespan,
+                                nbytes=float(node_rep.total_output_bytes),
+                                link_peak=cluster.node_injection_bw)
+                for _ in range(cluster.nodes)]
+    done = simulate_transfers(requests, agg_bw=cluster.pfs_bandwidth)
+    makespan = max(done)
+
+    total_in = node_rep.total_input_bytes * cluster.nodes
+    total_out = node_rep.total_output_bytes * cluster.nodes
+    raw_requests = [TransferRequest(start=0.0,
+                                    nbytes=float(node_rep.total_input_bytes),
+                                    link_peak=cluster.node_injection_bw)
+                    for _ in range(cluster.nodes)]
+    raw_write = max(simulate_transfers(raw_requests,
+                                       agg_bw=cluster.pfs_bandwidth))
+    return CampaignReport(makespan=makespan, raw_write_seconds=raw_write,
+                          compute_seconds=node_rep.makespan,
+                          total_input_bytes=total_in,
+                          total_output_bytes=total_out,
+                          nodes=cluster.nodes)
+
+
+def breakeven_nodes(jobs_per_node: list[FieldJob], compressor: str,
+                    platform: PlatformSpec, pfs_bandwidth: float,
+                    max_nodes: int = 1024) -> int | None:
+    """Smallest cluster size at which compression wins over raw writes.
+
+    On few nodes the PFS is not saturated and compression only adds
+    latency; as the machine grows, the PFS becomes the bottleneck and
+    compression pays off — the crossover the paper's introduction appeals
+    to.  Returns None if compression never wins up to ``max_nodes``.
+    """
+    n = 1
+    while n <= max_nodes:
+        cluster = ClusterSpec(nodes=n, platform=platform,
+                              pfs_bandwidth=pfs_bandwidth)
+        rep = simulate_campaign_write(jobs_per_node, compressor, cluster)
+        if rep.write_speedup > 1.0:
+            return n
+        n *= 2
+    return None

@@ -1,0 +1,138 @@
+"""Multi-GPU node snapshot driver.
+
+Models the paper's deployment context: a 4-way GPU node compressing a
+multi-field snapshot.  Fields are assigned to GPUs round-robin; each GPU
+compresses its fields back-to-back (compute time from the calibrated cost
+model), and the compressed bytes drain to the host over the *shared* link
+(contention model from :mod:`repro.parallel.link`).  Compute of field
+``k+1`` overlaps the transfer of field ``k`` — the standard double-buffer
+schedule.
+
+The driver answers the questions a facility engineer asks: node-level
+effective throughput, link utilisation, and how close the schedule is to
+the compute- or transfer-bound roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..perf.costmodel import CALIBRATION, Calibration
+from ..perf.estimator import RunStats, compression_cost
+from ..perf.platform import PlatformSpec
+from .link import TransferRequest, loaded_bandwidth, simulate_transfers
+
+
+@dataclass(frozen=True)
+class FieldJob:
+    """One field to compress: its size and measured/assumed statistics."""
+
+    name: str
+    input_bytes: int
+    cr: float
+    code_fraction: float = 0.5
+    outlier_fraction: float = 0.0
+    interp_levels: int = 4
+
+
+@dataclass
+class NodeReport:
+    """Outcome of a simulated node snapshot."""
+
+    makespan: float
+    compute_seconds: dict[str, float]      # per field
+    transfer_done: dict[str, float]        # per field completion time
+    gpu_busy: list[float]                  # per GPU
+    total_input_bytes: int
+    total_output_bytes: int
+    ngpus: int
+
+    @property
+    def node_throughput(self) -> float:
+        """Uncompressed bytes per second across the node."""
+        return self.total_input_bytes / self.makespan if self.makespan else 0.0
+
+    @property
+    def link_bytes(self) -> int:
+        return self.total_output_bytes
+
+    def gpu_utilization(self) -> float:
+        """Mean busy fraction across the node's GPUs."""
+        span = self.makespan or 1.0
+        return float(np.mean([b / span for b in self.gpu_busy]))
+
+
+def measured_bandwidth(platform: PlatformSpec, ngpus: int | None = None
+                       ) -> float:
+    """Per-GPU loaded bandwidth — reproduces Table 1's 'Measured
+    Bandwidth' row when ``ngpus`` equals the node's GPU count."""
+    if ngpus is None:
+        ngpus = platform.node_gpus
+    return loaded_bandwidth(platform.gpu_link_peak, platform.host_agg_bw,
+                            ngpus)
+
+
+def simulate_snapshot(jobs: list[FieldJob], compressor: str,
+                      platform: PlatformSpec, ngpus: int | None = None,
+                      cal: Calibration = CALIBRATION) -> NodeReport:
+    """Simulate compressing ``jobs`` on an ``ngpus``-way node.
+
+    Per GPU, fields run back-to-back; each field's compressed output is a
+    transfer request arriving when its compute finishes; the shared-link
+    simulation yields drain times; the makespan is the last drain.
+    """
+    if not jobs:
+        raise ConfigError("no fields to compress")
+    if ngpus is None:
+        ngpus = platform.node_gpus
+    if ngpus < 1 or ngpus > platform.node_gpus:
+        raise ConfigError(f"ngpus must be in [1, {platform.node_gpus}]")
+
+    compute: dict[str, float] = {}
+    out_bytes: dict[str, int] = {}
+    for job in jobs:
+        stats = RunStats(input_bytes=job.input_bytes, cr=job.cr,
+                         code_fraction=job.code_fraction,
+                         outlier_fraction=job.outlier_fraction,
+                         interp_levels=job.interp_levels)
+        cost = compression_cost(compressor, stats, platform, cal)
+        # strip host-link stages: the node driver models transfers itself
+        gpu_stages = [s for s in cost.stages
+                      if s.resource.value in ("gpu", "cpu")]
+        cost.stages = gpu_stages
+        compute[job.name] = cost.seconds(platform, job.input_bytes, cal)
+        out_bytes[job.name] = int(job.input_bytes / job.cr)
+
+    # round-robin assignment; back-to-back compute per GPU
+    gpu_clock = [0.0] * ngpus
+    requests: list[TransferRequest] = []
+    names: list[str] = []
+    for k, job in enumerate(jobs):
+        g = k % ngpus
+        start = gpu_clock[g]
+        end = start + compute[job.name]
+        gpu_clock[g] = end
+        requests.append(TransferRequest(start=end,
+                                        nbytes=float(out_bytes[job.name]),
+                                        link_peak=platform.gpu_link_peak))
+        names.append(job.name)
+
+    done = simulate_transfers(requests, agg_bw=platform.host_agg_bw)
+    transfer_done = dict(zip(names, done))
+    makespan = max(max(done), max(gpu_clock))
+    return NodeReport(
+        makespan=makespan, compute_seconds=compute,
+        transfer_done=transfer_done, gpu_busy=list(gpu_clock),
+        total_input_bytes=sum(j.input_bytes for j in jobs),
+        total_output_bytes=sum(out_bytes.values()), ngpus=ngpus)
+
+
+def scaling_series(jobs: list[FieldJob], compressor: str,
+                   platform: PlatformSpec) -> dict[int, float]:
+    """Node throughput for 1..node_gpus GPUs (the strong-scaling curve)."""
+    return {g: simulate_snapshot(jobs, compressor, platform,
+                                 ngpus=g).node_throughput
+            for g in range(1, platform.node_gpus + 1)}

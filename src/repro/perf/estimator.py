@@ -1,0 +1,188 @@
+"""Per-compressor cost profiles and throughput estimation.
+
+Each profile translates the *structure* of a compressor — which stages run
+where, how many bytes they move, how many kernels they launch — into a
+:class:`~repro.perf.costmodel.PipelineCost`.  The measured statistics of an
+actual compression run (achieved CR, quant-code stream size, outlier count)
+parameterise the traffic terms, so modelled throughput responds to the data
+exactly the way the paper's figures do (e.g. hard-to-quantise fields shrink
+everyone's effective CR and drag the speedup numbers together).
+
+Profile structure per compressor (compression direction):
+
+``cuszp2``        one fused GPU kernel (read field, write output, block scans)
+``fzgpu``         two GPU kernels (fused Lorenzo+shuffle, then compaction)
+``fzmod-speed``   the same algorithms as fzgpu but staged: separate Lorenzo,
+                  bitshuffle and compaction kernels (more traffic+launches —
+                  why the paper finds it "performs worse at times")
+``fzmod-default`` GPU Lorenzo + GPU histogram, quant codes cross D2H, CPU
+                  Huffman encode
+``fzmod-quality`` GPU multilevel interpolation (one kernel pair per level
+                  and axis) + top-k histogram + D2H + CPU Huffman
+``pfpl``          portable CPU compressor (quantise/delta/shuffle/eliminate)
+``sz3``           high-quality CPU compressor, single-thread-heavy pipeline
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..metrics.throughput import ThroughputSample
+from .costmodel import (CALIBRATION, Calibration, PipelineCost, Resource,
+                        StageCost, cpu_rate)
+from .platform import PlatformSpec
+
+#: Canonical compressor names used across benches and plots.
+COMPRESSORS = ("fzmod-default", "fzmod-quality", "fzmod-speed",
+               "fzgpu", "cuszp2", "pfpl", "sz3")
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Measured statistics of one compression run.
+
+    Attributes
+    ----------
+    input_bytes:
+        uncompressed field size.
+    cr:
+        achieved compression ratio.
+    code_fraction:
+        bytes of the dense quant-code stream per input byte (0.5 for f32
+        fields with uint16 codes).
+    outlier_fraction:
+        outlier side-channel bytes per input byte.
+    interp_levels:
+        multilevel-interpolation level count (quality pipelines only).
+    """
+
+    input_bytes: int
+    cr: float
+    code_fraction: float = 0.5
+    outlier_fraction: float = 0.0
+    interp_levels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0 or self.cr <= 0:
+            raise ConfigError("input_bytes and cr must be positive")
+
+
+def _gpu(name: str, traffic: float, eff: float, launches: int = 1) -> StageCost:
+    return StageCost(name=name, resource=Resource.GPU, traffic=traffic,
+                     efficiency=eff, launches=launches)
+
+
+def compression_cost(name: str, stats: RunStats, platform: PlatformSpec,
+                     cal: Calibration = CALIBRATION) -> PipelineCost:
+    """Stage-cost profile of ``name``'s compression direction."""
+    cf = stats.code_fraction
+    of = stats.outlier_fraction
+    inv_cr = 1.0 / stats.cr
+    p = PipelineCost(name=f"{name}/compress")
+    if name == "cuszp2":
+        p.stages = [_gpu("fused-quant-pred-pack", 1.0 + inv_cr + 0.15,
+                         cal.gpu_eff_fused, launches=1)]
+    elif name == "fzgpu":
+        p.stages = [
+            _gpu("fused-lorenzo-shuffle", 1.0 + cf, cal.gpu_eff_kernel),
+            _gpu("compaction", 2.0 * cf + inv_cr, cal.gpu_eff_kernel),
+        ]
+    elif name == "fzmod-speed":
+        p.stages = [
+            _gpu("lorenzo", 1.0 + cf + of, cal.gpu_eff_kernel, launches=2),
+            _gpu("bitshuffle", 2.0 * cf, cal.gpu_eff_kernel, launches=2),
+            _gpu("zero-eliminate", 2.0 * cf + inv_cr, cal.gpu_eff_irregular,
+                 launches=2),
+        ]
+    elif name == "fzmod-default":
+        p.stages = [
+            _gpu("lorenzo", 1.0 + cf + of, cal.gpu_eff_kernel, launches=2),
+            _gpu("histogram", cf, cal.gpu_eff_irregular),
+            StageCost("codes-D2H", Resource.D2H, cf + of),
+            StageCost("huffman-encode", Resource.CPU, cf,
+                      rate=cpu_rate(cal.cpu_huffman_encode_per_core, platform, cal)),
+        ]
+    elif name == "fzmod-quality":
+        levels = max(1, stats.interp_levels)
+        p.stages = [
+            _gpu("g-interp", 1.0 + 2.2 * (1.0 + cf), cal.gpu_eff_kernel,
+                 launches=3 * levels),
+            _gpu("topk-histogram", 0.6 * cf, cal.gpu_eff_irregular),
+            StageCost("codes-D2H", Resource.D2H, cf + of),
+            StageCost("huffman-encode", Resource.CPU, cf,
+                      rate=cpu_rate(cal.cpu_huffman_encode_per_core, platform, cal)),
+        ]
+    elif name == "pfpl":
+        p.stages = [StageCost("pfpl-cpu", Resource.CPU, 1.0,
+                              rate=cpu_rate(cal.cpu_pfpl_per_core, platform, cal))]
+    elif name == "sz3":
+        p.stages = [StageCost("sz3-cpu", Resource.CPU, 1.0,
+                              rate=cpu_rate(cal.cpu_sz3_per_core, platform, cal))]
+    else:
+        raise ConfigError(f"unknown compressor {name!r}; have {COMPRESSORS}")
+    return p
+
+
+def decompression_cost(name: str, stats: RunStats, platform: PlatformSpec,
+                       cal: Calibration = CALIBRATION) -> PipelineCost:
+    """Stage-cost profile of ``name``'s decompression direction."""
+    cf = stats.code_fraction
+    of = stats.outlier_fraction
+    inv_cr = 1.0 / stats.cr
+    p = PipelineCost(name=f"{name}/decompress")
+    if name == "cuszp2":
+        p.stages = [_gpu("fused-unpack-scan", 1.0 + inv_cr + 0.15,
+                         cal.gpu_eff_fused)]
+    elif name == "fzgpu":
+        p.stages = [
+            _gpu("expand", 2.0 * cf + inv_cr, cal.gpu_eff_kernel),
+            _gpu("fused-unshuffle-scan", 1.0 + cf, cal.gpu_eff_kernel),
+        ]
+    elif name == "fzmod-speed":
+        p.stages = [
+            _gpu("zero-restore", 2.0 * cf + inv_cr, cal.gpu_eff_irregular,
+                 launches=2),
+            _gpu("unshuffle", 2.0 * cf, cal.gpu_eff_kernel, launches=2),
+            _gpu("inverse-lorenzo", 1.0 + cf + of, cal.gpu_eff_kernel,
+                 launches=2),
+        ]
+    elif name == "fzmod-default":
+        p.stages = [
+            StageCost("huffman-decode", Resource.CPU, cf,
+                      rate=cpu_rate(cal.cpu_huffman_decode_per_core, platform, cal)),
+            StageCost("codes-H2D", Resource.H2D, cf + of),
+            _gpu("scatter-outliers", 2.0 * of, cal.gpu_eff_irregular),
+            _gpu("inverse-lorenzo", 1.0 + cf, cal.gpu_eff_kernel, launches=2),
+        ]
+    elif name == "fzmod-quality":
+        levels = max(1, stats.interp_levels)
+        p.stages = [
+            StageCost("huffman-decode", Resource.CPU, cf,
+                      rate=cpu_rate(cal.cpu_huffman_decode_per_core, platform, cal)),
+            StageCost("codes-H2D", Resource.H2D, cf + of),
+            _gpu("inverse-g-interp", 1.0 + 2.2 * (1.0 + cf),
+                 cal.gpu_eff_kernel, launches=3 * levels),
+        ]
+    elif name == "pfpl":
+        p.stages = [StageCost("pfpl-cpu", Resource.CPU, 1.0,
+                              rate=cpu_rate(cal.cpu_pfpl_decode_per_core,
+                                            platform, cal))]
+    elif name == "sz3":
+        p.stages = [StageCost("sz3-cpu", Resource.CPU, 1.0,
+                              rate=cpu_rate(cal.cpu_sz3_per_core, platform, cal)
+                              * 1.3)]
+    else:
+        raise ConfigError(f"unknown compressor {name!r}; have {COMPRESSORS}")
+    return p
+
+
+def estimate_throughput(name: str, stats: RunStats, platform: PlatformSpec,
+                        cal: Calibration = CALIBRATION) -> ThroughputSample:
+    """Modelled (compression, decompression) throughput in bytes/second."""
+    c = compression_cost(name, stats, platform, cal)
+    d = decompression_cost(name, stats, platform, cal)
+    return ThroughputSample(
+        compress_bps=c.throughput(platform, stats.input_bytes, cal),
+        decompress_bps=d.throughput(platform, stats.input_bytes, cal),
+    )

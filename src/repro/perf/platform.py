@@ -1,0 +1,115 @@
+"""Hardware platform descriptions (Table 1 of the paper).
+
+The two Quartz nodes used in the evaluation, plus the loaded host<->device
+bandwidth the paper measured with multi-gpu-bwtest and used as ``BW`` in the
+overall-speedup metric (Equation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+TB = 1e12
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One evaluation platform.
+
+    Bandwidths are bytes/second; ``measured_link_bw`` is the *loaded*
+    GPU<->CPU bandwidth with all four GPUs transferring (Table 1, "Measured
+    Bandwidth"), which the paper plugs into Equation (1).
+    """
+
+    name: str
+    gpu_model: str
+    gpu_mem_bw: float          # HBM bandwidth
+    gpu_fp32_tflops: float
+    measured_link_bw: float    # loaded host link (Eq. 1's BW)
+    gpu_launch_overhead: float  # seconds per kernel launch
+    cpu_model: str
+    cpu_cores: int
+    cpu_mem_bw: float
+    #: achieved-fraction scale of GPU kernels vs the H100 baseline (older
+    #: SMs sustain a lower fraction of peak HBM bandwidth end-to-end).
+    gpu_eff_scale: float = 1.0
+    #: per-core CPU rate scale vs the Xeon 6248 baseline (the V100 node's
+    #: Xeon 8468 cores are a newer, faster microarchitecture).
+    cpu_per_core_scale: float = 1.0
+    #: GPUs per node (both Quartz nodes are 4-way, Table 1)
+    node_gpus: int = 4
+    #: *unloaded* per-GPU host-link peak; under full node load each GPU
+    #: gets min(peak, aggregate / node_gpus) — which is exactly the
+    #: "Measured Bandwidth" row of Table 1 (multi-gpu-bwtest methodology)
+    gpu_link_peak: float = 0.0
+
+    @property
+    def host_agg_bw(self) -> float:
+        """Aggregate host ingest capacity implied by the loaded measurement."""
+        return self.measured_link_bw * self.node_gpus
+
+    @property
+    def gpu_mem_bw_gbps(self) -> float:
+        return self.gpu_mem_bw / GB
+
+    @property
+    def link_bw_gbps(self) -> float:
+        return self.measured_link_bw / GB
+
+
+#: Quartz "hopper" node: 4x H100 SXM 80 GB + 2x Xeon 6248 (40 cores).
+H100 = PlatformSpec(
+    name="Quartz H100",
+    gpu_model="H100 SXM 80GB",
+    gpu_mem_bw=3.35 * TB,
+    gpu_fp32_tflops=67.0,
+    measured_link_bw=35.7 * GB,
+    gpu_launch_overhead=3e-6,
+    cpu_model="2-way Intel Xeon 6248",
+    cpu_cores=40,
+    cpu_mem_bw=200 * GB,
+    gpu_link_peak=55 * GB,
+)
+
+#: Quartz GPU node: 4x V100 PCIe 32 GB + 2x Xeon 8468 (96 cores).
+V100 = PlatformSpec(
+    name="Quartz V100",
+    gpu_model="V100 PCIe 32GB",
+    gpu_mem_bw=900 * GB,
+    gpu_fp32_tflops=14.0,
+    measured_link_bw=6.91 * GB,
+    gpu_launch_overhead=5e-6,
+    cpu_model="2-way Intel Xeon 8468",
+    cpu_cores=96,
+    cpu_mem_bw=300 * GB,
+    gpu_eff_scale=0.55,
+    cpu_per_core_scale=1.15,
+    gpu_link_peak=12.8 * GB,
+)
+
+PLATFORMS: dict[str, PlatformSpec] = {"h100": H100, "v100": V100}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look a platform spec up by name (``h100``/``v100``)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown platform {name!r}; have {sorted(PLATFORMS)}") from None
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Rows matching the paper's Table 1 (for the bench harness printer)."""
+    rows = []
+    for spec in (H100, V100):
+        rows.append({
+            "Platform": spec.name,
+            "GPUs": f"4-way {spec.gpu_model}",
+            "FP32": f"{spec.gpu_fp32_tflops:.0f} TFLOPS",
+            "BW": f"{spec.gpu_mem_bw / TB:.2f} TB/s",
+            "CPUs": spec.cpu_model,
+            "CPU Cores": str(spec.cpu_cores),
+            "Measured Bandwidth": f"~{spec.link_bw_gbps:.2f} GB/s",
+        })
+    return rows

@@ -1,0 +1,95 @@
+"""Calibration sensitivity analysis.
+
+The cost model's free parameters live in one :class:`Calibration` object;
+the natural objection to any calibrated model is "did you tune the
+conclusion in?".  This module answers it quantitatively: perturb each
+constant by ±X% and check which *qualitative orderings* survive.  The
+shipped claim tests assert the orderings at the calibration point; the
+sensitivity sweep shows how far the point can move before a conclusion
+flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from ..errors import ConfigError
+from .costmodel import CALIBRATION, Calibration
+from .estimator import COMPRESSORS, RunStats, estimate_throughput
+from .platform import PlatformSpec
+
+#: calibration fields that are rates/efficiencies (perturbable)
+PERTURBABLE = tuple(f.name for f in fields(Calibration))
+
+
+@dataclass(frozen=True)
+class OrderingCheck:
+    """A qualitative claim as a comparison of two compressors."""
+
+    name: str
+    faster: str
+    slower: str
+    direction: str = "compress"   # or "decompress"
+
+    def holds(self, stats: RunStats, platform: PlatformSpec,
+              cal: Calibration) -> bool:
+        """True when the claimed ordering holds under ``cal``."""
+        a = estimate_throughput(self.faster, stats, platform, cal)
+        b = estimate_throughput(self.slower, stats, platform, cal)
+        attr = f"{self.direction}_bps"
+        return getattr(a, attr) > getattr(b, attr)
+
+
+#: the Figure-1 orderings the paper claims (at the calibration point all
+#: hold; sensitivity asks how robust they are)
+FIG1_ORDERINGS = (
+    OrderingCheck("cuszp2-fastest", "cuszp2", "fzgpu"),
+    OrderingCheck("fused-beats-staged", "fzgpu", "fzmod-speed"),
+    OrderingCheck("speed-beats-default", "fzmod-speed", "fzmod-default"),
+    OrderingCheck("default-beats-quality", "fzmod-default", "fzmod-quality"),
+    OrderingCheck("quality-beats-pfpl", "fzmod-quality", "pfpl"),
+    OrderingCheck("pfpl-beats-sz3", "pfpl", "sz3"),
+)
+
+
+def perturb(cal: Calibration, param: str, factor: float) -> Calibration:
+    """A copy of ``cal`` with one constant scaled by ``factor``."""
+    if param not in PERTURBABLE:
+        raise ConfigError(f"unknown calibration parameter {param!r}; "
+                          f"have {PERTURBABLE}")
+    return replace(cal, **{param: getattr(cal, param) * factor})
+
+
+def ordering_robustness(stats: RunStats, platform: PlatformSpec,
+                        spread: float = 0.2,
+                        checks: tuple[OrderingCheck, ...] = FIG1_ORDERINGS,
+                        cal: Calibration = CALIBRATION
+                        ) -> dict[str, dict[str, bool]]:
+    """For every (calibration parameter x ±spread), which orderings hold?
+
+    Returns ``{“param*factor”: {check_name: bool}}``, including the
+    baseline under key ``"baseline"``.
+    """
+    if not (0.0 < spread < 1.0):
+        raise ConfigError("spread must be in (0, 1)")
+    out: dict[str, dict[str, bool]] = {
+        "baseline": {c.name: c.holds(stats, platform, cal) for c in checks}}
+    for param in PERTURBABLE:
+        for factor in (1.0 - spread, 1.0 + spread):
+            key = f"{param}*{factor:.2f}"
+            pcal = perturb(cal, param, factor)
+            out[key] = {c.name: c.holds(stats, platform, pcal)
+                        for c in checks}
+    return out
+
+
+def robustness_summary(results: dict[str, dict[str, bool]]) -> str:
+    """Render: per claim, the fraction of perturbations under which it
+    holds (1.00 = fully robust at this spread)."""
+    checks = list(next(iter(results.values())))
+    lines = [f"{'claim':<24} {'holds under perturbation':>26}"]
+    n = len(results)
+    for c in checks:
+        frac = sum(1 for r in results.values() if r[c]) / n
+        lines.append(f"{c:<24} {frac:>25.0%}")
+    return "\n".join(lines)

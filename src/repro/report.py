@@ -1,0 +1,126 @@
+"""One-stop evaluation reports.
+
+Bundles the whole evaluation loop — compress, verify, measure quality,
+model throughput, compute Eq. (1) speedups on both paper platforms — into
+a single call that returns structured rows plus a rendered table.  This
+is what ``fzmod report`` prints and what downstream users script against
+when they evaluate their own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .baselines import ALL_COMPRESSOR_NAMES, get_compressor
+from .errors import ConfigError
+from .metrics import (gradient_fidelity, overall_speedup, psnr, ssim,
+                      verify_error_bound)
+from .perf import H100, V100, PlatformSpec, RunStats, estimate_throughput
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One (compressor, eb) evaluation outcome."""
+
+    compressor: str
+    eb: float
+    cr: float
+    bit_rate: float
+    psnr_db: float
+    ssim: float
+    gradient_psnr_db: float
+    bound_ok: bool
+    modeled_compress_gbps_h100: float
+    modeled_compress_gbps_v100: float
+    speedup_h100: float
+    speedup_v100: float
+    compress_seconds: float
+    decompress_seconds: float
+
+
+@dataclass
+class EvaluationReport:
+    """All rows for one field, plus rendering helpers."""
+
+    field_shape: tuple[int, ...]
+    field_bytes: int
+    rows: list[ReportRow] = field(default_factory=list)
+
+    def best_by(self, attr: str, eb: float) -> ReportRow:
+        """The row maximising ``attr`` at a given bound."""
+        rows = [r for r in self.rows if r.eb == eb]
+        if not rows:
+            raise ConfigError(f"no rows for eb={eb}")
+        return max(rows, key=lambda r: getattr(r, attr))
+
+    def table(self) -> str:
+        """Render all rows as an aligned text table."""
+        lines = [
+            f"{'compressor':<15} {'eb':>8} {'CR':>9} {'b/val':>7} "
+            f"{'PSNR':>7} {'SSIM':>6} {'gPSNR':>7} {'ok':>3} "
+            f"{'GB/s H100':>10} {'spd H100':>9} {'spd V100':>9}"]
+        for r in self.rows:
+            lines.append(
+                f"{r.compressor:<15} {r.eb:>8g} {r.cr:>9.2f} "
+                f"{r.bit_rate:>7.3f} {r.psnr_db:>7.1f} {r.ssim:>6.3f} "
+                f"{r.gradient_psnr_db:>7.1f} "
+                f"{'y' if r.bound_ok else 'N':>3} "
+                f"{r.modeled_compress_gbps_h100:>10.1f} "
+                f"{r.speedup_h100:>9.2f} {r.speedup_v100:>9.2f}")
+        return "\n".join(lines)
+
+
+def _model(name: str, cf, full_bytes: int, platform: PlatformSpec):
+    stats = RunStats(input_bytes=full_bytes, cr=cf.stats.cr,
+                     code_fraction=cf.stats.code_fraction,
+                     outlier_fraction=cf.stats.outlier_fraction,
+                     interp_levels=max(1, cf.stats.interp_levels))
+    model_name = name if name in ("fzmod-default", "fzmod-quality",
+                                  "fzmod-speed", "fzgpu", "cuszp2", "pfpl",
+                                  "sz3") else "fzmod-default"
+    return estimate_throughput(model_name, stats, platform)
+
+
+def evaluate(data: np.ndarray, ebs: tuple[float, ...] = (1e-2, 1e-4),
+             compressors: tuple[str, ...] = ALL_COMPRESSOR_NAMES,
+             full_size_bytes: int | None = None) -> EvaluationReport:
+    """Run the full comparison on one field.
+
+    ``full_size_bytes`` sets the field size used by the throughput model
+    (pass the production size when evaluating a down-scaled sample).
+    """
+    import time
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ConfigError("empty field")
+    full_bytes = full_size_bytes or data.nbytes
+    rng_v = float(data.max() - data.min())
+    report = EvaluationReport(field_shape=data.shape, field_bytes=data.nbytes)
+    can_ssim = min(data.shape) >= 8
+    for name in compressors:
+        comp = get_compressor(name)
+        for eb in ebs:
+            t0 = time.perf_counter()
+            cf = comp.compress(data, eb)
+            t1 = time.perf_counter()
+            recon = comp.decompress(cf)
+            t2 = time.perf_counter()
+            th_h = _model(name, cf, full_bytes, H100)
+            th_v = _model(name, cf, full_bytes, V100)
+            report.rows.append(ReportRow(
+                compressor=name, eb=eb, cr=cf.stats.cr,
+                bit_rate=cf.stats.bit_rate,
+                psnr_db=float(psnr(data, recon)),
+                ssim=float(ssim(data, recon)) if can_ssim else float("nan"),
+                gradient_psnr_db=float(gradient_fidelity(data, recon)),
+                bound_ok=verify_error_bound(data, recon, eb * rng_v),
+                modeled_compress_gbps_h100=th_h.compress_gbps,
+                modeled_compress_gbps_v100=th_v.compress_gbps,
+                speedup_h100=overall_speedup(cf.stats.cr, th_h.compress_bps,
+                                             H100.measured_link_bw),
+                speedup_v100=overall_speedup(cf.stats.cr, th_v.compress_bps,
+                                             V100.measured_link_bw),
+                compress_seconds=t1 - t0, decompress_seconds=t2 - t1))
+    return report

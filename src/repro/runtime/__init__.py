@@ -1,0 +1,20 @@
+"""Simulated heterogeneous runtime (devices, memory, streams, transfers).
+
+This package stands in for the CUDA runtime of the original system: kernels
+execute as NumPy calls, but residency is enforced (a kernel cannot read a
+buffer that "lives" on another device without an explicit or STF-inserted
+transfer) and every operation books simulated time on per-resource
+timelines, so schedules, overlap and transfer traffic are all observable.
+"""
+
+from .clock import Interval, SimClock
+from .device import Device, DeviceRegistry, default_node
+from .memory import Allocator, Buffer, MemorySpace
+from .stream import Event, Stream
+from .transfer import TransferStats, copy_to, transfer_seconds
+
+__all__ = [
+    "Interval", "SimClock", "Device", "DeviceRegistry", "default_node",
+    "Allocator", "Buffer", "MemorySpace", "Event", "Stream",
+    "TransferStats", "copy_to", "transfer_seconds",
+]

@@ -1,0 +1,81 @@
+"""Simulated timelines for the heterogeneous runtime.
+
+The reproduction executes kernels as NumPy calls on the host, but models
+*where* the original system would have run them (which device, which
+stream) and *how long* they would take there.  A :class:`SimClock` keeps one
+monotonically-advancing timeline per resource (device or link) and computes
+makespans, so the scheduler can report the concurrency a real heterogeneous
+system would extract (cf. the CUDASTF overlap demo of §3.3.1).
+
+All simulated durations are in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Interval:
+    """A scheduled occupancy on one resource's timeline."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimClock:
+    """Per-resource simulated timelines.
+
+    ``reserve(resource, duration, not_before)`` books the earliest interval
+    of ``duration`` on ``resource`` starting no earlier than ``not_before``
+    (resources execute their queue in order, like CUDA streams).
+    """
+
+    _avail: dict[str, float] = field(default_factory=dict)
+    intervals: list[Interval] = field(default_factory=list)
+
+    def available(self, resource: str) -> float:
+        """Earliest free time on a resource's timeline."""
+        return self._avail.get(resource, 0.0)
+
+    def reserve(self, resource: str, duration: float, not_before: float = 0.0,
+                label: str = "") -> Interval:
+        """Book the earliest interval of ``duration`` on ``resource``
+        starting no earlier than ``not_before``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.available(resource), not_before)
+        iv = Interval(resource=resource, label=label, start=start,
+                      end=start + duration)
+        self._avail[resource] = iv.end
+        self.intervals.append(iv)
+        return iv
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        """Total booked occupancy on one resource."""
+        return sum(iv.duration for iv in self.intervals if iv.resource == resource)
+
+    def serial_time(self) -> float:
+        """Total work if everything ran back-to-back on one resource."""
+        return sum(iv.duration for iv in self.intervals)
+
+    def utilization(self, resource: str) -> float:
+        """Busy time over makespan for one resource."""
+        span = self.makespan
+        return self.busy_time(resource) / span if span > 0 else 0.0
+
+    def reset(self) -> None:
+        """Clear all timelines and recorded intervals."""
+        self._avail.clear()
+        self.intervals.clear()

@@ -1,0 +1,103 @@
+"""Simulated execution devices.
+
+A :class:`Device` describes one execution resource of the heterogeneous
+node: its kind (CPU or GPU), memory bandwidth, host link bandwidth and
+kernel-launch overhead.  These numbers drive the analytic performance model
+(:mod:`repro.perf`) and the simulated timelines of the STF scheduler; the
+actual computation always happens in NumPy on the host.
+
+The default registry models one CPU and one GPU; platform presets matching
+the paper's Table 1 live in :mod:`repro.perf.platform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceError
+from ..types import DeviceKind
+
+
+@dataclass(frozen=True)
+class Device:
+    """One simulated execution resource.
+
+    Attributes
+    ----------
+    name:
+        unique identifier (``"cpu0"``, ``"gpu0"`` ...).
+    kind:
+        :class:`~repro.types.DeviceKind`.
+    mem_bandwidth:
+        device-local memory bandwidth in bytes/second.
+    link_bandwidth:
+        host<->device transfer bandwidth in bytes/second (for the CPU this
+        is its own memory bandwidth: a host-to-host "transfer" is a copy).
+    launch_overhead:
+        fixed per-kernel launch latency in seconds.
+    """
+
+    name: str
+    kind: DeviceKind
+    mem_bandwidth: float
+    link_bandwidth: float
+    launch_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.mem_bandwidth <= 0 or self.link_bandwidth <= 0:
+            raise DeviceError(f"device {self.name}: bandwidths must be positive")
+        if self.launch_overhead < 0:
+            raise DeviceError(f"device {self.name}: negative launch overhead")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+
+@dataclass
+class DeviceRegistry:
+    """Mutable collection of the node's devices."""
+
+    _devices: dict[str, Device] = field(default_factory=dict)
+
+    def add(self, device: Device) -> Device:
+        """Register a device (names must be unique)."""
+        if device.name in self._devices:
+            raise DeviceError(f"device {device.name!r} already registered")
+        self._devices[device.name] = device
+        return device
+
+    def get(self, name: str) -> Device:
+        """Look a device up by name (raises for unknown names)."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise DeviceError(f"unknown device {name!r}; have "
+                              f"{sorted(self._devices)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def names(self) -> list[str]:
+        """Registered device names, sorted."""
+        return sorted(self._devices)
+
+    def gpus(self) -> list[Device]:
+        """All registered GPU devices."""
+        return [d for d in self._devices.values() if d.is_gpu]
+
+    def cpus(self) -> list[Device]:
+        """All registered CPU devices."""
+        return [d for d in self._devices.values() if not d.is_gpu]
+
+
+def default_node(gpu_mem_bw: float = 3.35e12, gpu_link_bw: float = 35.7e9,
+                 cpu_mem_bw: float = 200e9, gpu_launch: float = 5e-6,
+                 cpu_launch: float = 1e-6) -> DeviceRegistry:
+    """A single-CPU, single-GPU node (H100-class defaults from Table 1)."""
+    reg = DeviceRegistry()
+    reg.add(Device(name="cpu0", kind=DeviceKind.CPU, mem_bandwidth=cpu_mem_bw,
+                   link_bandwidth=cpu_mem_bw, launch_overhead=cpu_launch))
+    reg.add(Device(name="gpu0", kind=DeviceKind.GPU, mem_bandwidth=gpu_mem_bw,
+                   link_bandwidth=gpu_link_bw, launch_overhead=gpu_launch))
+    return reg

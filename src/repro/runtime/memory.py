@@ -1,0 +1,112 @@
+"""Memory spaces and buffers for the simulated runtime.
+
+A :class:`Buffer` wraps a NumPy array together with the :class:`MemorySpace`
+it notionally lives in.  Kernels assert that their operands are resident on
+the right device — exactly the discipline CUDA code needs — and the
+:class:`Allocator` tracks live/peak bytes per space so tests and benchmarks
+can check the memory behaviour of a pipeline (e.g. that the STF executor
+frees intermediates eagerly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceError
+from .device import Device
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """The address space of one device."""
+
+    device: Device
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+
+@dataclass
+class Allocator:
+    """Per-space accounting of live and peak allocation."""
+
+    live: dict[str, int] = field(default_factory=dict)
+    peak: dict[str, int] = field(default_factory=dict)
+
+    def on_alloc(self, space: MemorySpace, nbytes: int) -> None:
+        """Record an allocation in a space (updates live and peak)."""
+        cur = self.live.get(space.name, 0) + nbytes
+        self.live[space.name] = cur
+        self.peak[space.name] = max(self.peak.get(space.name, 0), cur)
+
+    def on_free(self, space: MemorySpace, nbytes: int) -> None:
+        """Record a release in a space."""
+        cur = self.live.get(space.name, 0) - nbytes
+        if cur < 0:
+            raise DeviceError(f"allocator underflow on {space.name}")
+        self.live[space.name] = cur
+
+
+#: Process-wide allocator used when none is supplied explicitly.
+GLOBAL_ALLOCATOR = Allocator()
+
+
+class Buffer:
+    """A device-resident array.
+
+    Parameters
+    ----------
+    array:
+        the payload (any NumPy array; ``bytes`` payloads are wrapped as
+        ``uint8`` arrays by :meth:`from_bytes`).
+    space:
+        where the data notionally lives.
+    allocator:
+        accounting sink (defaults to the module-global allocator).
+    """
+
+    __slots__ = ("array", "space", "_allocator", "_freed")
+
+    def __init__(self, array: np.ndarray, space: MemorySpace,
+                 allocator: Allocator | None = None) -> None:
+        self.array = np.asarray(array)
+        self.space = space
+        self._allocator = allocator if allocator is not None else GLOBAL_ALLOCATOR
+        self._freed = False
+        self._allocator.on_alloc(space, self.nbytes)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, space: MemorySpace,
+                   allocator: Allocator | None = None) -> "Buffer":
+        return cls(np.frombuffer(payload, dtype=np.uint8), space, allocator)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def device(self) -> Device:
+        return self.space.device
+
+    def require_on(self, device: Device) -> np.ndarray:
+        """Assert residency and return the raw array (kernel entry check)."""
+        if self._freed:
+            raise DeviceError("use of a freed buffer")
+        if self.space.device.name != device.name:
+            raise DeviceError(
+                f"buffer resides on {self.space.name}, kernel launched on "
+                f"{device.name}; insert a transfer first")
+        return self.array
+
+    def free(self) -> None:
+        """Release the accounting for this buffer (idempotent)."""
+        if not self._freed:
+            self._allocator.on_free(self.space, self.nbytes)
+            self._freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Buffer({self.array.dtype}[{self.array.size}] "
+                f"on {self.space.name})")

@@ -1,0 +1,79 @@
+"""Host<->device transfers with modelled cost.
+
+``copy_to`` produces a new :class:`~repro.runtime.memory.Buffer` in the
+target space and books the transfer on the link timeline of a
+:class:`~repro.runtime.clock.SimClock`.  Device-to-device copies are staged
+through the slower of the two links, matching PCIe peer behaviour on the
+paper's V100 platform.
+
+A :class:`TransferStats` sink accumulates H2D/D2H traffic so tests can
+assert, e.g., that the FZMod-Default pipeline ships only quant codes (not
+the full field) to the CPU for Huffman encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TransferError
+from .clock import SimClock
+from .memory import Allocator, Buffer, MemorySpace
+
+
+@dataclass
+class TransferStats:
+    """Accumulated transfer traffic in bytes, keyed by (src, dst)."""
+
+    traffic: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, src: str, dst: str, nbytes: int) -> None:
+        """Accumulate ``nbytes`` of traffic on the (src, dst) edge."""
+        key = (src, dst)
+        self.traffic[key] = self.traffic.get(key, 0) + nbytes
+
+    def total(self) -> int:
+        """Total bytes moved across all edges."""
+        return sum(self.traffic.values())
+
+    def between(self, src: str, dst: str) -> int:
+        """Bytes moved from ``src`` to ``dst``."""
+        return self.traffic.get((src, dst), 0)
+
+
+def link_name(src: str, dst: str) -> str:
+    """Timeline resource name for the src->dst link (direction matters:
+    PCIe is full duplex, so H2D and D2H get independent timelines)."""
+    return f"link:{src}->{dst}"
+
+
+def transfer_seconds(nbytes: int, src: MemorySpace, dst: MemorySpace) -> float:
+    """Modelled duration of moving ``nbytes`` from ``src`` to ``dst``."""
+    bw = min(src.device.link_bandwidth, dst.device.link_bandwidth)
+    return nbytes / bw
+
+
+def copy_to(buf: Buffer, dst: MemorySpace, *, clock: SimClock | None = None,
+            stats: TransferStats | None = None, not_before: float = 0.0,
+            allocator: Allocator | None = None) -> tuple[Buffer, float]:
+    """Copy ``buf`` into ``dst`` space.
+
+    Returns ``(new_buffer, ready_time)`` where ``ready_time`` is the
+    simulated completion time on the link timeline (0.0 when no clock is
+    supplied).  A same-space copy is free and returns the original buffer.
+    """
+    src = buf.space
+    if src.name == dst.name:
+        return buf, not_before
+    ready = not_before
+    if clock is not None:
+        iv = clock.reserve(link_name(src.name, dst.name),
+                           transfer_seconds(buf.nbytes, src, dst),
+                           not_before=not_before,
+                           label=f"copy {buf.nbytes}B")
+        ready = iv.end
+    if stats is not None:
+        stats.record(src.name, dst.name, buf.nbytes)
+    # A transfer materialises a distinct copy: mutating one instance must
+    # never silently change another space's instance.
+    new = Buffer(buf.array.copy(), dst, allocator=allocator)
+    return new, ready

@@ -1,0 +1,22 @@
+"""Asynchronous sequential-task-flow engine (the CUDASTF analogue).
+
+Declare logical data and tasks with read/write access modes; the engine
+infers the dependency DAG (RAW/WAR/WAW hazards), stages operands across
+simulated devices, executes serially or on a thread pool, and reports the
+simulated heterogeneous schedule (makespan, overlap, critical path).
+"""
+
+from .context import StfContext
+from .graph import GraphBuilder
+from .logical_data import Access, AccessMode, LogicalData
+from .scheduler import ExecutionReport, Scheduler, TransferRecord
+from .task import Task, TaskState
+from .tracing import (ScheduleSummary, critical_path_seconds, gantt,
+                      summarize, timeline_json, to_dot)
+
+__all__ = [
+    "StfContext", "GraphBuilder", "Access", "AccessMode", "LogicalData",
+    "ExecutionReport", "Scheduler", "TransferRecord", "Task", "TaskState",
+    "ScheduleSummary", "critical_path_seconds", "gantt", "summarize",
+    "timeline_json", "to_dot",
+]

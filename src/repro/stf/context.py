@@ -1,0 +1,156 @@
+"""User-facing STF context (the CUDASTF ``context`` analogue).
+
+Typical use::
+
+    ctx = StfContext()                     # default 1 CPU + 1 GPU node
+    x = ctx.logical_data(array, "input")
+    codes = ctx.logical_data_empty("codes")
+    ctx.task("predict", predict_fn, [x.read(), codes.write()], device="gpu0",
+             duration=lambda nbytes: nbytes / 1.0e12)
+    report = ctx.run(mode="async")
+    result = codes.get()
+
+Tasks declare *what data they touch and how*; the context infers the DAG,
+stages operands onto the right device (recording the transfers), executes —
+serially or on a thread pool — and replays everything onto simulated
+timelines so the schedule's overlap is measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import StfError
+from ..runtime.device import DeviceRegistry, default_node
+from ..runtime.memory import MemorySpace
+from .graph import GraphBuilder
+from .logical_data import Access, LogicalData
+from .scheduler import ExecutionReport, Scheduler
+from .task import DurationModel, Task, validate_accesses
+
+
+class StfContext:
+    """Builds and runs one sequential task flow."""
+
+    def __init__(self, registry: DeviceRegistry | None = None,
+                 host_device: str = "cpu0",
+                 default_device: str = "gpu0") -> None:
+        self.registry = registry if registry is not None else default_node()
+        if host_device not in self.registry:
+            raise StfError(f"host device {host_device!r} not in registry")
+        self.host_space = MemorySpace(self.registry.get(host_device))
+        self.default_device = default_device
+        self.builder = GraphBuilder()
+        self._finalized = False
+        self._data: list[LogicalData] = []
+
+    # -- data ----------------------------------------------------------- #
+    def logical_data(self, array: np.ndarray, name: str | None = None
+                     ) -> LogicalData:
+        """Declare a datum with initial host contents."""
+        self._check_open()
+        ld = LogicalData(name or f"data{len(self._data)}", self.host_space,
+                         initial=np.asarray(array))
+        self._data.append(ld)
+        return ld
+
+    def logical_data_empty(self, name: str | None = None) -> LogicalData:
+        """Declare a datum defined later by a task's write() access
+        (CUDASTF's shape-only logical data; here even the shape is deferred,
+        which is what variable-size encoder outputs need)."""
+        self._check_open()
+        ld = LogicalData(name or f"data{len(self._data)}", self.host_space)
+        self._data.append(ld)
+        return ld
+
+    # -- tasks ----------------------------------------------------------- #
+    def task(self, name: str, fn: Callable[..., Any],
+             deps: Sequence[Access], device: str | None = None,
+             duration: DurationModel = None) -> Task:
+        """Declare a task; dependencies on earlier tasks are inferred."""
+        self._check_open()
+        device_name = device or self.default_device
+        if device_name not in self.registry:
+            raise StfError(f"unknown device {device_name!r}")
+        t = Task(name=name, fn=fn, accesses=validate_accesses(deps),
+                 device_name=device_name, duration=duration)
+        self.builder.add_task(t)
+        return t
+
+    def parallel_tiles(self, name: str, fn: Callable[[np.ndarray], np.ndarray],
+                       source: LogicalData, tiles: int,
+                       device: str | None = None,
+                       devices: Sequence[str] | None = None,
+                       duration: DurationModel = None) -> LogicalData:
+        """Map ``fn`` over ``tiles`` slices of ``source`` as concurrent tasks
+        (the CUDASTF ``parallel_for`` idiom at tile granularity).
+
+        ``source`` must be defined and is split along axis 0 into a
+        scatter task, each tile is processed by its own task (these run
+        concurrently on the thread-pool executor), and a gather task
+        concatenates the results into the returned logical datum.  ``fn``
+        must be shape-preserving along axis 0.  Pass ``devices`` to spread
+        the tile tasks round-robin over several execution resources (the
+        multi-device overlap shows up in the simulated schedule).
+        """
+        if tiles < 1:
+            raise StfError("tiles must be >= 1")
+        parts = [self.logical_data_empty(f"{name}/in{k}")
+                 for k in range(tiles)]
+
+        def scatter(arr: np.ndarray):
+            return tuple(np.ascontiguousarray(p)
+                         for p in np.array_split(arr, tiles, axis=0))
+
+        self.task(f"{name}/scatter", scatter,
+                  [source.read()] + [p.write() for p in parts],
+                  device=device, duration=duration)
+
+        outs = [self.logical_data_empty(f"{name}/out{k}")
+                for k in range(tiles)]
+        for k, (p, o) in enumerate(zip(parts, outs)):
+            tile_device = devices[k % len(devices)] if devices else device
+            self.task(f"{name}/tile{k}", lambda a, f=fn: (f(a),),
+                      [p.read(), o.write()], device=tile_device,
+                      duration=duration)
+
+        result = self.logical_data_empty(f"{name}/result")
+
+        def gather(*arrays):
+            return (np.concatenate(arrays, axis=0),)
+
+        self.task(f"{name}/gather", gather,
+                  [o.read() for o in outs] + [result.write()],
+                  device=device, duration=duration)
+        return result
+
+    # -- execution -------------------------------------------------------- #
+    def run(self, mode: str = "serial", workers: int = 4,
+            sim_order: str = "declaration") -> ExecutionReport:
+        """Execute the flow and return the :class:`ExecutionReport`.
+
+        ``mode`` is ``"serial"`` or ``"async"``; ``sim_order`` selects the
+        simulated-timeline replay policy ("declaration" or
+        "critical-path").  The context is single-shot: it cannot be
+        extended or re-run afterwards (matching CUDASTF's finalize
+        semantics), but the returned scheduler state allows re-simulating
+        under a different policy via :attr:`last_scheduler`.
+        """
+        self._check_open()
+        self.builder.validate()
+        self._finalized = True
+        sched = Scheduler(self.registry, self.builder)
+        self.last_scheduler = sched
+        if mode == "serial":
+            sched.run_serial()
+        elif mode == "async":
+            sched.run_async(workers=workers)
+        else:
+            raise StfError(f"unknown execution mode {mode!r}")
+        return sched.report(order=sim_order)
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise StfError("context already finalized; create a new StfContext")

@@ -1,0 +1,105 @@
+"""Dependency-graph inference for sequential task flows.
+
+CUDASTF's core idea: the user declares tasks *in program order* with
+read/write access sets, and the engine derives the dependency DAG from the
+standard hazards —
+
+* **RAW** — a reader depends on the last writer of each datum it reads;
+* **WAW** — a writer depends on the previous writer;
+* **WAR** — a writer depends on every reader since the previous write.
+
+Because edges always point from earlier to later declarations the result is
+acyclic by construction; we still assert it with networkx (cheap insurance
+against future refactors) and reuse the same graph for critical-path
+analysis in :mod:`repro.stf.tracing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import StfError
+from .task import Task
+
+
+@dataclass
+class GraphBuilder:
+    """Incrementally derives the task DAG as tasks are declared."""
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    _last_writer: dict[int, Task] = field(default_factory=dict)
+    _readers_since_write: dict[int, list[Task]] = field(default_factory=dict)
+    tasks: list[Task] = field(default_factory=list)
+
+    def add_task(self, task: Task) -> list[Task]:
+        """Register ``task``; returns its inferred predecessor tasks."""
+        deps: dict[int, Task] = {}
+        for acc in task.accesses:
+            ld = acc.data.id
+            if acc.mode.reads:
+                w = self._last_writer.get(ld)
+                if w is not None:
+                    deps[w.id] = w
+                elif not acc.data.defined:
+                    raise StfError(
+                        f"task {task.name!r} reads {acc.data.name!r}, which "
+                        "has no initial value and no prior writer")
+            if acc.mode.writes:
+                w = self._last_writer.get(ld)
+                if w is not None:
+                    deps[w.id] = w
+                for r in self._readers_since_write.get(ld, ()):
+                    if r.id != task.id:
+                        deps[r.id] = r
+        # update hazard bookkeeping *after* scanning all accesses
+        for acc in task.accesses:
+            ld = acc.data.id
+            if acc.mode.writes:
+                self._last_writer[ld] = task
+                self._readers_since_write[ld] = []
+            if acc.mode.reads and not acc.mode.writes:
+                self._readers_since_write.setdefault(ld, []).append(task)
+
+        self.graph.add_node(task.id, task=task)
+        for dep in deps.values():
+            self.graph.add_edge(dep.id, task.id)
+        self.tasks.append(task)
+        return list(deps.values())
+
+    def predecessors(self, task: Task) -> list[Task]:
+        """Tasks this task depends on."""
+        return [self.graph.nodes[p]["task"] for p in self.graph.predecessors(task.id)]
+
+    def successors(self, task: Task) -> list[Task]:
+        """Tasks depending on this task."""
+        return [self.graph.nodes[s]["task"] for s in self.graph.successors(task.id)]
+
+    def validate(self) -> None:
+        """Assert the graph is acyclic (cheap insurance)."""
+        if not nx.is_directed_acyclic_graph(self.graph):  # pragma: no cover
+            raise StfError("task graph contains a cycle")
+
+    def topological(self) -> list[Task]:
+        """Tasks in a dependency-respecting order (declaration order works
+        by construction, but we return an explicit topo sort for clarity)."""
+        self.validate()
+        return [self.graph.nodes[n]["task"]
+                for n in nx.lexicographical_topological_sort(self.graph)]
+
+    def roots(self) -> list[Task]:
+        """Tasks with no dependencies."""
+        return [self.graph.nodes[n]["task"] for n in self.graph.nodes
+                if self.graph.in_degree(n) == 0]
+
+    def width(self) -> int:
+        """Size of the largest antichain level (max available parallelism)."""
+        if not self.graph:
+            return 0
+        levels: dict[int, int] = {}
+        for n in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(n))
+            levels[n] = 1 + max((levels[p] for p in preds), default=-1)
+        from collections import Counter
+        return max(Counter(levels.values()).values())

@@ -1,0 +1,126 @@
+"""Logical data: the STF engine's unit of dependency tracking.
+
+Mirroring CUDASTF, a :class:`LogicalData` names a piece of data independent
+of where it currently lives.  The engine keeps per-space *instances*
+(concrete buffers) and a validity set; tasks declare how they access a
+logical datum (:class:`AccessMode`) and the engine infers dependencies,
+inserts transfers, and invalidates stale instances on writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..errors import StfError
+from ..runtime.memory import Buffer, MemorySpace
+
+_ld_ids = itertools.count()
+
+
+class AccessMode(Enum):
+    """How a task touches a logical datum (CUDASTF's ``read``/``write``/``rw``)."""
+
+    READ = "read"
+    WRITE = "write"
+    RW = "rw"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.RW)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.RW)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One task operand: a logical datum plus an access mode."""
+
+    data: "LogicalData"
+    mode: AccessMode
+
+
+class LogicalData:
+    """A named, location-transparent datum.
+
+    Parameters
+    ----------
+    name:
+        human-readable label (shows up in traces).
+    initial:
+        optional initial host content.  A logical datum may also start
+        *undefined* and be defined by the first task that writes it
+        (CUDASTF's shape-only ``logical_data``).
+    host_space:
+        the space ``initial`` lives in / results are fetched to.
+    """
+
+    def __init__(self, name: str, host_space: MemorySpace,
+                 initial: np.ndarray | None = None) -> None:
+        self.id = next(_ld_ids)
+        self.name = name
+        self.host_space = host_space
+        #: concrete instances per space name
+        self.instances: dict[str, Buffer] = {}
+        #: spaces whose instance holds the current value
+        self.valid: set[str] = set()
+        #: simulated time each valid instance became ready
+        self.ready_at: dict[str, float] = {}
+        self.defined = initial is not None
+        if initial is not None:
+            buf = Buffer(np.asarray(initial), host_space)
+            self.instances[host_space.name] = buf
+            self.valid.add(host_space.name)
+            self.ready_at[host_space.name] = 0.0
+
+    # -- access declarations (the user-facing dependency vocabulary) ------
+    def read(self) -> Access:
+        """Declare a read access to this datum."""
+        return Access(self, AccessMode.READ)
+
+    def write(self) -> Access:
+        """Declare a define/replace access (the task returns the array)."""
+        return Access(self, AccessMode.WRITE)
+
+    def rw(self) -> Access:
+        """Declare an in-place read-modify-write access."""
+        return Access(self, AccessMode.RW)
+
+    # -- instance management (used by the scheduler) -----------------------
+    def valid_instance(self) -> tuple[str, Buffer]:
+        """Any space holding the current value, plus its buffer."""
+        if not self.valid:
+            raise StfError(f"logical data {self.name!r} has no valid instance "
+                           "(read before any write?)")
+        space = next(iter(sorted(self.valid)))
+        return space, self.instances[space]
+
+    def set_instance(self, space: MemorySpace, buf: Buffer, ready: float,
+                     *, exclusive: bool) -> None:
+        """Install ``buf`` as the instance in ``space``.
+
+        ``exclusive=True`` (a write) invalidates every other instance.
+        """
+        self.instances[space.name] = buf
+        if exclusive:
+            self.valid = {space.name}
+            self.ready_at = {space.name: ready}
+        else:
+            self.valid.add(space.name)
+            self.ready_at[space.name] = ready
+        self.defined = True
+
+    def get(self) -> np.ndarray:
+        """Fetch the current value in host space (post-run convenience)."""
+        if self.host_space.name in self.valid:
+            return self.instances[self.host_space.name].array
+        _, buf = self.valid_instance()
+        return buf.array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalData({self.name!r}, valid={sorted(self.valid)})"

@@ -1,0 +1,276 @@
+"""Execution engines for sequential task flows.
+
+Two executors share the same semantics and produce bit-identical data:
+
+* **serial** — runs tasks in declaration order on the calling thread.
+* **async** — runs tasks on a thread pool as soon as their dependencies
+  complete (kernels are NumPy calls, which release the GIL for most of
+  their work, so genuinely overlapping execution is possible).
+
+Both record, per task, the host<->device transfers the engine inserted and
+the measured kernel wall time.  A deterministic *replay* pass then books
+everything on simulated per-resource timelines (device queues + full-duplex
+links) to produce the schedule a real heterogeneous node would see — this
+is what the §3.3.1 overlap demo measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import StfError
+from ..runtime.clock import SimClock
+from ..runtime.device import DeviceRegistry
+from ..runtime.memory import Buffer, MemorySpace
+from ..runtime.transfer import TransferStats, link_name, transfer_seconds
+from .graph import GraphBuilder
+from .logical_data import LogicalData
+from .task import Task, TaskState
+
+
+@dataclass
+class TransferRecord:
+    """One engine-inserted transfer (for replay and assertions)."""
+
+    ld_id: int
+    src: str
+    dst: str
+    nbytes: int
+
+
+@dataclass
+class ExecutionReport:
+    """What happened: real measurements plus the simulated schedule."""
+
+    tasks: list[Task]
+    clock: SimClock
+    stats: TransferStats
+    transfers: dict[int, list[TransferRecord]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.clock.makespan
+
+    def serial_time(self) -> float:
+        """Total simulated occupancy (tasks *and* transfers) if everything
+        ran back-to-back — the no-overlap schedule length."""
+        return self.clock.serial_time()
+
+    def serial_compute_time(self) -> float:
+        """Task durations only (excludes transfer occupancy)."""
+        return sum(t.sim_end - t.sim_start for t in self.tasks)
+
+    def overlap_speedup(self) -> float:
+        """Simulated serial-time / makespan (1.0 = no overlap extracted)."""
+        ms = self.makespan
+        return self.serial_time() / ms if ms > 0 else 1.0
+
+
+class Scheduler:
+    """Executes a built task graph against a device registry."""
+
+    def __init__(self, registry: DeviceRegistry, builder: GraphBuilder) -> None:
+        self.registry = registry
+        self.builder = builder
+        self._lock = threading.Lock()
+        self._transfers: dict[int, list[TransferRecord]] = {}
+        self.stats = TransferStats()
+
+    # ------------------------------------------------------------------ #
+    # real execution                                                      #
+    # ------------------------------------------------------------------ #
+    def _space(self, device_name: str) -> MemorySpace:
+        return MemorySpace(self.registry.get(device_name))
+
+    def _stage_inputs(self, task: Task) -> list[np.ndarray]:
+        """Ensure operands are resident on the task's device; return the
+        arrays of the *reading* accesses in declaration order (pure write()
+        accesses are produced by the task's return value instead)."""
+        space = self._space(task.device_name)
+        records = self._transfers.setdefault(task.id, [])
+        args: list[np.ndarray] = []
+        with self._lock:
+            for acc in task.accesses:
+                ld = acc.data
+                if not acc.mode.reads:
+                    continue
+                if space.name not in ld.valid:
+                    src_name, src_buf = ld.valid_instance()
+                    dst_buf = Buffer(src_buf.array.copy(), space)
+                    self.stats.record(src_name, space.name, src_buf.nbytes)
+                    records.append(TransferRecord(ld_id=ld.id, src=src_name,
+                                                  dst=space.name,
+                                                  nbytes=src_buf.nbytes))
+                    ld.set_instance(space, dst_buf, ready=0.0, exclusive=False)
+                args.append(ld.instances[space.name].array)
+        return args
+
+    def _commit_outputs(self, task: Task, args: list[np.ndarray],
+                        result: object) -> None:
+        space = self._space(task.device_name)
+        writes = task.write_accesses()
+        pure_writes = [a for a in writes if not a.mode.reads]
+        returned: list[np.ndarray]
+        if result is None:
+            returned = []
+        elif isinstance(result, (tuple, list)):
+            returned = [np.asarray(r) for r in result]
+        else:
+            returned = [np.asarray(result)]
+        if pure_writes and len(returned) != len(pure_writes):
+            raise StfError(
+                f"task {task.name!r} has {len(pure_writes)} write() accesses "
+                f"but returned {len(returned)} arrays")
+        if not pure_writes and returned:
+            raise StfError(f"task {task.name!r} returned data but declares no "
+                           "write() access (use rw() for in-place updates)")
+        with self._lock:
+            for acc, arr in zip(pure_writes, returned):
+                acc.data.set_instance(space, Buffer(arr, space), ready=0.0,
+                                      exclusive=True)
+            for acc in writes:
+                if acc.mode.reads:  # rw: mutated in place
+                    buf = acc.data.instances[space.name]
+                    acc.data.set_instance(space, buf, ready=0.0, exclusive=True)
+
+    def _run_task(self, task: Task) -> None:
+        task.state = TaskState.RUNNING
+        try:
+            args = self._stage_inputs(task)
+            t0 = time.perf_counter()
+            result = task.fn(*args)
+            task.wall_seconds = time.perf_counter() - t0
+            self._commit_outputs(task, args, result)
+            task.state = TaskState.DONE
+        except BaseException as exc:
+            task.state = TaskState.FAILED
+            task.error = exc
+            raise
+
+    def run_serial(self) -> None:
+        """Execute every task on the calling thread, in declaration order."""
+        for task in self.builder.tasks:
+            self._run_task(task)
+
+    def run_async(self, workers: int = 4) -> None:
+        """Thread-pool execution honouring the inferred DAG."""
+        graph = self.builder.graph
+        indeg = {t.id: graph.in_degree(t.id) for t in self.builder.tasks}
+        by_id = {t.id: t for t in self.builder.tasks}
+        ready = [t for t in self.builder.tasks if indeg[t.id] == 0]
+        pending: set[Future] = set()
+        failed: list[BaseException] = []
+        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+            futures: dict[Future, Task] = {}
+
+            def submit(task: Task) -> None:
+                fut = pool.submit(self._run_task, task)
+                futures[fut] = task
+                pending.add(fut)
+
+            for t in ready:
+                submit(t)
+            done_count = 0
+            total = len(self.builder.tasks)
+            while done_count < total and pending and not failed:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    task = futures.pop(fut)
+                    exc = fut.exception()
+                    if exc is not None:
+                        failed.append(exc)
+                        continue
+                    done_count += 1
+                    for succ in self.builder.graph.successors(task.id):
+                        indeg[succ] -= 1
+                        if indeg[succ] == 0:
+                            submit(by_id[succ])
+        if failed:
+            raise failed[0]
+
+    # ------------------------------------------------------------------ #
+    # deterministic timeline replay                                       #
+    # ------------------------------------------------------------------ #
+    def _task_duration(self, task: Task) -> float:
+        operand_bytes = sum(
+            acc.data.instances[s].nbytes
+            for acc in task.accesses
+            for s in [task.device_name] if s in acc.data.instances)
+        dur = task.modeled_seconds(operand_bytes)
+        return task.wall_seconds if dur is None else dur
+
+    def _schedule_order(self, order: str) -> list[Task]:
+        """Task replay order: FIFO declaration order, or critical-path
+        (HEFT-style upward-rank) priority among ready tasks."""
+        if order == "declaration":
+            return list(self.builder.tasks)
+        if order != "critical-path":
+            raise StfError(f"unknown simulation order {order!r}")
+        durations = {t.id: self._task_duration(t) for t in self.builder.tasks}
+        # upward rank: longest duration-weighted path to any sink
+        rank: dict[int, float] = {}
+        for t in reversed(self.builder.tasks):  # reverse topological
+            succ = [rank[s.id] for s in self.builder.successors(t)]
+            rank[t.id] = durations[t.id] + max(succ, default=0.0)
+        indeg = {t.id: self.builder.graph.in_degree(t.id)
+                 for t in self.builder.tasks}
+        by_id = {t.id: t for t in self.builder.tasks}
+        ready = [t.id for t in self.builder.tasks if indeg[t.id] == 0]
+        out: list[Task] = []
+        while ready:
+            ready.sort(key=lambda i: (-rank[i], i))
+            tid = ready.pop(0)
+            out.append(by_id[tid])
+            for s in self.builder.graph.successors(tid):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        return out
+
+    def simulate(self, order: str = "declaration") -> SimClock:
+        """Replay the recorded execution onto simulated timelines.
+
+        Tasks are replayed in ``order`` ("declaration" FIFO, or
+        "critical-path" priority — tasks on the longest remaining path are
+        booked first when several are ready, which can shorten the
+        makespan on contended devices); each task's start waits for its
+        dependencies' simulated completion and for its inserted transfers,
+        which are themselves booked on direction-specific link timelines
+        after their source datum is ready.
+        """
+        clock = SimClock()
+        ready_of_task: dict[int, float] = {}
+        ld_ready: dict[int, float] = {}
+        for task in self._schedule_order(order):
+            dep_ready = max((ready_of_task[p.id]
+                             for p in self.builder.predecessors(task)),
+                            default=0.0)
+            xfer_ready = dep_ready
+            for rec in self._transfers.get(task.id, ()):
+                src_space = self._space(rec.src)
+                dst_space = self._space(rec.dst)
+                dur = transfer_seconds(rec.nbytes, src_space, dst_space)
+                nb = max(dep_ready, ld_ready.get(rec.ld_id, 0.0))
+                iv = clock.reserve(link_name(rec.src, rec.dst), dur,
+                                   not_before=nb, label=f"xfer:{task.name}")
+                xfer_ready = max(xfer_ready, iv.end)
+            device = self.registry.get(task.device_name)
+            dur = self._task_duration(task)
+            iv = clock.reserve(device.name, dur + device.launch_overhead,
+                               not_before=xfer_ready, label=task.name)
+            task.sim_start, task.sim_end = iv.start, iv.end
+            ready_of_task[task.id] = iv.end
+            for acc in task.write_accesses():
+                ld_ready[acc.data.id] = iv.end
+        return clock
+
+    def report(self, order: str = "declaration") -> ExecutionReport:
+        """Simulate the recorded execution and package the outcome."""
+        clock = self.simulate(order=order)
+        return ExecutionReport(tasks=list(self.builder.tasks), clock=clock,
+                               stats=self.stats, transfers=dict(self._transfers))

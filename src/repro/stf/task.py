@@ -1,0 +1,89 @@
+"""Task objects for the STF engine.
+
+A :class:`Task` bundles a Python callable (the "kernel"), the device it
+notionally runs on, its declared :class:`~repro.stf.logical_data.Access`
+list, and a duration model for the simulated timeline.  The callable
+receives one NumPy array per access, in declaration order; it may mutate
+write/rw arrays in place, or return a tuple with one array per
+write-mode access to (re)define those logical data — the latter is how
+size-changing stages (encoders) produce outputs whose shape is unknown at
+graph-construction time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+from ..errors import StfError
+from .logical_data import Access
+
+_task_ids = itertools.count()
+
+#: A duration model: seconds, or a callable of the total operand bytes.
+DurationModel = float | Callable[[int], float] | None
+
+
+class TaskState(Enum):
+    PENDING = "pending"
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One node of the sequential-task-flow graph."""
+
+    name: str
+    fn: Callable[..., Any]
+    accesses: tuple[Access, ...]
+    device_name: str
+    duration: DurationModel = None
+    id: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.PENDING
+    error: BaseException | None = None
+    #: simulated schedule, filled by the scheduler
+    sim_start: float = 0.0
+    sim_end: float = 0.0
+    #: measured wall-clock seconds of the kernel body
+    wall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.accesses:
+            raise StfError(f"task {self.name!r} declares no data accesses")
+        seen: set[int] = set()
+        for acc in self.accesses:
+            if acc.data.id in seen:
+                raise StfError(f"task {self.name!r} accesses logical data "
+                               f"{acc.data.name!r} more than once; use a "
+                               "single rw() access instead")
+            seen.add(acc.data.id)
+
+    def write_accesses(self) -> list[Access]:
+        """Accesses that (re)define data (write + rw)."""
+        return [a for a in self.accesses if a.mode.writes]
+
+    def read_accesses(self) -> list[Access]:
+        """Accesses that consume data (read + rw)."""
+        return [a for a in self.accesses if a.mode.reads]
+
+    def modeled_seconds(self, operand_bytes: int) -> float | None:
+        """Evaluate the duration model (None -> use measured wall time)."""
+        if self.duration is None:
+            return None
+        if callable(self.duration):
+            return float(self.duration(operand_bytes))
+        return float(self.duration)
+
+
+def validate_accesses(accesses: Sequence[Access]) -> tuple[Access, ...]:
+    """Type-check a task's declared access list."""
+    for acc in accesses:
+        if not isinstance(acc, Access):
+            raise StfError(f"expected Access (ld.read()/write()/rw()), got "
+                           f"{type(acc).__name__}")
+    return tuple(accesses)

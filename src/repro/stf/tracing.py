@@ -1,0 +1,106 @@
+"""Schedule analysis and rendering for STF execution reports.
+
+Provides the numbers the paper's §3.3.1 discussion is about — how much
+task-level concurrency a pipeline exposes — plus a text Gantt rendering for
+examples and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .graph import GraphBuilder
+from .scheduler import ExecutionReport
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """Headline schedule metrics."""
+
+    makespan: float
+    serial_time: float
+    critical_path: float
+    overlap_speedup: float      # serial / makespan
+    graph_width: int            # max level parallelism
+
+    def __str__(self) -> str:
+        return (f"makespan={self.makespan * 1e3:.3f} ms  "
+                f"serial={self.serial_time * 1e3:.3f} ms  "
+                f"critical-path={self.critical_path * 1e3:.3f} ms  "
+                f"overlap-speedup={self.overlap_speedup:.2f}x  "
+                f"width={self.graph_width}")
+
+
+def critical_path_seconds(builder: GraphBuilder) -> float:
+    """Longest weighted path through the executed DAG (task durations)."""
+    g = nx.DiGraph()
+    for t in builder.tasks:
+        g.add_node(t.id, w=t.sim_end - t.sim_start)
+    for u, v in builder.graph.edges:
+        g.add_edge(u, v)
+    best: dict[int, float] = {}
+    for n in nx.topological_sort(g):
+        w = g.nodes[n]["w"]
+        best[n] = w + max((best[p] for p in g.predecessors(n)), default=0.0)
+    return max(best.values(), default=0.0)
+
+
+def summarize(builder: GraphBuilder, report: ExecutionReport) -> ScheduleSummary:
+    """Compute the headline schedule metrics for a run."""
+    return ScheduleSummary(
+        makespan=report.makespan,
+        serial_time=report.serial_time(),
+        critical_path=critical_path_seconds(builder),
+        overlap_speedup=report.overlap_speedup(),
+        graph_width=builder.width(),
+    )
+
+
+def to_dot(builder: GraphBuilder) -> str:
+    """GraphViz DOT rendering of the inferred task DAG.
+
+    Nodes are labelled ``name@device``; useful for documenting/debugging a
+    pipeline's inferred structure (``dot -Tsvg flow.dot``).
+    """
+    lines = ["digraph stf {", "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace"];']
+    for t in builder.tasks:
+        color = "lightblue" if t.device_name.startswith("gpu") else "wheat"
+        lines.append(f'  t{t.id} [label="{t.name}\\n{t.device_name}", '
+                     f'style=filled, fillcolor={color}];')
+    for u, v in builder.graph.edges:
+        lines.append(f"  t{u} -> t{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def timeline_json(report: ExecutionReport) -> list[dict]:
+    """The simulated schedule as plain records (one per interval), ready
+    for external plotting/tracing tools (chrome://tracing-style)."""
+    return [{"resource": iv.resource, "label": iv.label,
+             "start": iv.start, "end": iv.end}
+            for iv in report.clock.intervals]
+
+
+def gantt(report: ExecutionReport, width: int = 72) -> str:
+    """ASCII Gantt chart of the simulated schedule, one row per resource."""
+    intervals = report.clock.intervals
+    if not intervals:
+        return "(empty schedule)"
+    span = report.makespan or 1.0
+    rows: dict[str, list] = {}
+    for iv in intervals:
+        rows.setdefault(iv.resource, []).append(iv)
+    name_w = max(len(r) for r in rows)
+    lines = [f"{'resource':<{name_w}} | 0 {'.' * (width - 8)} {span * 1e3:.3f} ms"]
+    for resource in sorted(rows):
+        line = [" "] * width
+        for iv in rows[resource]:
+            a = int(iv.start / span * (width - 1))
+            b = max(a + 1, int(iv.end / span * (width - 1)) + 1)
+            for i in range(a, min(b, width)):
+                line[i] = "#" if line[i] == " " else "+"
+        lines.append(f"{resource:<{name_w}} | {''.join(line)}")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Parameter-sweep harness.
+
+The evaluation loop every compression study runs — datasets × fields ×
+bounds × compressors — as a reusable, resumable API.  The bench suite's
+grid builder delegates here, and downstream users point the same harness
+at their own data.
+
+A sweep produces flat :class:`SweepCell` records; :class:`SweepResult`
+provides the aggregations the paper's tables use (per-dataset means,
+pivots, winners).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .baselines import ALL_COMPRESSOR_NAMES, get_compressor
+from .errors import ConfigError
+from .metrics import psnr, verify_error_bound
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (source, field, eb, compressor) evaluation."""
+
+    source: str
+    field: str
+    eb: float
+    compressor: str
+    cr: float
+    psnr_db: float
+    bound_ok: bool
+    code_fraction: float
+    outlier_fraction: float
+    interp_levels: int
+    input_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All cells plus aggregation helpers."""
+
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def select(self, **filters) -> list[SweepCell]:
+        """Cells matching every given attribute filter."""
+        out = self.cells
+        for key, value in filters.items():
+            out = [c for c in out if getattr(c, key) == value]
+        return out
+
+    def mean_cr(self, source: str, eb: float, compressor: str) -> float:
+        """Mean CR over the fields of one (source, eb, compressor) cell."""
+        vals = [c.cr for c in self.select(source=source, eb=eb,
+                                          compressor=compressor)]
+        if not vals:
+            raise ConfigError(f"no cells for {(source, eb, compressor)}")
+        return float(np.mean(vals))
+
+    def winner(self, source: str, eb: float, metric: str = "cr") -> str:
+        """Compressor with the best mean ``metric`` in a cell group."""
+        names = sorted({c.compressor for c in self.select(source=source,
+                                                          eb=eb)})
+        if not names:
+            raise ConfigError(f"no cells for {(source, eb)}")
+        means = {n: float(np.mean([getattr(c, metric)
+                                   for c in self.select(source=source, eb=eb,
+                                                        compressor=n)]))
+                 for n in names}
+        return max(means, key=means.get)
+
+    def all_bounds_ok(self) -> bool:
+        """True when every cell honoured its error bound."""
+        return all(c.bound_ok for c in self.cells)
+
+    def pivot_cr(self) -> str:
+        """Text pivot: rows = (source, eb), columns = compressors."""
+        names = sorted({c.compressor for c in self.cells})
+        keys = sorted({(c.source, c.eb) for c in self.cells})
+        lines = [f"{'source':<10} {'eb':>8} | "
+                 + " | ".join(f"{n[:12]:>12}" for n in names)]
+        for source, eb in keys:
+            row = [f"{self.mean_cr(source, eb, n):12.2f}" for n in names]
+            lines.append(f"{source:<10} {eb:>8g} | " + " | ".join(row))
+        return "\n".join(lines)
+
+
+def run_sweep(sources: dict[str, Iterable[tuple[str, np.ndarray]]],
+              ebs: tuple[float, ...] = (1e-2, 1e-4),
+              compressors: tuple[str, ...] = ALL_COMPRESSOR_NAMES,
+              on_cell: Callable[[SweepCell], None] | None = None
+              ) -> SweepResult:
+    """Run the full cross product.
+
+    ``sources`` maps a source name to an iterable of ``(field_name,
+    array)`` pairs — e.g. ``{"nyx": spec.load_all(scale=0.1)}`` or a dict
+    of your own arrays.  ``on_cell`` (if given) is called after each cell,
+    for progress reporting or incremental persistence.
+    """
+    if not sources:
+        raise ConfigError("no sources to sweep")
+    result = SweepResult()
+    for source, fields in sources.items():
+        for fname, data in fields:
+            data = np.asarray(data)
+            rng_v = float(data.max() - data.min())
+            for name in compressors:
+                comp = get_compressor(name)
+                for eb in ebs:
+                    t0 = time.perf_counter()
+                    cf = comp.compress(data, eb)
+                    t1 = time.perf_counter()
+                    recon = comp.decompress(cf)
+                    t2 = time.perf_counter()
+                    cell = SweepCell(
+                        source=source, field=fname, eb=eb, compressor=name,
+                        cr=cf.stats.cr, psnr_db=float(psnr(data, recon)),
+                        bound_ok=verify_error_bound(data, recon,
+                                                    eb * rng_v),
+                        code_fraction=cf.stats.code_fraction,
+                        outlier_fraction=cf.stats.outlier_fraction,
+                        interp_levels=max(1, cf.stats.interp_levels),
+                        input_bytes=data.nbytes,
+                        compress_seconds=t1 - t0,
+                        decompress_seconds=t2 - t1)
+                    result.cells.append(cell)
+                    if on_cell is not None:
+                        on_cell(cell)
+    return result

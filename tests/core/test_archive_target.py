@@ -1,0 +1,158 @@
+"""Tests for the snapshot archive and the target-quality search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (Archive, ArchiveWriter, compress_to_target,
+                        fzmod_default, fzmod_speed)
+from repro.core.archive import ArchiveEntry
+from repro.errors import ConfigError, HeaderError, PipelineError
+from repro.metrics import psnr, verify_error_bound
+from tests.conftest import eb_abs_for
+
+
+class TestArchive:
+    def _snapshot(self, smooth_2d, smooth_3d):
+        w = ArchiveWriter()
+        w.add("temp", smooth_2d, 1e-3, fzmod_default())
+        w.add("vel", smooth_3d, 1e-2, fzmod_speed())
+        return w, {"temp": smooth_2d, "vel": smooth_3d}
+
+    def test_round_trip(self, smooth_2d, smooth_3d):
+        w, fields = self._snapshot(smooth_2d, smooth_3d)
+        ar = Archive(w.to_bytes())
+        assert set(ar.names()) == {"temp", "vel"}
+        for name, data in fields.items():
+            recon = ar.read(name)
+            eb = eb_abs_for(data, 1e-3 if name == "temp" else 1e-2)
+            assert verify_error_bound(data, recon, eb)
+
+    def test_lazy_member_access(self, smooth_2d, smooth_3d):
+        w, fields = self._snapshot(smooth_2d, smooth_3d)
+        ar = Archive(w.to_bytes())
+        e = ar.entry("vel")
+        assert e.shape == smooth_3d.shape
+        assert e.pipeline == "fzmod-speed"
+        blob = ar.raw_blob("vel")
+        assert len(blob) == e.length
+        # a member blob is a standalone container
+        from repro.core import decompress
+        recon = decompress(blob)
+        assert recon.shape == smooth_3d.shape
+
+    def test_mixed_baseline_members(self, smooth_2d):
+        from repro.baselines import get_compressor
+        w = ArchiveWriter()
+        cf = get_compressor("pfpl").compress(smooth_2d, 1e-3)
+        w.add_compressed("p", cf)
+        ar = Archive(w.to_bytes())
+        recon = ar.read("p")
+        assert verify_error_bound(smooth_2d, recon, eb_abs_for(smooth_2d, 1e-3))
+
+    def test_total_stats(self, smooth_2d, smooth_3d):
+        w, fields = self._snapshot(smooth_2d, smooth_3d)
+        ar = Archive(w.to_bytes())
+        stats = ar.total_stats()
+        assert stats["fields"] == 2
+        assert stats["uncompressed_bytes"] == sum(d.nbytes
+                                                  for d in fields.values())
+        assert stats["cr"] > 1.0
+
+    def test_file_round_trip(self, tmp_path, smooth_2d, smooth_3d):
+        w, fields = self._snapshot(smooth_2d, smooth_3d)
+        path = tmp_path / "snap.fzar"
+        w.write(str(path))
+        ar = Archive.open(str(path))
+        assert set(ar.names()) == set(fields)
+        for name, recon in ar.read_all():
+            assert recon.shape == fields[name].shape
+
+    def test_duplicate_name_rejected(self, smooth_2d):
+        w = ArchiveWriter()
+        w.add("x", smooth_2d, 1e-3, fzmod_default())
+        with pytest.raises(PipelineError):
+            w.add("x", smooth_2d, 1e-3, fzmod_default())
+
+    def test_unknown_member_rejected(self, smooth_2d):
+        w = ArchiveWriter()
+        w.add("x", smooth_2d, 1e-3, fzmod_default())
+        ar = Archive(w.to_bytes())
+        with pytest.raises(HeaderError):
+            ar.read("y")
+
+    def test_corrupt_archive_rejected(self):
+        with pytest.raises(HeaderError):
+            Archive(b"NOPE" + b"\x00" * 20)
+
+    def test_entry_json_roundtrip(self):
+        e = ArchiveEntry(name="t", offset=3, length=9, shape=(4, 5),
+                         dtype="<f4", eb_value=1e-3, eb_mode="rel", cr=7.5,
+                         pipeline="fzmod-default")
+        assert ArchiveEntry.from_json(e.to_json()) == e
+
+
+class TestTargetSearch:
+    @pytest.fixture
+    def field(self, rng):
+        return np.cumsum(rng.standard_normal((48, 64)), axis=0).astype(np.float32)
+
+    def test_psnr_target(self, field):
+        res = compress_to_target(field, fzmod_default(), "psnr", 70.0)
+        assert res.converged
+        assert res.achieved >= 70.0
+        # the search finds a loose bound, not an absurdly tight one:
+        # tightening by 10x must overshoot PSNR well past the target
+        from repro.core import decompress
+        recon = decompress(res.compressed.blob)
+        assert psnr(field, recon) == pytest.approx(res.achieved)
+
+    def test_psnr_target_is_loosest(self, field):
+        """A noticeably looser bound must violate the target."""
+        res = compress_to_target(field, fzmod_default(), "psnr", 70.0,
+                                 rel_tol=0.01)
+        pipe = fzmod_default()
+        cf = pipe.compress(field, res.eb * 1.5)
+        from repro.core import decompress
+        q = psnr(field, decompress(cf.blob))
+        assert q < res.achieved + 1.0  # looser never beats the found point
+
+    def test_cr_target(self, field):
+        res = compress_to_target(field, fzmod_default(), "cr", 5.0)
+        assert res.converged
+        assert res.achieved >= 5.0
+
+    def test_bit_rate_budget(self, field):
+        res = compress_to_target(field, fzmod_default(), "bit_rate", 8.0)
+        assert res.converged
+        assert res.achieved <= 8.0
+        # the search maximises fidelity within the budget: a clearly
+        # tighter bound must blow the budget
+        tighter = fzmod_default().compress(field, res.eb / 4.0)
+        assert tighter.stats.bit_rate > 8.0
+
+    def test_impossible_target_reports_nonconverged(self, field):
+        res = compress_to_target(field, fzmod_default(), "cr", 1e9,
+                                 eb_hi=1e-3)
+        assert not res.converged
+
+    def test_trivial_target_returns_endpoint(self, field):
+        res = compress_to_target(field, fzmod_default(), "psnr", 1.0)
+        assert res.converged
+        assert res.eb == pytest.approx(1e-1)  # loosest endpoint suffices
+
+    def test_trace_recorded(self, field):
+        res = compress_to_target(field, fzmod_default(), "psnr", 80.0)
+        assert len(res.trace) >= 3
+        ebs = [p.eb for p in res.trace]
+        assert min(ebs) >= 1e-8 and max(ebs) <= 1e-1
+
+    def test_unknown_metric(self, field):
+        with pytest.raises(ConfigError):
+            compress_to_target(field, fzmod_default(), "vibes", 1.0)
+
+    def test_bad_range(self, field):
+        with pytest.raises(ConfigError):
+            compress_to_target(field, fzmod_default(), "psnr", 50.0,
+                               eb_lo=1.0, eb_hi=0.1)

@@ -1,0 +1,84 @@
+"""Tests for the pipeline auto-selection mechanism (future-work item 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import (CandidateScore, autotune, default_candidates,
+                                 sample_blocks)
+from repro.errors import ConfigError
+from repro.perf.platform import H100, V100
+
+
+@pytest.fixture
+def field(rng) -> np.ndarray:
+    z, y, x = np.mgrid[0:16, 0:40, 0:40]
+    f = np.sin(x / 6.0) * np.cos(y / 5.0) + z * 0.1
+    return (f * 100).astype(np.float32)
+
+
+class TestSampling:
+    def test_sample_smaller_than_input(self, field):
+        s = sample_blocks(field, fraction=0.25)
+        assert s.nbytes < field.nbytes
+        assert s.ndim == field.ndim  # structure preserved for predictors
+
+    def test_1d_block_sampling(self, rng):
+        data = rng.standard_normal(100_000).astype(np.float32)
+        s = sample_blocks(data, fraction=0.05)
+        assert 0 < s.size < data.size
+
+    def test_small_input_returned_whole_or_block(self):
+        data = np.arange(100, dtype=np.float32)
+        s = sample_blocks(data, fraction=0.5)
+        assert s.size <= data.size
+
+    def test_bad_fraction(self, field):
+        with pytest.raises(ConfigError):
+            sample_blocks(field, fraction=0.0)
+        with pytest.raises(ConfigError):
+            sample_blocks(field, fraction=1.5)
+
+
+class TestAutotune:
+    def test_returns_winner_and_scoreboard(self, field):
+        pipe, report = autotune(field, 1e-3, objective="speedup",
+                                sample_fraction=0.3)
+        assert len(report.scores) == len(default_candidates())
+        assert report.winner.name in {s.name for s in report.scores}
+        assert pipe is not None
+        # winner actually works on the full field
+        cf = pipe.compress(field, 1e-3)
+        assert cf.stats.cr > 1.0
+
+    def test_ratio_objective_prefers_higher_cr(self, field):
+        _, report = autotune(field, 1e-3, objective="ratio",
+                             sample_fraction=0.3)
+        best = report.winner
+        assert best.cr == max(s.cr for s in report.scores)
+
+    def test_quality_objective_scores_psnr_per_bit(self, field):
+        _, report = autotune(field, 1e-3, objective="quality",
+                             sample_fraction=0.3)
+        for s in report.scores:
+            assert s.psnr_db > 0
+
+    def test_platform_changes_speedup_scores(self, field):
+        _, rh = autotune(field, 1e-3, objective="speedup", platform=H100,
+                         sample_fraction=0.3)
+        _, rv = autotune(field, 1e-3, objective="speedup", platform=V100,
+                         sample_fraction=0.3)
+        sh = {s.name: s.score for s in rh.scores}
+        sv = {s.name: s.score for s in rv.scores}
+        assert sh != sv
+
+    def test_unknown_objective_rejected(self, field):
+        with pytest.raises(ConfigError):
+            autotune(field, 1e-3, objective="vibes")
+
+    def test_table_renders(self, field):
+        _, report = autotune(field, 1e-3, sample_fraction=0.3)
+        text = report.table()
+        assert "pipeline" in text and "CR" in text
+        assert isinstance(report.winner, CandidateScore)

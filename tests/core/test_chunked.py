@@ -1,0 +1,132 @@
+"""Tests for tiled compression and region-of-interest decompression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fzmod_default, fzmod_speed
+from repro.core.chunked import TiledField, TileGrid, compress_tiled
+from repro.errors import ConfigError, HeaderError
+from repro.metrics import verify_error_bound
+from tests.conftest import eb_abs_for
+
+
+class TestTileGrid:
+    def test_counts(self):
+        g = TileGrid(shape=(10, 7), tile=(4, 4))
+        assert g.counts == (3, 2)
+
+    def test_tiles_cover_exactly(self):
+        g = TileGrid(shape=(11, 9, 5), tile=(4, 3, 5))
+        seen = np.zeros((11, 9, 5), dtype=int)
+        for _, slices in g.tiles():
+            seen[slices] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+    def test_overlap_query(self):
+        g = TileGrid(shape=(16, 16), tile=(8, 8))
+        hits = list(g.tiles_overlapping((slice(0, 8), slice(0, 8))))
+        assert len(hits) == 1
+        hits = list(g.tiles_overlapping((slice(7, 9), slice(0, 16))))
+        assert len(hits) == 4
+
+    def test_empty_region_yields_nothing(self):
+        g = TileGrid(shape=(16,), tile=(8,))
+        assert list(g.tiles_overlapping((slice(4, 4),))) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TileGrid(shape=(4, 4), tile=(2,))
+        with pytest.raises(ConfigError):
+            TileGrid(shape=(4,), tile=(0,))
+        g = TileGrid(shape=(8,), tile=(4,))
+        with pytest.raises(ConfigError):
+            list(g.tiles_overlapping((slice(0, 8, 2),)))
+
+
+class TestTiledRoundTrip:
+    @pytest.fixture
+    def field(self, rng):
+        return np.cumsum(rng.standard_normal((30, 22, 14)),
+                         axis=0).astype(np.float32)
+
+    def test_full_reconstruction_bound(self, field):
+        blob = compress_tiled(field, fzmod_default(), 1e-3, tile=(8, 8, 8))
+        tf = TiledField(blob)
+        recon = tf.read_full()
+        assert verify_error_bound(field, recon, eb_abs_for(field, 1e-3))
+
+    def test_global_rel_bound_semantics(self, field):
+        """REL bound resolves against the *global* range, matching the
+        untiled pipeline, even though each tile's local range differs."""
+        blob = compress_tiled(field, fzmod_default(), 1e-2, tile=(8, 8, 8))
+        recon = TiledField(blob).read_full()
+        global_eb = eb_abs_for(field, 1e-2)
+        assert verify_error_bound(field, recon, global_eb)
+
+    def test_region_matches_full(self, field):
+        blob = compress_tiled(field, fzmod_speed(), 1e-3, tile=(16, 8, 8))
+        tf = TiledField(blob)
+        full = tf.read_full()
+        region = (slice(3, 25), slice(10, 22), slice(0, 5))
+        np.testing.assert_array_equal(tf.read_region(region), full[region])
+
+    def test_region_touches_few_tiles(self, field):
+        blob = compress_tiled(field, fzmod_default(), 1e-3, tile=(8, 8, 8))
+        tf = TiledField(blob)
+        small = (slice(0, 4), slice(0, 4), slice(0, 4))
+        assert tf.tiles_touched(small) == 1
+        assert tf.tile_count > 8
+
+    def test_single_tile_read(self, field):
+        blob = compress_tiled(field, fzmod_default(), 1e-3, tile=(8, 8, 8))
+        tf = TiledField(blob)
+        tile = tf.read_tile((0, 0, 0))
+        assert tile.shape == (8, 8, 8)
+        np.testing.assert_array_equal(tile, tf.read_full()[:8, :8, :8])
+
+    def test_uneven_tail_tiles(self, rng):
+        data = rng.standard_normal((13, 9)).astype(np.float32)
+        blob = compress_tiled(data, fzmod_default(), 1e-2, tile=(8, 8))
+        tf = TiledField(blob)
+        assert tf.read_tile((1, 1)).shape == (5, 1)
+        recon = tf.read_full()
+        assert verify_error_bound(data, recon, eb_abs_for(data, 1e-2))
+
+    def test_1d(self, smooth_1d):
+        blob = compress_tiled(smooth_1d, fzmod_default(), 1e-3, tile=(512,))
+        tf = TiledField(blob)
+        recon = tf.read_full()
+        assert verify_error_bound(smooth_1d, recon,
+                                  eb_abs_for(smooth_1d, 1e-3))
+
+    def test_dtype_preserved(self, field):
+        blob = compress_tiled(field.astype(np.float64), fzmod_default(),
+                              1e-4, tile=(8, 8, 8))
+        assert TiledField(blob).read_full().dtype == np.float64
+
+    def test_non_tiled_archive_rejected(self, field):
+        from repro.core import ArchiveWriter
+        w = ArchiveWriter()
+        w.add("x", field, 1e-3, fzmod_default())
+        with pytest.raises(HeaderError):
+            TiledField(w.to_bytes())
+
+    def test_empty_region_rejected(self, field):
+        blob = compress_tiled(field, fzmod_default(), 1e-3, tile=(8, 8, 8))
+        tf = TiledField(blob)
+        with pytest.raises(ConfigError):
+            tf.read_region((slice(0, 0), slice(0, 4), slice(0, 4)))
+
+    @given(st.integers(0, 4), st.integers(2, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, seed, tile_side):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.standard_normal((17, 13)), axis=1).astype(np.float32)
+        blob = compress_tiled(data, fzmod_default(), 1e-3,
+                              tile=(tile_side, tile_side))
+        recon = TiledField(blob).read_full()
+        assert verify_error_bound(data, recon, eb_abs_for(data, 1e-3))

@@ -1,0 +1,61 @@
+"""Tests for container diffing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fzmod_default, fzmod_speed
+from repro.core.diff import diff_containers
+from repro.errors import HeaderError
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(rng.standard_normal((16, 20)), axis=0).astype(np.float32)
+
+
+class TestDiff:
+    def test_identical(self, field):
+        a = fzmod_default().compress(field, 1e-3).blob
+        b = fzmod_default().compress(field, 1e-3).blob
+        d = diff_containers(a, b)
+        assert d.identical_bytes
+        assert "byte-identical" in d.render()
+
+    def test_different_bounds(self, field):
+        a = fzmod_default().compress(field, 1e-2).blob
+        b = fzmod_default().compress(field, 1e-4).blob
+        d = diff_containers(a, b)
+        assert not d.identical_bytes
+        assert "eb_value" in d.header_changes
+        assert d.size_delta > 0  # tighter bound -> bigger container
+        assert d.reconstructions_equal is False
+        assert d.max_value_delta is not None and d.max_value_delta > 0
+
+    def test_different_pipelines(self, field):
+        a = fzmod_default().compress(field, 1e-3).blob
+        b = fzmod_speed().compress(field, 1e-3).blob
+        d = diff_containers(a, b)
+        assert "modules" in d.header_changes
+        assert d.section_changes  # different section inventories
+
+    def test_geometry_mismatch_rejected(self, field, rng):
+        a = fzmod_default().compress(field, 1e-3).blob
+        other = rng.standard_normal((4, 4)).astype(np.float32)
+        b = fzmod_default().compress(other, 1e-3).blob
+        with pytest.raises(HeaderError):
+            diff_containers(a, b)
+        # but header-only diff works
+        d = diff_containers(a, b, compare_values=False)
+        assert "shape" in d.header_changes
+
+    def test_cli_diff(self, tmp_path, field, capsys):
+        from repro.cli import main
+        pa = tmp_path / "a.fzmod"
+        pb = tmp_path / "b.fzmod"
+        pa.write_bytes(fzmod_default().compress(field, 1e-2).blob)
+        pb.write_bytes(fzmod_default().compress(field, 1e-3).blob)
+        assert main(["diff", str(pa), str(pb)]) == 0
+        out = capsys.readouterr().out
+        assert "eb_value" in out and "size:" in out

@@ -1,0 +1,82 @@
+"""Tests for container inspection."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import ArchiveWriter, fzmod_default
+from repro.core.inspect import describe, render
+from repro.core.streamio import StreamingCompressor
+from repro.errors import HeaderError
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(rng.standard_normal((10, 14)), axis=0).astype(np.float32)
+
+
+class TestDescribe:
+    def test_container(self, field):
+        blob = fzmod_default().compress(field, 1e-3).blob
+        d = describe(blob)
+        assert d.kind == "container"
+        assert d.detail["shape"] == [10, 14]
+        assert d.detail["modules"]["predictor"] == "lorenzo"
+        assert any(s["name"] == "enc.payload" for s in d.detail["sections"])
+
+    def test_archive(self, field):
+        w = ArchiveWriter()
+        w.add("a", field, 1e-3, fzmod_default())
+        w.add("b", field * 2, 1e-3, fzmod_default())
+        d = describe(w.to_bytes())
+        assert d.kind == "archive"
+        assert len(d.members) == 2
+        assert d.detail["fields"] == 2
+
+    def test_specialised_archive_kinds(self, field):
+        from repro.core import compress_tiled
+        from repro.core.temporal import TemporalCompressor
+        tiled = compress_tiled(field, fzmod_default(), 1e-3, tile=(8, 8))
+        assert describe(tiled).kind == "tiled-field archive"
+        tc = TemporalCompressor(fzmod_default(), 1e-3)
+        tc.add_frame(field)
+        blob, _ = tc.finish()
+        assert describe(blob).kind == "temporal-stream archive"
+
+    def test_progressive_kind(self, field):
+        from repro.core import compress_progressive
+        blob, _ = compress_progressive(field, fzmod_default(), 1e-2,
+                                       levels=2)
+        assert describe(blob).kind == "progressive archive"
+
+    def test_stream(self, field):
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-3)
+        sc.write_slab(field)
+        sc.close()
+        d = describe(buf.getvalue())
+        assert d.kind == "stream"
+        assert d.detail["slabs"] == 1
+        assert d.detail["rows"] == 10
+
+    def test_foreign_data_rejected(self):
+        with pytest.raises(HeaderError):
+            describe(b"GIF89a....")
+        with pytest.raises(HeaderError):
+            describe(b"xy")
+
+    def test_render(self, field):
+        blob = fzmod_default().compress(field, 1e-3).blob
+        text = render(blob)
+        assert "kind: container" in text
+        assert "enc.payload" in text
+
+    def test_cli_inspect(self, tmp_path, field, capsys):
+        from repro.cli import main
+        path = tmp_path / "x.fzmod"
+        path.write_bytes(fzmod_default().compress(field, 1e-3).blob)
+        assert main(["inspect", str(path)]) == 0
+        assert "kind: container" in capsys.readouterr().out

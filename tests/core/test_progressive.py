@@ -1,0 +1,95 @@
+"""Tests for progressive (multi-fidelity) compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fzmod_default
+from repro.core.progressive import (ProgressiveField, ProgressiveStats,
+                                    compress_progressive)
+from repro.errors import ConfigError, HeaderError
+from repro.metrics import psnr, verify_error_bound
+from tests.conftest import eb_abs_for
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(21)
+    return np.cumsum(rng.standard_normal((40, 48)), axis=0).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def container(field):
+    return compress_progressive(field, fzmod_default(), 1e-2, levels=3,
+                                ratio=10.0)
+
+
+class TestProgressive:
+    def test_every_level_meets_its_bound(self, field, container):
+        blob, stats = container
+        pf = ProgressiveField(blob)
+        for k in range(pf.levels):
+            recon = pf.read(k)
+            assert verify_error_bound(field, recon,
+                                      stats.eb_abs_per_level[k]), k
+
+    def test_fidelity_increases_with_level(self, field, container):
+        blob, _ = container
+        pf = ProgressiveField(blob)
+        psnrs = [psnr(field, pf.read(k)) for k in range(pf.levels)]
+        assert psnrs == sorted(psnrs)
+        assert psnrs[-1] > psnrs[0] + 20  # two decades of eb
+
+    def test_bytes_proportional_to_fidelity(self, container):
+        blob, stats = container
+        pf = ProgressiveField(blob)
+        costs = [pf.bytes_to_level(k) for k in range(pf.levels)]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+    def test_refinement_levels_are_cheap(self, field, container):
+        """Storing all fidelities must cost < 2x the tightest alone."""
+        blob, stats = container
+        eb_final = stats.eb_abs_per_level[-1]
+        from repro.types import EbMode, ErrorBound
+        direct = fzmod_default().compress(
+            field, ErrorBound(eb_final, EbMode.ABS)).stats.output_bytes
+        assert stats.total_bytes < 2.0 * direct
+
+    def test_default_read_is_finest(self, field, container):
+        blob, _ = container
+        pf = ProgressiveField(blob)
+        np.testing.assert_array_equal(pf.read(), pf.read(pf.levels - 1))
+
+    def test_stats_accounting(self, field, container):
+        blob, stats = container
+        assert stats.levels == 3
+        assert stats.input_bytes == field.nbytes
+        assert stats.cr_to_level(0) > stats.cr_to_level(2)
+        assert len(stats.eb_abs_per_level) == 3
+        # geometric bound schedule
+        assert stats.eb_abs_per_level[1] == pytest.approx(
+            stats.eb_abs_per_level[0] / 10.0)
+
+    def test_dtype_preserved(self, field, container):
+        blob, _ = container
+        assert ProgressiveField(blob).read().dtype == field.dtype
+
+    def test_validation(self, field):
+        with pytest.raises(ConfigError):
+            compress_progressive(field, fzmod_default(), 1e-2, levels=0)
+        with pytest.raises(ConfigError):
+            compress_progressive(field, fzmod_default(), 1e-2, ratio=1.0)
+        blob, _ = compress_progressive(field, fzmod_default(), 1e-2,
+                                       levels=2)
+        pf = ProgressiveField(blob)
+        with pytest.raises(ConfigError):
+            pf.read(5)
+
+    def test_non_progressive_archive_rejected(self, field):
+        from repro.core import ArchiveWriter
+        w = ArchiveWriter()
+        w.add("x", field, 1e-2, fzmod_default())
+        with pytest.raises(HeaderError):
+            ProgressiveField(w.to_bytes())

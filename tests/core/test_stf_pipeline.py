@@ -1,0 +1,153 @@
+"""Tests for the STF-backed FZMod-Default pipeline (§3.3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import decompress, fzmod_default
+from repro.core.stf_pipeline import StfDefaultPipeline
+from repro.errors import PipelineError
+from repro.metrics import verify_error_bound
+from repro.perf.platform import H100, V100
+from tests.conftest import eb_abs_for
+
+
+@pytest.fixture
+def field(rng) -> np.ndarray:
+    base = np.cumsum(rng.standard_normal((24, 40, 8)), axis=0)
+    return base.astype(np.float32)
+
+
+@pytest.mark.parametrize("mode", ["serial", "async"])
+class TestRoundTrip:
+    def test_bound_holds(self, field, mode):
+        stf = StfDefaultPipeline(mode=mode)
+        cf = stf.compress(field, 1e-3)
+        recon = stf.decompress(cf)
+        assert verify_error_bound(field, recon, eb_abs_for(field, 1e-3))
+
+    def test_bit_identical_to_serial_pipeline(self, field, mode):
+        stf = StfDefaultPipeline(mode=mode)
+        recon_stf = stf.decompress(stf.compress(field, 1e-3))
+        serial = fzmod_default()
+        recon_serial = serial.decompress(serial.compress(field, 1e-3))
+        np.testing.assert_array_equal(recon_stf, recon_serial)
+
+    def test_container_decodable_by_generic_decompress(self, field, mode):
+        """STF output is a standard lorenzo+huffman container."""
+        stf = StfDefaultPipeline(mode=mode)
+        cf = stf.compress(field, 1e-3)
+        recon = decompress(cf.blob)
+        assert verify_error_bound(field, recon, eb_abs_for(field, 1e-3))
+
+
+class TestConcurrencyStructure:
+    def test_compression_branches_overlap(self, field):
+        """histogram/huffman branch vs outlier-packing branch."""
+        stf = StfDefaultPipeline()
+        stf.compress(field, 1e-3)
+        rep = stf.last_report
+        names = {t.name for t in rep.tasks}
+        assert {"lorenzo-quantize", "histogram", "huffman-encode",
+                "pack-outliers"} <= names
+        assert rep.overlap_speedup() >= 1.0
+
+    def test_decompression_overlap_paper_demo(self, field):
+        """§3.3.1: Huffman decode (CPU) overlaps outlier unpack (GPU)."""
+        stf = StfDefaultPipeline()
+        cf = stf.compress(field, 1e-4)  # tighter bound -> real outliers
+        stf.decompress(cf)
+        rep = stf.last_report
+        byname = {t.name: t for t in rep.tasks}
+        hd = byname["huffman-decode"]
+        uo = byname["unpack-outliers"]
+        # independent tasks: intervals may overlap on different devices
+        assert hd.sim_start < uo.sim_end and uo.sim_start < hd.sim_end
+
+    def test_transfers_ship_codes_not_field(self, field):
+        """FZMod-Default moves quant codes D2H, never the raw field twice."""
+        stf = StfDefaultPipeline()
+        stf.compress(field, 1e-3)
+        rep = stf.last_report
+        d2h = rep.stats.between("gpu0", "cpu0")
+        # codes are uint16 (half the f32 field) plus the sparse outlier
+        # channel: strictly less than shipping the raw field back
+        assert d2h < field.nbytes
+        assert d2h >= field.size * 2
+
+    def test_platform_affects_schedule(self, field):
+        t_h100 = StfDefaultPipeline(platform=H100)
+        t_h100.compress(field, 1e-3)
+        mk_h = t_h100.last_report.makespan
+        t_v100 = StfDefaultPipeline(platform=V100)
+        t_v100.compress(field, 1e-3)
+        mk_v = t_v100.last_report.makespan
+        assert mk_v > mk_h  # slower link + slower GPU
+
+
+class TestValidation:
+    def test_rejects_foreign_container(self, field):
+        from repro.core import fzmod_speed
+        blob = fzmod_speed().compress(field, 1e-3).blob
+        with pytest.raises(PipelineError):
+            StfDefaultPipeline().decompress(blob)
+
+
+class TestAdaptivePipeline:
+    """§3.3.1's 'dynamic module selection based on observed runtime
+    compression results' via speculative branch concurrency."""
+
+    def _make(self, mode="async"):
+        from repro.core.stf_pipeline import StfAdaptivePipeline
+        return StfAdaptivePipeline(mode=mode)
+
+    def test_round_trip_and_bound(self, field):
+        stf = self._make()
+        cf = stf.compress(field, 1e-3)
+        recon = decompress(cf.blob)
+        assert verify_error_bound(field, recon, eb_abs_for(field, 1e-3))
+
+    def test_selects_huffman_on_entropy_friendly_data(self):
+        # a large smooth field: concentrated codes where entropy coding
+        # clearly beats bit-plane compaction
+        y, x = np.mgrid[0:256, 0:256]
+        data = (np.sin(x / 19.0) * np.cos(y / 23.0) * 50.0).astype(np.float32)
+        stf = self._make()
+        stf.compress(data, 1e-3)
+        assert stf.last_choice == "huffman"
+
+    def test_selects_bitshuffle_on_near_constant_data(self):
+        data = np.full((32, 32, 8), 5.0, dtype=np.float32)
+        data[0, 0, 0] = 100.0  # set the range
+        stf = self._make()
+        stf.compress(data, 1e-1)
+        assert stf.last_choice == "bitshuffle"
+
+    def test_choice_matches_smaller_output(self, field):
+        """The runtime decision equals the offline comparison."""
+        from repro.core import fzmod_default, fzmod_speed
+        stf = self._make()
+        cf = stf.compress(field, 1e-3)
+        size_h = fzmod_default().compress(field, 1e-3).stats.output_bytes
+        size_b = fzmod_speed().compress(field, 1e-3).stats.output_bytes
+        expected = "huffman" if size_h <= size_b else "bitshuffle"
+        assert stf.last_choice == expected
+        # and the adaptive container is no bigger than the winner (same
+        # sections, no secondary)
+        assert cf.stats.output_bytes <= max(size_h, size_b)
+
+    def test_branches_run_concurrently(self, field):
+        stf = self._make()
+        stf.compress(field, 1e-3)
+        rep = stf.last_report
+        byname = {t.name: t for t in rep.tasks}
+        bs, hu = byname["enc-bitshuffle"], byname["enc-huffman"]
+        # independent branches on different devices may overlap in time
+        assert bs.device_name == "gpu0" and hu.device_name == "cpu0"
+        assert bs.sim_start < hu.sim_end and rep.overlap_speedup() >= 1.0
+
+    def test_serial_and_async_identical(self, field):
+        a = self._make("async").compress(field, 1e-3)
+        s = self._make("serial").compress(field, 1e-3)
+        assert a.blob == s.blob

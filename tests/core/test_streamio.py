@@ -1,0 +1,150 @@
+"""Tests for out-of-core streaming compression."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import fzmod_default, fzmod_speed
+from repro.core.streamio import StreamingCompressor, StreamingDecompressor
+from repro.errors import ConfigError, HeaderError
+from repro.metrics import verify_error_bound
+
+
+def make_slabs(rng, n=5, rows=8, tail=(20, 24)):
+    base = np.cumsum(rng.standard_normal((n * rows, *tail)),
+                     axis=0).astype(np.float32)
+    return [base[i * rows:(i + 1) * rows] for i in range(n)], base
+
+
+class TestStreamRoundTrip:
+    def test_full_reassembly(self, rng):
+        slabs, full = make_slabs(rng)
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-3)
+        for slab in slabs:
+            cr = sc.write_slab(slab)
+            assert cr > 0
+        stats = sc.close()
+        assert stats["slabs"] == 5
+        assert stats["rows"] == full.shape[0]
+
+        buf.seek(0)
+        sd = StreamingDecompressor(buf)
+        recon = sd.read_full()
+        assert recon.shape == full.shape
+        assert verify_error_bound(full, recon, sd.eb_abs)
+
+    def test_lazy_slab_access(self, rng):
+        slabs, _ = make_slabs(rng)
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_speed(), 1e-2)
+        for slab in slabs:
+            sc.write_slab(slab)
+        sc.close()
+        buf.seek(0)
+        sd = StreamingDecompressor(buf)
+        assert sd.slab_count == 5
+        mid = sd.read_slab(2)
+        assert verify_error_bound(slabs[2], mid, sd.eb_abs)
+
+    def test_varying_slab_heights(self, rng):
+        a = rng.standard_normal((3, 10)).astype(np.float32)
+        b = rng.standard_normal((7, 10)).astype(np.float32)
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-2)
+        sc.write_slab(a)
+        sc.write_slab(b)
+        sc.close()
+        buf.seek(0)
+        sd = StreamingDecompressor(buf)
+        assert sd.total_rows == 10
+        assert sd.read_full().shape == (10, 10)
+
+    def test_bound_is_frozen_at_first_slab(self, rng):
+        """Later slabs with a wider range still honour the frozen bound."""
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        b = (rng.standard_normal((8, 16)) * 100).astype(np.float32)
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-3)
+        sc.write_slab(a)
+        sc.write_slab(b)
+        sc.close()
+        buf.seek(0)
+        sd = StreamingDecompressor(buf)
+        assert verify_error_bound(b, sd.read_slab(1), sd.eb_abs)
+
+    def test_iter_slabs(self, rng):
+        slabs, _ = make_slabs(rng, n=3)
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-2)
+        for s in slabs:
+            sc.write_slab(s)
+        sc.close()
+        buf.seek(0)
+        got = list(StreamingDecompressor(buf).iter_slabs())
+        assert len(got) == 3
+
+    def test_file_round_trip(self, tmp_path, rng):
+        slabs, full = make_slabs(rng, n=2)
+        path = tmp_path / "field.fzst"
+        with open(path, "wb") as fh:
+            sc = StreamingCompressor(fh, fzmod_default(), 1e-3)
+            for s in slabs:
+                sc.write_slab(s)
+            sc.close()
+        with open(path, "rb") as fh:
+            sd = StreamingDecompressor(fh)
+            recon = sd.read_full()
+        assert verify_error_bound(full, recon, sd.eb_abs)
+
+
+class TestStreamValidation:
+    def test_geometry_mismatch_rejected(self, rng):
+        sc = StreamingCompressor(io.BytesIO(), fzmod_default(), 1e-2)
+        sc.write_slab(rng.standard_normal((4, 8)).astype(np.float32))
+        with pytest.raises(ConfigError):
+            sc.write_slab(rng.standard_normal((4, 9)).astype(np.float32))
+
+    def test_dtype_mismatch_rejected(self, rng):
+        sc = StreamingCompressor(io.BytesIO(), fzmod_default(), 1e-2)
+        sc.write_slab(rng.standard_normal((4, 8)).astype(np.float32))
+        with pytest.raises(ConfigError):
+            sc.write_slab(rng.standard_normal((4, 8)).astype(np.float64))
+
+    def test_empty_stream_rejected(self):
+        sc = StreamingCompressor(io.BytesIO(), fzmod_default(), 1e-2)
+        with pytest.raises(ConfigError):
+            sc.close()
+
+    def test_double_close_rejected(self, rng):
+        sc = StreamingCompressor(io.BytesIO(), fzmod_default(), 1e-2)
+        sc.write_slab(rng.standard_normal((4, 8)).astype(np.float32))
+        sc.close()
+        with pytest.raises(ConfigError):
+            sc.close()
+
+    def test_truncated_file_detected(self, rng):
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-2)
+        sc.write_slab(rng.standard_normal((4, 8)).astype(np.float32))
+        sc.close()
+        cut = io.BytesIO(buf.getvalue()[:-7])  # lose the trailer
+        with pytest.raises(HeaderError):
+            StreamingDecompressor(cut)
+
+    def test_bad_magic_detected(self):
+        with pytest.raises(HeaderError):
+            StreamingDecompressor(io.BytesIO(b"NOPE" + b"\x00" * 40))
+
+    def test_bad_slab_index(self, rng):
+        buf = io.BytesIO()
+        sc = StreamingCompressor(buf, fzmod_default(), 1e-2)
+        sc.write_slab(rng.standard_normal((4, 8)).astype(np.float32))
+        sc.close()
+        buf.seek(0)
+        sd = StreamingDecompressor(buf)
+        with pytest.raises(ConfigError):
+            sd.read_slab(3)

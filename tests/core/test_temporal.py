@@ -1,0 +1,125 @@
+"""Tests for closed-loop temporal (snapshot-sequence) compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fzmod_default, fzmod_speed
+from repro.core.temporal import TemporalCompressor, TemporalDecompressor
+from repro.errors import ConfigError, HeaderError
+from repro.metrics import verify_error_bound
+
+
+def make_sequence(rng, frames=6, shape=(24, 32)) -> list[np.ndarray]:
+    """Slowly-evolving snapshots: base field + drifting perturbation."""
+    base = np.cumsum(rng.standard_normal(shape), axis=0).astype(np.float32)
+    seq = []
+    state = base.copy()
+    for _ in range(frames):
+        state = state + rng.standard_normal(shape).astype(np.float32) * 0.05
+        seq.append(state.copy())
+    return seq
+
+
+class TestRoundTrip:
+    def test_every_frame_meets_bound(self, rng):
+        seq = make_sequence(rng)
+        eb_abs = float(np.ptp(seq[0])) * 1e-3
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        for frame in seq:
+            comp.add_frame(frame)
+        blob, stats = comp.finish()
+        dec = TemporalDecompressor(blob)
+        assert dec.frame_count == len(seq)
+        for frame in seq:
+            recon = dec.read_next()
+            assert verify_error_bound(frame, recon, eb_abs)
+
+    def test_no_error_accumulation(self, rng):
+        """Closed-loop prediction: frame 20's error equals frame 1's
+        order of magnitude, not 20x it."""
+        seq = make_sequence(rng, frames=20)
+        eb_abs = float(np.ptp(seq[0])) * 1e-3
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        for frame in seq:
+            comp.add_frame(frame)
+        blob, _ = comp.finish()
+        recons = TemporalDecompressor(blob).read_all()
+        first_err = np.abs(seq[0] - recons[0]).max()
+        last_err = np.abs(seq[-1] - recons[-1]).max()
+        assert last_err <= eb_abs * 1.01
+        assert last_err <= first_err * 5 + eb_abs
+
+    def test_temporal_beats_independent_on_slow_sequences(self, rng):
+        seq = make_sequence(rng, frames=8)
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        for f in seq:
+            comp.add_frame(f)
+        _, stats = comp.finish()
+        # independent compression of every frame at the same abs bound
+        eb_abs = float(np.ptp(seq[0])) * 1e-3
+        from repro.types import EbMode, ErrorBound
+        indep = sum(fzmod_default().compress(
+            f, ErrorBound(eb_abs, EbMode.ABS)).stats.output_bytes
+            for f in seq)
+        assert stats.output_bytes < indep
+
+    def test_d_frames_much_smaller_than_i_frame(self, rng):
+        seq = make_sequence(rng, frames=5)
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        crs = [comp.add_frame(f) for f in seq]
+        assert min(crs[1:]) > crs[0]
+
+    def test_prefix_decoding(self, rng):
+        seq = make_sequence(rng, frames=6)
+        comp = TemporalCompressor(fzmod_speed(), 1e-2)
+        for f in seq:
+            comp.add_frame(f)
+        blob, _ = comp.finish()
+        dec = TemporalDecompressor(blob)
+        eb_abs = float(np.ptp(seq[0])) * 1e-2
+        for k in range(3):  # only the first half
+            assert verify_error_bound(seq[k], dec.read_next(), eb_abs)
+
+    def test_stats(self, rng):
+        seq = make_sequence(rng, frames=4)
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        for f in seq:
+            comp.add_frame(f)
+        blob, stats = comp.finish()
+        assert stats.frames == 4
+        assert stats.input_bytes == sum(f.nbytes for f in seq)
+        assert stats.output_bytes == len(blob)
+        assert stats.cr > 1.0
+        assert len(stats.frame_crs) == 4
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, rng):
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        comp.add_frame(rng.standard_normal((8, 8)).astype(np.float32))
+        with pytest.raises(ConfigError):
+            comp.add_frame(rng.standard_normal((8, 9)).astype(np.float32))
+
+    def test_empty_stream_rejected(self):
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        with pytest.raises(ConfigError):
+            comp.finish()
+
+    def test_exhausted_decoder_rejected(self, rng):
+        comp = TemporalCompressor(fzmod_default(), 1e-3)
+        comp.add_frame(rng.standard_normal((8, 8)).astype(np.float32))
+        blob, _ = comp.finish()
+        dec = TemporalDecompressor(blob)
+        dec.read_next()
+        with pytest.raises(ConfigError):
+            dec.read_next()
+
+    def test_non_temporal_archive_rejected(self, rng):
+        from repro.core import ArchiveWriter
+        w = ArchiveWriter()
+        w.add("x", rng.standard_normal((8, 8)).astype(np.float32), 1e-3,
+              fzmod_default())
+        with pytest.raises(HeaderError):
+            TemporalDecompressor(w.to_bytes())

@@ -1,0 +1,205 @@
+"""Tests for the synthetic dataset generators and the SDRBench catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (CATALOG, DATASET_NAMES, gaussian_random_field,
+                        get_dataset, load_field, load_raw_file, table2_rows)
+from repro.data import synthetic as syn
+from repro.errors import DataError
+
+
+class TestGrf:
+    def test_normalised(self):
+        f = gaussian_random_field((64, 64), slope=3.0, seed=1)
+        assert abs(float(f.mean())) < 0.2
+        assert float(f.std()) == pytest.approx(1.0, rel=1e-6)
+
+    def test_deterministic_in_seed(self):
+        a = gaussian_random_field((32, 32), 2.5, seed=7)
+        b = gaussian_random_field((32, 32), 2.5, seed=7)
+        np.testing.assert_array_equal(a, b)
+        c = gaussian_random_field((32, 32), 2.5, seed=8)
+        assert not np.array_equal(a, c)
+
+    def test_slope_controls_smoothness(self):
+        rough = gaussian_random_field((256,), 1.0, seed=3)
+        smooth = gaussian_random_field((256,), 4.0, seed=3)
+        assert np.abs(np.diff(smooth)).mean() < np.abs(np.diff(rough)).mean()
+
+    def test_modes_limits_fine_scale(self):
+        free = gaussian_random_field((512,), 2.0, seed=4)
+        banded = gaussian_random_field((512,), 2.0, seed=4, modes=10)
+        assert np.abs(np.diff(banded)).mean() < np.abs(np.diff(free)).mean()
+
+    def test_modes_scale_invariance(self):
+        """Per-cell steps shrink proportionally as the grid grows — the
+        property that lets small surrogates stand in for SDRBench fields."""
+        small = gaussian_random_field((128,), 3.0, seed=5, modes=8)
+        large = gaussian_random_field((1024,), 3.0, seed=5, modes=8)
+        step_ratio = (np.abs(np.diff(large)).mean()
+                      / np.abs(np.diff(small)).mean())
+        assert step_ratio < 0.3  # ~1/8 in theory
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            gaussian_random_field((0,), 2.0)
+        with pytest.raises(DataError):
+            gaussian_random_field((8,), 2.0, cutoff=0.9)
+        with pytest.raises(DataError):
+            gaussian_random_field((8,), 2.0, modes=-1)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_fields_generate(self, name):
+        spec = get_dataset(name)
+        for f in spec.fields:
+            data = spec.load(field=f, scale=spec.default_scale / 4)
+            assert data.dtype == np.float32
+            assert np.isfinite(data).all()
+            assert data.size > 0
+
+    def test_cesm_rank3(self):
+        assert load_field("cesm", "T", scale=0.02).ndim == 3
+
+    def test_hacc_rank1(self):
+        assert load_field("hacc", "x", scale=0.0005).ndim == 1
+
+    def test_hacc_positions_bounded(self):
+        x = load_field("hacc", "x", scale=0.0005)
+        assert x.min() >= 0 and x.max() <= 256.0
+
+    def test_nyx_density_positive_heavy_tailed(self):
+        d = load_field("nyx", "baryon_density", scale=0.05)
+        assert (d > 0).all()
+        assert d.max() / np.median(d) > 100  # halo peaks dominate the range
+
+    def test_cloud_fraction_sparse(self):
+        c = load_field("cesm", "CLDHGH", scale=0.03)
+        assert np.mean(c == 0.0) > 0.3
+        assert c.max() <= 1.0
+
+    def test_determinism(self):
+        a = load_field("hurr", "U", scale=0.05, seed=9)
+        b = load_field("hurr", "U", scale=0.05, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DataError):
+            load_field("nyx", "entropy_flux")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DataError):
+            load_field("cesm", "T", scale=2.0)
+
+
+class TestExtraFamilies:
+    def test_miranda_smoothness(self):
+        """Miranda is the smooth family: it must compress better than a
+        same-size white-noise field."""
+        from repro.core import fzmod_default
+        d = load_field("miranda", "density", scale=0.08)
+        noise = np.random.default_rng(0).standard_normal(
+            d.shape).astype(np.float32)
+        cr_m = fzmod_default().compress(d, 1e-3).stats.cr
+        cr_n = fzmod_default().compress(noise, 1e-3).stats.cr
+        assert cr_m > cr_n
+
+    def test_s3d_front_creates_outliers(self):
+        """The flame front is a sharp feature: tight bounds must produce
+        outliers in the Lorenzo pipeline."""
+        from repro.core import fzmod_default
+        d = load_field("s3d", "temp", scale=0.12)
+        cf = fzmod_default().compress(d, 1e-5)
+        assert cf.stats.outlier_count > 0
+
+    def test_not_in_paper_flag(self):
+        assert not get_dataset("miranda").in_paper
+        assert not get_dataset("s3d").in_paper
+        assert get_dataset("nyx").in_paper
+
+    def test_table2_excludes_extras(self):
+        rows = table2_rows()
+        names = {r["Dataset"] for r in rows}
+        assert names == {"CESM-ATM", "HACC", "HURR", "Nyx"}
+
+    @pytest.mark.parametrize("name", ["miranda", "s3d"])
+    def test_all_fields_generate(self, name):
+        spec = get_dataset(name)
+        for f in spec.fields:
+            data = spec.load(field=f, scale=spec.default_scale / 2)
+            assert np.isfinite(data).all()
+
+
+class TestCatalog:
+    def test_table2_matches_paper(self):
+        assert get_dataset("cesm").full_dims == (26, 1800, 3600)
+        assert get_dataset("hacc").full_dims == (280_953_867,)
+        assert get_dataset("hurr").full_dims == (100, 500, 500)
+        assert get_dataset("nyx").full_dims == (512, 512, 512)
+        assert get_dataset("nyx").total_fields == 6
+        assert get_dataset("cesm").total_fields == 33
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataError):
+            get_dataset("exaalt")
+
+    def test_load_all_iterates_fields(self):
+        spec = get_dataset("nyx")
+        items = list(spec.load_all(scale=0.03))
+        assert len(items) == len(spec.fields)
+
+    def test_table2_rows_render(self):
+        rows = table2_rows()
+        assert len(rows) == 4
+        assert any("HACC" in r["Dataset"] for r in rows)
+
+
+class TestRawLoader:
+    def test_round_trip(self, tmp_path, rng):
+        data = rng.standard_normal((10, 12)).astype(np.float32)
+        path = tmp_path / "field.f32"
+        data.tofile(path)
+        out = load_raw_file(str(path), (10, 12), dtype="f4")
+        np.testing.assert_array_equal(out, data)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.f32"
+        np.zeros(7, dtype=np.float32).tofile(path)
+        with pytest.raises(DataError):
+            load_raw_file(str(path), (10,), dtype="f4")
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(DataError):
+            load_raw_file("/nonexistent/file.f32", (4,))
+
+    def test_non_float_dtype_rejected(self, tmp_path):
+        path = tmp_path / "x.bin"
+        np.zeros(4, dtype=np.int32).tofile(path)
+        with pytest.raises(DataError):
+            load_raw_file(str(path), (4,), dtype="i4")
+
+
+class TestExportDataset:
+    def test_export_round_trip(self, tmp_path):
+        import json
+        from repro.data import export_dataset
+        manifest = export_dataset("s3d", str(tmp_path), scale=0.04, seed=3)
+        assert len(manifest["fields"]) == 4
+        on_disk = json.loads((tmp_path / "manifest.json").read_text())
+        assert on_disk["dataset"] == "S3D"
+        entry = manifest["fields"][0]
+        data = load_raw_file(str(tmp_path / entry["file"]),
+                             tuple(entry["shape"]))
+        regen = load_field("s3d", entry["name"], scale=0.04, seed=3)
+        np.testing.assert_array_equal(data, regen)
+
+    def test_cli_gen(self, tmp_path, capsys):
+        from repro.cli import main
+        rc = main(["gen", "--dataset", "hurr", "--scale", "0.04",
+                   "-o", str(tmp_path / "out")])
+        assert rc == 0
+        assert (tmp_path / "out" / "manifest.json").exists()

@@ -1,0 +1,133 @@
+"""Unit + property tests for the bit-packing primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kernels import bitio
+
+
+class TestPackVarlen:
+    def test_single_symbol(self):
+        payload, bits = bitio.pack_varlen(np.array([0b101], dtype=np.uint32),
+                                          np.array([3]))
+        assert bits == 3
+        assert payload == bytes([0b1010_0000])
+
+    def test_concatenation_order_msb_first(self):
+        # 0b1 (len 1) followed by 0b0110 (len 4) -> 10110xxx
+        payload, bits = bitio.pack_varlen(np.array([1, 0b0110], dtype=np.uint32),
+                                          np.array([1, 4]))
+        assert bits == 5
+        assert payload[0] >> 3 == 0b10110
+
+    def test_empty(self):
+        payload, bits = bitio.pack_varlen(np.zeros(0, dtype=np.uint32),
+                                          np.zeros(0, dtype=np.int64))
+        assert payload == b"" and bits == 0
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(CodecError):
+            bitio.pack_varlen(np.array([1], dtype=np.uint32), np.array([0]))
+        with pytest.raises(CodecError):
+            bitio.pack_varlen(np.array([1], dtype=np.uint32), np.array([33]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(CodecError):
+            bitio.pack_varlen(np.array([1, 2], dtype=np.uint32), np.array([3]))
+
+    @given(st.lists(st.tuples(st.integers(1, 16), st.integers(0, 2**16 - 1)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_total_bits_matches_lengths(self, pairs):
+        lengths = np.array([ln for ln, _ in pairs], dtype=np.int64)
+        codes = np.array([v & ((1 << ln) - 1) for ln, v in pairs],
+                         dtype=np.uint32)
+        payload, bits = bitio.pack_varlen(codes, lengths)
+        assert bits == int(lengths.sum())
+        assert len(payload) == (bits + 7) // 8
+
+
+class TestUnpackWindows:
+    def test_window_values(self):
+        # stream = 1010 1100 (one byte)
+        payload = bytes([0b10101100])
+        win = bitio.unpack_windows(payload, 8, 4)
+        assert list(win[:5]) == [0b1010, 0b0101, 0b1011, 0b0110, 0b1100]
+
+    def test_tail_reads_zero(self):
+        payload = bytes([0b11111111])
+        win = bitio.unpack_windows(payload, 8, 8)
+        # window at offset 7 covers bit 7 plus 7 zero-padded bits
+        assert win[7] == 0b10000000
+
+    def test_empty_stream(self):
+        assert bitio.unpack_windows(b"", 0, 8).size == 0
+
+    def test_rejects_wide_window(self):
+        with pytest.raises(CodecError):
+            bitio.unpack_windows(b"\x00", 8, 25)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(1, 24))
+    @settings(max_examples=50, deadline=None)
+    def test_windows_match_manual_bits(self, payload, width):
+        total = len(payload) * 8
+        win = bitio.unpack_windows(payload, total, width)
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        padded = np.concatenate([bits, np.zeros(width, dtype=np.uint8)])
+        for p in [0, total // 2, total - 1]:
+            expect = int("".join(map(str, padded[p:p + width])), 2)
+            assert int(win[p]) == expect
+
+
+class TestFixedWidth:
+    def test_round_trip(self, rng):
+        values = rng.integers(0, 2**11, 1000).astype(np.uint32)
+        payload = bitio.pack_fixed(values, 11)
+        out = bitio.unpack_fixed(payload, values.size, 11)
+        np.testing.assert_array_equal(out, values)
+
+    def test_zero_width_all_zero(self):
+        assert bitio.pack_fixed(np.zeros(10, dtype=np.uint32), 0) == b""
+        np.testing.assert_array_equal(
+            bitio.unpack_fixed(b"", 10, 0), np.zeros(10, dtype=np.uint32))
+
+    def test_zero_width_rejects_nonzero(self):
+        with pytest.raises(CodecError):
+            bitio.pack_fixed(np.array([1], dtype=np.uint32), 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            bitio.pack_fixed(np.array([8], dtype=np.uint32), 3)
+
+    @given(st.lists(st.integers(0, 2**20 - 1), min_size=1, max_size=300),
+           st.integers(20, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, values, width):
+        v = np.asarray(values, dtype=np.uint32)
+        out = bitio.unpack_fixed(bitio.pack_fixed(v, width), v.size, width)
+        np.testing.assert_array_equal(out, v)
+
+
+class TestRequiredWidth:
+    @pytest.mark.parametrize("value,width", [(0, 0), (1, 1), (2, 2), (3, 2),
+                                             (255, 8), (256, 9), (2**31, 32)])
+    def test_known_values(self, value, width):
+        assert bitio.required_width(np.array([value])) == width
+
+    def test_empty(self):
+        assert bitio.required_width(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            bitio.required_width(np.array([-1]))
+
+    def test_fits_pack_fixed(self, rng):
+        values = rng.integers(0, 5000, 100).astype(np.uint32)
+        w = bitio.required_width(values)
+        out = bitio.unpack_fixed(bitio.pack_fixed(values, w), values.size, w)
+        np.testing.assert_array_equal(out, values)

@@ -1,0 +1,97 @@
+"""Tests for zigzag mapping and bit-plane shuffling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kernels import bitshuffle as bs
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("signed,unsigned", [(0, 0), (-1, 1), (1, 2),
+                                                 (-2, 3), (2, 4)])
+    def test_known_mapping(self, signed, unsigned):
+        assert int(bs.zigzag(np.array([signed]))[0]) == unsigned
+
+    def test_roundtrip_extremes(self):
+        v = np.array([0, -1, 1, -2**62, 2**62 - 1], dtype=np.int64)
+        np.testing.assert_array_equal(bs.unzigzag(bs.zigzag(v)), v)
+
+    def test_small_magnitude_maps_small(self, rng):
+        v = rng.integers(-100, 100, 1000)
+        assert int(bs.zigzag(v).max()) <= 200
+
+    @given(st.lists(st.integers(-2**40, 2**40), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        v = np.asarray(values, dtype=np.int64)
+        np.testing.assert_array_equal(bs.unzigzag(bs.zigzag(v)), v)
+
+
+class TestShuffle:
+    @pytest.mark.parametrize("width", [16, 32])
+    def test_roundtrip(self, rng, width):
+        v = rng.integers(0, 2**width - 1, 3000,
+                         dtype=np.uint64).astype(np.uint32)
+        payload = bs.shuffle(v, width)
+        out = bs.unshuffle(payload, v.size, width)
+        np.testing.assert_array_equal(out, v)
+
+    def test_partial_block_padding(self, rng):
+        v = rng.integers(0, 2**16 - 1, 100).astype(np.uint16)
+        payload = bs.shuffle(v, 16)
+        out = bs.unshuffle(payload, 100, 16)
+        np.testing.assert_array_equal(out, v)
+
+    @pytest.mark.parametrize("block", [64, 256, 4096])
+    def test_custom_blocks(self, rng, block):
+        v = rng.integers(0, 2**16 - 1, 1000).astype(np.uint16)
+        out = bs.unshuffle(bs.shuffle(v, 16, block=block), 1000, 16,
+                           block=block)
+        np.testing.assert_array_equal(out, v)
+
+    def test_small_values_make_zero_bytes(self, rng):
+        """The compressibility premise: small values -> mostly zero planes."""
+        v = rng.integers(0, 4, 4096).astype(np.uint16)
+        payload = np.frombuffer(bs.shuffle(v, 16), dtype=np.uint8)
+        # 14 of 16 planes are zero
+        assert np.mean(payload == 0) > 0.8
+
+    def test_plane_layout(self):
+        """Plane 0 is the MSB plane: value 0x8000 sets only plane-0 bits."""
+        v = np.zeros(bs.BLOCK_VALUES, dtype=np.uint16)
+        v[:] = 0x8000
+        payload = np.frombuffer(bs.shuffle(v, 16), dtype=np.uint8)
+        plane_bytes = bs.BLOCK_VALUES // 8
+        assert (payload[:plane_bytes] == 0xFF).all()
+        assert (payload[plane_bytes:] == 0).all()
+
+    def test_width_validation(self):
+        with pytest.raises(CodecError):
+            bs.shuffle(np.array([1], dtype=np.uint8), 8)
+        with pytest.raises(CodecError):
+            bs.unshuffle(b"", 0, 12)
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            bs.shuffle(np.array([2**20], dtype=np.uint32), 16)
+
+    def test_payload_size_mismatch_rejected(self):
+        v = np.arange(10, dtype=np.uint16)
+        payload = bs.shuffle(v, 16)
+        with pytest.raises(CodecError):
+            bs.unshuffle(payload[:-1], 10, 16)
+
+    def test_empty(self):
+        assert bs.unshuffle(b"", 0, 16).size == 0
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=600))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_32(self, values):
+        v = np.asarray(values, dtype=np.uint32)
+        out = bs.unshuffle(bs.shuffle(v, 32), v.size, 32)
+        np.testing.assert_array_equal(out, v)

@@ -1,0 +1,133 @@
+"""Tests for delta coding, the RLE coder, and the zstd-role LZ codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kernels import delta, lz, rle
+
+
+class TestDelta:
+    def test_roundtrip(self, rng):
+        v = rng.integers(-10**9, 10**9, 5000)
+        np.testing.assert_array_equal(delta.delta_inverse(delta.delta_forward(v)), v)
+
+    def test_second_order_roundtrip(self, rng):
+        v = rng.integers(-10**6, 10**6, 1000)
+        np.testing.assert_array_equal(
+            delta.delta2_inverse(delta.delta2_forward(v)), v)
+
+    def test_smooth_data_becomes_small(self):
+        v = np.arange(0, 10000, dtype=np.int64)  # linear ramp
+        d = delta.delta_forward(v)
+        assert (d[1:] == 1).all()
+        d2 = delta.delta2_forward(v)
+        assert (d2[2:] == 0).all()
+
+    def test_empty(self):
+        assert delta.delta_forward(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_multidim_flattened(self, rng):
+        v = rng.integers(-5, 5, (3, 4))
+        assert delta.delta_forward(v).shape == (12,)
+
+    @given(st.lists(st.integers(-2**50, 2**50), min_size=0, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        v = np.asarray(values, dtype=np.int64)
+        np.testing.assert_array_equal(
+            delta.delta_inverse(delta.delta_forward(v)), v)
+
+
+class TestRle:
+    def test_runs_compress(self):
+        data = b"\x00" * 10000
+        enc = rle.encode(data)
+        assert len(enc) < 20
+        assert rle.decode(enc) == data
+
+    def test_literals_pass_through(self, rng):
+        data = bytes(rng.integers(0, 256, 500).tolist())
+        assert rle.decode(rle.encode(data)) == data
+
+    def test_mixed(self):
+        data = b"abc" + b"\x07" * 100 + b"xyz" + b"\x00" * 50
+        assert rle.decode(rle.encode(data)) == data
+
+    def test_empty(self):
+        assert rle.decode(rle.encode(b"")) == b""
+
+    def test_short_runs_stay_literal(self):
+        data = b"aabbccdd"  # runs below threshold
+        enc = rle.encode(data)
+        assert rle.decode(enc) == data
+
+    def test_truncated_stream_rejected(self):
+        enc = rle.encode(b"\x00" * 100)
+        with pytest.raises(CodecError):
+            rle.decode(enc[:-2])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            rle.decode(b"\x09abc")
+
+    @given(st.binary(min_size=0, max_size=3000))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert rle.decode(rle.encode(data)) == data
+
+
+class TestLz:
+    def test_repetitive_data_token_mode(self):
+        data = (b"ABCDEFGH" * 1000) + (b"\x00" * 8000)
+        blob = lz.compress(data)
+        assert len(blob) < len(data) / 10
+        assert lz.decompress(blob) == data
+
+    def test_random_data_never_expands_much(self, rng):
+        data = bytes(rng.integers(0, 256, 4096).tolist())
+        blob = lz.compress(data)
+        assert len(blob) <= len(data) + 9
+        assert lz.decompress(blob) == data
+
+    def test_small_input(self):
+        for data in (b"", b"x", b"hello world"):
+            assert lz.decompress(lz.compress(data)) == data
+
+    def test_text_uses_entropy_coding(self):
+        data = (b"the quick brown fox jumps over the lazy dog " * 200)
+        blob = lz.compress(data)
+        assert len(blob) < len(data)
+        assert lz.decompress(blob) == data
+
+    def test_mode_byte_present(self):
+        blob = lz.compress(b"test data!")
+        assert blob[0] in (0, 1, 2)
+
+    def test_corrupt_container_rejected(self):
+        with pytest.raises(CodecError):
+            lz.decompress(b"\x07")
+        with pytest.raises(CodecError):
+            lz.decompress(b"\x09" + b"\x00" * 20)
+
+    def test_truncated_stored_rejected(self):
+        blob = lz.compress(bytes(np.random.default_rng(0)
+                                 .integers(0, 256, 64).tolist()))
+        if blob[0] == 0:  # stored mode
+            with pytest.raises(CodecError):
+                lz.decompress(blob[:-1])
+
+    @given(st.binary(min_size=0, max_size=4000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lz.decompress(lz.compress(data)) == data
+
+    @given(st.integers(0, 255), st.integers(1, 10000))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_streams(self, byte, n):
+        data = bytes([byte]) * n
+        assert lz.decompress(lz.compress(data)) == data

@@ -1,0 +1,94 @@
+"""Tests for the histogram (standard and top-k) statistics modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kernels import histogram as h
+
+
+class TestStandard:
+    def test_counts_match_bincount(self, rng):
+        codes = rng.integers(0, 100, 5000)
+        res = h.histogram(codes, 100)
+        np.testing.assert_array_equal(res.counts, np.bincount(codes,
+                                                              minlength=100))
+
+    def test_total(self, rng):
+        codes = rng.integers(0, 10, 777)
+        assert h.histogram(codes, 10).total == 777
+
+    def test_multidim_input_flattened(self, rng):
+        codes = rng.integers(0, 8, (13, 7))
+        assert h.histogram(codes, 8).total == 91
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            h.histogram(np.array([5]), 4)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(CodecError):
+            h.histogram(np.array([0]), 0)
+
+    def test_entropy_uniform(self):
+        codes = np.repeat(np.arange(16), 10)
+        assert h.histogram(codes, 16).entropy_bits() == pytest.approx(4.0)
+
+    def test_entropy_constant_zero(self):
+        codes = np.zeros(100, dtype=np.int64)
+        assert h.histogram(codes, 4).entropy_bits() == 0.0
+
+    def test_empty(self):
+        res = h.histogram(np.zeros(0, dtype=np.int64), 4)
+        assert res.total == 0 and res.entropy_bits() == 0.0
+
+
+class TestTopK:
+    def test_same_counts_as_standard(self, rng):
+        codes = rng.integers(0, 64, 4000)
+        a = h.histogram(codes, 64)
+        b = h.histogram_topk(codes, 64, k=8)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_concentrated_distribution_full_mass(self):
+        codes = np.full(1000, 7, dtype=np.int64)
+        res = h.histogram_topk(codes, 64, k=4)
+        assert res.topk_mass == pytest.approx(1.0)
+
+    def test_uniform_distribution_partial_mass(self):
+        codes = np.repeat(np.arange(64), 10)
+        res = h.histogram_topk(codes, 64, k=16)
+        assert res.topk_mass == pytest.approx(16 / 64)
+
+    def test_k_clamped_to_bins(self):
+        codes = np.zeros(10, dtype=np.int64)
+        res = h.histogram_topk(codes, 4, k=100)
+        assert res.k == 4
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(CodecError):
+            h.histogram_topk(np.array([0]), 4, k=0)
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=500),
+           st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_mass_is_monotone_in_k(self, values, k):
+        codes = np.asarray(values)
+        m1 = h.histogram_topk(codes, 32, k=k).topk_mass
+        m2 = h.histogram_topk(codes, 32, k=min(32, k + 4)).topk_mass
+        assert 0.0 <= m1 <= m2 <= 1.0 + 1e-12
+
+    def test_high_quality_prediction_concentrates(self, smooth_2d):
+        """The §3.2 rationale: interp codes are more top-k concentrated
+        than Lorenzo codes on smooth data."""
+        from repro.kernels import interp, lorenzo
+        eb = float(smooth_2d.max() - smooth_2d.min()) * 1e-4
+        ci = interp.compress(smooth_2d, eb).codes
+        cl = lorenzo.compress(smooth_2d, eb).codes
+        mi = h.histogram_topk(ci, 1024, k=4).topk_mass
+        ml = h.histogram_topk(cl.reshape(-1), 1024, k=4).topk_mass
+        assert mi >= ml

@@ -1,0 +1,114 @@
+"""Tests for the Lorenzo predictor (and cuSZp2's 1-D offset predictor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import lorenzo
+from tests.conftest import eb_abs_for
+
+
+class TestTransformPair:
+    @pytest.mark.parametrize("shape", [(17,), (9, 11), (5, 6, 7)])
+    def test_forward_inverse_identity(self, rng, shape):
+        grid = rng.integers(-1000, 1000, shape).astype(np.int64)
+        out = lorenzo.lorenzo_inverse(lorenzo.lorenzo_forward(grid))
+        np.testing.assert_array_equal(out, grid)
+
+    def test_2d_stencil_matches_textbook(self):
+        """D0∘D1 must equal x[i,j]-x[i-1,j]-x[i,j-1]+x[i-1,j-1]."""
+        rng = np.random.default_rng(7)
+        g = rng.integers(-50, 50, (6, 8)).astype(np.int64)
+        d = lorenzo.lorenzo_forward(g)
+        gp = np.pad(g, ((1, 0), (1, 0)))
+        expect = gp[1:, 1:] - gp[:-1, 1:] - gp[1:, :-1] + gp[:-1, :-1]
+        np.testing.assert_array_equal(d, expect)
+
+    def test_first_element_kept(self):
+        g = np.array([[7, 1], [2, 3]], dtype=np.int64)
+        assert lorenzo.lorenzo_forward(g)[0, 0] == 7
+
+    def test_constant_grid_gives_sparse_deltas(self):
+        g = np.full((10, 10), 42, dtype=np.int64)
+        d = lorenzo.lorenzo_forward(g)
+        # only the corner carries the level; everything else is zero
+        assert d[0, 0] == 42
+        assert np.count_nonzero(d) <= 19  # first row/col differences
+
+    @given(hnp.arrays(np.int64, hnp.array_shapes(min_dims=1, max_dims=3,
+                                                 min_side=1, max_side=12),
+                      elements=st.integers(-2**30, 2**30)))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, grid):
+        out = lorenzo.lorenzo_inverse(lorenzo.lorenzo_forward(grid))
+        np.testing.assert_array_equal(out, grid)
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("rel", [1e-2, 1e-3, 1e-4])
+    def test_error_bound_2d(self, smooth_2d, rel):
+        eb = eb_abs_for(smooth_2d, rel)
+        res = lorenzo.compress(smooth_2d, eb)
+        recon = lorenzo.decompress(res)
+        assert np.abs(smooth_2d.astype(np.float64)
+                      - recon.astype(np.float64)).max() <= eb * (1 + 1e-5)
+
+    def test_3d(self, smooth_3d):
+        eb = eb_abs_for(smooth_3d, 1e-3)
+        recon = lorenzo.decompress(lorenzo.compress(smooth_3d, eb))
+        assert np.abs(smooth_3d - recon).max() <= eb * (1 + 1e-5)
+
+    def test_dtype_preserved(self, smooth_2d, dtype):
+        data = smooth_2d.astype(dtype)
+        res = lorenzo.compress(data, eb_abs_for(data, 1e-3))
+        assert lorenzo.decompress(res).dtype == dtype
+
+    def test_spiky_data_goes_to_outliers(self, spiky_1d):
+        eb = eb_abs_for(spiky_1d, 1e-4)
+        res = lorenzo.compress(spiky_1d, eb)
+        assert res.outliers.count > 0
+        recon = lorenzo.decompress(res)
+        assert np.abs(spiky_1d.astype(np.float64)
+                      - recon.astype(np.float64)).max() <= eb * (1 + 1e-5)
+
+    def test_constant_field_compresses_clean(self, constant_3d):
+        res = lorenzo.compress(constant_3d, 0.1)
+        assert res.outliers.count == 0
+        recon = lorenzo.decompress(res)
+        assert np.abs(constant_3d - recon).max() <= 0.1
+
+    def test_smooth_data_concentrates_codes(self, smooth_2d):
+        res = lorenzo.compress(smooth_2d, eb_abs_for(smooth_2d, 1e-2))
+        sentinel = res.radius
+        frac = np.mean(res.codes == sentinel)
+        assert frac > 0.5  # most residuals quantise to zero
+
+
+class TestOffset1D:
+    def test_roundtrip(self, rng):
+        grid = rng.integers(-10**6, 10**6, 5000)
+        out = lorenzo.offset1d_inverse(lorenzo.offset1d_forward(grid))
+        np.testing.assert_array_equal(out, grid)
+
+    def test_flattens_multid(self, rng):
+        grid = rng.integers(-100, 100, (7, 9))
+        d = lorenzo.offset1d_forward(grid)
+        assert d.ndim == 1 and d.size == 63
+
+    def test_first_value_kept(self):
+        assert lorenzo.offset1d_forward(np.array([5, 7]))[0] == 5
+
+
+class TestValidateRadius:
+    def test_accepts_normal(self):
+        assert lorenzo.validate_radius(512) == 512
+
+    @pytest.mark.parametrize("bad", [0, -1, 2**21])
+    def test_rejects_bad(self, bad):
+        from repro.errors import CodecError
+        with pytest.raises(CodecError):
+            lorenzo.validate_radius(bad)

@@ -1,0 +1,82 @@
+"""Tests for the reference LZ77 codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.kernels import lz77
+
+
+class TestRoundTrip:
+    def test_repetitive_text(self):
+        data = b"the quick brown fox " * 500
+        enc = lz77.encode(data)
+        assert len(enc) < len(data) / 5
+        assert lz77.decode(enc) == data
+
+    def test_unaligned_repeats_caught(self):
+        """The case the 8-byte token codec misses: repeats at odd offsets."""
+        data = b"X" + b"abcdefg" * 100  # 7-byte period, offset 1
+        enc = lz77.encode(data)
+        assert len(enc) < len(data) / 3
+        assert lz77.decode(enc) == data
+
+    def test_overlapping_copy(self):
+        """offset < length: the run-through-match construct."""
+        data = b"ab" * 300  # best encoded as literal 'ab' + match offset 2
+        enc = lz77.encode(data)
+        assert lz77.decode(enc) == data
+        assert len(enc) < 40
+
+    def test_single_byte_run(self):
+        data = b"\x00" * 10000
+        enc = lz77.encode(data)
+        assert lz77.decode(enc) == data
+        assert len(enc) < 300
+
+    def test_random_data_bounded_expansion(self, rng):
+        data = bytes(rng.integers(0, 256, 8192).tolist())
+        enc = lz77.encode(data)
+        assert lz77.decode(enc) == data
+        # worst case: literal headers every 64 KiB
+        assert len(enc) <= len(data) + 3 * (len(data) // 0xFFFF + 1)
+
+    def test_empty_and_tiny(self):
+        for data in (b"", b"a", b"abc"):
+            assert lz77.decode(lz77.encode(data)) == data
+
+    def test_input_cap(self):
+        with pytest.raises(CodecError):
+            lz77.encode(b"\x00" * (lz77.MAX_INPUT + 1))
+
+    @given(st.binary(min_size=0, max_size=4000))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lz77.decode(lz77.encode(data)) == data
+
+    @given(st.binary(min_size=1, max_size=50), st.integers(2, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_property(self, unit, reps):
+        data = unit * reps
+        assert lz77.decode(lz77.encode(data)) == data
+
+
+class TestCorruption:
+    def test_truncated_literal(self):
+        enc = lz77.encode(b"hello world, hello world, hello world")
+        with pytest.raises(CodecError):
+            lz77.decode(enc[:-3])
+
+    def test_bad_offset(self):
+        # match referencing before the start of output
+        bad = bytes([0x01]) + (100).to_bytes(2, "little") + bytes([10])
+        with pytest.raises(CodecError):
+            lz77.decode(bad)
+
+    def test_unknown_op(self):
+        with pytest.raises(CodecError):
+            lz77.decode(b"\x07abc")

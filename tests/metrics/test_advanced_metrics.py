@@ -1,0 +1,112 @@
+"""Tests for the post-analysis quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (gradient_fidelity, histogram_intersection,
+                           spectral_fidelity, ssim)
+
+
+@pytest.fixture
+def field(rng) -> np.ndarray:
+    z, y, x = np.mgrid[0:16, 0:32, 0:32]
+    return (np.sin(x / 4.0) * np.cos(y / 5.0) + 0.1 * z).astype(np.float64)
+
+
+class TestSsim:
+    def test_identity_is_one(self, field):
+        assert ssim(field, field.copy()) == pytest.approx(1.0)
+
+    def test_noise_lowers_ssim(self, field, rng):
+        a = field + rng.standard_normal(field.shape) * 0.01
+        b = field + rng.standard_normal(field.shape) * 0.5
+        assert ssim(field, b) < ssim(field, a) < 1.0
+
+    def test_constant_fields(self):
+        c = np.full((16, 16), 5.0)
+        assert ssim(c, c.copy()) == 1.0
+
+    def test_mean_shift_penalised(self, field):
+        rng_v = float(field.max() - field.min())
+        shifted = field + 0.3 * rng_v
+        assert ssim(field, shifted) < 0.9
+
+    def test_1d_and_2d_supported(self, rng):
+        a = rng.standard_normal(256)
+        assert ssim(a, a.copy()) == pytest.approx(1.0)
+        b = rng.standard_normal((64, 48))
+        assert ssim(b, b.copy()) == pytest.approx(1.0)
+
+    def test_small_field_rejected(self):
+        with pytest.raises(ConfigError):
+            ssim(np.zeros(4), np.zeros(4), window=8)
+
+    def test_bad_window_rejected(self, field):
+        with pytest.raises(ConfigError):
+            ssim(field, field, window=1)
+
+
+class TestSpectralFidelity:
+    def test_identity(self, field):
+        assert spectral_fidelity(field, field.copy()) == pytest.approx(1.0)
+
+    def test_smoothing_destroys_high_k(self, field):
+        """Averaging removes high-frequency power -> fidelity drops."""
+        smoothed = field.copy()
+        smoothed[1:-1] = (field[:-2] + field[1:-1] + field[2:]) / 3.0
+        assert spectral_fidelity(field, smoothed) < 1.0
+
+    def test_white_noise_injection_detected(self, field, rng):
+        noisy = field + rng.standard_normal(field.shape) * 0.2
+        assert spectral_fidelity(field, noisy) < spectral_fidelity(
+            field, field + rng.standard_normal(field.shape) * 0.001)
+
+    def test_compression_ranking(self, rng):
+        """Tighter bounds preserve the spectrum better."""
+        from repro.core import decompress, fzmod_default
+        data = np.cumsum(rng.standard_normal((48, 48)),
+                         axis=0).astype(np.float32)
+        pipe = fzmod_default()
+        loose = decompress(pipe.compress(data, 5e-2).blob)
+        tight = decompress(pipe.compress(data, 1e-4).blob)
+        assert (spectral_fidelity(data, tight)
+                >= spectral_fidelity(data, loose))
+
+
+class TestGradientFidelity:
+    def test_identity_inf(self, field):
+        assert gradient_fidelity(field, field.copy()) == float("inf")
+
+    def test_harsher_than_psnr(self, field, rng):
+        from repro.metrics import psnr
+        noisy = field + rng.standard_normal(field.shape) * 0.02
+        assert gradient_fidelity(field, noisy) < psnr(field, noisy)
+
+    def test_constant_offset_nearly_invisible(self, field):
+        """A constant shift leaves gradients (almost bit-) identical."""
+        assert gradient_fidelity(field, field + 1.0) > 100.0
+
+
+class TestHistogramIntersection:
+    def test_identity(self, field):
+        assert histogram_intersection(field, field.copy()) == pytest.approx(1.0)
+
+    def test_disjoint_ranges(self):
+        a = np.zeros(100)
+        a[0] = 1.0
+        b = np.full(100, 10.0)
+        assert histogram_intersection(a, b) < 0.1
+
+    def test_quantisation_shrinks_overlap(self, rng):
+        a = rng.standard_normal(10000)
+        q = np.round(a * 2) / 2  # coarse quantisation
+        fine = np.round(a * 100) / 100
+        assert (histogram_intersection(a, fine)
+                >= histogram_intersection(a, q))
+
+    def test_constant(self):
+        c = np.full(10, 3.0)
+        assert histogram_intersection(c, c.copy()) == 1.0

@@ -1,0 +1,167 @@
+"""Tests for ratio, quality, throughput and overall-speedup metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics import (GB, bit_rate, bit_rate_from_ratio,
+                           breakeven_throughput, compression_ratio,
+                           error_bound_tolerance, gbps, max_abs_error, mse,
+                           nrmse, overall_speedup, psnr, throughput_bps,
+                           value_range, verify_error_bound)
+
+
+class TestQuality:
+    def test_psnr_known_value(self):
+        a = np.zeros(100)
+        a[0] = 1.0  # range 1
+        b = a.copy()
+        b[1] = 0.1  # mse = 0.01/100 = 1e-4
+        assert psnr(a, b) == pytest.approx(40.0)
+
+    def test_psnr_exact_is_inf(self):
+        a = np.arange(10, dtype=np.float64)
+        assert psnr(a, a.copy()) == math.inf
+
+    def test_mse_and_nrmse(self):
+        a = np.array([0.0, 2.0])
+        b = np.array([1.0, 1.0])
+        assert mse(a, b) == pytest.approx(1.0)
+        assert nrmse(a, b) == pytest.approx(0.5)
+
+    def test_max_abs_error(self):
+        a = np.array([1.0, 5.0, -2.0])
+        b = np.array([1.5, 5.0, -4.0])
+        assert max_abs_error(a, b) == pytest.approx(2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            psnr(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            mse(np.zeros(0), np.zeros(0))
+
+    def test_tolerance_includes_cast_ulp(self):
+        recon = np.array([1e6], dtype=np.float32)
+        tol = error_bound_tolerance(recon, 0.01)
+        assert tol > 0.01  # ulp(1e6) in f32 is ~0.06
+
+    def test_verify_bound(self):
+        a = np.array([0.0, 1.0], dtype=np.float64)
+        b = np.array([0.05, 1.0], dtype=np.float64)
+        assert verify_error_bound(a, b, 0.05)
+        assert not verify_error_bound(a, b, 0.04)
+
+    @given(st.integers(0, 100), st.floats(1e-6, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_psnr_decreases_with_noise(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(500)
+        b1 = a + rng.standard_normal(500) * scale * 0.01
+        b2 = a + rng.standard_normal(500) * scale * 0.1
+        assert psnr(a, b1) >= psnr(a, b2) - 1e-9
+
+
+class TestRatio:
+    def test_cr(self):
+        assert compression_ratio(1000, 100) == pytest.approx(10.0)
+
+    def test_bit_rate(self):
+        # 1M f32 values stored in 1 MB -> 8 bits/value
+        assert bit_rate(1_000_000, 1_000_000) == pytest.approx(8.0)
+
+    def test_bit_rate_from_ratio(self):
+        assert bit_rate_from_ratio(32.0, np.dtype(np.float32)) == pytest.approx(1.0)
+        assert bit_rate_from_ratio(8.0, np.dtype(np.float64)) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compression_ratio(0, 10)
+        with pytest.raises(ConfigError):
+            bit_rate(0, 10)
+        with pytest.raises(ConfigError):
+            bit_rate_from_ratio(0.0, np.dtype(np.float32))
+
+
+class TestThroughput:
+    def test_bps(self):
+        assert throughput_bps(10 * GB, 2.0) == pytest.approx(5 * GB)
+
+    def test_gbps(self):
+        assert gbps(3.5e9) == pytest.approx(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            throughput_bps(100, 0.0)
+        with pytest.raises(ConfigError):
+            throughput_bps(0, 1.0)
+
+
+class TestOverallSpeedup:
+    def test_equation_one_form(self):
+        """speedup = 1 / (1/CR + BW/T) — check against the paper's Eq. (1)."""
+        cr, t, bw = 4.0, 200e9, 100e9
+        expected = 1.0 / ((1.0 / (bw * cr) + 1.0 / t) * bw)
+        assert overall_speedup(cr, t, bw) == pytest.approx(expected)
+
+    def test_paper_example(self):
+        """'a compressor with a CR of 2 would need throughput higher than
+        200GB/s ... over a 100GB/s network' (§4.2)."""
+        assert overall_speedup(2.0, 200e9, 100e9) == pytest.approx(1.0)
+        assert overall_speedup(2.0, 250e9, 100e9) > 1.0
+        assert overall_speedup(2.0, 150e9, 100e9) < 1.0
+
+    def test_infinite_throughput_limit_is_cr(self):
+        assert overall_speedup(8.0, 1e30, 35.7e9) == pytest.approx(8.0)
+
+    def test_breakeven(self):
+        t = breakeven_throughput(2.0, 100e9)
+        assert t == pytest.approx(200e9)
+        assert overall_speedup(2.0, t, 100e9) == pytest.approx(1.0)
+
+    def test_breakeven_impossible_below_cr1(self):
+        assert breakeven_throughput(1.0, 100e9) == math.inf
+        assert breakeven_throughput(0.5, 100e9) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            overall_speedup(0, 1, 1)
+        with pytest.raises(ConfigError):
+            overall_speedup(1, 0, 1)
+        with pytest.raises(ConfigError):
+            overall_speedup(1, 1, 0)
+
+    @given(st.floats(1.1, 1000), st.floats(1e9, 1e12), st.floats(1e9, 1e11))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cr_and_throughput(self, cr, t, bw):
+        s = overall_speedup(cr, t, bw)
+        assert s < overall_speedup(cr * 2, t, bw)
+        assert s < overall_speedup(cr, t * 2, bw)
+        assert s <= cr  # asymptotic ceiling
+
+
+class TestRequiredCr:
+    def test_inverts_equation_one(self):
+        from repro.metrics import required_cr
+        cr = required_cr(200e9, 100e9, target_speedup=1.5)
+        assert overall_speedup(cr, 200e9, 100e9) == pytest.approx(1.5)
+
+    def test_unreachable_target(self):
+        from repro.metrics import required_cr
+        # BW/T = 0.5 means max speedup is 2 even at infinite CR
+        assert required_cr(200e9, 100e9, target_speedup=2.0) == math.inf
+        assert required_cr(200e9, 100e9, target_speedup=3.0) == math.inf
+
+    def test_validation(self):
+        from repro.metrics import required_cr
+        with pytest.raises(ConfigError):
+            required_cr(0, 1e9)
+        with pytest.raises(ConfigError):
+            required_cr(1e9, 1e9, target_speedup=0)

@@ -1,0 +1,198 @@
+"""Tests for the shared-link contention model and node snapshot driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.parallel import (FieldJob, TransferRequest, loaded_bandwidth,
+                            measured_bandwidth, scaling_series,
+                            simulate_snapshot, simulate_transfers)
+from repro.perf import H100, V100
+
+
+class TestLinkModel:
+    def test_single_transfer_runs_at_peak(self):
+        req = [TransferRequest(start=0.0, nbytes=1e9, link_peak=10e9)]
+        done = simulate_transfers(req, agg_bw=100e9)
+        assert done[0] == pytest.approx(0.1)
+
+    def test_two_transfers_share_aggregate(self):
+        reqs = [TransferRequest(start=0.0, nbytes=1e9, link_peak=100e9)
+                for _ in range(2)]
+        done = simulate_transfers(reqs, agg_bw=10e9)
+        # each gets 5 GB/s -> 0.2 s
+        assert done[0] == pytest.approx(0.2)
+        assert done[1] == pytest.approx(0.2)
+
+    def test_cap_binds_before_share(self):
+        reqs = [TransferRequest(start=0.0, nbytes=1e9, link_peak=2e9)
+                for _ in range(2)]
+        done = simulate_transfers(reqs, agg_bw=100e9)
+        assert done[0] == pytest.approx(0.5)
+
+    def test_staggered_arrivals(self):
+        reqs = [TransferRequest(start=0.0, nbytes=1e9, link_peak=10e9),
+                TransferRequest(start=0.05, nbytes=1e9, link_peak=10e9)]
+        done = simulate_transfers(reqs, agg_bw=10e9)
+        # first runs alone 0.05 s (0.5 GB done), then both share 5 GB/s
+        assert done[0] == pytest.approx(0.15)
+        assert done[1] == pytest.approx(0.2, rel=1e-6)
+
+    def test_late_arrival_after_idle(self):
+        reqs = [TransferRequest(start=0.0, nbytes=1e8, link_peak=10e9),
+                TransferRequest(start=1.0, nbytes=1e8, link_peak=10e9)]
+        done = simulate_transfers(reqs, agg_bw=100e9)
+        assert done[0] == pytest.approx(0.01)
+        assert done[1] == pytest.approx(1.01)
+
+    def test_conservation(self):
+        """Total bytes / makespan can never exceed the aggregate."""
+        rng = np.random.default_rng(3)
+        reqs = [TransferRequest(start=float(rng.uniform(0, 0.1)),
+                                nbytes=float(rng.uniform(1e8, 1e9)),
+                                link_peak=12e9) for _ in range(16)]
+        done = simulate_transfers(reqs, agg_bw=30e9)
+        busy = max(done) - min(r.start for r in reqs)
+        total = sum(r.nbytes for r in reqs)
+        assert total / busy <= 30e9 * (1 + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TransferRequest(start=0.0, nbytes=0, link_peak=1e9)
+        with pytest.raises(ConfigError):
+            simulate_transfers([], agg_bw=0)
+        with pytest.raises(ConfigError):
+            loaded_bandwidth(1e9, 4e9, 0)
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(1e6, 1e9)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_completion_after_arrival_property(self, items):
+        reqs = [TransferRequest(start=s, nbytes=b, link_peak=10e9)
+                for s, b in items]
+        done = simulate_transfers(reqs, agg_bw=25e9)
+        for r, d in zip(reqs, done):
+            assert d >= r.start + r.nbytes / 10e9 * (1 - 1e-9)
+
+
+class TestTable1Bandwidth:
+    def test_h100_loaded_bandwidth_matches_table1(self):
+        assert measured_bandwidth(H100) == pytest.approx(35.7e9)
+
+    def test_v100_loaded_bandwidth_matches_table1(self):
+        assert measured_bandwidth(V100) == pytest.approx(6.91e9)
+
+    def test_single_gpu_runs_at_peak(self):
+        assert measured_bandwidth(H100, 1) == pytest.approx(55e9)
+        assert measured_bandwidth(V100, 1) == pytest.approx(12.8e9)
+
+    def test_bandwidth_monotone_in_load(self):
+        vals = [measured_bandwidth(H100, g) for g in (1, 2, 3, 4)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+
+class TestSnapshotDriver:
+    def _jobs(self, n=8, cr=10.0):
+        return [FieldJob(name=f"f{i}", input_bytes=256 << 20, cr=cr)
+                for i in range(n)]
+
+    def test_throughput_scales_with_gpus(self):
+        series = scaling_series(self._jobs(), "fzmod-speed", H100)
+        assert series[2] > series[1] * 1.3
+        assert series[4] >= series[2]
+
+    def test_link_bound_at_low_cr(self):
+        """Low CR -> huge compressed output -> the shared link saturates
+        and extra GPUs stop helping."""
+        series = scaling_series(self._jobs(cr=1.5), "cuszp2", V100)
+        assert series[4] < series[1] * 2.5  # far from 4x
+
+    def test_high_cr_compute_bound(self):
+        series = scaling_series(self._jobs(cr=200.0), "fzmod-speed", H100)
+        assert series[4] > series[1] * 3.0  # near-linear
+
+    def test_report_accounting(self):
+        jobs = self._jobs(n=4)
+        rep = simulate_snapshot(jobs, "fzmod-default", H100)
+        assert rep.total_input_bytes == 4 * (256 << 20)
+        assert rep.total_output_bytes == pytest.approx(
+            rep.total_input_bytes / 10.0, rel=0.01)
+        assert 0 < rep.gpu_utilization() <= 1.0
+        assert set(rep.transfer_done) == {j.name for j in jobs}
+        for j in jobs:
+            assert rep.transfer_done[j.name] >= rep.compute_seconds[j.name]
+
+    def test_makespan_bounded_below_by_rooflines(self):
+        jobs = self._jobs(n=8, cr=4.0)
+        rep = simulate_snapshot(jobs, "fzmod-speed", H100)
+        link_floor = rep.total_output_bytes / H100.host_agg_bw
+        assert rep.makespan >= link_floor * (1 - 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_snapshot([], "fzmod-default", H100)
+        with pytest.raises(ConfigError):
+            simulate_snapshot(self._jobs(), "fzmod-default", H100, ngpus=9)
+
+
+class TestClusterCampaign:
+    def _jobs(self, cr=12.0):
+        from repro.parallel import FieldJob
+        return [FieldJob(name=f"f{i}", input_bytes=512 << 20, cr=cr)
+                for i in range(8)]
+
+    def test_report_accounting(self):
+        from repro.parallel import ClusterSpec, simulate_campaign_write
+        cl = ClusterSpec(nodes=16, platform=H100, pfs_bandwidth=500e9)
+        rep = simulate_campaign_write(self._jobs(), "fzmod-speed", cl)
+        assert rep.nodes == 16
+        assert rep.total_input_bytes == 16 * 8 * (512 << 20)
+        assert rep.total_output_bytes < rep.total_input_bytes
+        assert rep.pfs_bytes_saved > 0
+        assert rep.makespan > rep.compute_seconds  # writes take time too
+
+    def test_speedup_grows_with_cluster_size(self):
+        """More nodes -> the PFS saturates harder -> compression pays more
+        (the introduction's scaling argument)."""
+        from repro.parallel import ClusterSpec, simulate_campaign_write
+        speedups = []
+        for nodes in (4, 64, 512):
+            cl = ClusterSpec(nodes=nodes, platform=H100,
+                             pfs_bandwidth=500e9)
+            rep = simulate_campaign_write(self._jobs(), "fzmod-speed", cl)
+            speedups.append(rep.write_speedup)
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > speedups[0]
+
+    def test_slow_compressor_needs_scale_to_win(self):
+        """A CPU compressor adds latency on small clusters and only wins
+        once the PFS is the bottleneck."""
+        from repro.parallel import (ClusterSpec, breakeven_nodes,
+                                    simulate_campaign_write)
+        jobs = self._jobs(cr=25.0)
+        small = ClusterSpec(nodes=1, platform=H100, pfs_bandwidth=2000e9)
+        rep_small = simulate_campaign_write(jobs, "sz3", small)
+        assert rep_small.write_speedup < 1.0
+        be = breakeven_nodes(jobs, "sz3", H100, pfs_bandwidth=2000e9)
+        assert be is not None and be > 1
+
+    def test_cr_raises_speedup(self):
+        from repro.parallel import ClusterSpec, simulate_campaign_write
+        cl = ClusterSpec(nodes=64, platform=H100, pfs_bandwidth=500e9)
+        lo = simulate_campaign_write(self._jobs(cr=2.0), "fzmod-speed", cl)
+        hi = simulate_campaign_write(self._jobs(cr=50.0), "fzmod-speed", cl)
+        assert hi.write_speedup > lo.write_speedup
+
+    def test_validation(self):
+        from repro.parallel import ClusterSpec, simulate_campaign_write
+        with pytest.raises(ConfigError):
+            ClusterSpec(nodes=0, platform=H100, pfs_bandwidth=1e9)
+        with pytest.raises(ConfigError):
+            ClusterSpec(nodes=2, platform=H100, pfs_bandwidth=0)
+        cl = ClusterSpec(nodes=2, platform=H100, pfs_bandwidth=1e9)
+        with pytest.raises(ConfigError):
+            simulate_campaign_write([], "fzmod-speed", cl)

@@ -1,0 +1,186 @@
+"""Tests for platform specs, the cost model and the throughput estimator.
+
+These encode the *shape claims* of the paper's Figures 1-3 — who wins and
+where — as assertions against the calibrated model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import overall_speedup
+from repro.perf import (CALIBRATION, COMPRESSORS, H100, V100, PipelineCost,
+                        Resource, RunStats, StageCost, compression_cost,
+                        cpu_rate, decompression_cost, estimate_throughput,
+                        get_platform, table1_rows)
+
+GB = 1e9
+STATS = RunStats(input_bytes=512 * 1024 * 1024, cr=15.0)
+
+
+class TestPlatforms:
+    def test_table1_values(self):
+        assert H100.gpu_mem_bw == pytest.approx(3.35e12)
+        assert H100.measured_link_bw == pytest.approx(35.7e9)
+        assert V100.gpu_mem_bw == pytest.approx(900e9)
+        assert V100.measured_link_bw == pytest.approx(6.91e9)
+        assert H100.cpu_cores == 40 and V100.cpu_cores == 96
+
+    def test_lookup(self):
+        assert get_platform("H100") is H100
+        with pytest.raises(KeyError):
+            get_platform("a100")
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 2
+        assert rows[0]["Platform"] == "Quartz H100"
+
+
+class TestCostModel:
+    def test_stage_seconds_scale_with_traffic(self):
+        a = StageCost("x", Resource.GPU, traffic=1.0, efficiency=0.2)
+        b = StageCost("y", Resource.GPU, traffic=2.0, efficiency=0.2)
+        assert b.seconds_per_byte(H100) == pytest.approx(
+            2 * a.seconds_per_byte(H100))
+
+    def test_rate_overrides_bandwidth(self):
+        s = StageCost("cpu", Resource.CPU, traffic=1.0, rate=10e9)
+        assert s.seconds_per_byte(H100) == pytest.approx(0.1 / GB)
+
+    def test_launch_overhead_counted(self):
+        s = StageCost("k", Resource.GPU, traffic=1.0, efficiency=0.2,
+                      launches=10)
+        assert s.fixed_seconds(H100) == pytest.approx(
+            10 * H100.gpu_launch_overhead)
+
+    def test_pipeline_throughput(self):
+        p = PipelineCost("p", [StageCost("k", Resource.GPU, traffic=2.0,
+                                         efficiency=0.25)])
+        th = p.throughput(H100, 1 << 30)
+        assert 0 < th < H100.gpu_mem_bw
+
+    def test_bad_input_bytes(self):
+        p = PipelineCost("p", [])
+        with pytest.raises(ConfigError):
+            p.seconds(H100, 0)
+
+    def test_cpu_rate_capped_by_membw(self):
+        r = cpu_rate(1e12, H100)  # absurd per-core rate
+        assert r <= H100.cpu_mem_bw * 0.8
+
+
+class TestEstimatorShape:
+    """Figure 1-3 shape claims, asserted against the model."""
+
+    def _all(self, platform):
+        return {n: estimate_throughput(n, STATS, platform)
+                for n in COMPRESSORS}
+
+    def test_cuszp2_is_fastest_both_directions_h100(self):
+        th = self._all(H100)
+        for n in COMPRESSORS:
+            if n != "cuszp2":
+                assert th["cuszp2"].compress_bps > th[n].compress_bps
+                assert th["cuszp2"].decompress_bps > th[n].decompress_bps
+
+    def test_quality_beats_pfpl_compression_by_20_to_100pct_h100(self):
+        th = self._all(H100)
+        ratio = th["fzmod-quality"].compress_bps / th["pfpl"].compress_bps
+        assert 1.2 <= ratio <= 2.0
+
+    def test_default_between_speed_and_quality(self):
+        th = self._all(H100)
+        assert (th["fzmod-quality"].compress_bps
+                < th["fzmod-default"].compress_bps
+                < th["fzmod-speed"].compress_bps)
+
+    def test_pfpl_fzgpu_strong_decompression(self):
+        th = self._all(H100)
+        for n in ("fzmod-default", "fzmod-quality"):
+            assert th["pfpl"].decompress_bps >= th[n].decompress_bps * 0.95
+            assert th["fzgpu"].decompress_bps > th[n].decompress_bps
+
+    def test_speed_slower_than_fused_fzgpu(self):
+        th = self._all(H100)
+        assert th["fzmod-speed"].compress_bps < th["fzgpu"].compress_bps
+
+    def test_sz3_is_slowest(self):
+        th = self._all(H100)
+        assert th["sz3"].compress_bps == min(t.compress_bps
+                                             for t in th.values())
+
+    def test_v100_slower_than_h100(self):
+        for n in ("cuszp2", "fzgpu", "fzmod-speed"):
+            assert (estimate_throughput(n, STATS, V100).compress_bps
+                    < estimate_throughput(n, STATS, H100).compress_bps)
+
+    def test_pfpl_faster_on_v100_node(self):
+        """The V100 node has 96 newer CPU cores — PFPL (a CPU compressor)
+        speeds up there while the GPU compressors slow down."""
+        assert (estimate_throughput("pfpl", STATS, V100).compress_bps
+                > estimate_throughput("pfpl", STATS, H100).compress_bps)
+
+    def test_unknown_compressor(self):
+        with pytest.raises(ConfigError):
+            compression_cost("szx", STATS, H100)
+        with pytest.raises(ConfigError):
+            decompression_cost("szx", STATS, H100)
+
+    def test_stats_validation(self):
+        with pytest.raises(ConfigError):
+            RunStats(input_bytes=0, cr=10)
+        with pytest.raises(ConfigError):
+            RunStats(input_bytes=100, cr=0)
+
+
+class TestSpeedupShape:
+    """Figure 2/3 claims with the paper's own Table-3 CRs."""
+
+    TABLE3 = {
+        ("cesm", "1e-2"): {"fzmod-default": 29.9, "fzmod-quality": 27.7,
+                           "fzmod-speed": 8.4, "fzgpu": 40.5, "cuszp2": 32.6,
+                           "pfpl": 181.2, "sz3": 411.9},
+        ("cesm", "1e-4"): {"fzmod-default": 15.8, "fzmod-quality": 15.0,
+                           "fzmod-speed": 4.9, "fzgpu": 13.0, "cuszp2": 8.3,
+                           "pfpl": 21.5, "sz3": 26.6},
+        ("nyx", "1e-2"): {"fzmod-default": 30.1, "fzmod-quality": 29.6,
+                          "fzmod-speed": 13.2, "fzgpu": 86.1, "cuszp2": 66.7,
+                          "pfpl": 1009.0, "sz3": 23038.0},
+        ("nyx", "1e-6"): {"fzmod-default": 6.6, "fzmod-quality": 7.4,
+                          "fzmod-speed": 2.8, "fzgpu": 4.0, "cuszp2": 3.7,
+                          "pfpl": 5.6, "sz3": 15.9},
+    }
+
+    def _speedups(self, platform):
+        out = {}
+        for cell, crs in self.TABLE3.items():
+            for name, cr in crs.items():
+                stats = RunStats(input_bytes=STATS.input_bytes, cr=cr)
+                t = estimate_throughput(name, stats, platform)
+                out[(cell, name)] = overall_speedup(
+                    cr, t.compress_bps, platform.measured_link_bw)
+        return out
+
+    def test_cuszp2_clear_advantage_on_h100(self):
+        sp = self._speedups(H100)
+        wins = sum(1 for cell in self.TABLE3
+                   if sp[(cell, "cuszp2")]
+                   == max(sp[(cell, n)] for n in self.TABLE3[cell]))
+        assert wins >= 3  # "clear advantage" on the H100
+
+    def test_pfpl_wins_some_cells_on_v100(self):
+        """'PFPL ... ends up beating cuSZp2 in overall speedup for 50% of
+        cases' on the V100 (§4.3.2)."""
+        sp = self._speedups(V100)
+        wins = sum(1 for cell in self.TABLE3
+                   if sp[(cell, "pfpl")] > sp[(cell, "cuszp2")])
+        assert 1 <= wins <= 3  # some but not all cells
+
+    def test_default_beats_pfpl_and_quality_on_h100_often(self):
+        sp = self._speedups(H100)
+        wins = sum(1 for cell in self.TABLE3
+                   if sp[(cell, "fzmod-default")]
+                   > max(sp[(cell, "pfpl")], sp[(cell, "fzmod-quality")]))
+        assert wins >= 3  # paper: 8 of 12

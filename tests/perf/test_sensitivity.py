@@ -1,0 +1,73 @@
+"""Tests for the calibration sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import (CALIBRATION, FIG1_ORDERINGS, H100, V100, RunStats,
+                        ordering_robustness, perturb, robustness_summary)
+
+STATS = RunStats(input_bytes=1 << 29, cr=15.0)
+
+
+class TestPerturb:
+    def test_scales_one_field(self):
+        cal = perturb(CALIBRATION, "gpu_eff_fused", 0.5)
+        assert cal.gpu_eff_fused == pytest.approx(
+            CALIBRATION.gpu_eff_fused * 0.5)
+        assert cal.gpu_eff_kernel == CALIBRATION.gpu_eff_kernel
+
+    def test_original_untouched(self):
+        before = CALIBRATION.gpu_eff_fused
+        perturb(CALIBRATION, "gpu_eff_fused", 2.0)
+        assert CALIBRATION.gpu_eff_fused == before
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError):
+            perturb(CALIBRATION, "warp_speed", 1.1)
+
+
+class TestRobustness:
+    def test_baseline_orderings_hold(self):
+        res = ordering_robustness(STATS, H100, spread=0.2)
+        assert all(res["baseline"].values())
+
+    def test_fig1_orderings_robust_to_20pct(self):
+        """The headline result: every Figure-1 ordering survives +-20%
+        perturbation of every calibration constant (the shapes come from
+        structure, not tuning)."""
+        res = ordering_robustness(STATS, H100, spread=0.2)
+        for key, checks in res.items():
+            assert all(checks.values()), (key, checks)
+
+    def test_gpu_orderings_hold_on_v100_too(self):
+        """Figure 1 is H100-specific; on the V100 node the 96 newer CPU
+        cores legitimately push PFPL past FZMod-Quality, so only the
+        platform-independent (GPU-side) orderings are asserted there."""
+        gpu_side = tuple(c for c in FIG1_ORDERINGS
+                         if c.name != "quality-beats-pfpl")
+        res = ordering_robustness(STATS, V100, spread=0.2, checks=gpu_side)
+        assert all(res["baseline"].values())
+        # and the pfpl flip on V100 is itself a stable conclusion
+        flip = next(c for c in FIG1_ORDERINGS
+                    if c.name == "quality-beats-pfpl")
+        res2 = ordering_robustness(STATS, V100, spread=0.2, checks=(flip,))
+        assert not any(r["quality-beats-pfpl"] for r in res2.values())
+
+    def test_large_perturbation_can_flip(self):
+        """Sanity: the analysis is not vacuous — a 20x change in the
+        CPU Huffman rate must flip the quality-vs-pfpl ordering."""
+        cal = perturb(CALIBRATION, "cpu_huffman_encode_per_core", 1 / 20)
+        check = next(c for c in FIG1_ORDERINGS
+                     if c.name == "quality-beats-pfpl")
+        assert not check.holds(STATS, H100, cal)
+
+    def test_summary_renders(self):
+        res = ordering_robustness(STATS, H100, spread=0.1)
+        text = robustness_summary(res)
+        assert "cuszp2-fastest" in text and "100%" in text
+
+    def test_bad_spread_rejected(self):
+        with pytest.raises(ConfigError):
+            ordering_robustness(STATS, H100, spread=1.5)

@@ -1,0 +1,231 @@
+"""Tests for the STF engine: logical data, hazard inference, scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StfError
+from repro.stf import (AccessMode, StfContext, critical_path_seconds, gantt,
+                       summarize)
+
+
+def make_ctx() -> StfContext:
+    return StfContext()
+
+
+class TestLogicalData:
+    def test_initial_value_readable(self):
+        ctx = make_ctx()
+        ld = ctx.logical_data(np.arange(5), "x")
+        np.testing.assert_array_equal(ld.get(), np.arange(5))
+
+    def test_empty_data_needs_writer_before_read(self):
+        ctx = make_ctx()
+        ld = ctx.logical_data_empty("y")
+        with pytest.raises(StfError):
+            ctx.task("reader", lambda a: None, [ld.read()])
+
+    def test_access_modes(self):
+        ctx = make_ctx()
+        ld = ctx.logical_data(np.zeros(3), "x")
+        assert ld.read().mode is AccessMode.READ
+        assert ld.write().mode is AccessMode.WRITE
+        assert ld.rw().mode is AccessMode.RW
+        assert ld.rw().mode.reads and ld.rw().mode.writes
+
+
+class TestHazardInference:
+    def test_raw_dependency(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(4), "a")
+        b = ctx.logical_data_empty("b")
+        t1 = ctx.task("w", lambda x: (x * 2,), [a.read(), b.write()])
+        t2 = ctx.task("r", lambda x: None, [b.read()])
+        assert ctx.builder.graph.has_edge(t1.id, t2.id)
+
+    def test_war_dependency(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(4), "a")
+        t1 = ctx.task("r", lambda x: None, [a.read()])
+        t2 = ctx.task("w", lambda x: None, [a.rw()])
+        assert ctx.builder.graph.has_edge(t1.id, t2.id)
+
+    def test_waw_dependency(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(4), "a")
+        t1 = ctx.task("w1", lambda: (np.zeros(4),), [a.write()])
+        t2 = ctx.task("w2", lambda: (np.ones(4),), [a.write()])
+        assert ctx.builder.graph.has_edge(t1.id, t2.id)
+
+    def test_independent_readers_have_no_edge(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(4), "a")
+        t1 = ctx.task("r1", lambda x: None, [a.read()])
+        t2 = ctx.task("r2", lambda x: None, [a.read()])
+        assert not ctx.builder.graph.has_edge(t1.id, t2.id)
+        assert not ctx.builder.graph.has_edge(t2.id, t1.id)
+
+    def test_duplicate_access_rejected(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(4), "a")
+        with pytest.raises(StfError):
+            ctx.task("bad", lambda x, y: None, [a.read(), a.rw()])
+
+    def test_no_accesses_rejected(self):
+        ctx = make_ctx()
+        with pytest.raises(StfError):
+            ctx.task("empty", lambda: None, [])
+
+    def test_graph_width(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(2), "a")
+        for i in range(3):
+            out = ctx.logical_data_empty(f"o{i}")
+            ctx.task(f"t{i}", lambda x: (x + 1,), [a.read(), out.write()])
+        assert ctx.builder.width() == 3
+
+
+@pytest.mark.parametrize("mode", ["serial", "async"])
+class TestExecution:
+    def test_diamond_dataflow(self, mode):
+        ctx = make_ctx()
+        x = ctx.logical_data(np.arange(100, dtype=np.float64), "x")
+        a = ctx.logical_data_empty("a")
+        b = ctx.logical_data_empty("b")
+        c = ctx.logical_data_empty("c")
+        ctx.task("sq", lambda v: (v * v,), [x.read(), a.write()], device="gpu0")
+        ctx.task("neg", lambda v: (-v,), [x.read(), b.write()], device="cpu0")
+        ctx.task("sum", lambda u, v: (u + v,), [a.read(), b.read(), c.write()])
+        ctx.run(mode=mode)
+        np.testing.assert_allclose(c.get(), np.arange(100.0) ** 2
+                                   - np.arange(100.0))
+
+    def test_rw_chain_is_ordered(self, mode):
+        ctx = make_ctx()
+        v = ctx.logical_data(np.zeros(4), "v")
+
+        def addk(k):
+            def f(arr):
+                arr += k
+            return f
+
+        for k in (1, 10, 100):
+            ctx.task(f"add{k}", addk(k), [v.rw()], device="cpu0")
+        ctx.run(mode=mode, workers=4)
+        np.testing.assert_array_equal(v.get(), [111.0] * 4)
+
+    def test_transfers_are_inserted_and_counted(self, mode):
+        ctx = make_ctx()
+        x = ctx.logical_data(np.zeros(1000, dtype=np.float64), "x")
+        y = ctx.logical_data_empty("y")
+        ctx.task("gpu-op", lambda v: (v + 1,), [x.read(), y.write()],
+                 device="gpu0")
+        ctx.task("cpu-op", lambda v: None, [y.read()], device="cpu0")
+        rep = ctx.run(mode=mode)
+        assert rep.stats.between("cpu0", "gpu0") == 8000  # x H2D
+        assert rep.stats.between("gpu0", "cpu0") == 8000  # y D2H
+
+    def test_wrong_return_arity_fails(self, mode):
+        ctx = make_ctx()
+        a = ctx.logical_data_empty("a")
+        b = ctx.logical_data_empty("b")
+        ctx.task("bad", lambda: (np.ones(3),), [a.write(), b.write()])
+        with pytest.raises(StfError):
+            ctx.run(mode=mode)
+
+    def test_task_exception_propagates(self, mode):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(3), "a")
+
+        def boom(_):
+            raise ValueError("kernel failed")
+
+        ctx.task("boom", boom, [a.read()])
+        with pytest.raises(ValueError, match="kernel failed"):
+            ctx.run(mode=mode)
+
+    def test_context_single_shot(self, mode):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(3), "a")
+        ctx.task("t", lambda x: None, [a.read()])
+        ctx.run(mode=mode)
+        with pytest.raises(StfError):
+            ctx.task("late", lambda x: None, [a.read()])
+        with pytest.raises(StfError):
+            ctx.run(mode=mode)
+
+
+class TestSimulatedSchedule:
+    def _parallel_flow(self):
+        ctx = make_ctx()
+        x = ctx.logical_data(np.zeros(10), "x")
+        outs = []
+        for i, dev in enumerate(["gpu0", "cpu0"]):
+            o = ctx.logical_data_empty(f"o{i}")
+            outs.append(o)
+            ctx.task(f"t{i}", lambda v: (v + 1,), [x.read(), o.write()],
+                     device=dev, duration=1e-3)
+        return ctx
+
+    def test_independent_tasks_overlap(self):
+        ctx = self._parallel_flow()
+        rep = ctx.run(mode="async")
+        # two 1 ms tasks on different devices: makespan ~1 ms not ~2 ms
+        assert rep.makespan < 1.7e-3
+        assert rep.overlap_speedup() > 1.1
+
+    def test_serial_mode_same_schedule_model(self):
+        # the simulated timeline is execution-mode independent
+        r1 = self._parallel_flow().run(mode="serial")
+        r2 = self._parallel_flow().run(mode="async")
+        assert r1.makespan == pytest.approx(r2.makespan, rel=1e-9)
+
+    def test_duration_model_callable(self):
+        ctx = make_ctx()
+        x = ctx.logical_data(np.zeros(1000, dtype=np.float64), "x")
+        t = ctx.task("t", lambda v: None, [x.read()], device="gpu0",
+                     duration=lambda nbytes: nbytes * 1e-9)
+        ctx.run()
+        assert t.sim_end - t.sim_start == pytest.approx(
+            8000 * 1e-9 + 5e-6)  # + launch overhead
+
+    def test_critical_path_le_makespan_le_serial(self):
+        ctx = make_ctx()
+        x = ctx.logical_data(np.zeros(10), "x")
+        a = ctx.logical_data_empty("a")
+        b = ctx.logical_data_empty("b")
+        ctx.task("t1", lambda v: (v + 1,), [x.read(), a.write()],
+                 device="gpu0", duration=1e-3)
+        ctx.task("t2", lambda v: (v * 2,), [a.read(), b.write()],
+                 device="cpu0", duration=2e-3)
+        rep = ctx.run()
+        cp = critical_path_seconds(ctx.builder)
+        assert cp <= rep.makespan + 1e-12
+        assert rep.makespan <= rep.serial_time() + 1e-12
+
+    def test_gantt_renders(self):
+        ctx = self._parallel_flow()
+        rep = ctx.run()
+        text = gantt(rep)
+        assert "gpu0" in text and "cpu0" in text
+
+    def test_summary(self):
+        ctx = self._parallel_flow()
+        rep = ctx.run()
+        s = summarize(ctx.builder, rep)
+        assert s.graph_width == 2
+        assert "makespan" in str(s)
+
+    def test_unknown_device_rejected(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(3), "a")
+        with pytest.raises(StfError):
+            ctx.task("t", lambda x: None, [a.read()], device="tpu9")
+
+    def test_unknown_mode_rejected(self):
+        ctx = make_ctx()
+        a = ctx.logical_data(np.ones(3), "a")
+        ctx.task("t", lambda x: None, [a.read()])
+        with pytest.raises(StfError):
+            ctx.run(mode="warp")

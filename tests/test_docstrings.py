@@ -1,0 +1,53 @@
+"""Documentation quality gate: every public item carries a docstring.
+
+The paper promises "detailed documentation"; this test makes the promise
+enforceable — every public module, class and function in ``repro`` must
+have a non-trivial docstring.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        doc = inspect.getdoc(obj)
+        if not doc or len(doc.strip()) < 10:
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(member):
+                    continue
+                mdoc = inspect.getdoc(member)
+                if not mdoc or len(mdoc.strip()) < 5:
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (module.__name__, undocumented)

@@ -1,0 +1,114 @@
+"""Cross-subsystem integration tests.
+
+These exercise realistic end-to-end flows: dataset -> pipeline ->
+container -> reconstruction -> metrics, custom-module extension, and the
+evaluation loop the benches run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (ErrorBound, Pipeline, PipelineBuilder, decompress,
+                   fzmod_default, register)
+from repro.baselines import ALL_COMPRESSOR_NAMES, get_compressor
+from repro.core.modules_std import NoSecondary
+from repro.data import get_dataset, load_field
+from repro.metrics import (bit_rate, overall_speedup, psnr,
+                           verify_error_bound)
+from repro.perf import H100, RunStats, estimate_throughput
+from repro.types import Stage
+
+
+class TestDatasetSweep:
+    """The Table-3 evaluation loop in miniature."""
+
+    @pytest.mark.parametrize("dataset", ["cesm", "hacc", "hurr", "nyx"])
+    def test_all_compressors_one_field(self, dataset):
+        spec = get_dataset(dataset)
+        data = spec.load(field=spec.fields[0], scale=spec.default_scale / 3)
+        rng = float(data.max() - data.min())
+        crs = {}
+        for name in ALL_COMPRESSOR_NAMES:
+            comp = get_compressor(name)
+            cf = comp.compress(data, 1e-3)
+            recon = comp.decompress(cf)
+            assert verify_error_bound(data, recon, 1e-3 * rng), name
+            crs[name] = cf.stats.cr
+        assert all(cr > 1.0 for cr in crs.values())
+
+    def test_eb_sweep_rate_distortion_monotone(self):
+        """Figure-4 structure: tightening the bound raises PSNR and bitrate."""
+        data = load_field("nyx", "temperature", scale=0.05)
+        pipe = fzmod_default()
+        prev_psnr, prev_rate = -1.0, -1.0
+        for eb in (1e-1, 1e-2, 1e-3, 1e-4):
+            cf = pipe.compress(data, eb)
+            recon = decompress(cf.blob)
+            q = psnr(data, recon)
+            rate = bit_rate(data.size, cf.stats.output_bytes)
+            assert q >= prev_psnr - 1e-9
+            assert rate >= prev_rate - 1e-9
+            prev_psnr, prev_rate = q, rate
+
+
+class TestCustomModuleExtension:
+    """The framework's headline feature: drop in a new module."""
+
+    def test_custom_secondary_module_end_to_end(self, smooth_2d):
+        class XorSecondary(NoSecondary):
+            """Toy secondary codec: XOR with a constant (self-inverse)."""
+            name = "xor-test"
+
+            def encode(self, body: bytes) -> bytes:
+                return bytes(b ^ 0x5A for b in body)
+
+            def decode(self, body: bytes) -> bytes:
+                return bytes(b ^ 0x5A for b in body)
+
+        from repro.core.registry import DEFAULT_REGISTRY
+        register(XorSecondary())
+        try:
+            pipe = (PipelineBuilder("xor-pipe").with_predictor("lorenzo")
+                    .with_encoder("bitshuffle").with_secondary("xor-test")
+                    .build())
+            cf = pipe.compress(smooth_2d, 1e-3)
+            recon = decompress(cf.blob)  # header-driven decode finds xor-test
+            rngv = float(smooth_2d.max() - smooth_2d.min())
+            assert verify_error_bound(smooth_2d, recon, 1e-3 * rngv)
+        finally:
+            DEFAULT_REGISTRY._modules[Stage.SECONDARY].pop("xor-test")
+
+
+class TestMeasuredStatsFeedPerfModel:
+    def test_pipeline_stats_to_speedup(self):
+        """Stats from a real compression run parameterise Eq. (1)."""
+        data = load_field("hurr", "TC", scale=0.08)
+        cf = fzmod_default().compress(data, 1e-3)
+        stats = RunStats(input_bytes=data.nbytes, cr=cf.stats.cr,
+                         code_fraction=cf.stats.code_fraction,
+                         outlier_fraction=cf.stats.outlier_fraction)
+        th = estimate_throughput("fzmod-default", stats, H100)
+        s = overall_speedup(cf.stats.cr, th.compress_bps,
+                            H100.measured_link_bw)
+        assert 0.05 < s < cf.stats.cr
+
+
+class TestFileRoundTrip:
+    def test_blob_survives_disk(self, tmp_path, smooth_3d):
+        cf = fzmod_default().compress(smooth_3d, ErrorBound(1e-3))
+        path = tmp_path / "field.fzmod"
+        path.write_bytes(cf.blob)
+        recon = decompress(path.read_bytes())
+        rngv = float(smooth_3d.max() - smooth_3d.min())
+        assert verify_error_bound(smooth_3d, recon, 1e-3 * rngv)
+
+    def test_cross_pipeline_decode_matrix(self, smooth_2d):
+        """Every producer's blob decodes through the generic entry point."""
+        producers = [get_compressor(n) for n in ALL_COMPRESSOR_NAMES]
+        rngv = float(smooth_2d.max() - smooth_2d.min())
+        for comp in producers:
+            cf = comp.compress(smooth_2d, 1e-3)
+            recon = comp.decompress(cf.blob)
+            assert verify_error_bound(smooth_2d, recon, 1e-3 * rngv), comp.name

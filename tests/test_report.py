@@ -1,0 +1,67 @@
+"""Tests for the one-stop evaluation report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.report import EvaluationReport, ReportRow, evaluate
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(7)
+    return np.cumsum(rng.standard_normal((16, 24, 24)),
+                     axis=0).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def report(field):
+    return evaluate(field, ebs=(1e-2, 1e-4),
+                    compressors=("fzmod-default", "fzmod-speed", "sz3"))
+
+
+class TestEvaluate:
+    def test_row_count(self, report):
+        assert len(report.rows) == 6  # 3 compressors x 2 bounds
+
+    def test_all_bounds_verified(self, report):
+        assert all(r.bound_ok for r in report.rows)
+
+    def test_ssim_and_gradient_populated(self, report):
+        for r in report.rows:
+            assert 0.0 <= r.ssim <= 1.0
+            assert np.isfinite(r.gradient_psnr_db)
+
+    def test_tighter_bound_higher_quality(self, report):
+        for name in ("fzmod-default", "fzmod-speed", "sz3"):
+            rows = {r.eb: r for r in report.rows if r.compressor == name}
+            assert rows[1e-4].psnr_db >= rows[1e-2].psnr_db
+
+    def test_full_size_scaling_affects_model_only(self, field):
+        small = evaluate(field, ebs=(1e-3,), compressors=("fzmod-speed",))
+        big = evaluate(field, ebs=(1e-3,), compressors=("fzmod-speed",),
+                       full_size_bytes=1 << 30)
+        assert small.rows[0].cr == pytest.approx(big.rows[0].cr)
+        assert (big.rows[0].modeled_compress_gbps_h100
+                > small.rows[0].modeled_compress_gbps_h100)
+
+    def test_best_by(self, report):
+        best = report.best_by("cr", 1e-2)
+        assert best.cr == max(r.cr for r in report.rows if r.eb == 1e-2)
+        with pytest.raises(ConfigError):
+            report.best_by("cr", 5e-5)
+
+    def test_table_renders(self, report):
+        text = report.table()
+        assert "fzmod-default" in text and "CR" in text
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ConfigError):
+            evaluate(np.zeros((0,), dtype=np.float32))
+
+    def test_speedups_consistent_with_model(self, report):
+        for r in report.rows:
+            assert 0 < r.speedup_h100 <= r.cr + 1e-9
+            assert 0 < r.speedup_v100 <= r.cr + 1e-9

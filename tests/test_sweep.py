@@ -1,0 +1,76 @@
+"""Tests for the parameter-sweep harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sweep import SweepResult, run_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(4)
+    fields = {"synthA": [("f0", np.cumsum(rng.standard_normal((48, 60)),
+                                          axis=0).astype(np.float32)),
+                         ("f1", np.cumsum(rng.standard_normal((48, 60)),
+                                          axis=1).astype(np.float32))]}
+    return run_sweep(fields, ebs=(1e-2, 1e-4),
+                     compressors=("fzmod-default", "fzmod-speed"))
+
+
+class TestSweep:
+    def test_cell_count(self, result):
+        assert len(result.cells) == 2 * 2 * 2  # fields x compressors x ebs
+
+    def test_all_bounds_verified(self, result):
+        assert result.all_bounds_ok()
+
+    def test_select_filters(self, result):
+        sub = result.select(compressor="fzmod-speed", eb=1e-2)
+        assert len(sub) == 2
+        assert all(c.compressor == "fzmod-speed" for c in sub)
+
+    def test_mean_cr_and_winner(self, result):
+        cr = result.mean_cr("synthA", 1e-2, "fzmod-default")
+        assert cr > 1.0
+        assert result.winner("synthA", 1e-2) in ("fzmod-default",
+                                                 "fzmod-speed")
+
+    def test_winner_by_other_metric(self, result):
+        best = result.winner("synthA", 1e-4, metric="psnr_db")
+        assert best in ("fzmod-default", "fzmod-speed")
+
+    def test_pivot_renders(self, result):
+        text = result.pivot_cr()
+        assert "synthA" in text and "fzmod-defaul" in text  # names clipped to 12
+
+    def test_missing_cells_rejected(self, result):
+        with pytest.raises(ConfigError):
+            result.mean_cr("nope", 1e-2, "fzmod-default")
+        with pytest.raises(ConfigError):
+            result.winner("nope", 1e-2)
+
+    def test_on_cell_callback(self):
+        seen = []
+        rng = np.random.default_rng(1)
+        run_sweep({"s": [("f", rng.standard_normal(500)
+                          .astype(np.float32))]},
+                  ebs=(1e-2,), compressors=("fzmod-speed",),
+                  on_cell=seen.append)
+        assert len(seen) == 1
+        assert seen[0].compressor == "fzmod-speed"
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sweep({})
+
+    def test_dataset_loader_integration(self):
+        from repro.data import get_dataset
+        spec = get_dataset("hurr")
+        res = run_sweep({"hurr": [(f, spec.load(field=f, scale=0.04))
+                                  for f in spec.fields[:2]]},
+                        ebs=(1e-3,), compressors=("sz3", "pfpl"))
+        assert res.all_bounds_ok()
+        assert res.winner("hurr", 1e-3) == "sz3"
