@@ -1,0 +1,93 @@
+"""Scaling curve of the sharded parallel compression engine.
+
+The engine's contract is two-fold: (1) the multi-shard container is
+byte-identical for every worker count, and (2) on a multi-core node the
+throughput scales with workers until memory bandwidth saturates.  This
+bench compresses a >= 64 MB synthetic field at 1/2/4 workers on the
+process backend and records MB/s per point; the >= 2x-at-4-workers
+assertion only arms when the machine actually exposes >= 4 CPUs (a
+single-core container can validate determinism, not physics).
+
+Size is tunable via ``FZMOD_PARALLEL_BENCH_MB`` (default 64).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+from _common import emit
+
+from repro.core import decompress, get_preset
+from repro.parallel import compress_sharded, decompress_sharded
+
+BENCH_MB = max(64, int(os.environ.get("FZMOD_PARALLEL_BENCH_MB", "64")))
+WORKER_POINTS = (1, 2, 4)
+SHARD_MB = 8.0
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _field() -> np.ndarray:
+    """A smooth >= BENCH_MB MiB float32 field (fast to generate)."""
+    rows = (BENCH_MB << 20) // (256 * 256 * 4)
+    z, y, x = np.mgrid[0:rows, 0:256, 0:256]
+    f = (np.sin(x / 17.0) + np.cos(y / 13.0)) * 40.0 + z * 0.01
+    return f.astype(np.float32)
+
+
+def _run_curve(data: np.ndarray) -> dict[int, float]:
+    """Measure compress throughput (input MB/s) per worker count."""
+    pipe = get_preset("fzmod-speed")
+    curve: dict[int, float] = {}
+    blobs: dict[int, bytes] = {}
+    for w in WORKER_POINTS:
+        backend = "inprocess" if w == 1 else "process"
+        t0 = time.perf_counter()
+        result = compress_sharded(data, pipe, 1e-3, workers=w,
+                                  shard_mb=SHARD_MB, backend=backend)
+        dt = time.perf_counter() - t0
+        curve[w] = data.nbytes / 1e6 / dt
+        blobs[w] = result.blob
+    # determinism across every point of the curve
+    for w in WORKER_POINTS[1:]:
+        assert blobs[w] == blobs[WORKER_POINTS[0]], \
+            f"blob at workers={w} differs from workers={WORKER_POINTS[0]}"
+    # the container decodes from the blob alone, in parallel
+    recon = decompress_sharded(blobs[WORKER_POINTS[-1]], workers=2)
+    assert np.array_equal(recon, decompress(blobs[WORKER_POINTS[0]]))
+    return curve
+
+
+def render(curve: dict[int, float], cpus: int) -> str:
+    base = curve[WORKER_POINTS[0]]
+    lines = [f"Sharded parallel engine scaling ({BENCH_MB} MB float32, "
+             f"fzmod-speed, {SHARD_MB:g} MB shards, {cpus} CPU(s) visible)",
+             "-" * 66,
+             f"{'workers':>8} | {'MB/s':>9} | {'speedup':>8}"]
+    for w in WORKER_POINTS:
+        lines.append(f"{w:>8} | {curve[w]:>9.1f} | {curve[w] / base:>8.2f}x")
+    if cpus < max(WORKER_POINTS):
+        lines.append(f"(scaling assertion skipped: {cpus} CPU(s) < "
+                     f"{max(WORKER_POINTS)})")
+    return "\n".join(lines)
+
+
+def test_parallel_engine_scaling(benchmark):
+    data = _field()
+    curve = benchmark.pedantic(_run_curve, args=(data,),
+                               rounds=1, iterations=1)
+    cpus = _cpus()
+    emit("parallel_engine_scaling", render(curve, cpus))
+    if cpus < max(WORKER_POINTS):
+        pytest.skip(f"only {cpus} CPU(s) visible; determinism checked, "
+                    "scaling not measurable")
+    assert curve[4] >= 2.0 * curve[1], (
+        f"expected >= 2x at 4 workers, got {curve[4] / curve[1]:.2f}x")

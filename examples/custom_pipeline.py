@@ -1,25 +1,27 @@
 #!/usr/bin/env python3
 """Building custom pipelines — the framework's core workflow (§3.3).
 
-Shows the three ways to get a pipeline:
+Shows the ways to get a pipeline, all of which meet at the same place —
+a frozen :class:`PipelineSpec` resolved by ``Pipeline.from_spec``:
 
 1. the shipped presets (FZMod-Default / Speed / Quality);
-2. the fluent :class:`PipelineBuilder` over registered modules;
-3. registering a *new* module and composing with it — the extensibility
-   story of the paper.
+2. a :class:`PipelineSpec` written directly, or built with the fluent
+   :class:`PipelineBuilder`;
+3. registering a *new* module (via the ``@registry.module`` decorator)
+   and composing with it — the extensibility story of the paper.
 
     python examples/custom_pipeline.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import PipelineBuilder, decompress, fzmod_default, fzmod_quality, \
-    fzmod_speed, register
+from repro import (DEFAULT_REGISTRY, Pipeline, PipelineBuilder, PipelineSpec,
+                   decompress, fzmod_default, fzmod_quality, fzmod_speed,
+                   unregister)
 from repro.core.modules_std import NoSecondary
 from repro.data import load_field
 from repro.metrics import psnr
+from repro.types import Stage
 
 
 def compare(pipes, field, eb: float) -> None:
@@ -31,11 +33,13 @@ def compare(pipes, field, eb: float) -> None:
               f"{cf.stats.bit_rate:>9.3f} {psnr(field, recon):>8.2f}")
 
 
+@DEFAULT_REGISTRY.module
 class ByteRotateSecondary(NoSecondary):
     """A (deliberately silly) custom secondary module: rotate every byte.
 
     Real modules would wrap an actual codec; the point is the interface —
-    implement ``encode``/``decode``, set ``name``, register, done.  The
+    implement ``encode``/``decode``, set ``name``, decorate with
+    ``@registry.module`` (which registers an instance), done.  The
     container header records the name, so decompression finds the module
     automatically in any process that registered it.
     """
@@ -58,32 +62,36 @@ def main() -> None:
     print("-- presets " + "-" * 40)
     compare([fzmod_default(), fzmod_speed(), fzmod_quality()], field, eb)
 
-    # 2. builder: mix stages freely — e.g. the quality predictor with the
-    #    fast encoder, or Huffman plus a secondary pass
-    print("\n-- builder combinations " + "-" * 27)
-    interp_fast = (PipelineBuilder("interp+bitshuffle")
-                   .with_predictor("interp")
-                   .with_encoder("bitshuffle")
-                   .build())
+    # 2. specs: mix stages freely — e.g. the quality predictor with the
+    #    fast encoder, or Huffman plus a secondary pass.  A spec written
+    #    out and the equivalent builder chain produce the same pipeline.
+    print("\n-- spec / builder combinations " + "-" * 20)
+    interp_fast = Pipeline.from_spec(PipelineSpec(
+        predictor="interp", encoder="bitshuffle",
+        name="interp+bitshuffle"))
     lorenzo_packed = (PipelineBuilder("lorenzo+huffman+zstd")
                       .with_predictor("lorenzo")
                       .with_statistics("histogram")
                       .with_encoder("huffman")
                       .with_secondary("zstd-like")
                       .build())
+    assert lorenzo_packed.spec == PipelineSpec(
+        statistics="histogram", secondary="zstd-like",
+        name="lorenzo+huffman+zstd")
     compare([interp_fast, lorenzo_packed], field, eb)
 
-    # 3. custom module
+    # 3. custom module (registered by the @DEFAULT_REGISTRY.module
+    #    decorator on the class definition above)
     print("\n-- custom registered module " + "-" * 23)
-    register(ByteRotateSecondary())
-    custom = (PipelineBuilder("lorenzo+huffman+rotate")
-              .with_predictor("lorenzo")
-              .with_encoder("huffman")
-              .with_secondary("byte-rotate")
-              .build())
+    custom = Pipeline.from_spec(PipelineSpec(
+        predictor="lorenzo", encoder="huffman", secondary="byte-rotate",
+        name="lorenzo+huffman+rotate"))
     compare([custom], field, eb)
     print("\ncustom module round-trips via the generic decompress() — the")
     print("container header names it, the registry resolves it.")
+
+    # leave the process-wide registry the way we found it
+    unregister(Stage.SECONDARY, "byte-rotate")
 
 
 if __name__ == "__main__":

@@ -27,15 +27,17 @@ Quickstart::
     print(compressed.stats.cr, compressed.stats.bit_rate)
 """
 
-from .core import (CompressedField, CompressionStats, Pipeline,
-                   PipelineBuilder, decompress, fzmod_default, fzmod_quality,
-                   fzmod_speed, get_preset, register)
+from .core import (DEFAULT_REGISTRY, CompressedField, CompressionStats,
+                   Pipeline, PipelineBuilder, PipelineSpec, decompress,
+                   fzmod_default, fzmod_quality, fzmod_speed, get_preset,
+                   get_preset_spec, register, unregister)
 from .types import EbMode, ErrorBound
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "CompressedField", "CompressionStats", "Pipeline", "PipelineBuilder",
-    "decompress", "fzmod_default", "fzmod_quality", "fzmod_speed",
-    "get_preset", "register", "EbMode", "ErrorBound", "__version__",
+    "CompressedField", "CompressionStats", "DEFAULT_REGISTRY", "Pipeline",
+    "PipelineBuilder", "PipelineSpec", "decompress", "fzmod_default",
+    "fzmod_quality", "fzmod_speed", "get_preset", "get_preset_spec",
+    "register", "unregister", "EbMode", "ErrorBound", "__version__",
 ]

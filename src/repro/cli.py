@@ -67,13 +67,26 @@ def cmd_compress(args: argparse.Namespace) -> int:
     """``fzmod compress``: compress one field to a container file."""
     data = _load_input(args)
     comp = _resolve_pipeline(args.pipeline)
-    cf = comp.compress(data, args.eb, EbMode(args.mode))
+    parallel = args.workers is not None or args.shard_mb is not None
+    if parallel:
+        if not isinstance(comp, Pipeline):
+            raise FZModError(
+                f"--workers/--shard-mb need a modular pipeline "
+                f"(one of {PRESET_NAMES}), not baseline {args.pipeline!r}")
+        cf = comp.compress(data, args.eb, EbMode(args.mode),
+                           workers=args.workers, shard_mb=args.shard_mb)
+    else:
+        cf = comp.compress(data, args.eb, EbMode(args.mode))
     with open(args.output, "wb") as fh:
         fh.write(cf.blob)
     s = cf.stats
     print(f"{args.pipeline}: {s.input_bytes} -> {s.output_bytes} bytes  "
           f"CR={s.cr:.2f}  bitrate={s.bit_rate:.3f} b/val  "
           f"eb_abs={s.eb_abs:.3g}")
+    if parallel:
+        print(f"parallel engine: {cf.shard_count} shards, "
+              f"{cf.workers} worker(s), backend={cf.backend}, "
+              f"{cf.wall_seconds:.3f}s wall")
     return 0
 
 
@@ -81,12 +94,16 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     """``fzmod decompress``: reconstruct a raw field from a container."""
     with open(args.input, "rb") as fh:
         blob = fh.read()
-    from .core.header import parse
-    header, _ = parse(blob)
-    if "baseline" in header.modules:
-        out = get_compressor(header.modules["baseline"]).decompress(blob)
+    from .parallel.executor import is_sharded
+    if is_sharded(blob):
+        out = core_decompress(blob, workers=args.workers)
     else:
-        out = core_decompress(blob)
+        from .core.header import parse
+        header, _ = parse(blob)
+        if "baseline" in header.modules:
+            out = get_compressor(header.modules["baseline"]).decompress(blob)
+        else:
+            out = core_decompress(blob)
     out.tofile(args.output)
     print(f"reconstructed {out.shape} {out.dtype} -> {args.output}")
     return 0
@@ -301,11 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--mode", default="rel", choices=["rel", "abs"])
     sp.add_argument("--pipeline", default="fzmod-default",
                     help=f"one of {PRESET_NAMES + ('cuszp2', 'fzgpu', 'pfpl', 'sz3')}")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="compress shard-parallel on this many workers "
+                         "(writes a multi-shard container)")
+    sp.add_argument("--shard-mb", type=float, default=None,
+                    help="target shard size in MiB (implies the parallel "
+                         "engine; default 32)")
     sp.add_argument("-o", "--output", required=True)
     sp.set_defaults(fn=cmd_compress)
 
     sp = sub.add_parser("decompress", help="decompress a container")
     sp.add_argument("input")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="worker count for multi-shard containers "
+                         "(default: one per CPU)")
     sp.add_argument("-o", "--output", required=True)
     sp.set_defaults(fn=cmd_decompress)
 

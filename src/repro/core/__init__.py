@@ -14,9 +14,11 @@ from .module import (EncodedStream, EncoderModule, Module, PredictorArtifacts,
                      SecondaryModule, StatisticsModule)
 from .pipeline import (DEFAULT_RADIUS, CompressedField, CompressionStats,
                        Pipeline, decompress)
-from .presets import (PRESET_NAMES, fzmod_default, fzmod_quality, fzmod_speed,
-                      get_preset)
-from .registry import DEFAULT_REGISTRY, ModuleRegistry, get_module, register
+from .presets import (PRESET_NAMES, PRESET_SPECS, fzmod_default,
+                      fzmod_quality, fzmod_speed, get_preset, get_preset_spec)
+from .registry import (DEFAULT_REGISTRY, ModuleRegistry, get_module, register,
+                       unregister)
+from .spec import PipelineSpec
 
 __all__ = [
     "Archive", "ArchiveEntry", "ArchiveWriter", "TargetResult",
@@ -29,7 +31,9 @@ __all__ = [
     "EncoderModule", "Module", "PredictorArtifacts", "PredictorModule",
     "PreprocessModule", "PreprocessResult", "SecondaryModule",
     "StatisticsModule", "DEFAULT_RADIUS", "CompressedField",
-    "CompressionStats", "Pipeline", "decompress", "PRESET_NAMES",
-    "fzmod_default", "fzmod_quality", "fzmod_speed", "get_preset",
+    "CompressionStats", "Pipeline", "PipelineSpec", "decompress",
+    "PRESET_NAMES", "PRESET_SPECS", "fzmod_default", "fzmod_quality",
+    "fzmod_speed", "get_preset", "get_preset_spec",
     "DEFAULT_REGISTRY", "ModuleRegistry", "get_module", "register",
+    "unregister",
 ]

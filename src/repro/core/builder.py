@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..errors import PipelineError
 from .pipeline import DEFAULT_RADIUS, Pipeline
 from .registry import DEFAULT_REGISTRY, ModuleRegistry
+from .spec import PipelineSpec
 
 
 class PipelineBuilder:
@@ -33,6 +34,20 @@ class PipelineBuilder:
         self._encoder: str | None = None
         self._secondary: str | None = None
         self._radius = DEFAULT_RADIUS
+
+    @classmethod
+    def from_spec(cls, spec: PipelineSpec,
+                  registry: ModuleRegistry = DEFAULT_REGISTRY
+                  ) -> "PipelineBuilder":
+        """Seed a builder from an existing spec (tweak-and-rebuild flows)."""
+        b = cls(spec.name, registry=registry)
+        b._preprocess = spec.preprocess
+        b._predictor = spec.predictor
+        b._statistics = spec.statistics
+        b._encoder = spec.encoder
+        b._secondary = spec.secondary
+        b._radius = spec.radius
+        return b
 
     def with_preprocess(self, name: str) -> "PipelineBuilder":
         """Select the preprocessing module by name."""
@@ -66,16 +81,19 @@ class PipelineBuilder:
         self._radius = int(radius)
         return self
 
-    def build(self) -> Pipeline:
-        """Validate the stage choices and assemble the Pipeline."""
+    def spec(self) -> PipelineSpec:
+        """Validate the stage choices and freeze them as a PipelineSpec."""
         if self._predictor is None:
             raise PipelineError("a predictor module is required "
                                 "(call .with_predictor)")
         if self._encoder is None:
             raise PipelineError("an encoder module is required "
                                 "(call .with_encoder)")
-        return Pipeline.from_names(
+        return PipelineSpec(
             preprocess=self._preprocess, predictor=self._predictor,
             statistics=self._statistics, encoder=self._encoder,
-            secondary=self._secondary, radius=self._radius,
-            name=self.name, registry=self.registry)
+            secondary=self._secondary, radius=self._radius, name=self.name)
+
+    def build(self) -> Pipeline:
+        """Assemble the Pipeline (a thin delegate over ``from_spec``)."""
+        return Pipeline.from_spec(self.spec(), registry=self.registry)

@@ -49,10 +49,13 @@ class ContainerHeader:
     sections: list[tuple[str, int, int]] = field(default_factory=list)
     #: CRC-32 of the stored body (0 = unchecked, for pre-integrity blobs)
     body_crc: int = 0
+    #: canonical PipelineSpec (JSON form); None for baseline/meta containers
+    #: and for blobs written before the spec was introduced
+    pipeline: dict | None = None
 
     def to_json(self) -> dict:
         """JSON-serialisable form of the header."""
-        return {
+        obj = {
             "shape": list(self.shape),
             "dtype": self.dtype,
             "eb_value": self.eb_value,
@@ -64,6 +67,9 @@ class ContainerHeader:
             "sections": [[n, o, l] for n, o, l in self.sections],
             "body_crc": self.body_crc,
         }
+        if self.pipeline is not None:
+            obj["pipeline"] = self.pipeline
+        return obj
 
     @classmethod
     def from_json(cls, obj: dict) -> "ContainerHeader":
@@ -79,9 +85,22 @@ class ContainerHeader:
                 stage_meta={str(k): dict(v) for k, v in obj["stage_meta"].items()},
                 sections=[(str(n), int(o), int(l)) for n, o, l in obj["sections"]],
                 body_crc=int(obj.get("body_crc", 0)),
+                pipeline=obj.get("pipeline"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise HeaderError(f"malformed container header: {exc}") from exc
+
+    def pipeline_spec(self):
+        """The :class:`~repro.core.spec.PipelineSpec` stored in the header.
+
+        ``None`` when the container predates the spec field or was written
+        by a baseline compressor; older blobs still decode via the
+        ``modules`` table.
+        """
+        if self.pipeline is None:
+            return None
+        from .spec import PipelineSpec
+        return PipelineSpec.from_json(self.pipeline)
 
     @property
     def element_count(self) -> int:

@@ -67,6 +67,20 @@ def _describe_archive(blob: bytes) -> Description:
     return d
 
 
+def _describe_sharded(blob: bytes) -> Description:
+    from ..parallel.executor import describe_sharded
+    info = describe_sharded(blob)
+    shards = info.pop("shards")
+    d = Description(kind="multi-shard container", detail=info)
+    for k, s in enumerate(shards):
+        a, b = s["rows"]
+        d.members.append({"name": f"shard{k}",
+                          "shape": [b - a, *info["shape"][1:]],
+                          "bytes": s["bytes"], "cr": "-",
+                          "pipeline": info["pipeline"].get("name", "?")})
+    return d
+
+
 def describe(blob: bytes) -> Description:
     """Classify and describe ``blob``; raises HeaderError for foreign data."""
     if len(blob) < 4:
@@ -76,6 +90,9 @@ def describe(blob: bytes) -> Description:
         return _describe_container(blob)
     if magic == ARCHIVE_MAGIC:
         return _describe_archive(blob)
+    from ..parallel.executor import SHARD_MAGIC
+    if magic == SHARD_MAGIC:
+        return _describe_sharded(blob)
     if magic == STREAM_MAGIC:
         import io
 

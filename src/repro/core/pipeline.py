@@ -26,10 +26,8 @@ from .module import (EncodedStream, EncoderModule, PredictorArtifacts,
                      StatisticsModule)
 from .modules_std import NoSecondary
 from .registry import DEFAULT_REGISTRY, ModuleRegistry
+from .spec import DEFAULT_RADIUS, PipelineSpec
 from ..types import Stage
-
-#: Default quant-code radius (cuSZ's 1024-symbol dictionary).
-DEFAULT_RADIUS = 512
 
 
 @dataclass(frozen=True)
@@ -108,25 +106,61 @@ class Pipeline:
 
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_spec(cls, spec: PipelineSpec,
+                  registry: ModuleRegistry = DEFAULT_REGISTRY) -> "Pipeline":
+        """Assemble a pipeline from its canonical description.
+
+        This is the single construction path: ``from_names``, the fluent
+        builder, the presets and header-driven decompression all reduce to
+        a :class:`~repro.core.spec.PipelineSpec` handed here.  Encoders
+        that need statistics but whose spec names none get the standard
+        histogram, exactly as the paper's default constructor does.
+        """
+        enc = registry.get(Stage.ENCODER, spec.encoder)
+        stats = (registry.get(Stage.STATISTICS, spec.statistics)
+                 if spec.statistics is not None else None)
+        if stats is None and getattr(enc, "needs_statistics", False):
+            stats = registry.get(Stage.STATISTICS, "histogram")
+        return cls(
+            preprocess=registry.get(Stage.PREPROCESS, spec.preprocess),
+            predictor=registry.get(Stage.PREDICTOR, spec.predictor),
+            statistics=stats,
+            encoder=enc,
+            secondary=(registry.get(Stage.SECONDARY, spec.secondary)
+                       if spec.secondary is not None else None),
+            radius=spec.radius, name=spec.name)
+
+    @classmethod
     def from_names(cls, *, preprocess: str = "rel-eb", predictor: str = "lorenzo",
                    encoder: str = "huffman", statistics: str | None = None,
                    secondary: str | None = None, radius: int = DEFAULT_RADIUS,
                    name: str = "custom",
                    registry: ModuleRegistry = DEFAULT_REGISTRY) -> "Pipeline":
-        """Assemble a pipeline from registry names."""
-        enc = registry.get(Stage.ENCODER, encoder)
-        stats = (registry.get(Stage.STATISTICS, statistics)
-                 if statistics is not None else None)
-        if stats is None and getattr(enc, "needs_statistics", False):
-            stats = registry.get(Stage.STATISTICS, "histogram")
-        return cls(
-            preprocess=registry.get(Stage.PREPROCESS, preprocess),
-            predictor=registry.get(Stage.PREDICTOR, predictor),
-            statistics=stats,
-            encoder=enc,
-            secondary=(registry.get(Stage.SECONDARY, secondary)
-                       if secondary is not None else None),
-            radius=radius, name=name)
+        """Assemble a pipeline from registry names (delegates to
+        :meth:`from_spec`)."""
+        return cls.from_spec(
+            PipelineSpec(preprocess=preprocess, predictor=predictor,
+                         statistics=statistics, encoder=encoder,
+                         secondary=secondary, radius=radius, name=name),
+            registry=registry)
+
+    @property
+    def spec(self) -> PipelineSpec:
+        """The effective canonical description of this pipeline.
+
+        Derived from the assembled module instances, so defaults that
+        were resolved at construction time (e.g. the histogram a Huffman
+        encoder pulled in) appear explicitly — building
+        ``Pipeline.from_spec(p.spec)`` reproduces ``p`` exactly.
+        """
+        return PipelineSpec(
+            preprocess=self.preprocess.name,
+            predictor=self.predictor.name,
+            statistics=(self.statistics.name
+                        if self.statistics is not None else None),
+            encoder=self.encoder.name,
+            secondary=self.secondary.name,
+            radius=self.radius, name=self.name)
 
     @property
     def num_bins(self) -> int:
@@ -146,8 +180,23 @@ class Pipeline:
 
     # ------------------------------------------------------------------ #
     def compress(self, data: np.ndarray, eb: ErrorBound | float,
-                 mode: EbMode | str = EbMode.REL) -> CompressedField:
-        """Compress ``data`` under the given error bound."""
+                 mode: EbMode | str = EbMode.REL, *,
+                 workers: int | None = None, shard_mb: float | None = None):
+        """Compress ``data`` under the given error bound.
+
+        With ``workers`` or ``shard_mb`` set (``workers=1`` counts: it
+        requests the engine with one worker), the field is split into
+        shards and compressed concurrently by the parallel engine
+        (:func:`repro.parallel.compress_sharded`); the result is then a
+        multi-shard container whose blob :func:`decompress` decodes like
+        any other.  Sharding is deterministic: the blob is byte-identical
+        for every worker count, so ``workers=4`` and ``workers=1`` decode
+        to byte-identical fields.
+        """
+        if workers is not None or shard_mb is not None:
+            from ..parallel.executor import compress_sharded
+            return compress_sharded(data, self, eb, mode, workers=workers,
+                                    shard_mb=shard_mb)
         if not isinstance(eb, ErrorBound):
             eb = ErrorBound(float(eb), EbMode(mode))
         data = check_field(data)
@@ -184,7 +233,7 @@ class Pipeline:
         header = ContainerHeader(
             shape=data.shape, dtype=data.dtype.str, eb_value=eb.value,
             eb_mode=eb.mode.value, eb_abs=pre.eb_abs, radius=self.radius,
-            modules=self.module_names(),
+            modules=self.module_names(), pipeline=self.spec.to_json(),
             stage_meta={"predictor": dict(arts.meta),
                         "encoder": dict(stream.meta),
                         "preprocess": dict(pre.meta),
@@ -219,9 +268,17 @@ class Pipeline:
         return decompress(blob)
 
 
-def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY
-               ) -> np.ndarray:
-    """Container-driven decompression: module names come from the header."""
+def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
+               *, workers: int | None = None) -> np.ndarray:
+    """Container-driven decompression: module names come from the header.
+
+    Multi-shard containers (written by the parallel engine) are detected
+    by magic and decoded shard-parallel; ``workers`` bounds that pool and
+    is ignored for ordinary single-shard containers.
+    """
+    from ..parallel.executor import SHARD_MAGIC, decompress_sharded
+    if blob[:len(SHARD_MAGIC)] == SHARD_MAGIC:
+        return decompress_sharded(blob, workers=workers, registry=registry)
     header, stored_body = parse(blob)
     secondary = registry.get(Stage.SECONDARY,
                              header.modules[Stage.SECONDARY.value])

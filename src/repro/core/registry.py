@@ -36,6 +36,43 @@ class ModuleRegistry:
         table[module.name] = module
         return module
 
+    def unregister(self, stage: Stage, name: str) -> Module:
+        """Remove and return a module (raises if absent).
+
+        The counterpart of :meth:`register`, so tests and examples that
+        temporarily extend a registry can restore it instead of leaking
+        modules into the process-wide default.
+        """
+        try:
+            return self._modules[stage].pop(name)
+        except KeyError:
+            raise ModuleNotFoundInRegistry(
+                f"no module {name!r} for stage {stage.value}; have "
+                f"{sorted(self._modules[stage])}") from None
+
+    def module(self, cls: type | None = None, *, replace: bool = False):
+        """Class decorator: instantiate and register a module class.
+
+        Usage::
+
+            reg = ModuleRegistry()
+
+            @reg.module
+            class MySecondary(SecondaryModule):
+                name = "my-codec"
+                ...
+
+        The class itself is returned (undecorated), so it stays usable and
+        testable; the registry holds one instance.  Pass ``replace=True``
+        to override an existing name: ``@reg.module(replace=True)``.
+        """
+        def deco(c: type) -> type:
+            self.register(c(), replace=replace)
+            return c
+        if cls is None:
+            return deco
+        return deco(cls)
+
     def get(self, stage: Stage, name: str) -> Module:
         """Look a module up by stage and name (raises if absent)."""
         try:
@@ -75,6 +112,11 @@ DEFAULT_REGISTRY = _build_default()
 def register(module: Module, *, replace: bool = False) -> Module:
     """Register a custom module into the default registry."""
     return DEFAULT_REGISTRY.register(module, replace=replace)
+
+
+def unregister(stage: Stage, name: str) -> Module:
+    """Remove a module from the default registry (returns it)."""
+    return DEFAULT_REGISTRY.unregister(stage, name)
 
 
 def get_module(stage: Stage, name: str) -> Module:

@@ -1,12 +1,22 @@
-"""Multi-GPU node simulation: shared-link contention + snapshot driver.
+"""Parallel execution: the sharded compression engine + node simulation.
 
-Reproduces the measurement context of Table 1 (loaded bandwidth with all
-four GPUs transferring) and models node-level snapshot compression with
-compute/transfer overlap.
+:mod:`repro.parallel.executor` is the real OS-level engine: it shards a
+field, compresses shards concurrently on a worker pool (processes with
+shared-memory staging, or an in-process pool for small inputs), and
+assembles a multi-shard container that decodes in parallel from the blob
+alone.
+
+The simulation side reproduces the measurement context of Table 1
+(loaded bandwidth with all four GPUs transferring) and models node-level
+snapshot compression with compute/transfer overlap.
 """
 
 from .cluster import (CampaignReport, ClusterSpec, breakeven_nodes,
                       simulate_campaign_write)
+from .executor import (DEFAULT_SHARD_MB, ShardedCompressedField, ShardIndex,
+                       ShardPlan, compress_sharded, decompress_sharded,
+                       default_workers, describe_sharded, is_sharded,
+                       parse_sharded)
 from .link import TransferRequest, loaded_bandwidth, simulate_transfers
 from .node import (FieldJob, NodeReport, measured_bandwidth, scaling_series,
                    simulate_snapshot)
@@ -14,6 +24,9 @@ from .node import (FieldJob, NodeReport, measured_bandwidth, scaling_series,
 __all__ = [
     "CampaignReport", "ClusterSpec", "breakeven_nodes",
     "simulate_campaign_write",
+    "DEFAULT_SHARD_MB", "ShardedCompressedField", "ShardIndex", "ShardPlan",
+    "compress_sharded", "decompress_sharded", "default_workers",
+    "describe_sharded", "is_sharded", "parse_sharded",
     "TransferRequest", "loaded_bandwidth", "simulate_transfers",
     "FieldJob", "NodeReport", "measured_bandwidth", "scaling_series",
     "simulate_snapshot",

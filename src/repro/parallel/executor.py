@@ -1,0 +1,562 @@
+"""Sharded parallel compression engine.
+
+The paper's pitch is concurrent, heterogeneous execution of composable
+pipelines; this module is the OS-level realisation: a field is split into
+slab shards (reusing the tiling policy of :mod:`repro.core.chunked`),
+every shard is compressed as an independent container by a worker pool,
+and the results are assembled into a *multi-shard container* that
+:func:`repro.core.decompress` decodes — again in parallel — from the blob
+alone.
+
+Design points
+-------------
+* **Specs travel, modules don't.**  Workers receive the pipeline's
+  :class:`~repro.core.spec.PipelineSpec` (names + radius, trivially
+  picklable) and rebuild the pipeline against their own registry; module
+  instances never cross the process boundary.
+* **Shared-memory staging.**  For process workers the input field is
+  placed in :mod:`multiprocessing.shared_memory` once; each worker maps
+  its slab zero-copy.  Decompression reverses the trick: workers write
+  their slab straight into a shared output buffer.
+* **In-process fallback.**  Small fields (pool overhead would dominate),
+  single-worker runs and custom registries (whose modules only exist in
+  this process) use a thread pool instead; NumPy kernels release the GIL
+  for most of their work, so even that overlaps.
+* **Backpressure.**  Shard jobs are pumped through an
+  :class:`~repro.runtime.stream.OrderedWorkQueue`: a bounded number of
+  shards is in flight and results drain in submission order, so the
+  assembled container is deterministic and memory stays bounded.
+* **Determinism.**  Shard geometry depends only on shape/dtype/shard
+  size, and REL bounds are resolved against the *global* range before
+  sharding — the container is byte-identical for every worker count and
+  backend, and shard semantics match :func:`repro.core.compress_tiled`.
+
+Container layout (version 1)::
+
+    magic "FZMS" | u16 version | u32 header_len | u32 header_crc
+    | header (JSON, UTF-8) | shard containers, back to back
+
+The JSON header stores geometry, the resolved bound, the canonical
+pipeline spec, the slab boundaries and a shard byte table.  Each shard is
+a complete ``FZMD`` container with its own CRCs, so corruption anywhere
+still fails loudly before a codec runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import struct
+import time
+import zlib
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.chunked import TileGrid
+from ..core.pipeline import (CompressedField, CompressionStats, Pipeline,
+                             decompress as _decompress_container)
+from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
+from ..core.spec import PipelineSpec
+from ..errors import ConfigError, HeaderError
+from ..runtime.stream import OrderedWorkQueue
+from ..types import EbMode, ErrorBound, Stage, check_field
+
+SHARD_MAGIC = b"FZMS"
+SHARD_VERSION = 1
+
+_PREFIX = struct.Struct("<4sHII")
+
+#: default shard size (MiB of input data per shard)
+DEFAULT_SHARD_MB = 32.0
+
+#: below this input size the process pool never pays for itself
+_PROCESS_THRESHOLD_BYTES = 8 << 20
+
+#: in-flight shards per worker (the backpressure window)
+_IN_FLIGHT_PER_WORKER = 2
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per visible CPU."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------- #
+# shard geometry                                                          #
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic slab decomposition of a field along axis 0.
+
+    Built on :class:`~repro.core.chunked.TileGrid` (the chunking policy of
+    the tiled reader) with full-extent tiles on every axis but the first,
+    so shards are contiguous row ranges of a C-contiguous field.
+    """
+
+    shape: tuple[int, ...]
+    dtype: str
+    rows_per_shard: int
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ConfigError("cannot shard a 0-d field")
+        if self.rows_per_shard < 1:
+            raise ConfigError("rows_per_shard must be >= 1")
+
+    @classmethod
+    def for_field(cls, shape: tuple[int, ...], dtype: np.dtype,
+                  shard_mb: float = DEFAULT_SHARD_MB) -> "ShardPlan":
+        """Choose slab height so one shard holds ~``shard_mb`` MiB."""
+        if shard_mb <= 0:
+            raise ConfigError(f"shard_mb must be > 0, got {shard_mb}")
+        dtype = np.dtype(dtype)
+        row_bytes = int(np.prod(shape[1:], dtype=np.int64)) * dtype.itemsize
+        rows = int(shard_mb * (1 << 20) // max(1, row_bytes))
+        rows = max(1, min(rows, int(shape[0])))
+        return cls(shape=tuple(int(n) for n in shape), dtype=dtype.str,
+                   rows_per_shard=rows)
+
+    @property
+    def grid(self) -> TileGrid:
+        return TileGrid(shape=self.shape,
+                        tile=(self.rows_per_shard, *self.shape[1:]))
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """Per-shard ``(start_row, stop_row)`` ranges, in order."""
+        out = []
+        for _, slices in self.grid.tiles():
+            out.append((slices[0].start, slices[0].stop))
+        return tuple(out)
+
+    @property
+    def count(self) -> int:
+        return len(self.bounds)
+
+
+# ---------------------------------------------------------------------- #
+# multi-shard container                                                   #
+# ---------------------------------------------------------------------- #
+@dataclass
+class ShardIndex:
+    """Header of a multi-shard container."""
+
+    shape: tuple[int, ...]
+    dtype: str
+    eb_value: float
+    eb_mode: str
+    eb_abs: float
+    pipeline: dict                         # PipelineSpec JSON
+    bounds: list[tuple[int, int]]          # per-shard row ranges
+    table: list[tuple[int, int]] = None    # per-shard (offset, length)
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form of the index."""
+        return {
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "eb_value": self.eb_value,
+            "eb_mode": self.eb_mode,
+            "eb_abs": self.eb_abs,
+            "pipeline": self.pipeline,
+            "bounds": [[a, b] for a, b in self.bounds],
+            "table": [[o, n] for o, n in self.table],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ShardIndex":
+        try:
+            return cls(
+                shape=tuple(int(x) for x in obj["shape"]),
+                dtype=str(obj["dtype"]),
+                eb_value=float(obj["eb_value"]),
+                eb_mode=str(obj["eb_mode"]),
+                eb_abs=float(obj["eb_abs"]),
+                pipeline=dict(obj["pipeline"]),
+                bounds=[(int(a), int(b)) for a, b in obj["bounds"]],
+                table=[(int(o), int(n)) for o, n in obj["table"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HeaderError(f"malformed shard index: {exc}") from exc
+
+    def spec(self) -> PipelineSpec:
+        """The canonical pipeline description the shards were written with."""
+        return PipelineSpec.from_json(self.pipeline)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.bounds)
+
+
+@dataclass(frozen=True)
+class ShardedCompressedField:
+    """Output of :func:`compress_sharded` (the parallel engine's report).
+
+    ``stats`` aggregates the per-shard measurements into one
+    :class:`CompressionStats` (stage seconds are summed CPU-seconds across
+    shards; ``wall_seconds`` is the engine's end-to-end time).
+    """
+
+    blob: bytes
+    stats: CompressionStats
+    shard_stats: tuple[CompressionStats, ...]
+    index: ShardIndex
+    workers: int
+    backend: str
+    wall_seconds: float
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.blob)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_stats)
+
+
+def is_sharded(blob: bytes) -> bool:
+    """True when ``blob`` is a multi-shard (``FZMS``) container."""
+    return bytes(blob[:len(SHARD_MAGIC)]) == SHARD_MAGIC
+
+
+def assemble_sharded(index: ShardIndex, shard_blobs: list[bytes]) -> bytes:
+    """Serialise the index + shard containers into one blob."""
+    index.table = []
+    offset = 0
+    for blob in shard_blobs:
+        index.table.append((offset, len(blob)))
+        offset += len(blob)
+    hjson = json.dumps(index.to_json(), separators=(",", ":")).encode("utf-8")
+    hcrc = zlib.crc32(hjson) & 0xFFFFFFFF
+    return b"".join([_PREFIX.pack(SHARD_MAGIC, SHARD_VERSION, len(hjson), hcrc),
+                     hjson, *shard_blobs])
+
+
+def parse_sharded(blob: bytes) -> tuple[ShardIndex, list[bytes]]:
+    """Split a multi-shard container into its index and shard blobs."""
+    if len(blob) < _PREFIX.size:
+        raise HeaderError("multi-shard container too short")
+    magic, version, hlen, hcrc = _PREFIX.unpack_from(blob, 0)
+    if magic != SHARD_MAGIC:
+        raise HeaderError(f"bad multi-shard magic {magic!r}")
+    if version != SHARD_VERSION:
+        raise HeaderError(f"unsupported multi-shard version {version}")
+    start = _PREFIX.size
+    if len(blob) < start + hlen:
+        raise HeaderError("truncated multi-shard header")
+    hjson = blob[start:start + hlen]
+    if (zlib.crc32(hjson) & 0xFFFFFFFF) != hcrc:
+        raise HeaderError("multi-shard header CRC mismatch; the blob is "
+                          "corrupt or truncated")
+    try:
+        index = ShardIndex.from_json(json.loads(hjson.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HeaderError(f"unreadable multi-shard header: {exc}") from exc
+    body = blob[start + hlen:]
+    shards: list[bytes] = []
+    for offset, length in index.table:
+        if offset + length > len(body):
+            raise HeaderError("shard table exceeds container size")
+        shards.append(bytes(body[offset:offset + length]))
+    if len(shards) != len(index.bounds):
+        raise HeaderError("shard table / bounds length mismatch")
+    return index, shards
+
+
+def describe_sharded(blob: bytes) -> dict:
+    """Structured description for ``fzmod inspect`` (no decoding)."""
+    index, shards = parse_sharded(blob)
+    return {
+        "shape": list(index.shape),
+        "dtype": index.dtype,
+        "eb": f"{index.eb_value:g} ({index.eb_mode})",
+        "eb_abs": index.eb_abs,
+        "pipeline": index.pipeline,
+        "shards": [{"rows": [a, b], "bytes": len(s)}
+                   for (a, b), s in zip(index.bounds, shards)],
+    }
+
+
+# ---------------------------------------------------------------------- #
+# stats aggregation                                                       #
+# ---------------------------------------------------------------------- #
+def combine_stats(shard_stats: list[CompressionStats],
+                  output_bytes: int, eb_abs: float) -> CompressionStats:
+    """Fold per-shard statistics into one combined report.
+
+    Byte counts, outliers and section sizes are sums; fractions are
+    re-derived from the summed byte counts (i.e. input-weighted); stage
+    seconds are summed CPU-seconds (the work done, not the wall time —
+    the whole point of the engine is that wall time is smaller).
+    """
+    if not shard_stats:
+        raise ConfigError("no shard statistics to combine")
+    input_bytes = sum(s.input_bytes for s in shard_stats)
+    sections: dict[str, int] = {}
+    seconds: dict[str, float] = {}
+    for s in shard_stats:
+        for k, v in s.section_sizes.items():
+            sections[k] = sections.get(k, 0) + v
+        for k, v in s.stage_seconds.items():
+            seconds[k] = seconds.get(k, 0.0) + v
+    code_bytes = sum(s.code_fraction * s.input_bytes for s in shard_stats)
+    outlier_bytes = sum(s.outlier_fraction * s.input_bytes
+                        for s in shard_stats)
+    return CompressionStats(
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        element_count=sum(s.element_count for s in shard_stats),
+        eb_abs=eb_abs,
+        code_fraction=code_bytes / input_bytes,
+        outlier_fraction=outlier_bytes / input_bytes,
+        outlier_count=sum(s.outlier_count for s in shard_stats),
+        section_sizes=sections,
+        stage_seconds=seconds,
+        interp_levels=max(s.interp_levels for s in shard_stats))
+
+
+# ---------------------------------------------------------------------- #
+# worker entry points (top level: must be picklable for process pools)    #
+# ---------------------------------------------------------------------- #
+def _compress_shard_local(pipeline: Pipeline, shard: np.ndarray,
+                          eb_abs: float) -> tuple[bytes, CompressionStats]:
+    cf: CompressedField = pipeline.compress(
+        np.ascontiguousarray(shard), ErrorBound(eb_abs, EbMode.ABS),
+        EbMode.ABS)
+    return cf.blob, cf.stats
+
+
+def _compress_shard_shm(spec_json: dict, shm_name: str,
+                        shape: tuple[int, ...], dtype: str,
+                        start: int, stop: int,
+                        eb_abs: float) -> tuple[bytes, CompressionStats]:
+    """Process-pool job: map the shared field, compress rows [start, stop)."""
+    spec = PipelineSpec.from_json(spec_json)
+    pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        field = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        # copy the slab out so no view pins the mapping after close()
+        shard = np.array(field[start:stop])
+    finally:
+        shm.close()
+    return _compress_shard_local(pipeline, shard, eb_abs)
+
+
+def _decompress_shard_shm(shard_blob: bytes, shm_name: str,
+                          shape: tuple[int, ...], dtype: str,
+                          start: int, stop: int) -> None:
+    """Process-pool job: decode one shard into the shared output buffer."""
+    out = _decompress_container(shard_blob, DEFAULT_REGISTRY)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        field = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        field[start:stop] = out
+    finally:
+        shm.close()
+
+
+def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry
+                            ) -> np.ndarray:
+    return _decompress_container(shard_blob, registry)
+
+
+# ---------------------------------------------------------------------- #
+# backend selection                                                       #
+# ---------------------------------------------------------------------- #
+def _spec_resolvable(spec: PipelineSpec, registry: ModuleRegistry) -> bool:
+    """Can ``registry`` rebuild this spec?  (Process workers use the
+    default registry, so specs with process-local modules must stay
+    in-process.)"""
+    pairs = [(Stage.PREPROCESS, spec.preprocess),
+             (Stage.PREDICTOR, spec.predictor),
+             (Stage.ENCODER, spec.encoder)]
+    if spec.statistics is not None:
+        pairs.append((Stage.STATISTICS, spec.statistics))
+    if spec.secondary is not None:
+        pairs.append((Stage.SECONDARY, spec.secondary))
+    try:
+        for stage, name in pairs:
+            registry.get(stage, name)
+    except Exception:
+        return False
+    return True
+
+
+def _choose_backend(backend: str | None, workers: int, nbytes: int,
+                    spec: PipelineSpec, registry: ModuleRegistry,
+                    shard_count: int) -> str:
+    if backend is not None:
+        if backend not in ("process", "inprocess"):
+            raise ConfigError(f"unknown executor backend {backend!r}; "
+                              "expected 'process' or 'inprocess'")
+        if backend == "process" and not _spec_resolvable(spec,
+                                                         DEFAULT_REGISTRY):
+            raise ConfigError(
+                "process backend requires every spec module to exist in the "
+                "default registry (module instances cannot be shipped to "
+                "worker processes)")
+        return backend
+    if (workers <= 1 or shard_count <= 1
+            or nbytes < _PROCESS_THRESHOLD_BYTES
+            or registry is not DEFAULT_REGISTRY
+            or not _spec_resolvable(spec, DEFAULT_REGISTRY)):
+        return "inprocess"
+    return "process"
+
+
+def _make_pool(backend: str, workers: int) -> Executor:
+    if backend == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def _shm_create(nbytes: int) -> shared_memory.SharedMemory:
+    # a random name avoids collisions across concurrent engines; Python
+    # would generate one anyway, but an explicit fzmod prefix eases
+    # debugging of leaked segments under /dev/shm
+    return shared_memory.SharedMemory(
+        name=f"fzmod_{secrets.token_hex(8)}", create=True, size=nbytes)
+
+
+# ---------------------------------------------------------------------- #
+# the engine                                                              #
+# ---------------------------------------------------------------------- #
+def compress_sharded(data: np.ndarray,
+                     pipeline: Pipeline | PipelineSpec,
+                     eb: ErrorBound | float,
+                     mode: EbMode | str = EbMode.REL, *,
+                     workers: int | None = None,
+                     shard_mb: float | None = None,
+                     registry: ModuleRegistry = DEFAULT_REGISTRY,
+                     backend: str | None = None) -> ShardedCompressedField:
+    """Compress ``data`` shard-parallel into a multi-shard container.
+
+    ``pipeline`` may be an assembled :class:`Pipeline` or a bare
+    :class:`PipelineSpec` (built against ``registry``).  REL bounds are
+    resolved against the *global* value range before sharding, so the
+    reconstruction contract equals the unsharded pipeline's.  The blob is
+    byte-identical for every ``workers`` value and backend.
+    """
+    t_start = time.perf_counter()
+    data = check_field(data)
+    if isinstance(pipeline, PipelineSpec):
+        pipeline = Pipeline.from_spec(pipeline, registry)
+    spec = pipeline.spec
+    if not isinstance(eb, ErrorBound):
+        eb = ErrorBound(float(eb), EbMode(mode))
+    eb_abs = eb.absolute(float(data.min()), float(data.max()))
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    plan = ShardPlan.for_field(data.shape, data.dtype,
+                               DEFAULT_SHARD_MB if shard_mb is None
+                               else shard_mb)
+    bounds = plan.bounds
+    chosen = _choose_backend(backend, workers, data.nbytes, spec, registry,
+                             len(bounds))
+    workers = min(workers, len(bounds))
+
+    shard_blobs: list[bytes] = []
+    shard_stats: list[CompressionStats] = []
+    if chosen == "process":
+        shm = _shm_create(data.nbytes)
+        try:
+            staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+            staged[...] = data
+            with _make_pool("process", workers) as pool:
+                queue = OrderedWorkQueue(
+                    pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+                for start, stop in bounds:
+                    queue.submit(_compress_shard_shm, spec.to_json(),
+                                 shm.name, data.shape, data.dtype.str,
+                                 start, stop, eb_abs)
+                for blob, stats in queue.drain():
+                    shard_blobs.append(blob)
+                    shard_stats.append(stats)
+        finally:
+            shm.close()
+            shm.unlink()
+    else:
+        with _make_pool("inprocess", workers) as pool:
+            queue = OrderedWorkQueue(
+                pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+            for start, stop in bounds:
+                queue.submit(_compress_shard_local, pipeline,
+                             data[start:stop], eb_abs)
+            for blob, stats in queue.drain():
+                shard_blobs.append(blob)
+                shard_stats.append(stats)
+
+    index = ShardIndex(shape=data.shape, dtype=data.dtype.str,
+                       eb_value=eb.value, eb_mode=eb.mode.value,
+                       eb_abs=eb_abs, pipeline=spec.to_json(),
+                       bounds=list(bounds))
+    blob = assemble_sharded(index, shard_blobs)
+    stats = combine_stats(shard_stats, len(blob), eb_abs)
+    return ShardedCompressedField(
+        blob=blob, stats=stats, shard_stats=tuple(shard_stats), index=index,
+        workers=workers, backend=chosen,
+        wall_seconds=time.perf_counter() - t_start)
+
+
+def decompress_sharded(blob: bytes, *, workers: int | None = None,
+                       registry: ModuleRegistry = DEFAULT_REGISTRY,
+                       backend: str | None = None) -> np.ndarray:
+    """Reconstruct a field from a multi-shard container, shard-parallel.
+
+    Header-driven like single-container decompression: the index stores
+    the pipeline spec, so the blob alone suffices for any process with
+    the same modules registered.
+    """
+    index, shards = parse_sharded(blob)
+    dtype = np.dtype(index.dtype)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    nbytes = int(np.prod(index.shape, dtype=np.int64)) * dtype.itemsize
+    chosen = _choose_backend(backend, workers, nbytes, index.spec(), registry,
+                             len(shards))
+    workers = min(workers, len(shards))
+
+    if chosen == "process":
+        shm = _shm_create(nbytes)
+        try:
+            with _make_pool("process", workers) as pool:
+                queue = OrderedWorkQueue(
+                    pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+                for shard_blob, (start, stop) in zip(shards, index.bounds):
+                    queue.submit(_decompress_shard_shm, shard_blob, shm.name,
+                                 index.shape, index.dtype, start, stop)
+                for _ in queue.drain():
+                    pass
+            out = np.ndarray(index.shape, dtype=dtype,
+                             buffer=shm.buf).copy()
+        finally:
+            shm.close()
+            shm.unlink()
+        return out
+
+    out = np.empty(index.shape, dtype=dtype)
+    with _make_pool("inprocess", workers) as pool:
+        queue = OrderedWorkQueue(
+            pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+        for shard_blob in shards:
+            queue.submit(_decompress_shard_local, shard_blob, registry)
+        for (start, stop), shard in zip(index.bounds, queue.drain()):
+            expected = (stop - start, *index.shape[1:])
+            if shard.shape != expected:
+                raise HeaderError(
+                    f"shard rows {start}:{stop} decoded to shape "
+                    f"{shard.shape}, expected {expected}")
+            out[start:stop] = shard
+    return out

@@ -10,11 +10,11 @@ timelines, so schedules, overlap and transfer traffic are all observable.
 from .clock import Interval, SimClock
 from .device import Device, DeviceRegistry, default_node
 from .memory import Allocator, Buffer, MemorySpace
-from .stream import Event, Stream
+from .stream import Event, OrderedWorkQueue, Stream
 from .transfer import TransferStats, copy_to, transfer_seconds
 
 __all__ = [
     "Interval", "SimClock", "Device", "DeviceRegistry", "default_node",
-    "Allocator", "Buffer", "MemorySpace", "Event", "Stream",
-    "TransferStats", "copy_to", "transfer_seconds",
+    "Allocator", "Buffer", "MemorySpace", "Event", "OrderedWorkQueue",
+    "Stream", "TransferStats", "copy_to", "transfer_seconds",
 ]

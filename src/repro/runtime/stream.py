@@ -10,19 +10,91 @@ Execution is eager (the Python callable runs immediately); only the
 *timeline* is simulated: each submission books an interval on the stream's
 device, ordered after everything previously submitted to the stream and
 after any awaited events.
+
+:class:`OrderedWorkQueue` is the *real*-concurrency sibling: an ordered
+submit/drain front-end over any :class:`concurrent.futures.Executor` with
+a bounded number of in-flight items.  The sharded parallel engine pumps
+shard jobs through it — submission blocks once the bound is reached
+(backpressure, so a huge field never materialises every shard's working
+set at once) and results drain in submission order regardless of worker
+completion order.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
+from concurrent.futures import Executor, Future
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from ..errors import DeviceError
 from .clock import SimClock
 from .device import Device
 
 _stream_ids = itertools.count()
+
+
+class OrderedWorkQueue:
+    """Bounded, order-preserving submit/drain over an executor.
+
+    ``submit`` hands a callable to the executor; when ``max_in_flight``
+    submissions are outstanding it first blocks on the *oldest* one (the
+    backpressure point).  ``drain`` yields every result in submission
+    order.  Failures propagate on the blocking call with their original
+    traceback; once a job has failed the queue refuses further
+    submissions (the remaining in-flight futures are still awaited by
+    ``drain``, which re-raises the first error).
+    """
+
+    def __init__(self, executor: Executor, max_in_flight: int) -> None:
+        if max_in_flight < 1:
+            raise DeviceError(
+                f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.executor = executor
+        self.max_in_flight = max_in_flight
+        self._pending: deque[Future] = deque()
+        self._done: deque[Any] = deque()
+        self._submitted = 0
+        self._failed = False
+
+    @property
+    def in_flight(self) -> int:
+        """Number of submissions not yet retired to the done queue."""
+        return len(self._pending)
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    def _retire_oldest(self) -> None:
+        fut = self._pending.popleft()
+        try:
+            self._done.append(fut.result())
+        except BaseException:
+            self._failed = True
+            raise
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any,
+               **kwargs: Any) -> None:
+        """Enqueue ``fn(*args, **kwargs)``; blocks while the bound is hit."""
+        if self._failed:
+            raise DeviceError("queue had a failed job; drain it instead")
+        while len(self._pending) >= self.max_in_flight:
+            self._retire_oldest()
+        self._pending.append(self.executor.submit(fn, *args, **kwargs))
+        self._submitted += 1
+
+    def drain(self) -> Iterator[Any]:
+        """Yield all results in submission order (blocks as needed)."""
+        while self._done or self._pending:
+            if not self._done:
+                self._retire_oldest()
+            yield self._done.popleft()
+
+    def results(self) -> list[Any]:
+        """Drain into a list."""
+        return list(self.drain())
 
 
 @dataclass(frozen=True)

@@ -128,15 +128,20 @@ class StfContext:
 
     # -- execution -------------------------------------------------------- #
     def run(self, mode: str = "serial", workers: int = 4,
-            sim_order: str = "declaration") -> ExecutionReport:
+            sim_order: str = "declaration", pool=None,
+            max_in_flight: int | None = None) -> ExecutionReport:
         """Execute the flow and return the :class:`ExecutionReport`.
 
-        ``mode`` is ``"serial"`` or ``"async"``; ``sim_order`` selects the
-        simulated-timeline replay policy ("declaration" or
-        "critical-path").  The context is single-shot: it cannot be
-        extended or re-run afterwards (matching CUDASTF's finalize
-        semantics), but the returned scheduler state allows re-simulating
-        under a different policy via :attr:`last_scheduler`.
+        ``mode`` is ``"serial"``, ``"async"`` or ``"pool"``; ``sim_order``
+        selects the simulated-timeline replay policy ("declaration" or
+        "critical-path").  ``"pool"`` mode executes on an externally owned
+        ``pool`` (any :class:`concurrent.futures.Executor`) so several
+        flows — e.g. one per shard — can overlap on shared workers, with
+        ``max_in_flight`` bounding this flow's outstanding tasks.  The
+        context is single-shot: it cannot be extended or re-run
+        afterwards (matching CUDASTF's finalize semantics), but the
+        returned scheduler state allows re-simulating under a different
+        policy via :attr:`last_scheduler`.
         """
         self._check_open()
         self.builder.validate()
@@ -147,6 +152,10 @@ class StfContext:
             sched.run_serial()
         elif mode == "async":
             sched.run_async(workers=workers)
+        elif mode == "pool":
+            if pool is None:
+                raise StfError("pool mode needs an executor (pass pool=...)")
+            sched.run_pool(pool, max_in_flight=max_in_flight)
         else:
             raise StfError(f"unknown execution mode {mode!r}")
         return sched.report(order=sim_order)

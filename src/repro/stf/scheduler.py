@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, Executor, Future,
+                                ThreadPoolExecutor, wait)
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -159,37 +160,58 @@ class Scheduler:
 
     def run_async(self, workers: int = 4) -> None:
         """Thread-pool execution honouring the inferred DAG."""
+        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+            self.run_pool(pool)
+
+    def run_pool(self, pool: Executor,
+                 max_in_flight: int | None = None) -> None:
+        """Execute the DAG on an externally owned worker pool.
+
+        The scheduler does not size, own, or shut down ``pool`` — several
+        schedulers can drive the same executor concurrently, which is how
+        the sharded parallel engine overlaps DAG tasks *across* shards:
+        one pool, one in-flight budget, many per-shard task flows.
+
+        ``max_in_flight`` caps how many of this scheduler's tasks may be
+        submitted-but-unfinished at once (backpressure against the shared
+        pool); ``None`` submits every ready task immediately.
+        """
+        if max_in_flight is not None and max_in_flight < 1:
+            raise StfError(f"max_in_flight must be >= 1, got {max_in_flight}")
         graph = self.builder.graph
         indeg = {t.id: graph.in_degree(t.id) for t in self.builder.tasks}
         by_id = {t.id: t for t in self.builder.tasks}
-        ready = [t for t in self.builder.tasks if indeg[t.id] == 0]
+        queue = [t for t in self.builder.tasks if indeg[t.id] == 0]
         pending: set[Future] = set()
         failed: list[BaseException] = []
-        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
-            futures: dict[Future, Task] = {}
+        futures: dict[Future, Task] = {}
 
-            def submit(task: Task) -> None:
+        def submit_ready() -> None:
+            while queue and (max_in_flight is None
+                             or len(pending) < max_in_flight):
+                task = queue.pop(0)
                 fut = pool.submit(self._run_task, task)
                 futures[fut] = task
                 pending.add(fut)
 
-            for t in ready:
-                submit(t)
-            done_count = 0
-            total = len(self.builder.tasks)
-            while done_count < total and pending and not failed:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    task = futures.pop(fut)
-                    exc = fut.exception()
-                    if exc is not None:
-                        failed.append(exc)
-                        continue
-                    done_count += 1
-                    for succ in self.builder.graph.successors(task.id):
-                        indeg[succ] -= 1
-                        if indeg[succ] == 0:
-                            submit(by_id[succ])
+        submit_ready()
+        done_count = 0
+        total = len(self.builder.tasks)
+        while done_count < total and pending and not failed:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                task = futures.pop(fut)
+                exc = fut.exception()
+                if exc is not None:
+                    failed.append(exc)
+                    continue
+                done_count += 1
+                for succ in self.builder.graph.successors(task.id):
+                    indeg[succ] -= 1
+                    if indeg[succ] == 0:
+                        queue.append(by_id[succ])
+            if not failed:
+                submit_ready()
         if failed:
             raise failed[0]
 

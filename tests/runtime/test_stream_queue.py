@@ -1,0 +1,133 @@
+"""OrderedWorkQueue: bounded, order-preserving submit/drain.
+
+The executor-facing contract the sharded engine relies on: results come
+back in submission order whatever the completion order, submission
+blocks once ``max_in_flight`` jobs are outstanding (backpressure), and a
+failed job surfaces with its original exception while poisoning further
+submits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.runtime import OrderedWorkQueue
+
+
+@pytest.fixture
+def pool():
+    with ThreadPoolExecutor(max_workers=4) as ex:
+        yield ex
+
+
+class TestOrdering:
+    def test_results_in_submission_order(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=8)
+
+        def job(i: int) -> int:
+            # later submissions finish *earlier*
+            time.sleep(0.02 * (8 - i) / 8)
+            return i * i
+
+        for i in range(8):
+            q.submit(job, i)
+        assert q.results() == [i * i for i in range(8)]
+
+    def test_drain_is_incremental(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=4)
+        for i in range(4):
+            q.submit(lambda i=i: i)
+        it = q.drain()
+        assert next(it) == 0
+        q_remaining = list(it)
+        assert q_remaining == [1, 2, 3]
+
+    def test_empty_queue_drains_to_nothing(self, pool):
+        assert OrderedWorkQueue(pool, max_in_flight=2).results() == []
+
+
+class TestBackpressure:
+    def test_submit_blocks_at_bound(self):
+        release = threading.Event()
+        started = []
+
+        def job(i: int) -> int:
+            started.append(i)
+            release.wait(timeout=5)
+            return i
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            q = OrderedWorkQueue(pool, max_in_flight=2)
+            q.submit(job, 0)
+            q.submit(job, 1)
+            assert q.in_flight == 2
+
+            blocked = threading.Event()
+            unblocked = threading.Event()
+
+            def third_submit():
+                blocked.set()
+                q.submit(job, 2)  # must block until job 0 retires
+                unblocked.set()
+
+            t = threading.Thread(target=third_submit)
+            t.start()
+            blocked.wait(timeout=5)
+            time.sleep(0.05)
+            assert not unblocked.is_set(), \
+                "submit ran past max_in_flight without blocking"
+            release.set()
+            t.join(timeout=5)
+            assert unblocked.is_set()
+            # 0 was retired into the done queue by the blocking submit,
+            # so drain still yields every result in submission order
+            assert q.results() == [0, 1, 2]
+            assert q.submitted == 3
+
+    def test_in_flight_never_exceeds_bound(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=3)
+        for i in range(10):
+            q.submit(time.sleep, 0.001)
+            assert q.in_flight <= 3
+        q.results()
+
+    def test_bound_must_be_positive(self, pool):
+        with pytest.raises(DeviceError):
+            OrderedWorkQueue(pool, max_in_flight=0)
+
+
+class TestFailure:
+    def test_error_propagates_with_original_type(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=4)
+
+        def boom():
+            raise ValueError("shard 2 is cursed")
+
+        q.submit(lambda: 1)
+        q.submit(boom)
+        q.submit(lambda: 3)
+        with pytest.raises(ValueError, match="cursed"):
+            q.results()
+
+    def test_failed_queue_refuses_submit(self):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            q = OrderedWorkQueue(pool, max_in_flight=1)
+            q.submit(lambda: 1 / 0)
+            # the next submit must first retire the failed job
+            with pytest.raises(ZeroDivisionError):
+                q.submit(lambda: 2)
+            with pytest.raises(DeviceError):
+                q.submit(lambda: 3)
+
+    def test_failure_during_drain_poisons_submit(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=4)
+        q.submit(lambda: (_ for _ in ()).throw(RuntimeError("bad")))
+        with pytest.raises(RuntimeError):
+            q.results()
+        with pytest.raises(DeviceError):
+            q.submit(lambda: 1)
