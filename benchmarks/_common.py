@@ -29,6 +29,25 @@ from repro.metrics import psnr
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+
+@dataclass(frozen=True)
+class TimingOpts:
+    """Median-of-N timing knobs, set by ``--warmup`` / ``--repeat``.
+
+    Defaults keep the suite as cheap as a single-shot run; raise both on
+    quiet machines for stabler medians (``pytest benchmarks --repeat 5``).
+    """
+
+    warmup: int = 0
+    repeat: int = 1
+
+
+def timed_median(fn, opts: TimingOpts, *, setup=None):
+    """``(median_seconds, last_result)`` of ``fn()`` under ``opts``."""
+    from repro.perf.regression import median_seconds
+    return median_seconds(fn, warmup=opts.warmup, repeat=opts.repeat,
+                          setup=setup)
+
 #: error bounds of Table 3 / Figures 2-4
 EBS = (1e-2, 1e-4, 1e-6)
 

@@ -14,11 +14,10 @@ Size is tunable via ``FZMOD_PARALLEL_BENCH_MB`` (default 64).
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 import pytest
-from _common import emit
+from _common import TimingOpts, emit, timed_median
 
 from repro.core import decompress, get_preset
 from repro.parallel import compress_sharded, decompress_sharded
@@ -43,17 +42,19 @@ def _field() -> np.ndarray:
     return f.astype(np.float32)
 
 
-def _run_curve(data: np.ndarray) -> dict[int, float]:
-    """Measure compress throughput (input MB/s) per worker count."""
+def _run_curve(data: np.ndarray,
+               timing: TimingOpts = TimingOpts()) -> dict[int, float]:
+    """Measure compress throughput (input MB/s, median-of-N) per worker
+    count."""
     pipe = get_preset("fzmod-speed")
     curve: dict[int, float] = {}
     blobs: dict[int, bytes] = {}
     for w in WORKER_POINTS:
         backend = "inprocess" if w == 1 else "process"
-        t0 = time.perf_counter()
-        result = compress_sharded(data, pipe, 1e-3, workers=w,
-                                  shard_mb=SHARD_MB, backend=backend)
-        dt = time.perf_counter() - t0
+        dt, result = timed_median(
+            lambda: compress_sharded(data, pipe, 1e-3, workers=w,
+                                     shard_mb=SHARD_MB, backend=backend),
+            timing)
         curve[w] = data.nbytes / 1e6 / dt
         blobs[w] = result.blob
     # determinism across every point of the curve
@@ -80,9 +81,9 @@ def render(curve: dict[int, float], cpus: int) -> str:
     return "\n".join(lines)
 
 
-def test_parallel_engine_scaling(benchmark):
+def test_parallel_engine_scaling(benchmark, timing):
     data = _field()
-    curve = benchmark.pedantic(_run_curve, args=(data,),
+    curve = benchmark.pedantic(_run_curve, args=(data, timing),
                                rounds=1, iterations=1)
     cpus = _cpus()
     emit("parallel_engine_scaling", render(curve, cpus))

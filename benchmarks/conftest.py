@@ -4,7 +4,23 @@ from __future__ import annotations
 
 import pytest
 
-from _common import EvalGrid, _build_grid
+from _common import EvalGrid, TimingOpts, _build_grid
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("fzmod timing")
+    group.addoption("--warmup", type=int, default=TimingOpts.warmup,
+                    help="untimed calls before each measurement "
+                         f"(default {TimingOpts.warmup})")
+    group.addoption("--repeat", type=int, default=TimingOpts.repeat,
+                    help="timed calls per measurement; the median is "
+                         f"reported (default {TimingOpts.repeat})")
+
+
+@pytest.fixture(scope="session")
+def timing(request: pytest.FixtureRequest) -> TimingOpts:
+    return TimingOpts(warmup=max(0, request.config.getoption("--warmup")),
+                      repeat=max(1, request.config.getoption("--repeat")))
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,7 @@ Subcommands
 ``archive``     create/list/extract multi-field snapshot archives
 ``gen``         export a synthetic dataset as raw .f32 + manifest
 ``modules``     list every registered module per stage
+``stats``       print hot-path cache/pool/allocator counters
 ``autotune``    pick the best pipeline for a field and objective
 ``platforms``   print the Table-1 platform specs
 
@@ -67,14 +68,17 @@ def cmd_compress(args: argparse.Namespace) -> int:
     """``fzmod compress``: compress one field to a container file."""
     data = _load_input(args)
     comp = _resolve_pipeline(args.pipeline)
-    parallel = args.workers is not None or args.shard_mb is not None
+    parallel = (args.workers is not None or args.shard_mb is not None
+                or args.shared_codebook)
     if parallel:
         if not isinstance(comp, Pipeline):
             raise FZModError(
                 f"--workers/--shard-mb need a modular pipeline "
                 f"(one of {PRESET_NAMES}), not baseline {args.pipeline!r}")
         cf = comp.compress(data, args.eb, EbMode(args.mode),
-                           workers=args.workers, shard_mb=args.shard_mb)
+                           workers=args.workers, shard_mb=args.shard_mb,
+                           codebook="shared" if args.shared_codebook
+                           else "per-shard")
     else:
         cf = comp.compress(data, args.eb, EbMode(args.mode))
     with open(args.output, "wb") as fh:
@@ -86,7 +90,7 @@ def cmd_compress(args: argparse.Namespace) -> int:
     if parallel:
         print(f"parallel engine: {cf.shard_count} shards, "
               f"{cf.workers} worker(s), backend={cf.backend}, "
-              f"{cf.wall_seconds:.3f}s wall")
+              f"codebook={cf.codebook_mode}, {cf.wall_seconds:.3f}s wall")
     return 0
 
 
@@ -191,6 +195,13 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     from .core.inspect import render
     with open(args.input, "rb") as fh:
         print(render(fh.read()))
+    return 0
+
+
+def cmd_stats(_args: argparse.Namespace) -> int:
+    """``fzmod stats``: hot-path cache/pool/allocator counters."""
+    from .core.inspect import render_hotpath
+    print(render_hotpath())
     return 0
 
 
@@ -324,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--shard-mb", type=float, default=None,
                     help="target shard size in MiB (implies the parallel "
                          "engine; default 32)")
+    sp.add_argument("--shared-codebook", action="store_true",
+                    help="build one global Huffman codebook for all shards "
+                         "(implies the parallel engine; huffman pipelines "
+                         "only)")
     sp.add_argument("-o", "--output", required=True)
     sp.set_defaults(fn=cmd_compress)
 
@@ -376,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
                                         "blob without decompressing")
     sp.add_argument("input")
     sp.set_defaults(fn=cmd_inspect)
+
+    sp = sub.add_parser("stats", help="print hot-path cache/pool/allocator "
+                                      "counters for this process")
+    sp.set_defaults(fn=cmd_stats)
 
     sp = sub.add_parser("verify", help="run the contract check battery "
                                        "against a pipeline")

@@ -111,6 +111,17 @@ class ContainerHeader:
         return np.dtype(self.dtype)
 
 
+def as_bytes_view(arr: np.ndarray) -> memoryview:
+    """A zero-copy byte view of an array, suitable as a section payload.
+
+    ``assemble`` joins section payloads with ``bytes.join``, which accepts
+    any buffer — so packing an array as a view instead of ``tobytes()``
+    skips one full-size copy per section.  The view keeps the (contiguous)
+    array alive; non-contiguous inputs are copied once, as before.
+    """
+    return np.ascontiguousarray(arr).data.cast("B")
+
+
 def assemble(header: ContainerHeader, sections: dict[str, bytes],
              stored_body: bytes | None = None) -> tuple[bytes, bytes]:
     """Build (header_bytes, body_bytes); fills the header's section table.
@@ -168,11 +179,20 @@ def parse(blob: bytes) -> tuple[ContainerHeader, bytes]:
     return header, stored
 
 
-def split_sections(header: ContainerHeader, body: bytes) -> dict[str, bytes]:
-    """Slice the decoded body back into named sections."""
+def split_sections(header: ContainerHeader, body: bytes, *,
+                   zero_copy: bool = False) -> dict[str, bytes]:
+    """Slice the decoded body back into named sections.
+
+    ``zero_copy=True`` returns :class:`memoryview` slices into ``body``
+    instead of ``bytes`` copies — one allocation saved per section on the
+    decompression hot path.  Views behave like read-only bytes for every
+    consumer here (``np.frombuffer``, ``struct.unpack_from``, indexing);
+    callers that outlive ``body`` must copy explicitly.
+    """
     out: dict[str, bytes] = {}
+    view = memoryview(body) if zero_copy else body
     for name, offset, length in header.sections:
         if offset + length > len(body):
             raise HeaderError(f"section {name!r} exceeds body size")
-        out[name] = body[offset:offset + length]
+        out[name] = view[offset:offset + length]
     return out

@@ -106,6 +106,48 @@ def describe(blob: bytes) -> Description:
     raise HeaderError(f"unrecognised magic {magic!r}")
 
 
+def hotpath_stats() -> dict:
+    """Live counters of every hot-path amortisation layer in the process.
+
+    Returns a JSON-ready dict with one entry per plan cache (hits, misses,
+    evictions, occupancy — see :mod:`repro.kernels.plancache`), the
+    runtime buffer pool's reuse counters, and the global allocator's
+    live/peak bytes per memory space.  The perf-regression harness embeds
+    this in ``BENCH_pipeline.json``; it is also the programmatic answer to
+    "is the warm path actually warm?".
+    """
+    from ..kernels.plancache import cache_stats
+    from ..runtime.memory import GLOBAL_ALLOCATOR, GLOBAL_POOL, pooling_enabled
+    return {
+        "plan_caches": cache_stats(),
+        "buffer_pool": {"enabled": pooling_enabled(), **GLOBAL_POOL.stats()},
+        "allocator": {"live": dict(GLOBAL_ALLOCATOR.live),
+                      "peak": dict(GLOBAL_ALLOCATOR.peak)},
+    }
+
+
+def render_hotpath() -> str:
+    """Human-readable ``hotpath_stats()`` report (backs ``fzmod stats``)."""
+    s = hotpath_stats()
+    lines = ["plan caches:"]
+    for name, cs in s["plan_caches"].items():
+        lines.append(f"  {name:<24} {cs['entries']:>4} entries "
+                     f"{cs['bytes']:>10} B  hit rate {cs['hit_rate']:.2%} "
+                     f"({cs['hits']} hits / {cs['misses']} misses, "
+                     f"{cs['evictions']} evicted)")
+    bp = s["buffer_pool"]
+    state = "on" if bp["enabled"] else "off"
+    lines.append(f"buffer pool ({state}): {bp['pooled_arrays']} idle arrays, "
+                 f"{bp['pooled_bytes']} B pooled, reuse rate "
+                 f"{bp['reuse_rate']:.2%} ({bp['hits']} hits / "
+                 f"{bp['misses']} misses, {bp['drops']} drops)")
+    alloc = s["allocator"]
+    for space in sorted(alloc["peak"]):
+        lines.append(f"allocator[{space}]: live {alloc['live'].get(space, 0)} B, "
+                     f"peak {alloc['peak'][space]} B")
+    return "\n".join(lines)
+
+
 def render(blob: bytes) -> str:
     """Human-readable inspection report."""
     d = describe(blob)

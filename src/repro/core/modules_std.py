@@ -26,6 +26,7 @@ from ..kernels import (bitshuffle, dictionary, histogram as khist, huffman,
 from ..kernels.histogram import HistogramResult
 from ..kernels.quantize import OutlierSet
 from ..types import EbMode, ErrorBound
+from .header import as_bytes_view
 from .module import (EncodedStream, EncoderModule, PredictorArtifacts,
                      PredictorModule, PreprocessModule, PreprocessResult,
                      SecondaryModule, StatisticsModule)
@@ -148,26 +149,56 @@ class HuffmanEncoder(EncoderModule):
     needs_statistics = True
 
     def __init__(self, chunk: int = huffman.DEFAULT_CHUNK,
-                 max_len: int = huffman.DEFAULT_MAX_LEN) -> None:
+                 max_len: int = huffman.DEFAULT_MAX_LEN, *,
+                 fixed_lengths: np.ndarray | None = None,
+                 emit_lengths: bool = True) -> None:
         self.chunk = chunk
         self.max_len = max_len
+        self.fixed_lengths = (None if fixed_lengths is None
+                              else np.asarray(fixed_lengths, dtype=np.uint8))
+        self.emit_lengths = emit_lengths
+        if self.fixed_lengths is not None:
+            # shadow the class attribute: a pinned codebook needs no
+            # histogram, so the pipeline skips the statistics stage
+            self.needs_statistics = False
+
+    def with_fixed_codebook(self, lengths: np.ndarray) -> "HuffmanEncoder":
+        """A clone that encodes with a pinned canonical codebook.
+
+        The clone neither collects statistics nor stores the lengths in
+        its containers (``emit_lengths=False``) — the caller owns the
+        codebook and must supply it again at decode time.  Used by the
+        shared-codebook sharding mode; the registry instance itself is
+        never mutated (modules must stay stateless).
+        """
+        return HuffmanEncoder(chunk=self.chunk, max_len=self.max_len,
+                              fixed_lengths=lengths, emit_lengths=False)
 
     def encode(self, codes: np.ndarray, num_bins: int,
                hist: HistogramResult | None) -> EncodedStream:
-        if hist is None:
+        if self.fixed_lengths is not None:
+            if codes.size == 0:
+                enc = huffman.encode_empty(num_bins, max_len=self.max_len)
+            else:
+                book = huffman.warm_decode_book(self.fixed_lengths,
+                                                self.max_len)
+                enc = huffman.encode(codes, book, chunk=self.chunk)
+        elif hist is None:
             raise CodecError("huffman encoder requires a statistics stage")
-        if codes.size == 0:
+        elif codes.size == 0:
             enc = huffman.encode_empty(num_bins, max_len=self.max_len)
         else:
             book = huffman.build_codebook(hist.counts, max_len=self.max_len)
             enc = huffman.encode(codes, book, chunk=self.chunk)
+        sections = {
+            "enc.payload": enc.payload,
+            "enc.chunk_syms": as_bytes_view(enc.chunk_symbols),
+            "enc.chunk_bits": as_bytes_view(enc.chunk_bits),
+        }
+        if self.emit_lengths:
+            sections["enc.lengths"] = as_bytes_view(enc.lengths)
         return EncodedStream(
-            sections={
-                "enc.payload": enc.payload,
-                "enc.lengths": enc.lengths.tobytes(),
-                "enc.chunk_syms": enc.chunk_symbols.tobytes(),
-                "enc.chunk_bits": enc.chunk_bits.tobytes(),
-            },
+            sections=sections,
             meta={"count": enc.count, "max_len": enc.max_len,
                   "nchunks": int(enc.chunk_symbols.size)})
 

@@ -19,8 +19,10 @@ import numpy as np
 from ..errors import PipelineError
 from ..kernels.quantize import (OutlierSet, pack_outliers as quantize_pack,
                                 unpack_outliers as quantize_unpack)
+from ..kernels.plancache import MODULE_TABLE_CACHE
 from ..types import EbMode, ErrorBound, check_field
-from .header import ContainerHeader, assemble, parse, split_sections
+from .header import (ContainerHeader, as_bytes_view, assemble, parse,
+                     split_sections)
 from .module import (EncodedStream, EncoderModule, PredictorArtifacts,
                      PredictorModule, PreprocessModule, SecondaryModule,
                      StatisticsModule)
@@ -181,7 +183,8 @@ class Pipeline:
     # ------------------------------------------------------------------ #
     def compress(self, data: np.ndarray, eb: ErrorBound | float,
                  mode: EbMode | str = EbMode.REL, *,
-                 workers: int | None = None, shard_mb: float | None = None):
+                 workers: int | None = None, shard_mb: float | None = None,
+                 codebook: str | None = None):
         """Compress ``data`` under the given error bound.
 
         With ``workers`` or ``shard_mb`` set (``workers=1`` counts: it
@@ -192,11 +195,18 @@ class Pipeline:
         any other.  Sharding is deterministic: the blob is byte-identical
         for every worker count, so ``workers=4`` and ``workers=1`` decode
         to byte-identical fields.
+
+        ``codebook`` (sharded runs only) selects the entropy-codebook
+        scope: ``"per-shard"`` (default) builds one Huffman codebook per
+        shard; ``"shared"`` builds a single global codebook from the
+        combined histogram and ships it to every shard — one package-merge
+        run instead of N, and one stored codebook instead of N.
         """
-        if workers is not None or shard_mb is not None:
+        if workers is not None or shard_mb is not None or codebook is not None:
             from ..parallel.executor import compress_sharded
             return compress_sharded(data, self, eb, mode, workers=workers,
-                                    shard_mb=shard_mb)
+                                    shard_mb=shard_mb,
+                                    codebook=codebook or "per-shard")
         if not isinstance(eb, ErrorBound):
             eb = ErrorBound(float(eb), EbMode(mode))
         data = check_field(data)
@@ -224,10 +234,10 @@ class Pipeline:
         outlier_sections, outlier_count = _serialize_outliers(arts.outliers)
         sections.update(outlier_sections)
         if arts.anchors is not None:
-            sections["anchors"] = arts.anchors.tobytes()
+            sections["anchors"] = as_bytes_view(arts.anchors)
         aux_meta: dict[str, list] = {}
         for aname, arr in arts.aux.items():
-            sections[f"aux.{aname}"] = np.ascontiguousarray(arr).tobytes()
+            sections[f"aux.{aname}"] = as_bytes_view(arr)
             aux_meta[aname] = [arr.dtype.str, list(arr.shape)]
 
         header = ContainerHeader(
@@ -268,25 +278,48 @@ class Pipeline:
         return decompress(blob)
 
 
+def _module_table(header: ContainerHeader, registry: ModuleRegistry
+                  ) -> dict[str, object]:
+    """Resolve the header's stage->name map to module instances, cached.
+
+    The table is a pure function of the registry contents and the name
+    map, so it is served from the plan cache keyed by the registry
+    identity + generation: decompressing a stream of same-pipeline
+    containers resolves the modules once instead of five lookups per blob.
+    """
+    names = tuple(sorted(header.modules.items()))
+    key = (id(registry), registry.generation, names)
+    return MODULE_TABLE_CACHE.get_or_build(
+        key, lambda: {stage: registry.get(Stage(stage), name)
+                      for stage, name in names})
+
+
 def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
-               *, workers: int | None = None) -> np.ndarray:
+               *, workers: int | None = None,
+               section_overrides: dict[str, bytes] | None = None
+               ) -> np.ndarray:
     """Container-driven decompression: module names come from the header.
 
     Multi-shard containers (written by the parallel engine) are detected
     by magic and decoded shard-parallel; ``workers`` bounds that pool and
     is ignored for ordinary single-shard containers.
+
+    ``section_overrides`` merges extra named sections over the container's
+    own after the body is split — the parallel engine uses it to inject
+    the shared codebook into shard containers that deliberately omit it.
     """
     from ..parallel.executor import SHARD_MAGIC, decompress_sharded
     if blob[:len(SHARD_MAGIC)] == SHARD_MAGIC:
         return decompress_sharded(blob, workers=workers, registry=registry)
     header, stored_body = parse(blob)
-    secondary = registry.get(Stage.SECONDARY,
-                             header.modules[Stage.SECONDARY.value])
+    modules = _module_table(header, registry)
+    secondary = modules[Stage.SECONDARY.value]
     body = secondary.decode(stored_body)
-    sections = split_sections(header, body)
+    sections = split_sections(header, body, zero_copy=True)
+    if section_overrides:
+        sections.update(section_overrides)
 
-    enc_name = header.modules[Stage.ENCODER.value]
-    encoder = registry.get(Stage.ENCODER, enc_name)
+    encoder = modules[Stage.ENCODER.value]
     stream = EncodedStream(
         sections={k: v for k, v in sections.items() if k.startswith("enc.")},
         meta=header.stage_meta.get("encoder", {}))
@@ -313,10 +346,16 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     arts = PredictorArtifacts(codes=codes, outliers=outliers, anchors=anchors,
                               aux=aux,
                               meta=header.stage_meta.get("predictor", {}))
-    predictor = registry.get(Stage.PREDICTOR,
-                             header.modules[Stage.PREDICTOR.value])
+    predictor = modules[Stage.PREDICTOR.value]
     out = predictor.decode(arts, header.shape, header.np_dtype,
                            header.eb_abs, header.radius)
-    preprocess = registry.get(Stage.PREPROCESS,
-                              header.modules[Stage.PREPROCESS.value])
-    return preprocess.backward(out, header.stage_meta.get("preprocess", {}))
+    preprocess = modules[Stage.PREPROCESS.value]
+    out = preprocess.backward(out, header.stage_meta.get("preprocess", {}))
+    # Contract: callers get exactly one writable array that owns its data.
+    # The standard predictor/preprocess chain already ends in a fresh
+    # buffer (audited: Lorenzo/interp dequantize into a new array and the
+    # preprocessors pass it through), so this copy only fires for custom
+    # modules that return views into blob-backed sections.
+    if not out.flags.writeable or out.base is not None:
+        out = out.copy()
+    return out

@@ -11,19 +11,33 @@ from __future__ import annotations
 import numpy as np
 
 
-def delta_forward(values: np.ndarray) -> np.ndarray:
-    """First-order backward difference over the flattened array (int64)."""
+def delta_forward(values: np.ndarray, *,
+                  out: np.ndarray | None = None) -> np.ndarray:
+    """First-order backward difference over the flattened array (int64).
+
+    ``out`` (``int64``, at least ``values.size`` elements, distinct from
+    ``values``) receives the differences, making the call allocation-free
+    for pooled callers.
+    """
     flat = np.asarray(values, dtype=np.int64).reshape(-1)
-    out = np.empty_like(flat)
+    out = np.empty_like(flat) if out is None else out.reshape(-1)[:flat.size]
     if flat.size:
         out[0] = flat[0]
         np.subtract(flat[1:], flat[:-1], out=out[1:])
     return out
 
 
-def delta_inverse(deltas: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`delta_forward` (an inclusive scan)."""
-    return np.cumsum(np.asarray(deltas, dtype=np.int64))
+def delta_inverse(deltas: np.ndarray, *,
+                  out: np.ndarray | None = None) -> np.ndarray:
+    """Inverse of :func:`delta_forward` (an inclusive scan).
+
+    ``out=deltas`` scans in place (clobbering the input).
+    """
+    flat = np.asarray(deltas, dtype=np.int64).reshape(-1)
+    if out is None:
+        return np.cumsum(flat)
+    out = out.reshape(-1)[:flat.size]
+    return np.cumsum(flat, out=out)
 
 
 def delta2_forward(values: np.ndarray) -> np.ndarray:

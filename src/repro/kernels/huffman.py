@@ -29,6 +29,8 @@ import numpy as np
 
 from ..errors import CodecError
 from .bitio import pack_varlen, unpack_windows
+from .plancache import (CODEBOOK_CACHE, DECODE_STREAM_CACHE,
+                        DECODE_TABLE_CACHE, ENCODE_STREAM_CACHE, digest)
 
 #: Default maximum code length; keeps the decode table at 2**16 entries.
 DEFAULT_MAX_LEN = 16
@@ -201,15 +203,62 @@ class Codebook:
         return self._table_sym, self._table_len
 
 
-def build_codebook(counts: np.ndarray, max_len: int = DEFAULT_MAX_LEN) -> Codebook:
-    """Build an optimal length-limited canonical codebook from a histogram."""
-    counts = np.asarray(counts, dtype=np.int64)
+def _build_codebook_uncached(counts: np.ndarray, max_len: int) -> Codebook:
     unbounded = _huffman_lengths_unbounded(counts)
     if int(unbounded.max()) <= max_len:
         lengths = unbounded
     else:
         lengths = package_merge_lengths(counts, max_len)
     return Codebook(lengths=lengths, max_len=max_len)
+
+
+def build_codebook(counts: np.ndarray, max_len: int = DEFAULT_MAX_LEN, *,
+                   cache: bool = True) -> Codebook:
+    """Build an optimal length-limited canonical codebook from a histogram.
+
+    Codebooks are value-objects derived purely from the histogram, so they
+    are served from a content-addressed plan cache keyed by the histogram
+    digest: repeated compression of fields with identical code statistics
+    (the warm serving path, and every shard of a repeated sharded run)
+    skips the package-merge entirely.  Pass ``cache=False`` to force a
+    fresh build (the cold-path baseline the perf harness measures).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if not cache:
+        return _build_codebook_uncached(counts, max_len)
+    key = (digest(counts), int(max_len))
+    return CODEBOOK_CACHE.get_or_build(
+        key, lambda: _build_codebook_uncached(counts, max_len),
+        nbytes=lambda book: int(book.lengths.nbytes) + 64)
+
+
+def warm_decode_book(lengths: np.ndarray, max_len: int, *,
+                     cache: bool = True) -> Codebook:
+    """A :class:`Codebook` with canonical codes and dense decode tables
+    already materialised, served from the plan cache.
+
+    The ``2**max_len``-entry wavefront tables are the dominant per-call
+    setup cost of :func:`decode`; keying them by the digest of the
+    serialised lengths array means every container written with the same
+    codebook (all shards of a shared-codebook run, every re-read of the
+    same blob) shares one table pair.
+    """
+    def build() -> Codebook:
+        # copy so a cached book never pins a caller's blob-backed view
+        book = Codebook(lengths=np.array(lengths, dtype=np.uint8),
+                        max_len=max_len)
+        book.codes  # noqa: B018 - materialise the canonical codes
+        book.decode_tables()
+        return book
+
+    if not cache:
+        return build()
+    key = (digest(np.ascontiguousarray(lengths)), int(max_len))
+    return DECODE_TABLE_CACHE.get_or_build(
+        key, build,
+        nbytes=lambda book: int(book._table_sym.nbytes
+                                + book._table_len.nbytes
+                                + book.codes.nbytes + book.lengths.nbytes))
 
 
 @dataclass(frozen=True)
@@ -262,9 +311,36 @@ def encode_empty(num_bins: int, max_len: int = DEFAULT_MAX_LEN
 
 
 def encode(symbols: np.ndarray, book: Codebook,
-           chunk: int = DEFAULT_CHUNK) -> HuffmanEncoded:
-    """Encode a symbol array with a canonical codebook, in chunks."""
-    symbols = np.asarray(symbols).reshape(-1)
+           chunk: int = DEFAULT_CHUNK, *, cache: bool = True
+           ) -> HuffmanEncoded:
+    """Encode a symbol array with a canonical codebook, in chunks.
+
+    Encoded streams are value-objects derived purely from ``(symbols,
+    lengths, chunk)``, so they are served from a content-addressed plan
+    cache: re-compressing content the process has already packed (repeated
+    snapshots of the same field, the warm half of a cold/warm A/B run)
+    costs one digest instead of a full bit-packing pass.  Cached streams
+    have read-only table arrays; ``cache=False`` forces a fresh pack.
+    """
+    symbols = np.ascontiguousarray(np.asarray(symbols).reshape(-1))
+    if not cache:
+        return _encode_uncached(symbols, book, chunk)
+    key = (digest(symbols), digest(book.lengths), int(chunk),
+           int(book.max_len))
+
+    def build() -> HuffmanEncoded:
+        enc = _encode_uncached(symbols, book, chunk)
+        enc.chunk_symbols.setflags(write=False)
+        enc.chunk_bits.setflags(write=False)
+        enc.lengths.setflags(write=False)
+        return enc
+
+    return ENCODE_STREAM_CACHE.get_or_build(
+        key, build, nbytes=lambda enc: enc.nbytes() + 64)
+
+
+def _encode_uncached(symbols: np.ndarray, book: Codebook,
+                     chunk: int) -> HuffmanEncoded:
     if symbols.size and int(symbols.max()) >= book.num_bins:
         raise CodecError("symbol out of codebook range")
     lengths_lut = book.lengths.astype(np.int64)
@@ -323,9 +399,34 @@ def _decode_chunk(payload: bytes, nbits: int, nsyms: int,
     return out
 
 
-def decode(enc: HuffmanEncoded) -> np.ndarray:
-    """Decode a :class:`HuffmanEncoded` stream back to symbols (uint32)."""
-    book = Codebook(lengths=enc.lengths, max_len=enc.max_len)
+def decode(enc: HuffmanEncoded, *, cache: bool = True) -> np.ndarray:
+    """Decode a :class:`HuffmanEncoded` stream back to symbols (uint32).
+
+    Decoded streams are memoised in a content-addressed plan cache keyed
+    by the digests of the payload, codebook and chunk tables: re-reading a
+    container the process has already decoded (the warm serving path)
+    costs one digest instead of the wavefront-doubling pass.  Cached
+    arrays are returned read-only — every in-tree consumer copies via
+    ``astype``/fancy indexing before mutating.  ``cache=False`` forces a
+    fresh decode.
+    """
+    if not cache:
+        return _decode_uncached(enc, cache=False)
+    key = digest(enc.payload, np.ascontiguousarray(enc.lengths),
+                 enc.chunk_symbols, enc.chunk_bits, int(enc.count),
+                 int(enc.max_len))
+
+    def build() -> np.ndarray:
+        out = _decode_uncached(enc, cache=True)
+        out.setflags(write=False)
+        return out
+
+    return DECODE_STREAM_CACHE.get_or_build(
+        key, build, nbytes=lambda arr: int(arr.nbytes) + 64)
+
+
+def _decode_uncached(enc: HuffmanEncoded, *, cache: bool) -> np.ndarray:
+    book = warm_decode_book(enc.lengths, enc.max_len, cache=cache)
     tsym, tlen = book.decode_tables()
     out: list[np.ndarray] = []
     offset = 0

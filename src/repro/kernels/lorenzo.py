@@ -29,33 +29,55 @@ from ..errors import CodecError
 from . import quantize as q
 
 
-def lorenzo_forward(grid: np.ndarray) -> np.ndarray:
+def lorenzo_forward(grid: np.ndarray, *, out: np.ndarray | None = None,
+                    scratch: np.ndarray | None = None) -> np.ndarray:
     """Apply the d-D Lorenzo difference operator to an integer grid.
 
     Boundary semantics: values outside the array are treated as zero, so the
     first element along each axis keeps its value (matching cuSZ's
     "first element predicts from 0" behaviour).
+
+    ``out`` receives the residuals (``out=grid`` differentiates in place,
+    clobbering the input) and ``scratch`` (``int64``, grid-shaped) carries
+    the shifted copy each axis pass needs; with both supplied the operator
+    allocates nothing instead of two grid-sized temporaries per axis.
     """
     grid = np.asarray(grid)
     if grid.dtype != np.int64:
         grid = grid.astype(np.int64)
-    out = grid
-    for axis in range(grid.ndim):
-        shifted = np.zeros_like(out)
+    if out is None:
+        out = grid.copy()
+    elif out is not grid:
+        out[...] = grid
+    shifted = np.empty_like(out) if scratch is None else scratch
+    for axis in range(out.ndim):
         src = [slice(None)] * out.ndim
         dst = [slice(None)] * out.ndim
+        first = [slice(None)] * out.ndim
         src[axis] = slice(None, -1)
         dst[axis] = slice(1, None)
+        first[axis] = slice(0, 1)
         shifted[tuple(dst)] = out[tuple(src)]
-        out = out - shifted
+        shifted[tuple(first)] = 0
+        np.subtract(out, shifted, out=out)
     return out
 
 
-def lorenzo_inverse(deltas: np.ndarray) -> np.ndarray:
-    """Invert :func:`lorenzo_forward` via successive inclusive scans."""
-    out = np.asarray(deltas, dtype=np.int64)
+def lorenzo_inverse(deltas: np.ndarray, *,
+                    out: np.ndarray | None = None) -> np.ndarray:
+    """Invert :func:`lorenzo_forward` via successive inclusive scans.
+
+    ``out=deltas`` scans in place (clobbering the input); the default
+    allocates one working copy and scans inside it, instead of one fresh
+    array per axis.
+    """
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if out is None:
+        out = deltas.copy()
+    elif out is not deltas:
+        out[...] = deltas
     for axis in range(out.ndim - 1, -1, -1):
-        out = np.cumsum(out, axis=axis)
+        np.cumsum(out, axis=axis, out=out)
     return out
 
 
@@ -92,23 +114,64 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS
 
     The returned artifacts reconstruct the field to within ``eb_abs``
     (guaranteed: pre-quantization bounds the error; prediction on integers
-    is exact).
+    is exact).  Scratch (the integer grid, the shift buffer and the scaled
+    float intermediate) is drawn from the runtime buffer pool when enabled,
+    so repeated same-shape calls — the sharded engine's steady state —
+    allocate nothing on this path.
     """
+    from ..runtime.memory import default_pool
     data = np.asarray(data)
-    grid = q.prequantize(data, eb_abs)
-    deltas = lorenzo_forward(grid)
-    codes, outliers = q.split_outliers(deltas, radius)
+    pool = default_pool()
+    if pool is None:
+        grid = q.prequantize(data, eb_abs)
+        deltas = lorenzo_forward(grid, out=grid)
+        codes, outliers = q.split_outliers(deltas, radius, in_place=True)
+        return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
+                             eb_abs=float(eb_abs), shape=data.shape,
+                             dtype=data.dtype)
+    scaled = pool.acquire(data.shape, np.float64)
+    grid = pool.acquire(data.shape, np.int64)
+    shifted = pool.acquire(data.shape, np.int64)
+    try:
+        q.prequantize(data, eb_abs, out=grid, scratch=scaled)
+        deltas = lorenzo_forward(grid, out=grid, scratch=shifted)
+        codes, outliers = q.split_outliers(deltas, radius, in_place=True)
+    finally:
+        pool.release(scaled)
+        pool.release(shifted)
+        pool.release(grid)
     return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
                          eb_abs=float(eb_abs), shape=data.shape, dtype=data.dtype)
 
 
 def decompress(result: LorenzoResult) -> np.ndarray:
-    """Reconstruct the field from Lorenzo artifacts."""
-    deltas = q.merge_outliers(result.codes, result.outliers, result.radius)
-    if deltas.shape != result.shape:
-        deltas = deltas.reshape(result.shape)
-    grid = lorenzo_inverse(deltas)
-    return q.dequantize(grid, result.eb_abs, result.dtype)
+    """Reconstruct the field from Lorenzo artifacts.
+
+    Exactly one writable array is materialised for the caller (the
+    dequantised field); the integer residual/scan buffer is pooled
+    scratch when the runtime pool is enabled.
+    """
+    from ..runtime.memory import default_pool
+    pool = default_pool()
+    shape = tuple(result.shape)
+    recon = np.empty(shape, dtype=result.dtype)
+    if pool is None:
+        deltas = q.merge_outliers(result.codes, result.outliers, result.radius)
+        if deltas.shape != shape:
+            deltas = deltas.reshape(shape)
+        grid = lorenzo_inverse(deltas, out=deltas)
+        return q.dequantize(grid, result.eb_abs, result.dtype, out=recon)
+    work = pool.acquire(shape, np.int64)
+    try:
+        deltas = q.merge_outliers(result.codes, result.outliers,
+                                  result.radius, out=work)
+        if deltas.shape != shape:
+            deltas = deltas.reshape(shape)
+        grid = lorenzo_inverse(deltas, out=deltas)
+        q.dequantize(grid, result.eb_abs, result.dtype, out=recon)
+    finally:
+        pool.release(work)
+    return recon
 
 
 def decompress_parts(codes: np.ndarray, outliers: q.OutlierSet, radius: int,

@@ -1,0 +1,220 @@
+"""Content-addressed plan cache for expensive derived objects.
+
+Fused GPU compressors (cuSZ, FZ-GPU) amortise their setup work — Huffman
+codebook construction, decode-table expansion, scratch allocation — across
+a stream of fields; a naive modular pipeline redoes it on every call.  The
+:class:`PlanCache` closes that gap: derived objects ("plans") are keyed by
+a digest of the *content* they were derived from, so any call anywhere in
+the process that needs the same plan gets the cached instance back.
+
+Plans cached today
+------------------
+* canonical Huffman codebooks, keyed by ``(histogram digest, max_len)``
+  (:func:`repro.kernels.huffman.build_codebook`), shared between the
+  modular pipelines and the SZ3 baseline;
+* warmed decode books — a :class:`~repro.kernels.huffman.Codebook` with
+  its canonical codes *and* its ``2**max_len``-entry wavefront decode
+  tables materialised — keyed by ``(lengths digest, max_len)``
+  (:func:`repro.kernels.huffman.decode`);
+* encoded streams — the packed :class:`~repro.kernels.huffman.HuffmanEncoded`
+  for a symbol array, keyed by the digests of the symbols and the
+  codebook: re-compressing content already seen (repeated snapshots, the
+  warm half of an A/B run) skips the bit-packing pass entirely;
+* decoded streams — the symbol array recovered from a payload, keyed by
+  the digests of the payload, codebook and chunk tables: re-reading a hot
+  container skips the wavefront decode.  Cached arrays are read-only;
+* resolved module tables for header-driven decompression, keyed by the
+  registry generation and the header's stage->name map
+  (:func:`repro.core.pipeline.decompress`).
+
+Caches are process-wide, thread-safe, LRU-bounded by entry count and by
+an approximate byte budget, and fully observable: per-cache hit / miss /
+eviction counters are exported through
+:func:`repro.core.inspect.hotpath_stats` and land in ``BENCH_pipeline.json``.
+
+Set ``FZMOD_PLAN_CACHE=0`` to disable every cache (each lookup then calls
+its builder directly but still counts misses), or call
+:func:`clear_all_caches` to drop cached plans between measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
+
+#: default per-cache entry bound
+DEFAULT_MAX_ENTRIES = 64
+
+#: default per-cache (approximate) byte budget
+DEFAULT_MAX_BYTES = 64 << 20
+
+
+def caching_enabled() -> bool:
+    """Global kill switch (``FZMOD_PLAN_CACHE=0`` disables all caches)."""
+    return os.environ.get("FZMOD_PLAN_CACHE", "1") != "0"
+
+
+def digest(*parts: bytes | bytearray | memoryview | np.ndarray | int | str
+           ) -> str:
+    """Stable content digest over heterogeneous key parts.
+
+    Arrays are hashed over their raw bytes together with dtype and shape,
+    so two arrays with equal bytes but different views cannot collide.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            arr = np.ascontiguousarray(part)
+            h.update(str(arr.dtype.str).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.view(np.uint8).reshape(-1).data)
+        elif isinstance(part, (bytes, bytearray, memoryview)):
+            h.update(b"b")
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class PlanCache:
+    """A size-bounded, thread-safe LRU cache of derived objects.
+
+    Parameters
+    ----------
+    name:
+        stable identifier used in stats reports.
+    max_entries / max_bytes:
+        eviction bounds.  ``max_bytes`` is enforced against the byte
+        estimate the caller supplies with each insert (0 = untracked).
+    """
+
+    def __init__(self, name: str, *, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.name = name
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        _CACHES[name] = self
+
+    def get_or_build(self, key: Any, builder: Callable[[], Any],
+                     nbytes: Callable[[Any], int] | int = 0) -> Any:
+        """Return the cached plan for ``key``, building it on a miss.
+
+        ``nbytes`` sizes the built value for the byte budget — either a
+        constant or a callable applied to the freshly built value.  The
+        builder runs outside the lock, so concurrent misses on the same
+        key may build twice; last write wins (plans are value-objects, so
+        duplicated work is safe, just wasted).
+        """
+        if not caching_enabled():
+            with self._lock:
+                self.misses += 1
+            return builder()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[0]
+            self.misses += 1
+        value = builder()
+        size = nbytes(value) if callable(nbytes) else int(nbytes)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            while (len(self._entries) > self.max_entries
+                   or (self.max_bytes and self._bytes > self.max_bytes)):
+                if len(self._entries) <= 1:
+                    break
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters + occupancy, as stable scalars."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4),
+            }
+
+
+#: every PlanCache ever constructed, by name (module-level caches register
+#: themselves at import time; ad-hoc caches join as they are created)
+_CACHES: dict[str, PlanCache] = {}
+
+#: Huffman codebooks built from histograms (encode-side plans)
+CODEBOOK_CACHE = PlanCache("huffman.codebook")
+
+#: decode books: Codebook + canonical codes + dense wavefront tables
+#: (a 2**16-entry table pair is ~325 KiB, so ~48 warm books fit the budget)
+DECODE_TABLE_CACHE = PlanCache("huffman.decode_tables", max_entries=48,
+                               max_bytes=32 << 20)
+
+#: packed HuffmanEncoded streams, keyed by (symbols, codebook) digests
+ENCODE_STREAM_CACHE = PlanCache("huffman.encode_streams", max_entries=64,
+                                max_bytes=96 << 20)
+
+#: decoded symbol arrays, keyed by (payload, codebook, chunk-table) digests
+DECODE_STREAM_CACHE = PlanCache("huffman.decode_streams", max_entries=64,
+                                max_bytes=96 << 20)
+
+#: resolved (stage -> module instance) tables for container decompression
+MODULE_TABLE_CACHE = PlanCache("pipeline.modules", max_entries=128,
+                               max_bytes=0)
+
+
+def all_caches() -> dict[str, PlanCache]:
+    """Name -> cache for every live cache."""
+    return dict(_CACHES)
+
+
+def cache_stats() -> dict[str, dict]:
+    """Stats for every live cache, keyed by cache name."""
+    return {name: cache.stats() for name, cache in sorted(_CACHES.items())}
+
+
+def clear_all_caches(reset_stats: bool = False) -> None:
+    """Drop every cached plan in the process (optionally zero counters)."""
+    for cache in _CACHES.values():
+        cache.clear()
+        if reset_stats:
+            cache.reset_stats()

@@ -30,25 +30,50 @@ from ..errors import CodecError
 DEFAULT_RADIUS = 512
 
 
-def prequantize(data: np.ndarray, eb_abs: float) -> np.ndarray:
+def prequantize(data: np.ndarray, eb_abs: float, *,
+                out: np.ndarray | None = None,
+                scratch: np.ndarray | None = None) -> np.ndarray:
     """Quantise ``data`` onto the grid ``2*eb_abs * k`` (k integer).
 
     Returns an ``int64`` array of grid indices.  ``|data - 2*eb*k| <= eb``
     holds for every element (round-half-away semantics are irrelevant to the
     bound).  ``int64`` is wide enough for any float32/64 field with a sane
     error bound; overflow (astronomically tight bounds) raises.
+
+    ``out`` (``int64``, data-shaped) receives the grid indices and
+    ``scratch`` (``float64``, data-shaped) holds the scaled intermediate;
+    passing pooled buffers for both makes the call allocation-free.
     """
     if eb_abs <= 0 or not np.isfinite(eb_abs):
         raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
-    scaled = np.asarray(data, dtype=np.float64) / (2.0 * eb_abs)
+    data = np.asarray(data)
+    if scratch is None:
+        scaled = np.asarray(data, dtype=np.float64) / (2.0 * eb_abs)
+    else:
+        # dtype= forces the float64 loop even for float32 inputs; without it
+        # the division runs in float32 and half-point values round wrong
+        scaled = np.divide(data, 2.0 * eb_abs, out=scratch, dtype=np.float64)
     if scaled.size and float(np.abs(scaled).max()) >= 2**62:
         raise CodecError("error bound too tight: quantization index overflows int64")
-    return np.rint(scaled).astype(np.int64)
+    np.rint(scaled, out=scaled)
+    if out is None:
+        return scaled.astype(np.int64)
+    out[...] = scaled
+    return out
 
 
-def dequantize(codes: np.ndarray, eb_abs: float, dtype: np.dtype) -> np.ndarray:
-    """Inverse of :func:`prequantize` (up to the quantisation error)."""
-    return (np.asarray(codes, dtype=np.float64) * (2.0 * eb_abs)).astype(dtype)
+def dequantize(codes: np.ndarray, eb_abs: float, dtype: np.dtype, *,
+               out: np.ndarray | None = None) -> np.ndarray:
+    """Inverse of :func:`prequantize` (up to the quantisation error).
+
+    With ``out`` (an array of the target ``dtype``) the scale-back is
+    computed straight into it, skipping the full-size ``float64``
+    intermediate the allocating path pays.
+    """
+    if out is None:
+        return (np.asarray(codes, dtype=np.float64) * (2.0 * eb_abs)).astype(dtype)
+    np.multiply(codes, 2.0 * eb_abs, out=out, casting="unsafe")
+    return out
 
 
 @dataclass(frozen=True)
@@ -79,8 +104,8 @@ class OutlierSet:
         return int(self.indices.nbytes + self.values.nbytes)
 
 
-def split_outliers(deltas: np.ndarray, radius: int = DEFAULT_RADIUS
-                   ) -> tuple[np.ndarray, OutlierSet]:
+def split_outliers(deltas: np.ndarray, radius: int = DEFAULT_RADIUS, *,
+                   in_place: bool = False) -> tuple[np.ndarray, OutlierSet]:
     """Separate predictable codes from outliers.
 
     Parameters
@@ -94,6 +119,10 @@ def split_outliers(deltas: np.ndarray, radius: int = DEFAULT_RADIUS
         outlier and its slot in the dense array is set to the sentinel
         ``radius`` (i.e. zero residual) so the dense stream stays maximally
         compressible.
+    in_place:
+        rebase inside ``deltas`` itself instead of a fresh temporary
+        (clobbers the input; used by callers whose residual buffer is
+        pooled scratch).  The returned ``codes`` array is fresh either way.
 
     Returns
     -------
@@ -108,16 +137,31 @@ def split_outliers(deltas: np.ndarray, radius: int = DEFAULT_RADIUS
     mask = (flat >= radius) | (flat < -radius)
     idx = np.flatnonzero(mask).astype(np.int64)
     out = OutlierSet(indices=idx, values=flat[idx].astype(np.int64))
-    rebased = flat + radius
-    rebased = np.where(mask, radius, rebased)
+    if in_place and flat.dtype == np.int64:
+        rebased = flat
+        np.add(rebased, radius, out=rebased)
+        rebased[idx] = radius
+    else:
+        rebased = flat + radius
+        rebased = np.where(mask, radius, rebased)
     dtype = np.uint16 if 2 * radius <= 65536 else np.uint32
     return rebased.astype(dtype).reshape(deltas.shape), out
 
 
-def merge_outliers(codes: np.ndarray, outliers: OutlierSet, radius: int = DEFAULT_RADIUS
-                   ) -> np.ndarray:
-    """Inverse of :func:`split_outliers`: recover signed residuals."""
-    flat = codes.reshape(-1).astype(np.int64) - radius
+def merge_outliers(codes: np.ndarray, outliers: OutlierSet,
+                   radius: int = DEFAULT_RADIUS, *,
+                   out: np.ndarray | None = None) -> np.ndarray:
+    """Inverse of :func:`split_outliers`: recover signed residuals.
+
+    ``out`` (``int64``, at least ``codes.size`` elements) receives the
+    residuals, making the call allocation-free for pooled callers.
+    """
+    if out is None:
+        flat = codes.reshape(-1).astype(np.int64)
+    else:
+        flat = out.reshape(-1)[:codes.size]
+        flat[...] = codes.reshape(-1)
+    np.subtract(flat, radius, out=flat)
     if outliers.count:
         if int(outliers.indices.max()) >= flat.size:
             raise CodecError("outlier index out of bounds")

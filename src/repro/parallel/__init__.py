@@ -13,10 +13,10 @@ snapshot compression with compute/transfer overlap.
 
 from .cluster import (CampaignReport, ClusterSpec, breakeven_nodes,
                       simulate_campaign_write)
-from .executor import (DEFAULT_SHARD_MB, ShardedCompressedField, ShardIndex,
-                       ShardPlan, compress_sharded, decompress_sharded,
-                       default_workers, describe_sharded, is_sharded,
-                       parse_sharded)
+from .executor import (CODEBOOK_MODES, DEFAULT_SHARD_MB,
+                       ShardedCompressedField, ShardIndex, ShardPlan,
+                       compress_sharded, decompress_sharded, default_workers,
+                       describe_sharded, is_sharded, parse_sharded)
 from .link import TransferRequest, loaded_bandwidth, simulate_transfers
 from .node import (FieldJob, NodeReport, measured_bandwidth, scaling_series,
                    simulate_snapshot)
@@ -24,7 +24,8 @@ from .node import (FieldJob, NodeReport, measured_bandwidth, scaling_series,
 __all__ = [
     "CampaignReport", "ClusterSpec", "breakeven_nodes",
     "simulate_campaign_write",
-    "DEFAULT_SHARD_MB", "ShardedCompressedField", "ShardIndex", "ShardPlan",
+    "CODEBOOK_MODES", "DEFAULT_SHARD_MB",
+    "ShardedCompressedField", "ShardIndex", "ShardPlan",
     "compress_sharded", "decompress_sharded", "default_workers",
     "describe_sharded", "is_sharded", "parse_sharded",
     "TransferRequest", "loaded_bandwidth", "simulate_transfers",

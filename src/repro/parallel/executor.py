@@ -44,6 +44,7 @@ still fails loudly before a codec runs.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import secrets
@@ -62,13 +63,20 @@ from ..core.pipeline import (CompressedField, CompressionStats, Pipeline,
 from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
 from ..core.spec import PipelineSpec
 from ..errors import ConfigError, HeaderError
+from ..kernels import huffman
 from ..runtime.stream import OrderedWorkQueue
 from ..types import EbMode, ErrorBound, Stage, check_field
 
 SHARD_MAGIC = b"FZMS"
-SHARD_VERSION = 1
+#: highest container version this reader accepts; per-shard-codebook
+#: containers are still written as version 1 (byte-identical with older
+#: engines), shared-codebook containers as version 2
+SHARD_VERSION = 2
 
 _PREFIX = struct.Struct("<4sHII")
+
+#: entropy-codebook scopes of the sharded engine
+CODEBOOK_MODES = ("per-shard", "shared")
 
 #: default shard size (MiB of input data per shard)
 DEFAULT_SHARD_MB = 32.0
@@ -146,7 +154,14 @@ class ShardPlan:
 # ---------------------------------------------------------------------- #
 @dataclass
 class ShardIndex:
-    """Header of a multi-shard container."""
+    """Header of a multi-shard container.
+
+    ``codebook_mode`` records the entropy-codebook scope the shards were
+    written with.  In ``"shared"`` mode the index carries the canonical
+    Huffman code lengths (one byte per symbol) that every shard encodes
+    with; the shards themselves omit their ``enc.lengths`` section and the
+    decoder injects these instead — the container stays self-describing.
+    """
 
     shape: tuple[int, ...]
     dtype: str
@@ -156,10 +171,17 @@ class ShardIndex:
     pipeline: dict                         # PipelineSpec JSON
     bounds: list[tuple[int, int]]          # per-shard row ranges
     table: list[tuple[int, int]] = None    # per-shard (offset, length)
+    codebook_mode: str = "per-shard"
+    codebook_lengths: list[int] | None = None
 
     def to_json(self) -> dict:
-        """JSON-serialisable form of the index."""
-        return {
+        """JSON-serialisable form of the index.
+
+        Per-shard-codebook indexes omit the codebook keys entirely, so
+        default-mode containers are byte-identical with those written
+        before the shared mode existed.
+        """
+        obj = {
             "shape": list(self.shape),
             "dtype": self.dtype,
             "eb_value": self.eb_value,
@@ -169,6 +191,10 @@ class ShardIndex:
             "bounds": [[a, b] for a, b in self.bounds],
             "table": [[o, n] for o, n in self.table],
         }
+        if self.codebook_mode != "per-shard":
+            obj["codebook_mode"] = self.codebook_mode
+            obj["codebook_lengths"] = list(self.codebook_lengths or [])
+        return obj
 
     @classmethod
     def from_json(cls, obj: dict) -> "ShardIndex":
@@ -182,6 +208,10 @@ class ShardIndex:
                 pipeline=dict(obj["pipeline"]),
                 bounds=[(int(a), int(b)) for a, b in obj["bounds"]],
                 table=[(int(o), int(n)) for o, n in obj["table"]],
+                codebook_mode=str(obj.get("codebook_mode", "per-shard")),
+                codebook_lengths=(
+                    [int(x) for x in obj["codebook_lengths"]]
+                    if obj.get("codebook_lengths") is not None else None),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise HeaderError(f"malformed shard index: {exc}") from exc
@@ -189,6 +219,14 @@ class ShardIndex:
     def spec(self) -> PipelineSpec:
         """The canonical pipeline description the shards were written with."""
         return PipelineSpec.from_json(self.pipeline)
+
+    def shared_lengths(self) -> np.ndarray | None:
+        """The shared codebook as a ``uint8`` lengths array (or ``None``)."""
+        if self.codebook_mode != "shared":
+            return None
+        if not self.codebook_lengths:
+            raise HeaderError("shared-codebook index is missing its lengths")
+        return np.asarray(self.codebook_lengths, dtype=np.uint8)
 
     @property
     def shard_count(self) -> int:
@@ -211,6 +249,7 @@ class ShardedCompressedField:
     workers: int
     backend: str
     wall_seconds: float
+    codebook_mode: str = "per-shard"
 
     @property
     def nbytes(self) -> int:
@@ -235,7 +274,8 @@ def assemble_sharded(index: ShardIndex, shard_blobs: list[bytes]) -> bytes:
         offset += len(blob)
     hjson = json.dumps(index.to_json(), separators=(",", ":")).encode("utf-8")
     hcrc = zlib.crc32(hjson) & 0xFFFFFFFF
-    return b"".join([_PREFIX.pack(SHARD_MAGIC, SHARD_VERSION, len(hjson), hcrc),
+    version = 1 if index.codebook_mode == "per-shard" else SHARD_VERSION
+    return b"".join([_PREFIX.pack(SHARD_MAGIC, version, len(hjson), hcrc),
                      hjson, *shard_blobs])
 
 
@@ -246,7 +286,7 @@ def parse_sharded(blob: bytes) -> tuple[ShardIndex, list[bytes]]:
     magic, version, hlen, hcrc = _PREFIX.unpack_from(blob, 0)
     if magic != SHARD_MAGIC:
         raise HeaderError(f"bad multi-shard magic {magic!r}")
-    if version != SHARD_VERSION:
+    if not (1 <= version <= SHARD_VERSION):
         raise HeaderError(f"unsupported multi-shard version {version}")
     start = _PREFIX.size
     if len(blob) < start + hlen:
@@ -279,6 +319,7 @@ def describe_sharded(blob: bytes) -> dict:
         "eb": f"{index.eb_value:g} ({index.eb_mode})",
         "eb_abs": index.eb_abs,
         "pipeline": index.pipeline,
+        "codebook": index.codebook_mode,
         "shards": [{"rows": [a, b], "bytes": len(s)}
                    for (a, b), s in zip(index.bounds, shards)],
     }
@@ -288,19 +329,23 @@ def describe_sharded(blob: bytes) -> dict:
 # stats aggregation                                                       #
 # ---------------------------------------------------------------------- #
 def combine_stats(shard_stats: list[CompressionStats],
-                  output_bytes: int, eb_abs: float) -> CompressionStats:
+                  output_bytes: int, eb_abs: float, *,
+                  extra_seconds: dict[str, float] | None = None
+                  ) -> CompressionStats:
     """Fold per-shard statistics into one combined report.
 
     Byte counts, outliers and section sizes are sums; fractions are
     re-derived from the summed byte counts (i.e. input-weighted); stage
     seconds are summed CPU-seconds (the work done, not the wall time —
     the whole point of the engine is that wall time is smaller).
+    ``extra_seconds`` adds engine-level phases that run outside any shard
+    (e.g. the shared-codebook histogram pass).
     """
     if not shard_stats:
         raise ConfigError("no shard statistics to combine")
     input_bytes = sum(s.input_bytes for s in shard_stats)
     sections: dict[str, int] = {}
-    seconds: dict[str, float] = {}
+    seconds: dict[str, float] = dict(extra_seconds or {})
     for s in shard_stats:
         for k, v in s.section_sizes.items():
             sections[k] = sections.get(k, 0) + v
@@ -325,6 +370,17 @@ def combine_stats(shard_stats: list[CompressionStats],
 # ---------------------------------------------------------------------- #
 # worker entry points (top level: must be picklable for process pools)    #
 # ---------------------------------------------------------------------- #
+def _with_fixed_codebook(pipeline: Pipeline, lengths: np.ndarray) -> Pipeline:
+    """A shallow pipeline clone whose encoder uses a pinned codebook.
+
+    The registry instance is never touched (modules stay stateless); the
+    clone's encoder skips statistics and omits the lengths section.
+    """
+    clone = copy.copy(pipeline)
+    clone.encoder = pipeline.encoder.with_fixed_codebook(lengths)
+    return clone
+
+
 def _compress_shard_local(pipeline: Pipeline, shard: np.ndarray,
                           eb_abs: float) -> tuple[bytes, CompressionStats]:
     cf: CompressedField = pipeline.compress(
@@ -335,11 +391,19 @@ def _compress_shard_local(pipeline: Pipeline, shard: np.ndarray,
 
 def _compress_shard_shm(spec_json: dict, shm_name: str,
                         shape: tuple[int, ...], dtype: str,
-                        start: int, stop: int,
-                        eb_abs: float) -> tuple[bytes, CompressionStats]:
-    """Process-pool job: map the shared field, compress rows [start, stop)."""
+                        start: int, stop: int, eb_abs: float,
+                        lengths: bytes | None = None
+                        ) -> tuple[bytes, CompressionStats]:
+    """Process-pool job: map the shared field, compress rows [start, stop).
+
+    ``lengths`` (serialised ``uint8`` code lengths) pins the shard to a
+    shared Huffman codebook instead of building one from its own stats.
+    """
     spec = PipelineSpec.from_json(spec_json)
     pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
+    if lengths is not None:
+        pipeline = _with_fixed_codebook(
+            pipeline, np.frombuffer(lengths, dtype=np.uint8))
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         field = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
@@ -350,11 +414,39 @@ def _compress_shard_shm(spec_json: dict, shm_name: str,
     return _compress_shard_local(pipeline, shard, eb_abs)
 
 
+def _histogram_shard_local(pipeline: Pipeline, shard: np.ndarray,
+                           eb_abs: float) -> np.ndarray:
+    """Histogram-pass job: quant-code counts of one shard (no encoding)."""
+    shard = np.ascontiguousarray(shard)
+    pre = pipeline.preprocess.forward(shard, ErrorBound(eb_abs, EbMode.ABS))
+    arts = pipeline.predictor.encode(pre.data, pre.eb_abs, pipeline.radius)
+    hist = pipeline.statistics.collect(arts.codes, pipeline.num_bins)
+    return np.asarray(hist.counts, dtype=np.int64)
+
+
+def _histogram_shard_shm(spec_json: dict, shm_name: str,
+                         shape: tuple[int, ...], dtype: str,
+                         start: int, stop: int, eb_abs: float) -> np.ndarray:
+    """Process-pool job: histogram rows [start, stop) of the shared field."""
+    spec = PipelineSpec.from_json(spec_json)
+    pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        field = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        shard = np.array(field[start:stop])
+    finally:
+        shm.close()
+    return _histogram_shard_local(pipeline, shard, eb_abs)
+
+
 def _decompress_shard_shm(shard_blob: bytes, shm_name: str,
                           shape: tuple[int, ...], dtype: str,
-                          start: int, stop: int) -> None:
+                          start: int, stop: int,
+                          lengths: bytes | None = None) -> None:
     """Process-pool job: decode one shard into the shared output buffer."""
-    out = _decompress_container(shard_blob, DEFAULT_REGISTRY)
+    overrides = {"enc.lengths": lengths} if lengths is not None else None
+    out = _decompress_container(shard_blob, DEFAULT_REGISTRY,
+                                section_overrides=overrides)
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         field = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
@@ -363,9 +455,11 @@ def _decompress_shard_shm(shard_blob: bytes, shm_name: str,
         shm.close()
 
 
-def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry
-                            ) -> np.ndarray:
-    return _decompress_container(shard_blob, registry)
+def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry,
+                            lengths: bytes | None = None) -> np.ndarray:
+    overrides = {"enc.lengths": lengths} if lengths is not None else None
+    return _decompress_container(shard_blob, registry,
+                                 section_overrides=overrides)
 
 
 # ---------------------------------------------------------------------- #
@@ -429,6 +523,14 @@ def _shm_create(nbytes: int) -> shared_memory.SharedMemory:
 # ---------------------------------------------------------------------- #
 # the engine                                                              #
 # ---------------------------------------------------------------------- #
+def _build_shared_codebook(counts: np.ndarray, pipeline: Pipeline
+                           ) -> np.ndarray:
+    """One canonical codebook for the whole field, as a lengths array."""
+    max_len = getattr(pipeline.encoder, "max_len", huffman.DEFAULT_MAX_LEN)
+    book = huffman.build_codebook(counts, max_len=max_len)
+    return book.lengths
+
+
 def compress_sharded(data: np.ndarray,
                      pipeline: Pipeline | PipelineSpec,
                      eb: ErrorBound | float,
@@ -436,7 +538,8 @@ def compress_sharded(data: np.ndarray,
                      workers: int | None = None,
                      shard_mb: float | None = None,
                      registry: ModuleRegistry = DEFAULT_REGISTRY,
-                     backend: str | None = None) -> ShardedCompressedField:
+                     backend: str | None = None,
+                     codebook: str = "per-shard") -> ShardedCompressedField:
     """Compress ``data`` shard-parallel into a multi-shard container.
 
     ``pipeline`` may be an assembled :class:`Pipeline` or a bare
@@ -444,12 +547,27 @@ def compress_sharded(data: np.ndarray,
     resolved against the *global* value range before sharding, so the
     reconstruction contract equals the unsharded pipeline's.  The blob is
     byte-identical for every ``workers`` value and backend.
+
+    ``codebook="shared"`` (Huffman pipelines only) runs a two-pass
+    engine: a parallel histogram pass over the shards, one global
+    codebook build from the summed counts, then a parallel encode pass
+    with that codebook pinned in every worker — one package-merge run
+    instead of one per shard, and the codebook stored once in the index
+    instead of once per shard.  Shared-mode blobs are still
+    deterministic across worker counts and decode self-describingly.
     """
     t_start = time.perf_counter()
     data = check_field(data)
     if isinstance(pipeline, PipelineSpec):
         pipeline = Pipeline.from_spec(pipeline, registry)
     spec = pipeline.spec
+    if codebook not in CODEBOOK_MODES:
+        raise ConfigError(f"unknown codebook mode {codebook!r}; expected "
+                          f"one of {CODEBOOK_MODES}")
+    if codebook == "shared" and spec.encoder != "huffman":
+        raise ConfigError(
+            "shared-codebook sharding requires the 'huffman' encoder "
+            f"(pipeline uses {spec.encoder!r})")
     if not isinstance(eb, ErrorBound):
         eb = ErrorBound(float(eb), EbMode(mode))
     eb_abs = eb.absolute(float(data.min()), float(data.max()))
@@ -467,18 +585,32 @@ def compress_sharded(data: np.ndarray,
 
     shard_blobs: list[bytes] = []
     shard_stats: list[CompressionStats] = []
+    extra_seconds: dict[str, float] = {}
+    shared_lengths: np.ndarray | None = None
+    in_flight = _IN_FLIGHT_PER_WORKER * workers
     if chosen == "process":
         shm = _shm_create(data.nbytes)
         try:
             staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
             staged[...] = data
             with _make_pool("process", workers) as pool:
-                queue = OrderedWorkQueue(
-                    pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+                if codebook == "shared":
+                    t0 = time.perf_counter()
+                    queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
+                    for start, stop in bounds:
+                        queue.submit(_histogram_shard_shm, spec.to_json(),
+                                     shm.name, data.shape, data.dtype.str,
+                                     start, stop, eb_abs)
+                    counts = sum(queue.drain())
+                    shared_lengths = _build_shared_codebook(counts, pipeline)
+                    extra_seconds["codebook"] = time.perf_counter() - t0
+                lengths_blob = (None if shared_lengths is None
+                                else shared_lengths.tobytes())
+                queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
                 for start, stop in bounds:
                     queue.submit(_compress_shard_shm, spec.to_json(),
                                  shm.name, data.shape, data.dtype.str,
-                                 start, stop, eb_abs)
+                                 start, stop, eb_abs, lengths_blob)
                 for blob, stats in queue.drain():
                     shard_blobs.append(blob)
                     shard_stats.append(stats)
@@ -487,10 +619,21 @@ def compress_sharded(data: np.ndarray,
             shm.unlink()
     else:
         with _make_pool("inprocess", workers) as pool:
-            queue = OrderedWorkQueue(
-                pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+            if codebook == "shared":
+                t0 = time.perf_counter()
+                queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
+                for start, stop in bounds:
+                    queue.submit(_histogram_shard_local, pipeline,
+                                 data[start:stop], eb_abs)
+                counts = sum(queue.drain())
+                shared_lengths = _build_shared_codebook(counts, pipeline)
+                extra_seconds["codebook"] = time.perf_counter() - t0
+            enc_pipeline = (pipeline if shared_lengths is None
+                            else _with_fixed_codebook(pipeline,
+                                                      shared_lengths))
+            queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
             for start, stop in bounds:
-                queue.submit(_compress_shard_local, pipeline,
+                queue.submit(_compress_shard_local, enc_pipeline,
                              data[start:stop], eb_abs)
             for blob, stats in queue.drain():
                 shard_blobs.append(blob)
@@ -499,13 +642,18 @@ def compress_sharded(data: np.ndarray,
     index = ShardIndex(shape=data.shape, dtype=data.dtype.str,
                        eb_value=eb.value, eb_mode=eb.mode.value,
                        eb_abs=eb_abs, pipeline=spec.to_json(),
-                       bounds=list(bounds))
+                       bounds=list(bounds), codebook_mode=codebook,
+                       codebook_lengths=(
+                           None if shared_lengths is None
+                           else [int(x) for x in shared_lengths]))
     blob = assemble_sharded(index, shard_blobs)
-    stats = combine_stats(shard_stats, len(blob), eb_abs)
+    stats = combine_stats(shard_stats, len(blob), eb_abs,
+                          extra_seconds=extra_seconds)
     return ShardedCompressedField(
         blob=blob, stats=stats, shard_stats=tuple(shard_stats), index=index,
         workers=workers, backend=chosen,
-        wall_seconds=time.perf_counter() - t_start)
+        wall_seconds=time.perf_counter() - t_start,
+        codebook_mode=codebook)
 
 
 def decompress_sharded(blob: bytes, *, workers: int | None = None,
@@ -527,6 +675,8 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
     chosen = _choose_backend(backend, workers, nbytes, index.spec(), registry,
                              len(shards))
     workers = min(workers, len(shards))
+    shared = index.shared_lengths()
+    lengths_blob = None if shared is None else shared.tobytes()
 
     if chosen == "process":
         shm = _shm_create(nbytes)
@@ -536,7 +686,8 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
                     pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
                 for shard_blob, (start, stop) in zip(shards, index.bounds):
                     queue.submit(_decompress_shard_shm, shard_blob, shm.name,
-                                 index.shape, index.dtype, start, stop)
+                                 index.shape, index.dtype, start, stop,
+                                 lengths_blob)
                 for _ in queue.drain():
                     pass
             out = np.ndarray(index.shape, dtype=dtype,
@@ -551,7 +702,8 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
         queue = OrderedWorkQueue(
             pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
         for shard_blob in shards:
-            queue.submit(_decompress_shard_local, shard_blob, registry)
+            queue.submit(_decompress_shard_local, shard_blob, registry,
+                         lengths_blob)
         for (start, stop), shard in zip(index.bounds, queue.drain()):
             expected = (stop - start, *index.shape[1:])
             if shard.shape != expected:

@@ -1,0 +1,279 @@
+"""Hot-path perf-regression harness (measured, not modelled).
+
+Unlike :mod:`repro.perf.costmodel` — which *predicts* GPU throughput from
+structure — this module measures the real wall-clock effect of the
+hot-path machinery on this machine: the plan caches
+(:mod:`repro.kernels.plancache`), the runtime buffer pool
+(:class:`repro.runtime.memory.BufferPool`) and the shared-codebook
+sharding mode.  ``run_hotpath_suite`` produces the JSON report committed
+at the repo root as ``BENCH_pipeline.json``; ``check_regressions`` is the
+CI gate (the warmed path must never be slower than the cold path).
+
+Cold means: every plan cache cleared before *each* timed call and the
+buffer pool disabled — the behaviour of the engine before this machinery
+existed.  Warm means: caches primed and pooling on — the steady state of
+a server compressing a stream of similar fields.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Callable
+
+import numpy as np
+
+#: timing defaults (median-of-N with warmup discarded)
+DEFAULT_WARMUP = 1
+DEFAULT_REPEAT = 5
+
+
+def median_seconds(fn: Callable[[], object], *,
+                   warmup: int = DEFAULT_WARMUP,
+                   repeat: int = DEFAULT_REPEAT,
+                   setup: Callable[[], None] | None = None
+                   ) -> tuple[float, object]:
+    """Median wall time of ``fn()`` over ``repeat`` runs.
+
+    ``warmup`` extra calls run first and are discarded (page faults, lazy
+    imports, JIT-like first-touch effects); ``setup`` runs before every
+    call — timed runs included — without being timed itself (the cold-path
+    measurements use it to clear caches).  Returns ``(seconds,
+    last_result)``.
+    """
+    result = None
+    for _ in range(max(0, warmup)):
+        if setup is not None:
+            setup()
+        result = fn()
+    times = []
+    for _ in range(max(1, repeat)):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), result
+
+
+def _bench_field(shape: tuple[int, ...]) -> np.ndarray:
+    """A smooth, deterministic float32 field (compresses realistically)."""
+    idx = np.indices(shape).astype(np.float64)
+    f = np.zeros(shape)
+    for k, g in enumerate(idx):
+        f += np.sin(g / (11.0 + 2 * k)) * (30.0 / (k + 1))
+    f += 0.01 * idx[0]
+    return f.astype(np.float32)
+
+
+def _cold_state() -> None:
+    """Reset every amortisation layer (the pre-hot-path world)."""
+    from ..kernels.plancache import clear_all_caches
+    from ..runtime.memory import GLOBAL_POOL
+    clear_all_caches()
+    GLOBAL_POOL.clear()
+
+
+def run_hotpath_suite(*, quick: bool = False,
+                      warmup: int = DEFAULT_WARMUP,
+                      repeat: int = DEFAULT_REPEAT,
+                      workers: int = 4) -> dict:
+    """Measure cold vs warmed hot paths and return the report dict.
+
+    Sections
+    --------
+    ``single``
+        one-shot ``Pipeline.compress`` / ``decompress`` of a smooth field,
+        cold (caches cleared per call, pool off) vs warm (primed, pool on).
+    ``sharded``
+        ``workers``-worker in-process sharded compression with small
+        shards (so codebook construction is a meaningful fraction), cold
+        vs warm, plus shared- vs per-shard-codebook size and time.
+    ``hotpath``
+        the live cache/pool/allocator counters after the warm runs
+        (:func:`repro.core.inspect.hotpath_stats`).
+    """
+    from ..core.inspect import hotpath_stats
+    from ..core.pipeline import Pipeline, decompress
+    from ..kernels.plancache import clear_all_caches
+    from ..runtime.memory import GLOBAL_ALLOCATOR, set_pooling
+    from ..types import EbMode
+
+    shape = (96, 64, 64) if quick else (160, 128, 128)
+    shard_mb = 0.25 if quick else 0.5
+    rep = max(1, repeat // 2) if quick else repeat
+    data = _bench_field(shape)
+    pipe = Pipeline.from_names()
+    eb = 1e-3
+    mb = data.nbytes / 1e6
+
+    report: dict = {
+        "suite": "hotpath",
+        "quick": quick,
+        "config": {"shape": list(shape), "dtype": "float32",
+                   "input_mb": round(mb, 3), "eb_rel": eb,
+                   "pipeline": pipe.spec.to_json(), "warmup": warmup,
+                   "repeat": rep, "workers": workers,
+                   "shard_mb": shard_mb},
+    }
+
+    # ---- single-call compress ---------------------------------------- #
+    set_pooling(False)
+    cold_c, cf = median_seconds(lambda: pipe.compress(data, eb),
+                                warmup=warmup, repeat=rep, setup=_cold_state)
+    set_pooling(True)
+    warm_c, cf = median_seconds(lambda: pipe.compress(data, eb),
+                                warmup=max(1, warmup), repeat=rep)
+    blob = cf.blob
+
+    # ---- single-call decompress -------------------------------------- #
+    set_pooling(False)
+    cold_d, out = median_seconds(lambda: decompress(blob),
+                                 warmup=warmup, repeat=rep, setup=_cold_state)
+    set_pooling(True)
+    warm_d, out = median_seconds(lambda: decompress(blob),
+                                 warmup=max(1, warmup), repeat=rep)
+    assert np.asarray(out).shape == data.shape
+    report["single"] = {
+        "compress": {"cold_s": cold_c, "warm_s": warm_c,
+                     "speedup": cold_c / warm_c,
+                     "cold_mb_s": mb / cold_c, "warm_mb_s": mb / warm_c},
+        "decompress": {"cold_s": cold_d, "warm_s": warm_d,
+                       "speedup": cold_d / warm_d,
+                       "cold_mb_s": mb / cold_d, "warm_mb_s": mb / warm_d},
+        "cr": cf.stats.cr,
+        "stage_seconds": dict(cf.stats.stage_seconds),
+    }
+
+    # ---- sharded compress (in-process pool: workers share the caches; a
+    # process pool would start every worker cold) ----------------------- #
+    from ..parallel.executor import compress_sharded
+
+    def sharded_in(codebook: str = "per-shard"):
+        return compress_sharded(data, pipe, eb, EbMode.REL, workers=workers,
+                                shard_mb=shard_mb, backend="inprocess",
+                                codebook=codebook)
+
+    set_pooling(False)
+    cold_s, sf = median_seconds(sharded_in, warmup=warmup, repeat=rep,
+                                setup=_cold_state)
+    set_pooling(True)
+    warm_s, sf = median_seconds(sharded_in, warmup=max(1, warmup), repeat=rep)
+
+    per_shard_bytes = sf.nbytes
+    shared_t, shf = median_seconds(lambda: sharded_in("shared"),
+                                   warmup=max(1, warmup), repeat=rep)
+    shared_out = decompress(shf.blob)
+    assert np.array_equal(shared_out, decompress(sf.blob)), \
+        "shared-codebook reconstruction diverged from per-shard"
+    report["sharded"] = {
+        "workers": workers,
+        "shards": sf.shard_count,
+        "compress": {"cold_s": cold_s, "warm_s": warm_s,
+                     "speedup": cold_s / warm_s,
+                     "cold_mb_s": mb / cold_s, "warm_mb_s": mb / warm_s},
+        "shared_codebook": {
+            "per_shard_bytes": per_shard_bytes,
+            "shared_bytes": shf.nbytes,
+            "bytes_saved": per_shard_bytes - shf.nbytes,
+            "per_shard_s": warm_s,
+            "shared_s": shared_t,
+        },
+    }
+
+    report["hotpath"] = hotpath_stats()
+    report["peak_bytes"] = dict(GLOBAL_ALLOCATOR.peak)
+    report["checks"] = check_results(report)
+    clear_all_caches()
+    return report
+
+
+#: perf targets asserted over the committed report (ratio floors)
+TARGET_WARM_DECOMPRESS = 1.5
+TARGET_WARM_SHARDED = 1.2
+
+
+def check_results(report: dict) -> dict:
+    """Pass/fail flags derived from a suite report.
+
+    ``warm_not_slower`` is the hard CI gate (a warmed cache must never
+    lose to a cold one); the ``target_*`` flags track the tentpole
+    speedup goals and are reported, not gated, in ``--quick`` runs.
+    """
+    single = report["single"]
+    sharded = report["sharded"]
+    return {
+        "warm_decompress_not_slower":
+            single["decompress"]["warm_s"] <= single["decompress"]["cold_s"],
+        "warm_compress_not_slower":
+            single["compress"]["warm_s"] <= single["compress"]["cold_s"],
+        "target_warm_decompress_1.5x":
+            single["decompress"]["speedup"] >= TARGET_WARM_DECOMPRESS,
+        "target_warm_sharded_1.2x":
+            sharded["compress"]["speedup"] >= TARGET_WARM_SHARDED,
+    }
+
+
+def check_regressions(report: dict, *, strict: bool = False) -> list[str]:
+    """Failure messages for a report (empty = healthy).
+
+    The non-strict gate fails only on true regressions (warm slower than
+    cold); ``strict`` additionally enforces the tentpole speedup targets
+    (used when regenerating the committed ``BENCH_pipeline.json``).
+    """
+    checks = report.get("checks") or check_results(report)
+    failures = []
+    if not checks["warm_decompress_not_slower"]:
+        failures.append(
+            "warmed-cache decompress is slower than cold "
+            f"({report['single']['decompress']['warm_s']:.4f}s vs "
+            f"{report['single']['decompress']['cold_s']:.4f}s)")
+    if not checks["warm_compress_not_slower"]:
+        failures.append(
+            "warmed-cache compress is slower than cold "
+            f"({report['single']['compress']['warm_s']:.4f}s vs "
+            f"{report['single']['compress']['cold_s']:.4f}s)")
+    if strict:
+        if not checks["target_warm_decompress_1.5x"]:
+            failures.append(
+                f"warmed decompress speedup "
+                f"{report['single']['decompress']['speedup']:.2f}x below "
+                f"the {TARGET_WARM_DECOMPRESS}x target")
+        if not checks["target_warm_sharded_1.2x"]:
+            failures.append(
+                f"warmed sharded compress speedup "
+                f"{report['sharded']['compress']['speedup']:.2f}x below "
+                f"the {TARGET_WARM_SHARDED}x target")
+    return failures
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a suite report."""
+    s, p = report["single"], report["sharded"]
+    lines = [
+        f"hot-path suite ({report['config']['input_mb']:.1f} MB field, "
+        f"median of {report['config']['repeat']})",
+        f"  compress    cold {s['compress']['cold_s']:.4f}s  "
+        f"warm {s['compress']['warm_s']:.4f}s  "
+        f"({s['compress']['speedup']:.2f}x)",
+        f"  decompress  cold {s['decompress']['cold_s']:.4f}s  "
+        f"warm {s['decompress']['warm_s']:.4f}s  "
+        f"({s['decompress']['speedup']:.2f}x)",
+        f"  sharded x{p['workers']} cold {p['compress']['cold_s']:.4f}s  "
+        f"warm {p['compress']['warm_s']:.4f}s  "
+        f"({p['compress']['speedup']:.2f}x)",
+        f"  shared codebook saves {p['shared_codebook']['bytes_saved']} B "
+        f"({p['shared_codebook']['per_shard_bytes']} -> "
+        f"{p['shared_codebook']['shared_bytes']})",
+    ]
+    for name, ok in report["checks"].items():
+        lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

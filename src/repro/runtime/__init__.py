@@ -9,12 +9,14 @@ timelines, so schedules, overlap and transfer traffic are all observable.
 
 from .clock import Interval, SimClock
 from .device import Device, DeviceRegistry, default_node
-from .memory import Allocator, Buffer, MemorySpace
+from .memory import (Allocator, Buffer, BufferPool, MemorySpace, default_pool,
+                     pooling_enabled, set_pooling)
 from .stream import Event, OrderedWorkQueue, Stream
 from .transfer import TransferStats, copy_to, transfer_seconds
 
 __all__ = [
     "Interval", "SimClock", "Device", "DeviceRegistry", "default_node",
-    "Allocator", "Buffer", "MemorySpace", "Event", "OrderedWorkQueue",
+    "Allocator", "Buffer", "BufferPool", "MemorySpace", "default_pool",
+    "pooling_enabled", "set_pooling", "Event", "OrderedWorkQueue",
     "Stream", "TransferStats", "copy_to", "transfer_seconds",
 ]

@@ -10,11 +10,14 @@ frees intermediates eagerly).
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import DeviceError
+from ..types import DeviceKind
 from .device import Device
 
 
@@ -110,3 +113,136 @@ class Buffer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Buffer({self.array.dtype}[{self.array.size}] "
                 f"on {self.space.name})")
+
+
+# ---------------------------------------------------------------------- #
+# buffer pool                                                             #
+# ---------------------------------------------------------------------- #
+
+#: the host CPU space scratch kernels allocate from by default
+HOST_SPACE = MemorySpace(Device(name="host", kind=DeviceKind.CPU,
+                                mem_bandwidth=200e9, link_bandwidth=200e9,
+                                launch_overhead=0.0))
+
+
+class BufferPool:
+    """Recycles NumPy scratch arrays by ``(space, dtype, shape)``.
+
+    Kernels on the hot path (prequantize, Lorenzo diffs/scans, delta
+    coding) need same-shaped integer/float scratch on every call; a fresh
+    ``np.empty`` per call pays allocation plus first-touch page faults.
+    The pool hands previously released arrays back instead.
+
+    Accounting contract (checked by the runtime tests):
+
+    * a pool *miss* allocates and records ``on_alloc`` against the pool's
+      :class:`Allocator` — live and peak rise once;
+    * a *hit* and its matching :meth:`release` move an existing array in
+      and out of the free list — live and peak are untouched, so reuse can
+      never inflate the measured peak;
+    * :meth:`release` beyond the per-key depth or the byte budget frees
+      the array (``on_free``) instead of pooling it;
+    * :meth:`clear` frees every idle array, returning live accounting to
+      what is still checked out (zero once callers released everything).
+
+    Arrays handed out by :meth:`acquire` contain garbage (``np.empty``
+    semantics) and must only be released back by the caller that acquired
+    them.  The pool is thread-safe; the in-process shard executor shares
+    one pool across its worker threads.
+    """
+
+    def __init__(self, space: MemorySpace = HOST_SPACE,
+                 allocator: Allocator | None = None, *,
+                 max_per_key: int = 4, max_bytes: int = 256 << 20) -> None:
+        self.space = space
+        self.allocator = allocator if allocator is not None else GLOBAL_ALLOCATOR
+        self.max_per_key = int(max_per_key)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._free: dict[tuple[str, tuple[int, ...]], list[np.ndarray]] = {}
+        self._free_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.drops = 0
+
+    def acquire(self, shape: tuple[int, ...] | int, dtype) -> np.ndarray:
+        """An uninitialised array of the requested shape class."""
+        dtype = np.dtype(dtype)
+        shape = (int(shape),) if np.isscalar(shape) else tuple(
+            int(n) for n in shape)
+        key = (dtype.str, shape)
+        with self._lock:
+            bucket = self._free.get(key)
+            if bucket:
+                arr = bucket.pop()
+                self._free_bytes -= arr.nbytes
+                self.hits += 1
+                return arr
+            self.misses += 1
+        arr = np.empty(shape, dtype=dtype)
+        self.allocator.on_alloc(self.space, arr.nbytes)
+        return arr
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return an acquired array to the pool (or free it when full)."""
+        key = (arr.dtype.str, arr.shape)
+        with self._lock:
+            bucket = self._free.setdefault(key, [])
+            if (len(bucket) < self.max_per_key
+                    and self._free_bytes + arr.nbytes <= self.max_bytes):
+                bucket.append(arr)
+                self._free_bytes += arr.nbytes
+                return
+            self.drops += 1
+        self.allocator.on_free(self.space, arr.nbytes)
+
+    def clear(self) -> None:
+        """Free every pooled (idle) array."""
+        with self._lock:
+            freed = self._free_bytes
+            self._free.clear()
+            self._free_bytes = 0
+        if freed:
+            self.allocator.on_free(self.space, freed)
+
+    @property
+    def reuse_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters + occupancy, as stable scalars."""
+        with self._lock:
+            return {
+                "pooled_arrays": sum(len(b) for b in self._free.values()),
+                "pooled_bytes": self._free_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "drops": self.drops,
+                "reuse_rate": round(self.reuse_rate, 4),
+            }
+
+
+#: Process-wide scratch pool used by the hot-path kernels.
+GLOBAL_POOL = BufferPool()
+
+_POOL_DISABLED = False
+
+
+def pooling_enabled() -> bool:
+    """True when hot-path kernels should draw scratch from the pool
+    (disable with ``FZMOD_BUFFER_POOL=0`` or :func:`set_pooling`)."""
+    return (not _POOL_DISABLED
+            and os.environ.get("FZMOD_BUFFER_POOL", "1") != "0")
+
+
+def set_pooling(enabled: bool) -> None:
+    """Process-wide switch used by the perf harness's cold-path runs."""
+    global _POOL_DISABLED
+    _POOL_DISABLED = not enabled
+
+
+def default_pool() -> BufferPool | None:
+    """The pool kernels should use, or ``None`` when pooling is off."""
+    return GLOBAL_POOL if pooling_enabled() else None
+

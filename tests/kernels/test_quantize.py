@@ -44,7 +44,10 @@ class TestPrequantize:
     def test_bound_property(self, data, eb):
         grid = q.prequantize(data, eb)
         recon = q.dequantize(grid, eb, np.float64)
-        assert np.abs(data - recon).max() <= eb * (1 + 1e-9)
+        # values exactly on a half-grid point reach the bound exactly, so
+        # allow one ulp of the data magnitude on top of the relative slack
+        slack = np.spacing(np.abs(data).max())
+        assert np.abs(data - recon).max() <= eb * (1 + 1e-9) + slack
 
 
 class TestOutlierSplit:

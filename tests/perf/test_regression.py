@@ -1,0 +1,94 @@
+"""The hot-path perf-regression harness (timing helpers + gates).
+
+The timing loop and the check logic are exercised with fakes; one real
+quick-suite run (single repeat) validates the report structure end to
+end and the hard gate that the warmed path is never slower than cold —
+the warm/cold gap is several-fold, so this is robust to CI noise.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.regression import (check_regressions, check_results,
+                                   median_seconds, render_report,
+                                   run_hotpath_suite, write_report)
+
+
+class TestMedianSeconds:
+    def test_call_counts_and_result(self):
+        calls = []
+        t, result = median_seconds(lambda: calls.append(1) or len(calls),
+                                   warmup=2, repeat=3)
+        assert len(calls) == 5                       # 2 warmup + 3 timed
+        assert result == 5                           # last call's value
+        assert t >= 0.0
+
+    def test_setup_runs_before_every_call(self):
+        order = []
+        median_seconds(lambda: order.append("c"),
+                       warmup=1, repeat=2, setup=lambda: order.append("s"))
+        assert order == ["s", "c", "s", "c", "s", "c"]
+
+    def test_minimums(self):
+        calls = []
+        median_seconds(lambda: calls.append(1), warmup=0, repeat=0)
+        assert len(calls) == 1                       # repeat clamps to 1
+
+
+def _fake_report(warm_d=1.0, cold_d=2.0, warm_c=1.0, cold_c=2.0,
+                 warm_s=1.0, cold_s=2.0) -> dict:
+    def leg(cold, warm):
+        return {"cold_s": cold, "warm_s": warm, "speedup": cold / warm}
+    return {"single": {"compress": leg(cold_c, warm_c),
+                       "decompress": leg(cold_d, warm_d)},
+            "sharded": {"compress": leg(cold_s, warm_s)}}
+
+
+class TestChecks:
+    def test_all_pass(self):
+        checks = check_results(_fake_report())
+        assert all(checks.values())
+        assert check_regressions({"checks": checks, **_fake_report()}) == []
+
+    def test_warm_slower_is_a_regression(self):
+        report = _fake_report(warm_d=3.0)            # slower than cold
+        report["checks"] = check_results(report)
+        failures = check_regressions(report)
+        assert len(failures) == 1 and "decompress" in failures[0]
+
+    def test_targets_only_gate_in_strict_mode(self):
+        # 1.3x decompress: above 1.0 (no regression) but below the 1.5x goal
+        report = _fake_report(warm_d=1.0, cold_d=1.3)
+        report["checks"] = check_results(report)
+        assert not report["checks"]["target_warm_decompress_1.5x"]
+        assert check_regressions(report) == []
+        assert any("1.5x" in f
+                   for f in check_regressions(report, strict=True))
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> dict:
+    return run_hotpath_suite(quick=True, warmup=1, repeat=1)
+
+
+class TestSuite:
+    def test_report_structure(self, quick_report):
+        assert quick_report["suite"] == "hotpath" and quick_report["quick"]
+        assert set(quick_report) >= {"config", "single", "sharded",
+                                     "hotpath", "peak_bytes", "checks"}
+        hp = quick_report["hotpath"]
+        assert hp["plan_caches"]["huffman.decode_streams"]["hits"] > 0
+        assert hp["buffer_pool"]["hits"] > 0
+
+    def test_warm_never_slower(self, quick_report):
+        assert check_regressions(quick_report) == []
+
+    def test_render_and_write(self, quick_report, tmp_path):
+        text = render_report(quick_report)
+        assert "decompress" in text and "shared codebook" in text
+        out = tmp_path / "bench.json"
+        write_report(quick_report, str(out))
+        assert json.loads(out.read_text())["checks"] == quick_report["checks"]
