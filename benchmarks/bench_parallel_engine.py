@@ -43,17 +43,19 @@ def _field() -> np.ndarray:
 
 
 def _run_curve(data: np.ndarray,
-               timing: TimingOpts = TimingOpts()) -> dict[int, float]:
+               timing: TimingOpts | None = None) -> dict[int, float]:
     """Measure compress throughput (input MB/s, median-of-N) per worker
     count."""
+    timing = TimingOpts() if timing is None else timing
     pipe = get_preset("fzmod-speed")
     curve: dict[int, float] = {}
     blobs: dict[int, bytes] = {}
     for w in WORKER_POINTS:
         backend = "inprocess" if w == 1 else "process"
         dt, result = timed_median(
-            lambda: compress_sharded(data, pipe, 1e-3, workers=w,
-                                     shard_mb=SHARD_MB, backend=backend),
+            lambda w=w, backend=backend: compress_sharded(
+                data, pipe, 1e-3, workers=w,
+                shard_mb=SHARD_MB, backend=backend),
             timing)
         curve[w] = data.nbytes / 1e6 / dt
         blobs[w] = result.blob

@@ -1,0 +1,41 @@
+"""fzlint: contract-aware static analysis for FZModules pipelines.
+
+The framework's interchangeable-modules promise rests on implicit
+contracts — kernel purity, the ``out=`` buffer protocol, read-only plan
+caches, byte-deterministic shard serialization.  This package machine-
+checks them: an AST rule engine (:mod:`.engine`), eight
+FZModules-specific rules (:mod:`.rules`), a ratcheting baseline
+(:mod:`.baseline`) and text/JSON/SARIF reporters (:mod:`.output`).
+
+Run it as ``fzmod lint`` or ``python -m repro.analysis``; see
+``docs/STATIC_ANALYSIS.md`` for the contract behind each rule.
+"""
+
+from .baseline import load_baseline, partition, save_baseline
+from .engine import (LintContext, LintEngine, LintResult, Rule, all_rules,
+                     register_rule)
+from .findings import Finding
+from .output import render_json, render_sarif, render_text
+from . import rules  # noqa: F401 - registers the built-in rules
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintEngine",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "load_baseline",
+    "partition",
+    "save_baseline",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_lint",
+]
+
+
+def run_lint(paths, *, select=None) -> LintResult:
+    """Convenience one-call API: lint ``paths`` with the built-in rules."""
+    return LintEngine(select=select).run(paths)

@@ -1,0 +1,86 @@
+"""Baseline (ratchet) support for fzlint.
+
+The committed baseline file records the fingerprints of known findings so
+CI fails only on *new* violations: existing debt is visible (it stays in
+the file, reviewable) but does not block unrelated work.  The ratchet is
+one-way by convention — regenerating the baseline with
+``--update-baseline`` after fixing findings shrinks it; regenerating to
+absorb new findings should be a deliberate, reviewed act.
+
+Fingerprints are line-number independent (see
+:class:`~repro.analysis.findings.Finding`), and stored with occurrence
+counts so a file with two identical violations baselines both without
+masking a third.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Fingerprint -> allowed count from a baseline file.
+
+    A missing file is an empty baseline (everything is new), so fresh
+    checkouts and brand-new projects need no bootstrap step.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    obj = json.loads(path.read_text(encoding="utf-8"))
+    if obj.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {obj.get('version')!r} in {path}")
+    return {fp: int(entry.get("count", 1))
+            for fp, entry in obj.get("findings", {}).items()}
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> dict:
+    """Write a baseline accepting exactly ``findings``; returns the doc."""
+    entries: dict[str, dict] = {}
+    for f in sorted(findings):
+        fp = f.fingerprint
+        if fp in entries:
+            entries[fp]["count"] += 1
+        else:
+            entries[fp] = {
+                "rule": f.rule,
+                "path": f.path,
+                "scope": f.scope,
+                "snippet": f.snippet,
+                "count": 1,
+            }
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "fzlint",
+        "findings": dict(sorted(entries.items())),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return doc
+
+
+def partition(findings: list[Finding], baseline: dict[str, int]
+              ) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, baselined)`` against allowed counts.
+
+    The first ``count`` occurrences of a fingerprint are baselined; any
+    beyond that are new — so duplicating a baselined violation still
+    fails the gate.
+    """
+    seen: Counter[str] = Counter()
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        fp = f.fingerprint
+        seen[fp] += 1
+        (old if seen[fp] <= baseline.get(fp, 0) else new).append(f)
+    return new, old

@@ -1,0 +1,142 @@
+"""Command-line front end for fzlint.
+
+Exposed two ways with identical flags: ``fzmod lint`` (a subcommand of
+the main CLI, see :mod:`repro.cli`) and ``python -m repro.analysis`` (no
+install required, which is what CI uses before the package is built).
+
+Exit codes: 0 = clean (possibly with baselined findings), 1 = new
+findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import load_baseline, partition, save_baseline
+from .engine import LintEngine, all_rules
+from .output import FORMATS, render_json, render_sarif, render_text
+
+#: repo-relative location of the committed ratchet file
+DEFAULT_BASELINE = Path("tools") / "fzlint_baseline.json"
+
+
+def default_paths() -> list[Path]:
+    """With no path arguments, lint the installed ``repro`` package."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def find_default_baseline(paths: list[Path]) -> Path | None:
+    """Locate ``tools/fzlint_baseline.json`` for an in-repo run.
+
+    Checked relative to the current directory first (the common ``fzmod
+    lint`` invocation from a checkout root), then upward from the first
+    linted path (so ``fzmod lint`` with no arguments finds the repo the
+    package was installed from in editable installs).
+    """
+    candidate = Path.cwd() / DEFAULT_BASELINE
+    if candidate.exists():
+        return candidate
+    if paths:
+        for parent in Path(paths[0]).resolve().parents:
+            candidate = parent / DEFAULT_BASELINE
+            if candidate.exists():
+                return candidate
+    return None
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``lint`` flags onto ``parser``."""
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--format", "-f", default="text", choices=FORMATS,
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: auto-discover "
+                             f"{DEFAULT_BASELINE.as_posix()})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report everything "
+                             "as new")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to accept the current "
+                             "findings, then exit 0")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print baselined findings (text "
+                             "format)")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the report to a file instead of "
+                             "stdout")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    if args.list_rules:
+        chunks = []
+        for rule in all_rules():
+            chunks.append(f"{rule.id}  {rule.title}\n    {rule.contract}")
+        _emit("\n".join(chunks), args.output)
+        return 0
+
+    select = ([s.strip() for s in args.select.split(",") if s.strip()]
+              if args.select else None)
+    try:
+        engine = LintEngine(select=select)
+    except ValueError as exc:
+        print(f"fzlint: {exc}", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths] or default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"fzlint: no such path: "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+    result = engine.run(paths)
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        baseline_path = (Path(args.baseline) if args.baseline
+                         else find_default_baseline(paths))
+
+    if args.update_baseline:
+        target = baseline_path or Path.cwd() / DEFAULT_BASELINE
+        save_baseline(target, result.findings)
+        print(f"fzlint: baseline updated with "
+              f"{len(result.findings)} finding(s) -> {target}")
+        return 0
+
+    allowed = load_baseline(baseline_path) if baseline_path else {}
+    new, baselined = partition(result.findings, allowed)
+
+    if args.format == "json":
+        report = render_json(result, new, baselined)
+    elif args.format == "sarif":
+        report = render_sarif(result, new, baselined, engine.rules)
+    else:
+        report = render_text(result, new, baselined,
+                             show_baselined=args.show_baselined)
+    _emit(report, args.output)
+    return 1 if new else 0
+
+
+def _emit(report: str, output: str | None) -> None:
+    if output:
+        Path(output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="fzlint: contract-aware static analysis for "
+                    "FZModules pipelines")
+    add_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -1,0 +1,564 @@
+"""The FZModules contract rules (FZL001 - FZL008).
+
+Each rule machine-checks one convention the framework's composability
+story depends on.  The checks are deliberately heuristic — AST-local,
+no data-flow solver — tuned so that every in-tree violation they report
+is either a genuine bug or worth an explicit, documented suppression
+comment.  See ``docs/STATIC_ANALYSIS.md`` for the contract behind each
+rule and why it matters for byte-identical sharding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import (LintContext, Rule, assigned_names, attribute_chain,
+                     functions_of, node_root_name, register_rule)
+from .findings import Finding
+
+#: container-mutating method names (lists/dicts/sets/arrays)
+_MUTATORS = frozenset({
+    "append", "add", "update", "pop", "popitem", "clear", "extend",
+    "insert", "remove", "discard", "setdefault", "sort", "reverse",
+    "fill", "put", "resize", "setflags", "setfield", "byteswap",
+})
+
+#: broad exception type names for FZL005
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _stored_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+@register_rule
+class KernelPurity(Rule):
+    """FZL001: kernels must not write module or global state."""
+
+    id = "FZL001"
+    title = "kernel purity"
+    contract = (
+        "Functions under kernels/ are pure value transforms: the sharded "
+        "engine calls them concurrently from thread workers and replays "
+        "them in any order, so a kernel that writes a module-level table, "
+        "an imported module's attribute, or declares `global` breaks both "
+        "thread-safety and shard determinism.")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Kernel modules only (``kernels/*``, excluding ``__init__``)."""
+        return ctx.in_dir("kernels") and ctx.filename != "__init__.py"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag globals, stores, and mutator calls on shared state."""
+        shared = ctx.module_level_names | ctx.imported_modules
+        for fn in functions_of(ctx.tree):
+            local = assigned_names(fn)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    yield ctx.finding(
+                        self, node,
+                        f"kernel {fn.name}() declares "
+                        f"global {', '.join(node.names)}; kernels must be "
+                        "pure (pass state through arguments)")
+                    continue
+                for target in _stored_targets(node):
+                    if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                        continue
+                    root = node_root_name(target)
+                    if root in shared and root not in local:
+                        yield ctx.finding(
+                            self, node,
+                            f"kernel {fn.name}() writes module-level state "
+                            f"{root!r}; kernels must be pure")
+                # a mutator *call* only taints module-level variables;
+                # np.add(...) calls a function of the module, it does not
+                # mutate the module object itself
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATORS):
+                    root = node_root_name(node.func.value)
+                    if root in ctx.module_level_names and root not in local:
+                        yield ctx.finding(
+                            self, node,
+                            f"kernel {fn.name}() mutates module-level state "
+                            f"{root!r} via .{node.func.attr}(); kernels "
+                            "must be pure")
+
+
+@register_rule
+class OutContract(Rule):
+    """FZL002: functions accepting ``out=`` must use and return it."""
+
+    id = "FZL002"
+    title = "out= buffer contract"
+    contract = (
+        "A function whose signature accepts `out=None` promises the "
+        "pooled-buffer protocol: when the caller supplies a buffer the "
+        "function writes the result into it and returns it.  Ignoring "
+        "`out` (or returning a silently allocated fresh array instead) "
+        "makes the caller's pool accounting wrong and hides allocations "
+        "on the hot path.")
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag ``out=``-accepting functions that ignore or drop it."""
+        for fn in functions_of(ctx.tree):
+            if not self._has_out_param(fn):
+                continue
+            used = any(isinstance(n, ast.Name) and n.id == "out"
+                       and isinstance(n.ctx, ast.Load)
+                       for n in ast.walk(fn))
+            if not used:
+                yield ctx.finding(
+                    self, fn,
+                    f"{fn.name}() accepts out= but never reads it; either "
+                    "honour the buffer or drop the parameter")
+                continue
+            aliases = self._aliases_of_out(fn)
+            returns = [n for n in ast.walk(fn) if isinstance(n, ast.Return)
+                       and n.value is not None]
+            if returns and not any(self._mentions(r.value, aliases)
+                                   for r in returns):
+                yield ctx.finding(
+                    self, fn,
+                    f"{fn.name}() accepts out= but no return path returns "
+                    "it (or a view of it); callers cannot rely on the "
+                    "buffer being filled")
+
+    @staticmethod
+    def _has_out_param(fn: ast.FunctionDef) -> bool:
+        args = fn.args
+        pools = ((args.args, args.defaults), (args.kwonlyargs,
+                                              args.kw_defaults))
+        for params, defaults in pools:
+            pad = len(params) - len(defaults)
+            for i, a in enumerate(params):
+                if a.arg != "out":
+                    continue
+                d = defaults[i - pad] if i >= pad else None
+                if isinstance(d, ast.Constant) and d.value is None:
+                    return True
+        return False
+
+    @staticmethod
+    def _aliases_of_out(fn: ast.FunctionDef) -> set[str]:
+        def roots(expr: ast.expr) -> set[str | None]:
+            # conditional values alias whatever either branch aliases
+            if isinstance(expr, ast.IfExp):
+                return roots(expr.body) | roots(expr.orelse)
+            if isinstance(expr, ast.BoolOp):
+                return {r for v in expr.values for r in roots(v)}
+            return {node_root_name(expr)}
+
+        aliases = {"out"}
+        for _ in range(3):  # chase alias-of-alias chains a few levels
+            grew = False
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and roots(node.value) & aliases
+                        and node.targets[0].id not in aliases):
+                    aliases.add(node.targets[0].id)
+                    grew = True
+            if not grew:
+                break
+        return aliases
+
+    @staticmethod
+    def _mentions(expr: ast.expr, names: set[str]) -> bool:
+        return any(isinstance(n, ast.Name) and n.id in names
+                   for n in ast.walk(expr))
+
+
+@register_rule
+class PlanCacheSafety(Rule):
+    """FZL003: plan-cache values are shared and must stay read-only."""
+
+    id = "FZL003"
+    title = "plan-cache safety"
+    contract = (
+        "Objects returned by PlanCache.get_or_build() are shared by every "
+        "caller in the process; mutating one (item assignment, in-place "
+        "ops, numpy out= aliasing, or re-enabling writes via "
+        "setflags(write=True)) silently corrupts every other pipeline "
+        "holding the same plan.")
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag mutations of values obtained from ``get_or_build``."""
+        for fn in functions_of(ctx.tree):
+            tainted = {
+                node.targets[0].id
+                for node in ast.walk(fn)
+                if isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr == "get_or_build"
+            }
+            if not tainted:
+                continue
+            for node in ast.walk(fn):
+                for target in _stored_targets(node):
+                    if (isinstance(target, (ast.Subscript, ast.Attribute))
+                            and node_root_name(target) in tainted):
+                        yield ctx.finding(
+                            self, node,
+                            f"mutation of cached plan "
+                            f"{node_root_name(target)!r}; values from "
+                            "get_or_build() are shared and read-only")
+                if not isinstance(node, ast.Call):
+                    continue
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "setflags"
+                        and node_root_name(node.func.value) in tainted
+                        and self._enables_write(node)):
+                    yield ctx.finding(
+                        self, node,
+                        f"setflags(write=True) on cached plan "
+                        f"{node_root_name(node.func.value)!r}; cached "
+                        "arrays must stay read-only")
+                for kw in node.keywords:
+                    if (kw.arg == "out" and isinstance(kw.value, ast.Name)
+                            and kw.value.id in tainted):
+                        yield ctx.finding(
+                            self, node,
+                            f"cached plan {kw.value.id!r} used as an out= "
+                            "target; copy it before writing")
+
+    @staticmethod
+    def _enables_write(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "write":
+                return not (isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False)
+        if call.args:
+            first = call.args[0]
+            return not (isinstance(first, ast.Constant)
+                        and first.value is False)
+        return False
+
+
+@register_rule
+class Determinism(Rule):
+    """FZL004: serialization paths must be byte-deterministic."""
+
+    id = "FZL004"
+    title = "shard determinism"
+    contract = (
+        "The multi-shard container is specified to be byte-identical for "
+        "any worker count, which is what makes compressed artifacts "
+        "cacheable and diffable.  Wall-clock reads, global RNG draws and "
+        "set-iteration order are the classic ways nondeterminism leaks "
+        "into packed bytes, so they are banned in parallel/, core/header "
+        "and container packing code.")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Serialization paths: ``parallel/*`` plus header/archive."""
+        return (ctx.in_dir("parallel")
+                or ctx.filename in ("header.py", "archive.py"))
+
+    _BANNED_CHAINS: dict[tuple[str, ...], str] = {
+        ("time", "time"): ("wall-clock read; use perf_counter for "
+                           "durations or take timestamps as arguments"),
+        ("os", "urandom"): "nondeterministic bytes",
+        ("uuid", "uuid1"): "nondeterministic id",
+        ("uuid", "uuid4"): "nondeterministic id",
+    }
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag wall-clock, unseeded randomness, and set iteration."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if not chain:
+                    continue
+                key = tuple(chain)
+                if key in self._BANNED_CHAINS:
+                    yield ctx.finding(
+                        self, node,
+                        f"{'.'.join(chain)}() in a serialization path: "
+                        f"{self._BANNED_CHAINS[key]}")
+                elif chain[0] == "random" and len(chain) > 1:
+                    yield ctx.finding(
+                        self, node,
+                        f"global-RNG call {'.'.join(chain)}(); use an "
+                        "explicitly seeded Generator passed in by the "
+                        "caller")
+                elif (len(chain) >= 3 and chain[0] in ("np", "numpy")
+                        and chain[1] == "random"):
+                    yield ctx.finding(
+                        self, node,
+                        f"{'.'.join(chain)}() draws from process-global "
+                        "RNG state; use a seeded np.random.Generator")
+                elif chain[0] == "secrets":
+                    yield ctx.finding(
+                        self, node,
+                        f"{'.'.join(chain)}() is nondeterministic; keep "
+                        "its output away from serialized bytes")
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if isinstance(it, ast.Set) or (
+                        isinstance(it, ast.Call)
+                        and isinstance(it.func, ast.Name)
+                        and it.func.id in ("set", "frozenset")):
+                    yield ctx.finding(
+                        self, it,
+                        "iteration over a set in a serialization path has "
+                        "unstable order; sort it first")
+
+
+@register_rule
+class SwallowedExceptions(Rule):
+    """FZL005: broad excepts must re-raise or record the error."""
+
+    id = "FZL005"
+    title = "swallowed exceptions"
+    contract = (
+        "A bare/broad `except` that neither re-raises nor records the "
+        "error turns worker crashes, corrupt containers and programming "
+        "bugs into silent wrong answers — the exact opposite of the "
+        "fail-loudly container design (every section is CRC-checked so "
+        "corruption surfaces *before* a codec runs).")
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag broad handlers that neither re-raise nor log."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handles(node):
+                continue
+            caught = ("bare except" if node.type is None else
+                      f"except {ast.unparse(node.type)}")
+            yield ctx.finding(
+                self, node,
+                f"{caught} swallows the error; narrow the exception "
+                "types, re-raise with context, or log the failure")
+
+    @staticmethod
+    def _is_broad(t: ast.expr | None) -> bool:
+        if t is None:
+            return True
+        names = [t.id] if isinstance(t, ast.Name) else [
+            e.id for e in getattr(t, "elts", []) if isinstance(e, ast.Name)]
+        return any(n in _BROAD for n in names)
+
+    @staticmethod
+    def _handles(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = (node.func.attr if isinstance(node.func, ast.Attribute)
+                        else node.func.id if isinstance(node.func, ast.Name)
+                        else "")
+                lowered = name.lower()
+                if any(tag in lowered for tag in
+                       ("log", "warn", "error", "exception", "fail",
+                        "print", "record")):
+                    return True
+        return False
+
+
+@register_rule
+class DtypeDiscipline(Rule):
+    """FZL006: hot kernels must not upcast to float64 implicitly."""
+
+    id = "FZL006"
+    title = "dtype discipline"
+    contract = (
+        "float64 intermediates on the hot path double memory traffic and "
+        "quietly change rounding between code paths (a shard encoded via "
+        "a float64 temporary and one encoded in float32 produce different "
+        "bytes).  Reductions must pin their accumulator dtype and dtype "
+        "conversions must name an explicit numpy type, not the platform "
+        "`float`/`int` builtins.")
+
+    _REDUCTIONS = frozenset({"mean", "average", "var", "std"})
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Kernel modules only (``kernels/*``, excluding ``__init__``)."""
+        return ctx.in_dir("kernels") and ctx.filename != "__init__.py"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag dtype-less reductions and builtin float/int dtypes."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (node.func.attr if isinstance(node.func, ast.Attribute)
+                    else node.func.id if isinstance(node.func, ast.Name)
+                    else "")
+            kwargs = {kw.arg for kw in node.keywords}
+            if (name in self._REDUCTIONS
+                    and not kwargs & {"dtype", "out"}):
+                yield ctx.finding(
+                    self, node,
+                    f"{name}() without an explicit dtype= upcasts integer "
+                    "input to float64; pin the accumulator dtype")
+            if name in ("astype", "asarray", "array", "dtype", "empty",
+                        "zeros", "ones", "full"):
+                for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                        if kw.arg == "dtype"]:
+                    if (isinstance(arg, ast.Name)
+                            and arg.id in ("float", "int")):
+                        yield ctx.finding(
+                            self, arg,
+                            f"{name}({arg.id}) relies on the platform "
+                            f"default width of builtin {arg.id!r}; name "
+                            "an explicit numpy dtype (np.float64, "
+                            "np.int64, ...)")
+
+
+@register_rule
+class RegistryContract(Rule):
+    """FZL007: registered modules must satisfy their stage protocol."""
+
+    id = "FZL007"
+    title = "registry contract"
+    contract = (
+        "`@registry.module` wires a class into header-driven "
+        "decompression: the container stores (stage, name) pairs and the "
+        "decoder calls the stage protocol blind.  A registered module "
+        "without a `name`, without a resolvable stage, or missing a "
+        "protocol method fails at decode time on someone else's data "
+        "instead of at registration time.")
+
+    #: stage ABC -> methods (and their minimum non-self arity) the
+    #: decompression path calls through the protocol
+    _PROTOCOLS: dict[str, dict[str, int]] = {
+        "PreprocessModule": {"forward": 2},
+        "PredictorModule": {"encode": 3, "decode": 5},
+        "StatisticsModule": {"collect": 2},
+        "EncoderModule": {"encode": 3, "decode": 3},
+        "SecondaryModule": {"encode": 1, "decode": 1},
+    }
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag registered module classes violating their protocol."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(self._is_module_decorator(d)
+                       for d in node.decorator_list):
+                continue
+            body_names = {s.name for s in node.body
+                          if isinstance(s, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))}
+            assigns = {t.id for s in node.body for t in _stored_targets(s)
+                       if isinstance(t, ast.Name)}
+            if "name" not in assigns:
+                yield ctx.finding(
+                    self, node,
+                    f"registered module {node.name} does not declare a "
+                    "`name` (the registry key stored in container "
+                    "headers)")
+            bases = {b.id if isinstance(b, ast.Name) else b.attr
+                     for b in node.bases
+                     if isinstance(b, (ast.Name, ast.Attribute))}
+            known = bases & set(self._PROTOCOLS)
+            if not known and "stage" not in assigns:
+                yield ctx.finding(
+                    self, node,
+                    f"registered module {node.name} declares no stage: "
+                    "subclass a stage ABC (PredictorModule, ...) or set "
+                    "`stage` explicitly")
+                continue
+            for base in sorted(known):
+                for meth, arity in self._PROTOCOLS[base].items():
+                    if meth not in body_names:
+                        if len(known) == 1 and not (bases - known):
+                            yield ctx.finding(
+                                self, node,
+                                f"registered module {node.name} is missing "
+                                f"{base}.{meth}(); the decoder calls it "
+                                "through the stage protocol")
+                        continue
+                    fn = next(s for s in node.body
+                              if isinstance(s, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))
+                              and s.name == meth)
+                    if fn.args.vararg is not None:
+                        continue
+                    positional = len(fn.args.posonlyargs) + len(fn.args.args)
+                    if positional - 1 < arity:  # minus self
+                        yield ctx.finding(
+                            self, fn,
+                            f"{node.name}.{meth}() takes "
+                            f"{positional - 1} positional args but the "
+                            f"{base} protocol passes {arity}")
+
+    @staticmethod
+    def _is_module_decorator(dec: ast.expr) -> bool:
+        if isinstance(dec, ast.Call):
+            dec = dec.func
+        return isinstance(dec, ast.Attribute) and dec.attr == "module"
+
+
+@register_rule
+class PoolHygiene(Rule):
+    """FZL008: pooled buffers must be released on every path."""
+
+    id = "FZL008"
+    title = "pool hygiene"
+    contract = (
+        "BufferPool scratch that is acquired but never released (or "
+        "returned to the caller) leaks pool accounting: live bytes climb "
+        "monotonically, the byte budget evicts hot buffers, and the "
+        "accounting-neutral-reuse invariant the runtime tests check is "
+        "violated.  Every acquire() needs a matching release(), return, "
+        "or ownership hand-off on all paths (a finally: block is the "
+        "idiom).")
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag pool acquisitions with no release, return, or escape."""
+        for fn in functions_of(ctx.tree):
+            acquired: dict[str, ast.AST] = {}
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Attribute)
+                        and node.value.func.attr == "acquire"):
+                    root = node_root_name(node.value.func.value) or ""
+                    if "pool" in root.lower():
+                        acquired[node.targets[0].id] = node
+            for name, site in acquired.items():
+                if not self._escapes(fn, name):
+                    yield ctx.finding(
+                        self, site,
+                        f"pooled buffer {name!r} is acquired but never "
+                        "released, returned, or handed off; wrap the use "
+                        "in try/finally with pool.release()")
+
+    @staticmethod
+    def _escapes(fn: ast.FunctionDef, name: str) -> bool:
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                    and any(isinstance(a, ast.Name) and a.id == name
+                            for a in node.args)):
+                return True
+            if (isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom))
+                    and node.value is not None
+                    and any(isinstance(n, ast.Name) and n.id == name
+                            for n in ast.walk(node.value))):
+                return True
+            for target in _stored_targets(node):
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(node, ast.Assign)
+                        and any(isinstance(n, ast.Name) and n.id == name
+                                for n in ast.walk(node.value))):
+                    return True
+        return False

@@ -13,6 +13,8 @@ Subcommands
 ``archive``     create/list/extract multi-field snapshot archives
 ``gen``         export a synthetic dataset as raw .f32 + manifest
 ``modules``     list every registered module per stage
+``lint``        contract-aware static analysis (kernel purity, out=
+                contract, plan-cache safety, shard determinism, ...)
 ``stats``       print hot-path cache/pool/allocator counters
 ``autotune``    pick the best pipeline for a field and objective
 ``platforms``   print the Table-1 platform specs
@@ -196,6 +198,12 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         print(render(fh.read()))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``fzmod lint``: run the contract rules (see repro.analysis)."""
+    from .analysis.cli import run_lint
+    return run_lint(args)
 
 
 def cmd_stats(_args: argparse.Namespace) -> int:
@@ -391,6 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
                                         "blob without decompressing")
     sp.add_argument("input")
     sp.set_defaults(fn=cmd_inspect)
+
+    sp = sub.add_parser("lint", help="contract-aware static analysis "
+                                     "(fzlint rules FZL001-FZL008)")
+    from .analysis.cli import add_arguments as add_lint_arguments
+    add_lint_arguments(sp)
+    sp.set_defaults(fn=cmd_lint)
 
     sp = sub.add_parser("stats", help="print hot-path cache/pool/allocator "
                                       "counters for this process")

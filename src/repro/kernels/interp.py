@@ -40,7 +40,7 @@ def default_max_level(ndim: int) -> int:
     try:
         return _DEFAULT_MAX_LEVEL[ndim]
     except KeyError:  # pragma: no cover - guarded by check_field
-        raise CodecError(f"unsupported rank {ndim}")
+        raise CodecError(f"unsupported rank {ndim}") from None
 
 
 @dataclass(frozen=True)

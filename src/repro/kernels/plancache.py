@@ -105,6 +105,8 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # fzlint: disable-next-line=FZL001 -- deliberate process-wide
+        # registration: caches self-enrol so stats/clear can reach them
         _CACHES[name] = self
 
     def get_or_build(self, key: Any, builder: Callable[[], Any],

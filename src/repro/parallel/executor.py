@@ -62,7 +62,7 @@ from ..core.pipeline import (CompressedField, CompressionStats, Pipeline,
                              decompress as _decompress_container)
 from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
 from ..core.spec import PipelineSpec
-from ..errors import ConfigError, HeaderError
+from ..errors import ConfigError, HeaderError, ModuleNotFoundInRegistry
 from ..kernels import huffman
 from ..runtime.stream import OrderedWorkQueue
 from ..types import EbMode, ErrorBound, Stage, check_field
@@ -468,7 +468,13 @@ def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry,
 def _spec_resolvable(spec: PipelineSpec, registry: ModuleRegistry) -> bool:
     """Can ``registry`` rebuild this spec?  (Process workers use the
     default registry, so specs with process-local modules must stay
-    in-process.)"""
+    in-process.)
+
+    Only the *absence* of a module routes the job to the in-process
+    fallback; any other error from a registry lookup is a real bug and
+    propagates with its own context instead of silently degrading the
+    backend choice.
+    """
     pairs = [(Stage.PREPROCESS, spec.preprocess),
              (Stage.PREDICTOR, spec.predictor),
              (Stage.ENCODER, spec.encoder)]
@@ -479,7 +485,7 @@ def _spec_resolvable(spec: PipelineSpec, registry: ModuleRegistry) -> bool:
     try:
         for stage, name in pairs:
             registry.get(stage, name)
-    except Exception:
+    except ModuleNotFoundInRegistry:
         return False
     return True
 
@@ -517,6 +523,8 @@ def _shm_create(nbytes: int) -> shared_memory.SharedMemory:
     # would generate one anyway, but an explicit fzmod prefix eases
     # debugging of leaked segments under /dev/shm
     return shared_memory.SharedMemory(
+        # fzlint: disable-next-line=FZL004 -- the segment name exists only
+        # for the life of the pool and never reaches serialized bytes
         name=f"fzmod_{secrets.token_hex(8)}", create=True, size=nbytes)
 
 

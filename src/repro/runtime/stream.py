@@ -71,7 +71,7 @@ class OrderedWorkQueue:
         fut = self._pending.popleft()
         try:
             self._done.append(fut.result())
-        except BaseException:
+        except BaseException:  # noqa: BLE001 - flagged failed, then re-raised
             self._failed = True
             raise
 

@@ -148,7 +148,7 @@ class Scheduler:
             task.wall_seconds = time.perf_counter() - t0
             self._commit_outputs(task, args, result)
             task.state = TaskState.DONE
-        except BaseException as exc:
+        except BaseException as exc:  # noqa: BLE001 - recorded on task, re-raised
             task.state = TaskState.FAILED
             task.error = exc
             raise

@@ -1,0 +1,32 @@
+"""Shared fixtures for the fzlint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintEngine, LintResult
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Factory: write ``{relpath: source}`` files, lint them, return the
+    result.  Rule scoping keys off directory names, so fixtures place
+    files under ``kernels/`` or ``parallel/`` to enter a rule's scope."""
+
+    def run(files: dict[str, str], *, select: list[str] | None = None
+            ) -> LintResult:
+        root = tmp_path / "proj"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return LintEngine(select=select).run([root], cwd=Path(tmp_path))
+
+    return run
+
+
+def rules_fired(result: LintResult) -> set[str]:
+    """The distinct rule ids among a result's active findings."""
+    return {f.rule for f in result.findings}

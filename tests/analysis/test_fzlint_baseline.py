@@ -1,0 +1,139 @@
+"""Baseline (ratchet) semantics: fingerprints, partitioning, and the CLI
+update/enforce cycle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, partition, save_baseline
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding
+
+
+def mk(line=3, snippet="_S[x] = x", scope="f", path="kernels/k.py",
+       rule="FZL001"):
+    return Finding(path=path, line=line, col=5, rule=rule,
+                   message="m", scope=scope, snippet=snippet)
+
+
+# --------------------------------------------------------------------- #
+# fingerprints                                                           #
+# --------------------------------------------------------------------- #
+def test_fingerprint_ignores_line_numbers():
+    assert mk(line=3).fingerprint == mk(line=300).fingerprint
+
+
+def test_fingerprint_normalises_whitespace():
+    assert (mk(snippet="_S[x]  =   x").fingerprint
+            == mk(snippet="_S[x] = x").fingerprint)
+
+
+def test_fingerprint_distinguishes_rule_path_scope_snippet():
+    base = mk().fingerprint
+    assert mk(rule="FZL003").fingerprint != base
+    assert mk(path="kernels/other.py").fingerprint != base
+    assert mk(scope="g").fingerprint != base
+    assert mk(snippet="_S[y] = y").fingerprint != base
+
+
+# --------------------------------------------------------------------- #
+# partition / count ratchet                                              #
+# --------------------------------------------------------------------- #
+def test_partition_empty_baseline_everything_new():
+    new, old = partition([mk()], {})
+    assert len(new) == 1 and old == []
+
+
+def test_partition_baselined_finding_is_not_new():
+    f = mk()
+    new, old = partition([f], {f.fingerprint: 1})
+    assert new == [] and old == [f]
+
+
+def test_partition_counts_ratchet_duplicates():
+    # two identical violations, only one baselined -> the second is new
+    a, b = mk(line=3), mk(line=9)
+    new, old = partition([a, b], {a.fingerprint: 1})
+    assert len(old) == 1 and len(new) == 1
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "b.json"
+    a, b = mk(line=3), mk(line=9)  # same fingerprint, count=2
+    save_baseline(path, [a, b, mk(rule="FZL003")])
+    allowed = load_baseline(path)
+    assert allowed[a.fingerprint] == 2
+    assert allowed[mk(rule="FZL003").fingerprint] == 1
+    new, old = partition([a, b], allowed)
+    assert new == []
+
+
+def test_load_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+# --------------------------------------------------------------------- #
+# CLI enforce/update cycle                                               #
+# --------------------------------------------------------------------- #
+BAD_SRC = "_S = {}\n\ndef f(x):\n    _S[x] = x\n"
+
+
+@pytest.fixture
+def proj(tmp_path, monkeypatch):
+    (tmp_path / "kernels").mkdir()
+    (tmp_path / "kernels" / "k.py").write_text(BAD_SRC)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_cli_fails_on_unbaselined_finding(proj, capsys):
+    assert main(["kernels", "--baseline", "b.json"]) == 1
+    assert "FZL001" in capsys.readouterr().out
+
+
+def test_cli_update_then_enforce_cycle(proj, capsys):
+    baseline = ["--baseline", "b.json"]
+    # accept the current findings...
+    assert main(["kernels", "--update-baseline", *baseline]) == 0
+    # ...now the same run is clean
+    assert main(["kernels", *baseline]) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out and "1 baselined" in out
+    # a *new* violation still fails
+    (proj / "kernels" / "k.py").write_text(
+        BAD_SRC + "\ndef g(x):\n    _S.pop(x)\n")
+    assert main(["kernels", *baseline]) == 1
+
+
+def test_cli_baseline_survives_line_moves(proj):
+    baseline = ["--baseline", "b.json"]
+    assert main(["kernels", "--update-baseline", *baseline]) == 0
+    # unrelated edits shift the violation down the file
+    (proj / "kernels" / "k.py").write_text(
+        "'''docstring'''\n\nLIMIT = 2\n" + BAD_SRC)
+    assert main(["kernels", *baseline]) == 0
+
+
+def test_cli_no_baseline_reports_everything(proj):
+    assert main(["kernels", "--update-baseline", "--baseline",
+                 "b.json"]) == 0
+    assert main(["kernels", "--no-baseline"]) == 1
+
+
+def test_cli_unknown_select_is_usage_error(proj, capsys):
+    assert main(["kernels", "--select", "FZL999"]) == 2
+    assert "FZL999" in capsys.readouterr().err
+
+
+def test_cli_missing_path_is_usage_error(proj, capsys):
+    assert main(["no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().err

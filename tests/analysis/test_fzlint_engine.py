@@ -1,0 +1,106 @@
+"""Engine-level behaviour: suppression directives, parse errors, rule
+selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintEngine
+from repro.analysis.engine import PARSE_ERROR_RULE, Suppressions
+
+def bad_line(suffix=""):
+    return f"_STATE = {{}}\n\ndef f(x):\n    _STATE[x] = x{suffix}\n"
+
+
+def test_same_line_suppression_moves_finding_to_suppressed(lint):
+    src = bad_line("  # fzlint: disable=FZL001")
+    result = lint({"kernels/k.py": src})
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["FZL001"]
+
+
+def test_same_line_suppression_is_rule_specific(lint):
+    src = bad_line("  # fzlint: disable=FZL999")
+    result = lint({"kernels/k.py": src})
+    assert [f.rule for f in result.findings] == ["FZL001"]
+
+
+def test_bare_disable_silences_all_rules(lint):
+    src = bad_line("  # fzlint: disable")
+    assert lint({"kernels/k.py": src}).findings == []
+
+
+def test_next_line_suppression(lint):
+    src = ("_STATE = {}\n"
+           "def f(x):\n"
+           "    # fzlint: disable-next-line=FZL001\n"
+           "    _STATE[x] = x\n")
+    result = lint({"kernels/k.py": src})
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_next_line_suppression_skips_justification_comments(lint):
+    src = ("_STATE = {}\n"
+           "def f(x):\n"
+           "    # fzlint: disable-next-line=FZL001 -- deliberate cache\n"
+           "    # (shared across shards by design)\n"
+           "\n"
+           "    _STATE[x] = x\n")
+    result = lint({"kernels/k.py": src})
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_file_wide_suppression(lint):
+    src = ("# fzlint: disable-file=FZL001 -- registration table module\n"
+           "_STATE = {}\n"
+           "def f(x):\n"
+           "    _STATE[x] = x\n"
+           "def g(x):\n"
+           "    _STATE.pop(x)\n")
+    result = lint({"kernels/k.py": src})
+    assert result.findings == []
+    assert len(result.suppressed) == 2
+
+
+def test_justification_text_is_ignored_by_the_parser():
+    sup = Suppressions.parse(
+        ["x = 1  # fzlint: disable=FZL003, FZL004 -- why not"])
+    assert sup.by_line[1] == {"FZL003", "FZL004"}
+
+
+def test_parse_error_becomes_fzl000_finding(lint):
+    result = lint({"kernels/broken.py": "def f(:\n"})
+    assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
+    assert result.findings[0].severity == "error"
+    assert "does not parse" in result.findings[0].message
+
+
+def test_select_restricts_rules(lint):
+    # bad purity AND a swallowed exception in one kernels file
+    src = ("_S = {}\n"
+           "def f(x):\n"
+           "    try:\n"
+           "        _S[x] = x\n"
+           "    except Exception:\n"
+           "        return None\n")
+    both = lint({"kernels/k.py": src})
+    assert {f.rule for f in both.findings} == {"FZL001", "FZL005"}
+    only = lint({"kernels/k.py": src}, select=["FZL005"])
+    assert {f.rule for f in only.findings} == {"FZL005"}
+
+
+def test_unknown_select_id_raises():
+    with pytest.raises(ValueError, match="FZL999"):
+        LintEngine(select=["FZL999"])
+
+
+def test_findings_sorted_by_location(lint):
+    src = ("_S = {}\n"
+           "def zz(x):\n"
+           "    _S[x] = x\n"
+           "def aa(x):\n"
+           "    _S[x] = x\n")
+    result = lint({"kernels/k.py": src})
+    assert [f.line for f in result.findings] == [3, 5]

@@ -1,0 +1,406 @@
+"""Per-rule contract tests: every rule fires on a known-bad fixture and
+stays silent on the known-good twin."""
+
+from __future__ import annotations
+
+from conftest import rules_fired
+
+
+# --------------------------------------------------------------------- #
+# FZL001 kernel purity                                                   #
+# --------------------------------------------------------------------- #
+BAD_PURITY = """
+_TABLE = {}
+COUNT = 0
+
+def memoised(x):
+    _TABLE[x] = x * 2
+    return _TABLE[x]
+
+def bump():
+    global COUNT
+    COUNT += 1
+
+def enrol(entry):
+    _TABLE.update(entry)
+"""
+
+GOOD_PURITY = """
+import numpy as np
+
+_LIMIT = 64  # read-only module constant
+
+def kernel(x, table=None):
+    table = {} if table is None else table
+    table[0] = x
+    np.add(x, 1, out=x)  # module *call*, not module mutation
+    return x + _LIMIT
+"""
+
+
+def test_fzl001_fires_on_module_state_writes(lint):
+    result = lint({"kernels/bad.py": BAD_PURITY})
+    assert rules_fired(result) == {"FZL001"}
+    assert len(result.findings) == 3  # subscript write, global, .update()
+
+
+def test_fzl001_silent_on_pure_kernel(lint):
+    assert lint({"kernels/good.py": GOOD_PURITY}).findings == []
+
+
+def test_fzl001_scoped_to_kernels_dir(lint):
+    assert lint({"core/bad.py": BAD_PURITY}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL002 out= contract                                                   #
+# --------------------------------------------------------------------- #
+BAD_OUT_IGNORED = """
+def scale(x, *, out=None):
+    return x * 2.0
+"""
+
+BAD_OUT_NOT_RETURNED = """
+def scale(x, *, out=None):
+    if out is not None:
+        out[...] = x * 2.0
+    return x * 2.0
+"""
+
+GOOD_OUT = """
+def scale(x, *, out=None):
+    if out is None:
+        out = x * 2.0
+    else:
+        out[...] = x * 2.0
+    return out
+
+def scale_view(x, *, out=None):
+    flat = x if out is None else out.reshape(-1)[: x.size]
+    flat[...] = x * 2.0
+    return flat.reshape(x.shape)
+
+def pack(out):
+    # positional arg *named* out without a None default is not the
+    # buffer protocol (e.g. an OutlierSet operand)
+    return out.count
+"""
+
+
+def test_fzl002_fires_when_out_is_ignored(lint):
+    result = lint({"anywhere.py": BAD_OUT_IGNORED})
+    assert rules_fired(result) == {"FZL002"}
+    assert "never reads" in result.findings[0].message
+
+
+def test_fzl002_fires_when_out_is_never_returned(lint):
+    result = lint({"anywhere.py": BAD_OUT_NOT_RETURNED})
+    assert rules_fired(result) == {"FZL002"}
+    assert "return" in result.findings[0].message
+
+
+def test_fzl002_silent_on_honoured_contract(lint):
+    assert lint({"anywhere.py": GOOD_OUT}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL003 plan-cache safety                                               #
+# --------------------------------------------------------------------- #
+BAD_CACHE = """
+def hot(cache, key, build):
+    plan = cache.get_or_build(key, build)
+    plan[0] = 99
+    return plan
+
+def unlock(cache, key, build):
+    plan = cache.get_or_build(key, build)
+    plan.setflags(write=True)
+    return plan
+
+def alias_out(np, cache, key, build, x):
+    plan = cache.get_or_build(key, build)
+    np.add(x, 1, out=plan)
+    return plan
+"""
+
+GOOD_CACHE = """
+def hot(cache, key, build):
+    plan = cache.get_or_build(key, build)
+    fresh = plan.astype("int64")
+    fresh[0] = 99
+    return fresh
+
+def lock(cache, key, build):
+    plan = cache.get_or_build(key, build)
+    plan.setflags(write=False)
+    return plan
+"""
+
+
+def test_fzl003_fires_on_cached_plan_mutation(lint):
+    result = lint({"anywhere.py": BAD_CACHE})
+    assert rules_fired(result) == {"FZL003"}
+    assert len(result.findings) == 3
+
+
+def test_fzl003_silent_on_copy_then_mutate(lint):
+    assert lint({"anywhere.py": GOOD_CACHE}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL004 shard determinism                                               #
+# --------------------------------------------------------------------- #
+BAD_DETERMINISM = """
+import random
+import time
+
+import numpy as np
+
+
+def pack(header):
+    header["stamp"] = time.time()
+    header["salt"] = random.random()
+    header["noise"] = np.random.normal()
+    for key in {"b", "a"}:
+        header[key] = 1
+    return header
+"""
+
+GOOD_DETERMINISM = """
+import time
+
+
+def pack(header, keys, rng):
+    t0 = time.perf_counter()
+    for key in sorted(set(keys)):
+        header[key] = 1
+    header["salt"] = rng.random()  # caller-seeded Generator
+    header["seconds"] = time.perf_counter() - t0
+    return header
+"""
+
+
+def test_fzl004_fires_on_nondeterminism_in_parallel(lint):
+    result = lint({"parallel/bad.py": BAD_DETERMINISM})
+    assert rules_fired(result) == {"FZL004"}
+    assert len(result.findings) == 4  # time, random, np.random, set iter
+
+
+def test_fzl004_applies_to_header_py_anywhere(lint):
+    result = lint({"core/header.py": BAD_DETERMINISM})
+    assert rules_fired(result) == {"FZL004"}
+
+
+def test_fzl004_silent_outside_serialization_paths(lint):
+    assert lint({"core/other.py": BAD_DETERMINISM}).findings == []
+
+
+def test_fzl004_silent_on_deterministic_code(lint):
+    assert lint({"parallel/good.py": GOOD_DETERMINISM}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL005 swallowed exceptions                                            #
+# --------------------------------------------------------------------- #
+BAD_SWALLOW = """
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None
+
+def load_bare(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+"""
+
+GOOD_SWALLOW = """
+def load(path, log):
+    try:
+        return open(path).read()
+    except OSError:
+        return None
+
+def load_logged(path, log):
+    try:
+        return open(path).read()
+    except Exception as exc:
+        log.warning("load failed: %s", exc)
+        return None
+
+def load_reraise(path):
+    try:
+        return open(path).read()
+    except Exception as exc:
+        raise RuntimeError(f"loading {path}") from exc
+"""
+
+
+def test_fzl005_fires_on_swallowed_broad_except(lint):
+    result = lint({"anywhere.py": BAD_SWALLOW})
+    assert rules_fired(result) == {"FZL005"}
+    assert len(result.findings) == 2
+
+
+def test_fzl005_silent_on_narrow_logged_or_reraised(lint):
+    assert lint({"anywhere.py": GOOD_SWALLOW}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL006 dtype discipline                                                #
+# --------------------------------------------------------------------- #
+BAD_DTYPE = """
+import numpy as np
+
+
+def center(x):
+    return x - np.mean(x)
+
+
+def widen(x):
+    return x.astype(float)
+"""
+
+GOOD_DTYPE = """
+import numpy as np
+
+
+def center(x):
+    return x - np.mean(x, dtype=x.dtype)
+
+
+def widen(x):
+    return x.astype(np.float32)
+"""
+
+
+def test_fzl006_fires_on_implicit_upcasts_in_kernels(lint):
+    result = lint({"kernels/bad.py": BAD_DTYPE})
+    assert rules_fired(result) == {"FZL006"}
+    assert len(result.findings) == 2
+
+
+def test_fzl006_silent_with_pinned_dtypes(lint):
+    assert lint({"kernels/good.py": GOOD_DTYPE}).findings == []
+
+
+def test_fzl006_scoped_to_kernels(lint):
+    assert lint({"metrics/bad.py": BAD_DTYPE}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL007 registry contract                                               #
+# --------------------------------------------------------------------- #
+BAD_REGISTRY = """
+class PredictorModule:
+    pass
+
+
+class Registry:
+    def module(self, cls):
+        return cls
+
+
+reg = Registry()
+
+
+@reg.module
+class Mystery:
+    pass
+
+
+@reg.module
+class HalfPredictor(PredictorModule):
+    name = "half"
+
+    def encode(self, data):
+        return data
+"""
+
+GOOD_REGISTRY = """
+class PredictorModule:
+    pass
+
+
+class Registry:
+    def module(self, cls):
+        return cls
+
+
+reg = Registry()
+
+
+@reg.module
+class FullPredictor(PredictorModule):
+    name = "full"
+
+    def encode(self, data, eb_abs, radius):
+        return data
+
+    def decode(self, artifacts, shape, dtype, eb_abs, radius):
+        return artifacts
+
+
+class Unregistered:
+    # no decorator, no contract to check
+    pass
+"""
+
+
+def test_fzl007_fires_on_incomplete_registered_modules(lint):
+    result = lint({"anywhere.py": BAD_REGISTRY})
+    assert rules_fired(result) == {"FZL007"}
+    messages = " | ".join(f.message for f in result.findings)
+    assert "declare a `name`" in messages          # Mystery
+    assert "declares no stage" in messages         # Mystery
+    assert "missing PredictorModule.decode" in messages
+    assert "passes 3" in messages                  # encode arity
+
+
+def test_fzl007_silent_on_conforming_module(lint):
+    assert lint({"anywhere.py": GOOD_REGISTRY}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL008 pool hygiene                                                    #
+# --------------------------------------------------------------------- #
+BAD_POOL = """
+def leaky(pool, shape):
+    buf = pool.acquire(shape, "f8")
+    buf[...] = 0.0
+    total = float(buf.sum())
+    return total
+"""
+
+GOOD_POOL = """
+def tidy(pool, shape):
+    buf = pool.acquire(shape, "f8")
+    try:
+        buf[...] = 0.0
+        return float(buf.sum())
+    finally:
+        pool.release(buf)
+
+
+def handoff(pool, shape):
+    buf = pool.acquire(shape, "f8")
+    buf[...] = 0.0
+    return buf  # ownership moves to the caller
+
+
+def unrelated(queue):
+    token = queue.acquire()  # not a pool: out of scope
+    return None
+"""
+
+
+def test_fzl008_fires_on_leaked_pool_buffer(lint):
+    result = lint({"anywhere.py": BAD_POOL})
+    assert rules_fired(result) == {"FZL008"}
+    assert "never released" in result.findings[0].message
+
+
+def test_fzl008_silent_on_release_or_handoff(lint):
+    assert lint({"anywhere.py": GOOD_POOL}).findings == []

@@ -14,7 +14,8 @@ from repro.core.modules_std import (BitshuffleEncoder, HuffmanEncoder,
                                     NoSecondary, RelEbPreprocess, RleSecondary,
                                     ZstdLikeSecondary)
 from repro.core.registry import ModuleRegistry
-from repro.errors import (HeaderError, ModuleNotFoundInRegistry, PipelineError)
+from repro.errors import (CodecError, HeaderError, ModuleNotFoundInRegistry,
+                          PipelineError)
 from repro.types import EbMode, ErrorBound, Stage
 from tests.conftest import eb_abs_for
 
@@ -77,7 +78,7 @@ class TestPreprocess:
 class TestEncoders:
     def test_huffman_requires_statistics(self):
         enc = HuffmanEncoder()
-        with pytest.raises(Exception):
+        with pytest.raises(CodecError):
             enc.encode(np.array([1, 2], dtype=np.uint16), 1024, None)
 
     def test_huffman_roundtrip_via_stream(self, rng):

@@ -21,7 +21,7 @@ class TestBatchSchedule:
         stride = 1 << max_level
         seen = np.zeros(shape, dtype=np.int64)
         seen[tuple(slice(0, n, stride) for n in shape)] += 1
-        for _level, axis, coords in interp._batches(shape, max_level):
+        for _level, _axis, coords in interp._batches(shape, max_level):
             seen[np.ix_(*coords)] += 1
         np.testing.assert_array_equal(seen, np.ones(shape, dtype=np.int64))
 
@@ -172,5 +172,5 @@ class TestValidation:
             codes=res.codes[:-5], outliers=res.outliers, anchors=res.anchors,
             radius=res.radius, eb_abs=res.eb_abs, max_level=res.max_level,
             shape=res.shape, dtype=res.dtype)
-        with pytest.raises(Exception):
+        with pytest.raises((CodecError, ValueError)):
             interp.decompress(bad)

@@ -34,7 +34,7 @@ class TestShardPlan:
         plan = ShardPlan.for_field((100, 8, 8), np.float32, shard_mb=0.01)
         bounds = plan.bounds
         assert bounds[0][0] == 0 and bounds[-1][1] == 100
-        for (a0, b0), (a1, b1) in zip(bounds, bounds[1:]):
+        for (_a0, b0), (a1, _b1) in zip(bounds, bounds[1:]):
             assert b0 == a1
         assert all(b > a for a, b in bounds)
 

@@ -91,7 +91,7 @@ class TestBackpressure:
 
     def test_in_flight_never_exceeds_bound(self, pool):
         q = OrderedWorkQueue(pool, max_in_flight=3)
-        for i in range(10):
+        for _ in range(10):
             q.submit(time.sleep, 0.001)
             assert q.in_flight <= 3
         q.results()
