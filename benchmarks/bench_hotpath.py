@@ -16,6 +16,11 @@ Two entry points:
   ``BENCH_pipeline.json`` — and exits non-zero on a regression.  CI runs
   this with ``--quick``; the committed report is regenerated with
   ``--strict`` so the tentpole speedup targets are enforced too.
+
+Re-runs *append*: the previous report is folded into the ``"history"``
+list (compact per-run records) while the latest full report stays at the
+JSON root, so repeated local/CI runs build a timing series instead of
+overwriting each other.  ``--fresh`` discards the accumulated history.
 """
 
 from __future__ import annotations
@@ -58,12 +63,15 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"report path (default {DEFAULT_OUT})")
     parser.add_argument("--strict", action="store_true",
                         help="also enforce the tentpole speedup targets")
+    parser.add_argument("--fresh", action="store_true",
+                        help="discard the report's accumulated run history "
+                             "instead of appending to it")
     args = parser.parse_args(argv)
 
     report = run_hotpath_suite(quick=args.quick, warmup=max(0, args.warmup),
                                repeat=max(1, args.repeat),
                                workers=max(1, args.workers))
-    write_report(report, args.out)
+    write_report(report, args.out, fresh=args.fresh)
     print(render_report(report))
     print(f"wrote {args.out}")
     failures = check_regressions(report, strict=args.strict)

@@ -1,4 +1,4 @@
-"""The FZModules contract rules (FZL001 - FZL008).
+"""The FZModules contract rules (FZL001 - FZL009).
 
 Each rule machine-checks one convention the framework's composability
 story depends on.  The checks are deliberately heuristic — AST-local,
@@ -562,3 +562,73 @@ class PoolHygiene(Rule):
                                 for n in ast.walk(node.value))):
                     return True
         return False
+
+
+@register_rule
+class TelemetryHygiene(Rule):
+    """FZL009: spans via ``with``; telemetry names dotted lowercase."""
+
+    id = "FZL009"
+    title = "telemetry hygiene"
+    contract = (
+        "Telemetry must never change behaviour or leak.  A span() that is "
+        "not the context expression of a `with` statement can miss its "
+        "__exit__ on an exception path, leaving the thread-local span "
+        "stack corrupted so every later span in that thread reports the "
+        "wrong parent; manual begin/end pairs have the same failure mode "
+        "by construction.  Metric and span names are a public monitoring "
+        "interface: they must match ^[a-z0-9_.]+$ so the Prometheus "
+        "exporter's name mangling is collision-free and dashboards never "
+        "break on a rename-by-typo.")
+
+    #: call names that read as a manual span lifecycle
+    _MANUAL = frozenset({"begin_span", "start_span", "end_span",
+                         "finish_span", "push_span", "pop_span"})
+    #: factories whose first literal argument is a telemetry name
+    _NAMED = frozenset({"span", "counter", "gauge", "histogram"})
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag non-`with` span calls, manual lifecycles, bad names."""
+        import re
+        name_re = re.compile(r"^[a-z0-9_.]+$")
+        with_exprs: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_exprs.add(id(item.context_expr))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._call_name(node)
+            if name is None:
+                continue
+            if name in self._MANUAL:
+                yield ctx.finding(
+                    self, node,
+                    f"manual span lifecycle call {name!r}; use the "
+                    "context-manager form `with span(...):` so the span "
+                    "closes on every exit path")
+                continue
+            if name == "span" and id(node) not in with_exprs:
+                yield ctx.finding(
+                    self, node,
+                    "span() must be the context expression of a `with` "
+                    "statement; a detached span can leak past exceptions "
+                    "and corrupt the thread's span stack")
+            if (name in self._NAMED and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and not name_re.match(node.args[0].value)):
+                yield ctx.finding(
+                    self, node,
+                    f"telemetry name {node.args[0].value!r} does not match "
+                    "^[a-z0-9_.]+$; dotted lowercase names keep the "
+                    "Prometheus name mangling collision-free")

@@ -16,6 +16,9 @@ Subcommands
 ``lint``        contract-aware static analysis (kernel purity, out=
                 contract, plan-cache safety, shard determinism, ...)
 ``stats``       print hot-path cache/pool/allocator counters
+``trace``       compress a field with telemetry on and export the span
+                trace (Chrome trace-event JSON for Perfetto, JSONL,
+                Prometheus metrics)
 ``autotune``    pick the best pipeline for a field and objective
 ``platforms``   print the Table-1 platform specs
 
@@ -213,6 +216,58 @@ def cmd_stats(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``fzmod trace``: compress with telemetry on, export the trace."""
+    from .obs import (GLOBAL_METRICS, GLOBAL_TRACER, prometheus_text,
+                      render_summary, set_telemetry, write_chrome_trace,
+                      write_span_jsonl)
+    if args.dataset or args.input:
+        data = _load_input(args)
+    else:
+        from .data.synthetic import gaussian_random_field
+        data = gaussian_random_field((96, 96, 96), slope=3.0,
+                                     seed=7).astype(np.float32)
+    name = args.preset
+    if name not in PRESET_NAMES and f"fzmod-{name}" in PRESET_NAMES:
+        name = f"fzmod-{name}"
+    pipeline = get_preset(name)
+    shard_mb = args.shard_mb
+    if args.workers is not None and shard_mb is None:
+        # aim for ~2 shards per worker so every lane has work to show
+        shard_mb = max(data.nbytes / (1 << 20) / (2 * args.workers), 0.25)
+    prev = set_telemetry(True)
+    GLOBAL_TRACER.clear()
+    try:
+        if args.workers is not None or shard_mb is not None:
+            cf = pipeline.compress(data, args.eb, EbMode(args.mode),
+                                   workers=args.workers, shard_mb=shard_mb)
+        else:
+            cf = pipeline.compress(data, args.eb, EbMode(args.mode))
+        if args.decompress:
+            core_decompress(cf.blob)
+        records = GLOBAL_TRACER.records()
+    finally:
+        set_telemetry(prev)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        doc = write_chrome_trace(records, fh)
+    s = cf.stats
+    print(f"{name}: {s.input_bytes} -> {s.output_bytes} bytes  "
+          f"CR={s.cr:.2f}")
+    lanes = {r.lane for r in records if r.lane}
+    print(f"{len(records)} spans ({len(doc['traceEvents'])} trace events, "
+          f"{len(lanes) + 1} lanes) -> {args.output}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            write_span_jsonl(records, fh)
+        print(f"span log -> {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(GLOBAL_METRICS))
+        print(f"metrics exposition -> {args.prom}")
+    print(render_summary(records), end="")
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """``fzmod verify``: run the pipeline contract battery."""
     from .core import verify_pipeline
@@ -401,7 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_inspect)
 
     sp = sub.add_parser("lint", help="contract-aware static analysis "
-                                     "(fzlint rules FZL001-FZL008)")
+                                     "(fzlint rules FZL001-FZL009)")
     from .analysis.cli import add_arguments as add_lint_arguments
     add_lint_arguments(sp)
     sp.set_defaults(fn=cmd_lint)
@@ -409,6 +464,31 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("stats", help="print hot-path cache/pool/allocator "
                                       "counters for this process")
     sp.set_defaults(fn=cmd_stats)
+
+    sp = sub.add_parser("trace", help="compress a field with telemetry "
+                                      "enabled and export the span trace "
+                                      "(Chrome trace-event JSON for "
+                                      "Perfetto/chrome://tracing)")
+    add_input_opts(sp)
+    sp.add_argument("--preset", default="fzmod-default",
+                    help=f"pipeline preset {PRESET_NAMES} (short names "
+                         "like 'default' are accepted)")
+    sp.add_argument("--eb", type=float, default=1e-3)
+    sp.add_argument("--mode", default="rel", choices=["rel", "abs"])
+    sp.add_argument("--workers", type=int, default=None,
+                    help="trace the sharded engine with this many workers "
+                         "(shards appear as separate trace process lanes)")
+    sp.add_argument("--shard-mb", type=float, default=None,
+                    help="shard size in MiB (default: sized for ~2 shards "
+                         "per worker when --workers is given)")
+    sp.add_argument("--decompress", action="store_true",
+                    help="also trace decompression of the result")
+    sp.add_argument("-o", "--output", default="trace.json",
+                    help="Chrome trace-event JSON path (default trace.json)")
+    sp.add_argument("--jsonl", help="also write a JSONL span log here")
+    sp.add_argument("--prom", help="also write the Prometheus text "
+                                   "exposition of the metrics registry here")
+    sp.set_defaults(fn=cmd_trace)
 
     sp = sub.add_parser("verify", help="run the contract check battery "
                                        "against a pipeline")

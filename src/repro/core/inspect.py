@@ -115,6 +115,11 @@ def hotpath_stats() -> dict:
     live/peak bytes per memory space.  The perf-regression harness embeds
     this in ``BENCH_pipeline.json``; it is also the programmatic answer to
     "is the warm path actually warm?".
+
+    This is a *view*: the counters themselves live in the unified
+    telemetry registry (:data:`repro.obs.GLOBAL_METRICS`), which the
+    Prometheus exporter scrapes directly.  Keys here are kept stable for
+    existing consumers of the bench report.
     """
     from ..kernels.plancache import cache_stats
     from ..runtime.memory import GLOBAL_ALLOCATOR, GLOBAL_POOL, pooling_enabled

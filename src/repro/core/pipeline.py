@@ -20,6 +20,8 @@ from ..errors import PipelineError
 from ..kernels.quantize import (OutlierSet, pack_outliers as quantize_pack,
                                 unpack_outliers as quantize_unpack)
 from ..kernels.plancache import MODULE_TABLE_CACHE
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.spans import span
 from ..types import EbMode, ErrorBound, check_field
 from .header import (ContainerHeader, as_bytes_view, assemble, parse,
                      split_sections)
@@ -211,54 +213,67 @@ class Pipeline:
             eb = ErrorBound(float(eb), EbMode(mode))
         data = check_field(data)
         timings: dict[str, float] = {}
-
-        t0 = time.perf_counter()
-        pre = self.preprocess.forward(data, eb)
-        timings["preprocess"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        arts = self.predictor.encode(pre.data, pre.eb_abs, self.radius)
-        timings["predictor"] = time.perf_counter() - t0
-
-        hist = None
-        if self.encoder.needs_statistics:
+        with span("pipeline.compress", pipeline=self.name,
+                  bytes_in=int(data.nbytes)) as root:
             t0 = time.perf_counter()
-            hist = self.statistics.collect(arts.codes, self.num_bins)
-            timings["statistics"] = time.perf_counter() - t0
+            with span("stage.preprocess", module=self.preprocess.name):
+                pre = self.preprocess.forward(data, eb)
+            timings["preprocess"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        stream = self.encoder.encode(arts.codes, self.num_bins, hist)
-        timings["encoder"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with span("stage.predictor", module=self.predictor.name):
+                arts = self.predictor.encode(pre.data, pre.eb_abs, self.radius)
+            timings["predictor"] = time.perf_counter() - t0
 
-        sections: dict[str, bytes] = dict(stream.sections)
-        outlier_sections, outlier_count = _serialize_outliers(arts.outliers)
-        sections.update(outlier_sections)
-        if arts.anchors is not None:
-            sections["anchors"] = as_bytes_view(arts.anchors)
-        aux_meta: dict[str, list] = {}
-        for aname, arr in arts.aux.items():
-            sections[f"aux.{aname}"] = as_bytes_view(arr)
-            aux_meta[aname] = [arr.dtype.str, list(arr.shape)]
+            hist = None
+            if self.encoder.needs_statistics:
+                t0 = time.perf_counter()
+                with span("stage.statistics", module=self.statistics.name):
+                    hist = self.statistics.collect(arts.codes, self.num_bins)
+                timings["statistics"] = time.perf_counter() - t0
 
-        header = ContainerHeader(
-            shape=data.shape, dtype=data.dtype.str, eb_value=eb.value,
-            eb_mode=eb.mode.value, eb_abs=pre.eb_abs, radius=self.radius,
-            modules=self.module_names(), pipeline=self.spec.to_json(),
-            stage_meta={"predictor": dict(arts.meta),
-                        "encoder": dict(stream.meta),
-                        "preprocess": dict(pre.meta),
-                        "outliers": {"count": outlier_count},
-                        "aux": aux_meta})
-        _, body = assemble(header, sections)
+            t0 = time.perf_counter()
+            with span("stage.encoder", module=self.encoder.name):
+                stream = self.encoder.encode(arts.codes, self.num_bins, hist)
+            timings["encoder"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        stored_body = self.secondary.encode(body)
-        timings["secondary"] = time.perf_counter() - t0
+            sections: dict[str, bytes] = dict(stream.sections)
+            outlier_sections, outlier_count = _serialize_outliers(arts.outliers)
+            sections.update(outlier_sections)
+            if arts.anchors is not None:
+                sections["anchors"] = as_bytes_view(arts.anchors)
+            aux_meta: dict[str, list] = {}
+            for aname, arr in arts.aux.items():
+                sections[f"aux.{aname}"] = as_bytes_view(arr)
+                aux_meta[aname] = [arr.dtype.str, list(arr.shape)]
 
-        # rebuild the header with the CRC of the *stored* body so parse()
-        # can reject corruption before any codec runs
-        header_bytes, _ = assemble(header, sections, stored_body=stored_body)
-        blob = header_bytes + stored_body
+            header = ContainerHeader(
+                shape=data.shape, dtype=data.dtype.str, eb_value=eb.value,
+                eb_mode=eb.mode.value, eb_abs=pre.eb_abs, radius=self.radius,
+                modules=self.module_names(), pipeline=self.spec.to_json(),
+                stage_meta={"predictor": dict(arts.meta),
+                            "encoder": dict(stream.meta),
+                            "preprocess": dict(pre.meta),
+                            "outliers": {"count": outlier_count},
+                            "aux": aux_meta})
+            _, body = assemble(header, sections)
+
+            t0 = time.perf_counter()
+            with span("stage.secondary", module=self.secondary.name):
+                stored_body = self.secondary.encode(body)
+            timings["secondary"] = time.perf_counter() - t0
+
+            # rebuild the header with the CRC of the *stored* body so parse()
+            # can reject corruption before any codec runs
+            header_bytes, _ = assemble(header, sections, stored_body=stored_body)
+            blob = header_bytes + stored_body
+            root.set(bytes_out=len(blob))
+        for stage, seconds in timings.items():
+            GLOBAL_METRICS.histogram("pipeline.stage_seconds",
+                                     stage=stage).observe(seconds)
+        GLOBAL_METRICS.counter("pipeline.compress_calls").inc()
+        GLOBAL_METRICS.counter("pipeline.bytes_in").inc(int(data.nbytes))
+        GLOBAL_METRICS.counter("pipeline.bytes_out").inc(len(blob))
         stats = CompressionStats(
             input_bytes=data.nbytes, output_bytes=len(blob),
             element_count=data.size, eb_abs=pre.eb_abs,
@@ -311,51 +326,63 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     from ..parallel.executor import SHARD_MAGIC, decompress_sharded
     if blob[:len(SHARD_MAGIC)] == SHARD_MAGIC:
         return decompress_sharded(blob, workers=workers, registry=registry)
-    header, stored_body = parse(blob)
-    modules = _module_table(header, registry)
-    secondary = modules[Stage.SECONDARY.value]
-    body = secondary.decode(stored_body)
-    sections = split_sections(header, body, zero_copy=True)
-    if section_overrides:
-        sections.update(section_overrides)
+    with span("pipeline.decompress", bytes_in=len(blob)):
+        header, stored_body = parse(blob)
+        modules = _module_table(header, registry)
+        secondary = modules[Stage.SECONDARY.value]
+        with span("stage.secondary", module=secondary.name, op="decode"):
+            body = secondary.decode(stored_body)
+        sections = split_sections(header, body, zero_copy=True)
+        if section_overrides:
+            sections.update(section_overrides)
 
-    encoder = modules[Stage.ENCODER.value]
-    stream = EncodedStream(
-        sections={k: v for k, v in sections.items() if k.startswith("enc.")},
-        meta=header.stage_meta.get("encoder", {}))
-    # interp predictors carry anchors: the dense code stream is shorter
-    # than the element count by the anchor count.  Predictors whose stream
-    # length differs from the element count for other reasons (e.g. the
-    # regression predictor's padded blocks) declare it explicitly.
-    anchors = None
-    anchor_count = 0
-    if "anchors" in sections:
-        anchors = np.frombuffer(sections["anchors"], dtype=header.np_dtype)
-        anchor_count = anchors.size
-    predictor_meta = header.stage_meta.get("predictor", {})
-    count = int(predictor_meta.get("stream_length",
-                                   header.element_count - anchor_count))
-    codes = encoder.decode(stream, count, 2 * header.radius)
+        encoder = modules[Stage.ENCODER.value]
+        stream = EncodedStream(
+            sections={k: v for k, v in sections.items()
+                      if k.startswith("enc.")},
+            meta=header.stage_meta.get("encoder", {}))
+        # interp predictors carry anchors: the dense code stream is shorter
+        # than the element count by the anchor count.  Predictors whose
+        # stream length differs from the element count for other reasons
+        # (e.g. the regression predictor's padded blocks) declare it
+        # explicitly.
+        anchors = None
+        anchor_count = 0
+        if "anchors" in sections:
+            anchors = np.frombuffer(sections["anchors"], dtype=header.np_dtype)
+            anchor_count = anchors.size
+        predictor_meta = header.stage_meta.get("predictor", {})
+        count = int(predictor_meta.get("stream_length",
+                                       header.element_count - anchor_count))
+        with span("stage.encoder", module=encoder.name, op="decode"):
+            codes = encoder.decode(stream, count, 2 * header.radius)
 
-    outlier_count = int(header.stage_meta.get("outliers", {}).get("count", 0))
-    outliers = _deserialize_outliers(sections, outlier_count)
-    aux: dict[str, np.ndarray] = {}
-    for aname, (dtype_str, shape) in header.stage_meta.get("aux", {}).items():
-        arr = np.frombuffer(sections[f"aux.{aname}"], dtype=np.dtype(dtype_str))
-        aux[aname] = arr.reshape([int(s) for s in shape])
-    arts = PredictorArtifacts(codes=codes, outliers=outliers, anchors=anchors,
-                              aux=aux,
-                              meta=header.stage_meta.get("predictor", {}))
-    predictor = modules[Stage.PREDICTOR.value]
-    out = predictor.decode(arts, header.shape, header.np_dtype,
-                           header.eb_abs, header.radius)
-    preprocess = modules[Stage.PREPROCESS.value]
-    out = preprocess.backward(out, header.stage_meta.get("preprocess", {}))
-    # Contract: callers get exactly one writable array that owns its data.
-    # The standard predictor/preprocess chain already ends in a fresh
-    # buffer (audited: Lorenzo/interp dequantize into a new array and the
-    # preprocessors pass it through), so this copy only fires for custom
-    # modules that return views into blob-backed sections.
-    if not out.flags.writeable or out.base is not None:
-        out = out.copy()
+        outlier_count = int(header.stage_meta.get("outliers", {})
+                            .get("count", 0))
+        outliers = _deserialize_outliers(sections, outlier_count)
+        aux: dict[str, np.ndarray] = {}
+        for aname, (dtype_str, shape) in header.stage_meta.get("aux",
+                                                               {}).items():
+            arr = np.frombuffer(sections[f"aux.{aname}"],
+                                dtype=np.dtype(dtype_str))
+            aux[aname] = arr.reshape([int(s) for s in shape])
+        arts = PredictorArtifacts(codes=codes, outliers=outliers,
+                                  anchors=anchors, aux=aux,
+                                  meta=header.stage_meta.get("predictor", {}))
+        predictor = modules[Stage.PREDICTOR.value]
+        with span("stage.predictor", module=predictor.name, op="decode"):
+            out = predictor.decode(arts, header.shape, header.np_dtype,
+                                   header.eb_abs, header.radius)
+        preprocess = modules[Stage.PREPROCESS.value]
+        with span("stage.preprocess", module=preprocess.name, op="decode"):
+            out = preprocess.backward(out,
+                                      header.stage_meta.get("preprocess", {}))
+        # Contract: callers get exactly one writable array that owns its
+        # data.  The standard predictor/preprocess chain already ends in a
+        # fresh buffer (audited: Lorenzo/interp dequantize into a new array
+        # and the preprocessors pass it through), so this copy only fires
+        # for custom modules that return views into blob-backed sections.
+        if not out.flags.writeable or out.base is not None:
+            out = out.copy()
+    GLOBAL_METRICS.counter("pipeline.decompress_calls").inc()
     return out

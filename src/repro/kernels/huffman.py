@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CodecError
+from ..obs.spans import span
 from .bitio import pack_varlen, unpack_windows
 from .plancache import (CODEBOOK_CACHE, DECODE_STREAM_CACHE,
                         DECODE_TABLE_CACHE, ENCODE_STREAM_CACHE, digest)
@@ -224,12 +225,13 @@ def build_codebook(counts: np.ndarray, max_len: int = DEFAULT_MAX_LEN, *,
     fresh build (the cold-path baseline the perf harness measures).
     """
     counts = np.asarray(counts, dtype=np.int64)
-    if not cache:
-        return _build_codebook_uncached(counts, max_len)
-    key = (digest(counts), int(max_len))
-    return CODEBOOK_CACHE.get_or_build(
-        key, lambda: _build_codebook_uncached(counts, max_len),
-        nbytes=lambda book: int(book.lengths.nbytes) + 64)
+    with span("kernel.huffman.build_codebook", bins=int(counts.size)):
+        if not cache:
+            return _build_codebook_uncached(counts, max_len)
+        key = (digest(counts), int(max_len))
+        return CODEBOOK_CACHE.get_or_build(
+            key, lambda: _build_codebook_uncached(counts, max_len),
+            nbytes=lambda book: int(book.lengths.nbytes) + 64)
 
 
 def warm_decode_book(lengths: np.ndarray, max_len: int, *,
@@ -323,20 +325,21 @@ def encode(symbols: np.ndarray, book: Codebook,
     have read-only table arrays; ``cache=False`` forces a fresh pack.
     """
     symbols = np.ascontiguousarray(np.asarray(symbols).reshape(-1))
-    if not cache:
-        return _encode_uncached(symbols, book, chunk)
-    key = (digest(symbols), digest(book.lengths), int(chunk),
-           int(book.max_len))
+    with span("kernel.huffman.encode", symbols=int(symbols.size)):
+        if not cache:
+            return _encode_uncached(symbols, book, chunk)
+        key = (digest(symbols), digest(book.lengths), int(chunk),
+               int(book.max_len))
 
-    def build() -> HuffmanEncoded:
-        enc = _encode_uncached(symbols, book, chunk)
-        enc.chunk_symbols.setflags(write=False)
-        enc.chunk_bits.setflags(write=False)
-        enc.lengths.setflags(write=False)
-        return enc
+        def build() -> HuffmanEncoded:
+            enc = _encode_uncached(symbols, book, chunk)
+            enc.chunk_symbols.setflags(write=False)
+            enc.chunk_bits.setflags(write=False)
+            enc.lengths.setflags(write=False)
+            return enc
 
-    return ENCODE_STREAM_CACHE.get_or_build(
-        key, build, nbytes=lambda enc: enc.nbytes() + 64)
+        return ENCODE_STREAM_CACHE.get_or_build(
+            key, build, nbytes=lambda enc: enc.nbytes() + 64)
 
 
 def _encode_uncached(symbols: np.ndarray, book: Codebook,
@@ -410,19 +413,20 @@ def decode(enc: HuffmanEncoded, *, cache: bool = True) -> np.ndarray:
     ``astype``/fancy indexing before mutating.  ``cache=False`` forces a
     fresh decode.
     """
-    if not cache:
-        return _decode_uncached(enc, cache=False)
-    key = digest(enc.payload, np.ascontiguousarray(enc.lengths),
-                 enc.chunk_symbols, enc.chunk_bits, int(enc.count),
-                 int(enc.max_len))
+    with span("kernel.huffman.decode", symbols=int(enc.count)):
+        if not cache:
+            return _decode_uncached(enc, cache=False)
+        key = digest(enc.payload, np.ascontiguousarray(enc.lengths),
+                     enc.chunk_symbols, enc.chunk_bits, int(enc.count),
+                     int(enc.max_len))
 
-    def build() -> np.ndarray:
-        out = _decode_uncached(enc, cache=True)
-        out.setflags(write=False)
-        return out
+        def build() -> np.ndarray:
+            out = _decode_uncached(enc, cache=True)
+            out.setflags(write=False)
+            return out
 
-    return DECODE_STREAM_CACHE.get_or_build(
-        key, build, nbytes=lambda arr: int(arr.nbytes) + 64)
+        return DECODE_STREAM_CACHE.get_or_build(
+            key, build, nbytes=lambda arr: int(arr.nbytes) + 64)
 
 
 def _decode_uncached(enc: HuffmanEncoded, *, cache: bool) -> np.ndarray:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CodecError
+from ..obs.spans import span
 from . import quantize as q
 
 #: Default maximum level (anchor stride = 2**level) per rank.  Chosen so the
@@ -156,44 +157,45 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS,
     stride = 1 << max_level
     twoeb = 2.0 * eb_abs
 
-    work = data.astype(np.float64, copy=False)
-    recon = np.zeros(shape, dtype=np.float64)
-    asl = _anchor_slices(shape, stride)
-    recon[asl] = work[asl]
-    anchors = data[asl].reshape(-1).copy()
+    with span("kernel.interp.compress", elements=int(data.size)):
+        work = data.astype(np.float64, copy=False)
+        recon = np.zeros(shape, dtype=np.float64)
+        asl = _anchor_slices(shape, stride)
+        recon[asl] = work[asl]
+        anchors = data[asl].reshape(-1).copy()
 
-    code_batches: list[np.ndarray] = []
-    choices: list[int] = []
-    for level, axis, coords in _batches(shape, max_level):
-        h = 1 << (level - 1)
-        true = work[np.ix_(*coords)]
-        pred = _predict_batch(recon, axis, coords, h)
-        if dynamic:
-            pred_lin = _predict_batch(recon, axis, coords, h,
-                                      linear_only=True)
-            # pick the stencil whose quantised residuals are smaller in
-            # total magnitude (a cheap proxy for entropy)
-            cost_cubic = float(np.abs(np.rint((true - pred) / twoeb)).sum())
-            cost_lin = float(np.abs(np.rint((true - pred_lin) / twoeb)).sum())
-            if cost_lin < cost_cubic:
-                pred = pred_lin
-                choices.append(1)
-            else:
-                choices.append(0)
-        scaled = (true - pred) / twoeb
-        if scaled.size and float(np.abs(scaled).max()) >= 2**62:
-            raise CodecError("error bound too tight: interp code overflows int64")
-        codes = np.rint(scaled).astype(np.int64)
-        recon[np.ix_(*coords)] = pred + codes * twoeb
-        code_batches.append(codes.reshape(-1))
+        code_batches: list[np.ndarray] = []
+        choices: list[int] = []
+        for level, axis, coords in _batches(shape, max_level):
+            h = 1 << (level - 1)
+            true = work[np.ix_(*coords)]
+            pred = _predict_batch(recon, axis, coords, h)
+            if dynamic:
+                pred_lin = _predict_batch(recon, axis, coords, h,
+                                          linear_only=True)
+                # pick the stencil whose quantised residuals are smaller in
+                # total magnitude (a cheap proxy for entropy)
+                cost_cubic = float(np.abs(np.rint((true - pred) / twoeb)).sum())
+                cost_lin = float(np.abs(np.rint((true - pred_lin) / twoeb)).sum())
+                if cost_lin < cost_cubic:
+                    pred = pred_lin
+                    choices.append(1)
+                else:
+                    choices.append(0)
+            scaled = (true - pred) / twoeb
+            if scaled.size and float(np.abs(scaled).max()) >= 2**62:
+                raise CodecError("error bound too tight: interp code overflows int64")
+            codes = np.rint(scaled).astype(np.int64)
+            recon[np.ix_(*coords)] = pred + codes * twoeb
+            code_batches.append(codes.reshape(-1))
 
-    stream = (np.concatenate(code_batches) if code_batches
-              else np.zeros(0, dtype=np.int64))
-    dense, outliers = q.split_outliers(stream, radius)
-    return InterpResult(codes=dense, outliers=outliers, anchors=anchors,
-                        radius=radius, eb_abs=float(eb_abs), max_level=max_level,
-                        shape=shape, dtype=data.dtype,
-                        choices=tuple(choices))
+        stream = (np.concatenate(code_batches) if code_batches
+                  else np.zeros(0, dtype=np.int64))
+        dense, outliers = q.split_outliers(stream, radius)
+        return InterpResult(codes=dense, outliers=outliers, anchors=anchors,
+                            radius=radius, eb_abs=float(eb_abs), max_level=max_level,
+                            shape=shape, dtype=data.dtype,
+                            choices=tuple(choices))
 
 
 def decompress(result: InterpResult) -> np.ndarray:
@@ -206,27 +208,28 @@ def decompress(result: InterpResult) -> np.ndarray:
     shape = tuple(result.shape)
     stride = 1 << result.max_level
     twoeb = 2.0 * result.eb_abs
-    stream = q.merge_outliers(result.codes, result.outliers, result.radius).reshape(-1)
+    with span("kernel.interp.decompress", elements=int(np.prod(shape, dtype=np.int64))):
+        stream = q.merge_outliers(result.codes, result.outliers, result.radius).reshape(-1)
 
-    recon = np.zeros(shape, dtype=np.float64)
-    asl = _anchor_slices(shape, stride)
-    anchor_shape = tuple(len(range(0, n, stride)) for n in shape)
-    recon[asl] = result.anchors.reshape(anchor_shape).astype(np.float64)
+        recon = np.zeros(shape, dtype=np.float64)
+        asl = _anchor_slices(shape, stride)
+        anchor_shape = tuple(len(range(0, n, stride)) for n in shape)
+        recon[asl] = result.anchors.reshape(anchor_shape).astype(np.float64)
 
-    pos = 0
-    batch_no = 0
-    for level, axis, coords in _batches(shape, result.max_level):
-        h = 1 << (level - 1)
-        linear_only = bool(result.choices
-                           and result.choices[batch_no] == 1)
-        pred = _predict_batch(recon, axis, coords, h,
-                              linear_only=linear_only)
-        batch_no += 1
-        count = pred.size
-        codes = stream[pos:pos + count].reshape(pred.shape)
-        pos += count
-        recon[np.ix_(*coords)] = pred + codes * twoeb
-    if pos != stream.size:
-        raise CodecError(f"interp stream length mismatch: consumed {pos}, "
-                         f"stream has {stream.size}")
-    return recon.astype(result.dtype)
+        pos = 0
+        batch_no = 0
+        for level, axis, coords in _batches(shape, result.max_level):
+            h = 1 << (level - 1)
+            linear_only = bool(result.choices
+                               and result.choices[batch_no] == 1)
+            pred = _predict_batch(recon, axis, coords, h,
+                                  linear_only=linear_only)
+            batch_no += 1
+            count = pred.size
+            codes = stream[pos:pos + count].reshape(pred.shape)
+            pos += count
+            recon[np.ix_(*coords)] = pred + codes * twoeb
+        if pos != stream.size:
+            raise CodecError(f"interp stream length mismatch: consumed {pos}, "
+                             f"stream has {stream.size}")
+        return recon.astype(result.dtype)

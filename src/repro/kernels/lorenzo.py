@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CodecError
+from ..obs.spans import span
 from . import quantize as q
 
 
@@ -121,27 +122,29 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS
     """
     from ..runtime.memory import default_pool
     data = np.asarray(data)
-    pool = default_pool()
-    if pool is None:
-        grid = q.prequantize(data, eb_abs)
-        deltas = lorenzo_forward(grid, out=grid)
-        codes, outliers = q.split_outliers(deltas, radius, in_place=True)
+    with span("kernel.lorenzo.compress", elements=int(data.size)):
+        pool = default_pool()
+        if pool is None:
+            grid = q.prequantize(data, eb_abs)
+            deltas = lorenzo_forward(grid, out=grid)
+            codes, outliers = q.split_outliers(deltas, radius, in_place=True)
+            return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
+                                 eb_abs=float(eb_abs), shape=data.shape,
+                                 dtype=data.dtype)
+        scaled = pool.acquire(data.shape, np.float64)
+        grid = pool.acquire(data.shape, np.int64)
+        shifted = pool.acquire(data.shape, np.int64)
+        try:
+            q.prequantize(data, eb_abs, out=grid, scratch=scaled)
+            deltas = lorenzo_forward(grid, out=grid, scratch=shifted)
+            codes, outliers = q.split_outliers(deltas, radius, in_place=True)
+        finally:
+            pool.release(scaled)
+            pool.release(shifted)
+            pool.release(grid)
         return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
                              eb_abs=float(eb_abs), shape=data.shape,
                              dtype=data.dtype)
-    scaled = pool.acquire(data.shape, np.float64)
-    grid = pool.acquire(data.shape, np.int64)
-    shifted = pool.acquire(data.shape, np.int64)
-    try:
-        q.prequantize(data, eb_abs, out=grid, scratch=scaled)
-        deltas = lorenzo_forward(grid, out=grid, scratch=shifted)
-        codes, outliers = q.split_outliers(deltas, radius, in_place=True)
-    finally:
-        pool.release(scaled)
-        pool.release(shifted)
-        pool.release(grid)
-    return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
-                         eb_abs=float(eb_abs), shape=data.shape, dtype=data.dtype)
 
 
 def decompress(result: LorenzoResult) -> np.ndarray:
@@ -155,23 +158,25 @@ def decompress(result: LorenzoResult) -> np.ndarray:
     pool = default_pool()
     shape = tuple(result.shape)
     recon = np.empty(shape, dtype=result.dtype)
-    if pool is None:
-        deltas = q.merge_outliers(result.codes, result.outliers, result.radius)
-        if deltas.shape != shape:
-            deltas = deltas.reshape(shape)
-        grid = lorenzo_inverse(deltas, out=deltas)
-        return q.dequantize(grid, result.eb_abs, result.dtype, out=recon)
-    work = pool.acquire(shape, np.int64)
-    try:
-        deltas = q.merge_outliers(result.codes, result.outliers,
-                                  result.radius, out=work)
-        if deltas.shape != shape:
-            deltas = deltas.reshape(shape)
-        grid = lorenzo_inverse(deltas, out=deltas)
-        q.dequantize(grid, result.eb_abs, result.dtype, out=recon)
-    finally:
-        pool.release(work)
-    return recon
+    with span("kernel.lorenzo.decompress", elements=int(recon.size)):
+        if pool is None:
+            deltas = q.merge_outliers(result.codes, result.outliers,
+                                      result.radius)
+            if deltas.shape != shape:
+                deltas = deltas.reshape(shape)
+            grid = lorenzo_inverse(deltas, out=deltas)
+            return q.dequantize(grid, result.eb_abs, result.dtype, out=recon)
+        work = pool.acquire(shape, np.int64)
+        try:
+            deltas = q.merge_outliers(result.codes, result.outliers,
+                                      result.radius, out=work)
+            if deltas.shape != shape:
+                deltas = deltas.reshape(shape)
+            grid = lorenzo_inverse(deltas, out=deltas)
+            q.dequantize(grid, result.eb_abs, result.dtype, out=recon)
+        finally:
+            pool.release(work)
+        return recon
 
 
 def decompress_parts(codes: np.ndarray, outliers: q.OutlierSet, radius: int,

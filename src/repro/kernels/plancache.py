@@ -29,8 +29,12 @@ Plans cached today
 
 Caches are process-wide, thread-safe, LRU-bounded by entry count and by
 an approximate byte budget, and fully observable: per-cache hit / miss /
-eviction counters are exported through
-:func:`repro.core.inspect.hotpath_stats` and land in ``BENCH_pipeline.json``.
+eviction counters live in the process-wide
+:data:`~repro.obs.metrics.GLOBAL_METRICS` registry (``plancache.hits``
+etc., labelled ``cache=<name>``), from which
+:func:`repro.core.inspect.hotpath_stats`, the Prometheus exporter and
+``BENCH_pipeline.json`` all read.  Occupancy (entries/bytes) is published
+as gauges by a registry collector on scrape.
 
 Set ``FZMOD_PLAN_CACHE=0`` to disable every cache (each lookup then calls
 its builder directly but still counts misses), or call
@@ -46,6 +50,8 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 import numpy as np
+
+from ..obs.metrics import GLOBAL_METRICS
 
 #: default per-cache entry bound
 DEFAULT_MAX_ENTRIES = 64
@@ -102,9 +108,13 @@ class PlanCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # counters live in the global metrics registry (labelled by cache
+        # name); a new cache taking over a name starts its counts fresh
+        self._hits = GLOBAL_METRICS.counter("plancache.hits", cache=name)
+        self._misses = GLOBAL_METRICS.counter("plancache.misses", cache=name)
+        self._evictions = GLOBAL_METRICS.counter("plancache.evictions",
+                                                 cache=name)
+        self.reset_stats()
         # fzlint: disable-next-line=FZL001 -- deliberate process-wide
         # registration: caches self-enrol so stats/clear can reach them
         _CACHES[name] = self
@@ -120,16 +130,15 @@ class PlanCache:
         duplicated work is safe, just wasted).
         """
         if not caching_enabled():
-            with self._lock:
-                self.misses += 1
+            self._misses.inc()
             return builder()
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._hits.inc()
                 return entry[0]
-            self.misses += 1
+            self._misses.inc()
         value = builder()
         size = nbytes(value) if callable(nbytes) else int(nbytes)
         with self._lock:
@@ -144,7 +153,7 @@ class PlanCache:
                     break
                 _, (_, dropped) = self._entries.popitem(last=False)
                 self._bytes -= dropped
-                self.evictions += 1
+                self._evictions.inc()
         return value
 
     def clear(self) -> None:
@@ -155,11 +164,25 @@ class PlanCache:
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
-        with self._lock:
-            self.hits = self.misses = self.evictions = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # counters are registry-backed; these views keep the historical API
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @property
     def hit_rate(self) -> float:
@@ -220,3 +243,15 @@ def clear_all_caches(reset_stats: bool = False) -> None:
         cache.clear()
         if reset_stats:
             cache.reset_stats()
+
+
+def _collect_cache_gauges(registry) -> None:
+    """Publish per-cache occupancy as gauges on registry scrape."""
+    for name, cache in sorted(_CACHES.items()):
+        with cache._lock:
+            entries, nbytes = len(cache._entries), cache._bytes
+        registry.gauge("plancache.entries", cache=name).set(entries)
+        registry.gauge("plancache.bytes", cache=name).set(nbytes)
+
+
+GLOBAL_METRICS.add_collector(_collect_cache_gauges)

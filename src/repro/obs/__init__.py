@@ -1,0 +1,33 @@
+"""Unified telemetry layer: spans, metrics, exporters.
+
+Quick use::
+
+    from repro.obs import span, GLOBAL_METRICS
+
+    with span("stage.encoder", bytes_in=data.nbytes) as sp:
+        blob = encode(data)
+        sp.set(bytes_out=len(blob))
+    GLOBAL_METRICS.counter("pipeline.bytes_out").inc(len(blob))
+
+Disable with ``FZMOD_TELEMETRY=0`` (or :func:`set_telemetry`): ``span``
+then returns a shared no-op and instrumented code pays one bool check.
+See docs/OBSERVABILITY.md for the span taxonomy and exporter formats.
+"""
+
+from .export import (chrome_trace, prometheus_text, render_summary,
+                     span_jsonl_lines, summarize_spans, write_chrome_trace,
+                     write_span_jsonl)
+from .metrics import (GLOBAL_METRICS, METRIC_NAME_RE, Counter, Gauge,
+                      Histogram, MetricsRegistry)
+from .spans import (GLOBAL_TRACER, NOOP_SPAN, SpanRecord, Tracer,
+                    absorb_capture, export_capture, set_telemetry, span,
+                    telemetry_enabled)
+
+__all__ = [
+    "GLOBAL_METRICS", "GLOBAL_TRACER", "METRIC_NAME_RE", "NOOP_SPAN",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SpanRecord",
+    "Tracer", "absorb_capture", "chrome_trace", "export_capture",
+    "prometheus_text", "render_summary", "set_telemetry", "span",
+    "span_jsonl_lines", "summarize_spans", "telemetry_enabled",
+    "write_chrome_trace", "write_span_jsonl",
+]

@@ -1,0 +1,251 @@
+"""Span tracing: monotonic-clock timed, nestable, thread-local stacks.
+
+The one public entry point is :func:`span`::
+
+    with span("stage.huffman.encode", bytes_in=data.nbytes) as sp:
+        ...
+        sp.set(bytes_out=len(blob))
+
+Spans nest: each thread keeps its own stack, so a span opened inside
+another span records that parent's id.  Timing uses
+``time.perf_counter()`` (monotonic); finished spans land in a bounded
+ring on the process-wide :data:`GLOBAL_TRACER`.
+
+Disabled mode (``FZMOD_TELEMETRY=0`` or :func:`set_telemetry` ``(False)``)
+makes :func:`span` return a shared no-op singleton — no allocation, no
+clock read, no lock — so instrumented hot paths cost one module-global
+bool check plus one attribute-free context-manager enter/exit.
+
+Cross-process transport: shard workers run their job under
+``GLOBAL_TRACER.capture()`` which redirects that thread's finished spans
+into a local list; :func:`export_capture` wraps the list with the
+worker's perf_counter→wall-clock offset so it can travel through the
+process-pool result channel (everything is plain picklable data), and
+:func:`absorb_capture` rebases the timestamps into the parent process's
+clock frame and tags each span with a deterministic lane (the shard
+index — *not* the worker pid, so the merged span set is identical for
+any worker count, modulo timing).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+_DEFAULT_MAX_SPANS = 65536
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("FZMOD_TELEMETRY", "1").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+@dataclass
+class SpanRecord:
+    """A finished span.  Plain picklable data: this is what crosses the
+    process-pool result channel and what every exporter consumes."""
+
+    name: str
+    start: float                 # perf_counter seconds, process-local frame
+    end: float
+    span_id: int
+    parent_id: int | None
+    thread: str
+    lane: str | None = None      # None = main process; "shard:3", "stf:gpu:0"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[_Span] = []
+        self.sink: list[SpanRecord] | None = None
+
+
+class _Span:
+    """Live (open) span; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(tracer._ids)
+        self.parent_id: int | None = None
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (result sizes etc.)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> _Span:
+        tls = self._tracer._tls
+        if tls.stack:
+            self.parent_id = tls.stack[-1].span_id
+        tls.stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        tls = self._tracer._tls
+        if tls.stack and tls.stack[-1] is self:
+            tls.stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._emit(SpanRecord(
+            name=self.name, start=self._start, end=end,
+            span_id=self.span_id, parent_id=self.parent_id,
+            thread=threading.current_thread().name, attrs=self.attrs))
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        return None
+
+    def __enter__(self) -> _NoopSpan:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans into a bounded ring buffer."""
+
+    def __init__(self, max_spans: int = _DEFAULT_MAX_SPANS) -> None:
+        self._tls = _ThreadState()
+        self._lock = threading.Lock()
+        self._spans: deque[SpanRecord] = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self.dropped = 0
+
+    def span(self, name: str, **attrs) -> _Span:
+        """A new live span bound to this tracer (use as a context manager)."""
+        return _Span(self, name, attrs)
+
+    def _emit(self, record: SpanRecord) -> None:
+        sink = self._tls.sink
+        if sink is not None:
+            sink.append(record)
+            return
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(record)
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of the finished spans currently in the ring."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop all collected spans and the dropped-span count."""
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    @contextmanager
+    def capture(self) -> Iterator[list[SpanRecord]]:
+        """Redirect this thread's finished spans into a local list.
+
+        Used by shard-worker entry points (both thread and process
+        backends) so each job's spans travel with its result instead of
+        interleaving into a shared buffer in nondeterministic order.
+        """
+        buf: list[SpanRecord] = []
+        prev = self._tls.sink
+        self._tls.sink = buf
+        try:
+            yield buf
+        finally:
+            self._tls.sink = prev
+
+
+#: Process-wide tracer; :func:`span` feeds it.
+GLOBAL_TRACER = Tracer()
+
+_enabled = _env_enabled()
+
+
+def telemetry_enabled() -> bool:
+    """Whether :func:`span` currently records real spans."""
+    return _enabled
+
+
+def set_telemetry(on: bool) -> bool:
+    """Flip telemetry for this process; returns the previous state."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(on)
+    return prev
+
+
+def span(name: str, **attrs) -> _Span | _NoopSpan:
+    """Open a span (context manager).  No-op singleton when disabled."""
+    if not _enabled:
+        return NOOP_SPAN
+    # fzlint: disable-next-line=FZL009 -- this is the factory itself; the
+    # returned span is the caller's `with` context expression
+    return GLOBAL_TRACER.span(name, **attrs)
+
+
+# --------------------------------------------------------------------- #
+# cross-process transport                                               #
+# --------------------------------------------------------------------- #
+
+def _wall_offset() -> float:
+    """This process's perf_counter → wall-clock offset.
+
+    ``perf_counter`` has an arbitrary per-process epoch; shifting remote
+    spans by (their offset − ours) lands them in our clock frame.  The
+    offset is telemetry metadata only — it never reaches container bytes.
+    """
+    return time.time() - time.perf_counter()
+
+
+def export_capture(records: list[SpanRecord]) -> dict | None:
+    """Picklable payload for the process-pool result channel.
+
+    Returns ``None`` when there is nothing to ship (telemetry off), so
+    disabled runs pay one ``None`` per result tuple and nothing more.
+    """
+    if not records:
+        return None
+    return {"offset": _wall_offset(), "spans": records}
+
+
+def absorb_capture(payload: dict | None, lane: str | None = None,
+                   tracer: Tracer | None = None) -> list[SpanRecord]:
+    """Rebase a worker's captured spans into this process's clock frame,
+    tag them with ``lane``, and emit them on ``tracer`` (GLOBAL_TRACER by
+    default).  Returns the rebased records."""
+    if not payload:
+        return []
+    tracer = tracer or GLOBAL_TRACER
+    shift = payload["offset"] - _wall_offset()
+    out: list[SpanRecord] = []
+    for rec in payload["spans"]:
+        rebased = replace(rec, start=rec.start + shift, end=rec.end + shift,
+                          lane=rec.lane if rec.lane is not None else lane)
+        out.append(rebased)
+        tracer._emit(rebased)
+    return out

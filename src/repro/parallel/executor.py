@@ -64,6 +64,7 @@ from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
 from ..core.spec import PipelineSpec
 from ..errors import ConfigError, HeaderError, ModuleNotFoundInRegistry
 from ..kernels import huffman
+from ..obs.spans import GLOBAL_TRACER, absorb_capture, export_capture, span
 from ..runtime.stream import OrderedWorkQueue
 from ..types import EbMode, ErrorBound, Stage, check_field
 
@@ -382,18 +383,21 @@ def _with_fixed_codebook(pipeline: Pipeline, lengths: np.ndarray) -> Pipeline:
 
 
 def _compress_shard_local(pipeline: Pipeline, shard: np.ndarray,
-                          eb_abs: float) -> tuple[bytes, CompressionStats]:
-    cf: CompressedField = pipeline.compress(
-        np.ascontiguousarray(shard), ErrorBound(eb_abs, EbMode.ABS),
-        EbMode.ABS)
-    return cf.blob, cf.stats
+                          eb_abs: float
+                          ) -> tuple[bytes, CompressionStats, dict | None]:
+    with GLOBAL_TRACER.capture() as spans:
+        with span("shard.compress", rows=int(shard.shape[0])):
+            cf: CompressedField = pipeline.compress(
+                np.ascontiguousarray(shard), ErrorBound(eb_abs, EbMode.ABS),
+                EbMode.ABS)
+    return cf.blob, cf.stats, export_capture(spans)
 
 
 def _compress_shard_shm(spec_json: dict, shm_name: str,
                         shape: tuple[int, ...], dtype: str,
                         start: int, stop: int, eb_abs: float,
                         lengths: bytes | None = None
-                        ) -> tuple[bytes, CompressionStats]:
+                        ) -> tuple[bytes, CompressionStats, dict | None]:
     """Process-pool job: map the shared field, compress rows [start, stop).
 
     ``lengths`` (serialised ``uint8`` code lengths) pins the shard to a
@@ -415,18 +419,25 @@ def _compress_shard_shm(spec_json: dict, shm_name: str,
 
 
 def _histogram_shard_local(pipeline: Pipeline, shard: np.ndarray,
-                           eb_abs: float) -> np.ndarray:
+                           eb_abs: float
+                           ) -> tuple[np.ndarray, dict | None]:
     """Histogram-pass job: quant-code counts of one shard (no encoding)."""
     shard = np.ascontiguousarray(shard)
-    pre = pipeline.preprocess.forward(shard, ErrorBound(eb_abs, EbMode.ABS))
-    arts = pipeline.predictor.encode(pre.data, pre.eb_abs, pipeline.radius)
-    hist = pipeline.statistics.collect(arts.codes, pipeline.num_bins)
-    return np.asarray(hist.counts, dtype=np.int64)
+    with GLOBAL_TRACER.capture() as spans:
+        with span("shard.histogram", rows=int(shard.shape[0])):
+            pre = pipeline.preprocess.forward(shard,
+                                              ErrorBound(eb_abs, EbMode.ABS))
+            arts = pipeline.predictor.encode(pre.data, pre.eb_abs,
+                                             pipeline.radius)
+            hist = pipeline.statistics.collect(arts.codes, pipeline.num_bins)
+    return (np.asarray(hist.counts, dtype=np.int64),
+            export_capture(spans))
 
 
 def _histogram_shard_shm(spec_json: dict, shm_name: str,
                          shape: tuple[int, ...], dtype: str,
-                         start: int, stop: int, eb_abs: float) -> np.ndarray:
+                         start: int, stop: int, eb_abs: float
+                         ) -> tuple[np.ndarray, dict | None]:
     """Process-pool job: histogram rows [start, stop) of the shared field."""
     spec = PipelineSpec.from_json(spec_json)
     pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
@@ -442,24 +453,32 @@ def _histogram_shard_shm(spec_json: dict, shm_name: str,
 def _decompress_shard_shm(shard_blob: bytes, shm_name: str,
                           shape: tuple[int, ...], dtype: str,
                           start: int, stop: int,
-                          lengths: bytes | None = None) -> None:
+                          lengths: bytes | None = None) -> dict | None:
     """Process-pool job: decode one shard into the shared output buffer."""
     overrides = {"enc.lengths": lengths} if lengths is not None else None
-    out = _decompress_container(shard_blob, DEFAULT_REGISTRY,
-                                section_overrides=overrides)
-    shm = shared_memory.SharedMemory(name=shm_name)
-    try:
-        field = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
-        field[start:stop] = out
-    finally:
-        shm.close()
+    with GLOBAL_TRACER.capture() as spans:
+        with span("shard.decompress", rows=int(stop - start)):
+            out = _decompress_container(shard_blob, DEFAULT_REGISTRY,
+                                        section_overrides=overrides)
+            shm = shared_memory.SharedMemory(name=shm_name)
+            try:
+                field = np.ndarray(shape, dtype=np.dtype(dtype),
+                                   buffer=shm.buf)
+                field[start:stop] = out
+            finally:
+                shm.close()
+    return export_capture(spans)
 
 
 def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry,
-                            lengths: bytes | None = None) -> np.ndarray:
+                            lengths: bytes | None = None
+                            ) -> tuple[np.ndarray, dict | None]:
     overrides = {"enc.lengths": lengths} if lengths is not None else None
-    return _decompress_container(shard_blob, registry,
-                                 section_overrides=overrides)
+    with GLOBAL_TRACER.capture() as spans:
+        with span("shard.decompress"):
+            out = _decompress_container(shard_blob, registry,
+                                        section_overrides=overrides)
+    return out, export_capture(spans)
 
 
 # ---------------------------------------------------------------------- #
@@ -539,6 +558,15 @@ def _build_shared_codebook(counts: np.ndarray, pipeline: Pipeline
     return book.lengths
 
 
+def _drain_histograms(queue: OrderedWorkQueue) -> np.ndarray:
+    """Sum histogram results, absorbing each shard's spans in order."""
+    total = None
+    for k, (counts, payload) in enumerate(queue.drain()):
+        absorb_capture(payload, lane=f"shard:{k}")
+        total = counts if total is None else total + counts
+    return total
+
+
 def compress_sharded(data: np.ndarray,
                      pipeline: Pipeline | PipelineSpec,
                      eb: ErrorBound | float,
@@ -591,72 +619,80 @@ def compress_sharded(data: np.ndarray,
                              len(bounds))
     workers = min(workers, len(bounds))
 
-    shard_blobs: list[bytes] = []
-    shard_stats: list[CompressionStats] = []
-    extra_seconds: dict[str, float] = {}
-    shared_lengths: np.ndarray | None = None
-    in_flight = _IN_FLIGHT_PER_WORKER * workers
-    if chosen == "process":
-        shm = _shm_create(data.nbytes)
-        try:
-            staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
-            staged[...] = data
-            with _make_pool("process", workers) as pool:
-                if codebook == "shared":
-                    t0 = time.perf_counter()
+    with span("engine.compress_sharded", shards=len(bounds),
+              workers=workers, backend=chosen):
+        shard_blobs: list[bytes] = []
+        shard_stats: list[CompressionStats] = []
+        extra_seconds: dict[str, float] = {}
+        shared_lengths: np.ndarray | None = None
+        in_flight = _IN_FLIGHT_PER_WORKER * workers
+        if chosen == "process":
+            shm = _shm_create(data.nbytes)
+            try:
+                staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+                staged[...] = data
+                with _make_pool("process", workers) as pool:
+                    if codebook == "shared":
+                        t0 = time.perf_counter()
+                        with span("engine.codebook", shards=len(bounds)):
+                            queue = OrderedWorkQueue(pool,
+                                                     max_in_flight=in_flight)
+                            for start, stop in bounds:
+                                queue.submit(_histogram_shard_shm, spec.to_json(),
+                                             shm.name, data.shape, data.dtype.str,
+                                             start, stop, eb_abs)
+                            counts = _drain_histograms(queue)
+                            shared_lengths = _build_shared_codebook(counts,
+                                                                    pipeline)
+                        extra_seconds["codebook"] = time.perf_counter() - t0
+                    lengths_blob = (None if shared_lengths is None
+                                    else shared_lengths.tobytes())
                     queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
                     for start, stop in bounds:
-                        queue.submit(_histogram_shard_shm, spec.to_json(),
+                        queue.submit(_compress_shard_shm, spec.to_json(),
                                      shm.name, data.shape, data.dtype.str,
-                                     start, stop, eb_abs)
-                    counts = sum(queue.drain())
-                    shared_lengths = _build_shared_codebook(counts, pipeline)
+                                     start, stop, eb_abs, lengths_blob)
+                    for k, (blob, stats, payload) in enumerate(queue.drain()):
+                        absorb_capture(payload, lane=f"shard:{k}")
+                        shard_blobs.append(blob)
+                        shard_stats.append(stats)
+            finally:
+                shm.close()
+                shm.unlink()
+        else:
+            with _make_pool("inprocess", workers) as pool:
+                if codebook == "shared":
+                    t0 = time.perf_counter()
+                    with span("engine.codebook", shards=len(bounds)):
+                        queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
+                        for start, stop in bounds:
+                            queue.submit(_histogram_shard_local, pipeline,
+                                         data[start:stop], eb_abs)
+                        counts = _drain_histograms(queue)
+                        shared_lengths = _build_shared_codebook(counts, pipeline)
                     extra_seconds["codebook"] = time.perf_counter() - t0
-                lengths_blob = (None if shared_lengths is None
-                                else shared_lengths.tobytes())
+                enc_pipeline = (pipeline if shared_lengths is None
+                                else _with_fixed_codebook(pipeline,
+                                                          shared_lengths))
                 queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
                 for start, stop in bounds:
-                    queue.submit(_compress_shard_shm, spec.to_json(),
-                                 shm.name, data.shape, data.dtype.str,
-                                 start, stop, eb_abs, lengths_blob)
-                for blob, stats in queue.drain():
+                    queue.submit(_compress_shard_local, enc_pipeline,
+                                 data[start:stop], eb_abs)
+                for k, (blob, stats, payload) in enumerate(queue.drain()):
+                    absorb_capture(payload, lane=f"shard:{k}")
                     shard_blobs.append(blob)
                     shard_stats.append(stats)
-        finally:
-            shm.close()
-            shm.unlink()
-    else:
-        with _make_pool("inprocess", workers) as pool:
-            if codebook == "shared":
-                t0 = time.perf_counter()
-                queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
-                for start, stop in bounds:
-                    queue.submit(_histogram_shard_local, pipeline,
-                                 data[start:stop], eb_abs)
-                counts = sum(queue.drain())
-                shared_lengths = _build_shared_codebook(counts, pipeline)
-                extra_seconds["codebook"] = time.perf_counter() - t0
-            enc_pipeline = (pipeline if shared_lengths is None
-                            else _with_fixed_codebook(pipeline,
-                                                      shared_lengths))
-            queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
-            for start, stop in bounds:
-                queue.submit(_compress_shard_local, enc_pipeline,
-                             data[start:stop], eb_abs)
-            for blob, stats in queue.drain():
-                shard_blobs.append(blob)
-                shard_stats.append(stats)
 
-    index = ShardIndex(shape=data.shape, dtype=data.dtype.str,
-                       eb_value=eb.value, eb_mode=eb.mode.value,
-                       eb_abs=eb_abs, pipeline=spec.to_json(),
-                       bounds=list(bounds), codebook_mode=codebook,
-                       codebook_lengths=(
-                           None if shared_lengths is None
-                           else [int(x) for x in shared_lengths]))
-    blob = assemble_sharded(index, shard_blobs)
-    stats = combine_stats(shard_stats, len(blob), eb_abs,
-                          extra_seconds=extra_seconds)
+        index = ShardIndex(shape=data.shape, dtype=data.dtype.str,
+                           eb_value=eb.value, eb_mode=eb.mode.value,
+                           eb_abs=eb_abs, pipeline=spec.to_json(),
+                           bounds=list(bounds), codebook_mode=codebook,
+                           codebook_lengths=(
+                               None if shared_lengths is None
+                               else [int(x) for x in shared_lengths]))
+        blob = assemble_sharded(index, shard_blobs)
+        stats = combine_stats(shard_stats, len(blob), eb_abs,
+                              extra_seconds=extra_seconds)
     return ShardedCompressedField(
         blob=blob, stats=stats, shard_stats=tuple(shard_stats), index=index,
         workers=workers, backend=chosen,
@@ -686,37 +722,41 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
     shared = index.shared_lengths()
     lengths_blob = None if shared is None else shared.tobytes()
 
-    if chosen == "process":
-        shm = _shm_create(nbytes)
-        try:
-            with _make_pool("process", workers) as pool:
-                queue = OrderedWorkQueue(
-                    pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
-                for shard_blob, (start, stop) in zip(shards, index.bounds):
-                    queue.submit(_decompress_shard_shm, shard_blob, shm.name,
-                                 index.shape, index.dtype, start, stop,
-                                 lengths_blob)
-                for _ in queue.drain():
-                    pass
-            out = np.ndarray(index.shape, dtype=dtype,
-                             buffer=shm.buf).copy()
-        finally:
-            shm.close()
-            shm.unlink()
-        return out
+    with span("engine.decompress_sharded", shards=len(shards),
+              workers=workers, backend=chosen):
+        if chosen == "process":
+            shm = _shm_create(nbytes)
+            try:
+                with _make_pool("process", workers) as pool:
+                    queue = OrderedWorkQueue(
+                        pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+                    for shard_blob, (start, stop) in zip(shards, index.bounds):
+                        queue.submit(_decompress_shard_shm, shard_blob, shm.name,
+                                     index.shape, index.dtype, start, stop,
+                                     lengths_blob)
+                    for k, payload in enumerate(queue.drain()):
+                        absorb_capture(payload, lane=f"shard:{k}")
+                out = np.ndarray(index.shape, dtype=dtype,
+                                 buffer=shm.buf).copy()
+            finally:
+                shm.close()
+                shm.unlink()
+            return out
 
-    out = np.empty(index.shape, dtype=dtype)
-    with _make_pool("inprocess", workers) as pool:
-        queue = OrderedWorkQueue(
-            pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
-        for shard_blob in shards:
-            queue.submit(_decompress_shard_local, shard_blob, registry,
-                         lengths_blob)
-        for (start, stop), shard in zip(index.bounds, queue.drain()):
-            expected = (stop - start, *index.shape[1:])
-            if shard.shape != expected:
-                raise HeaderError(
-                    f"shard rows {start}:{stop} decoded to shape "
-                    f"{shard.shape}, expected {expected}")
-            out[start:stop] = shard
-    return out
+        out = np.empty(index.shape, dtype=dtype)
+        with _make_pool("inprocess", workers) as pool:
+            queue = OrderedWorkQueue(
+                pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
+            for shard_blob in shards:
+                queue.submit(_decompress_shard_local, shard_blob, registry,
+                             lengths_blob)
+            for k, ((start, stop), (shard, payload)) in enumerate(
+                    zip(index.bounds, queue.drain())):
+                absorb_capture(payload, lane=f"shard:{k}")
+                expected = (stop - start, *index.shape[1:])
+                if shard.shape != expected:
+                    raise HeaderError(
+                        f"shard rows {start}:{stop} decoded to shape "
+                        f"{shard.shape}, expected {expected}")
+                out[start:stop] = shard
+        return out

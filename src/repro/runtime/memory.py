@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DeviceError
+from ..obs.metrics import GLOBAL_METRICS, MetricsRegistry
 from ..types import DeviceKind
 from .device import Device
 
@@ -153,7 +154,8 @@ class BufferPool:
 
     def __init__(self, space: MemorySpace = HOST_SPACE,
                  allocator: Allocator | None = None, *,
-                 max_per_key: int = 4, max_bytes: int = 256 << 20) -> None:
+                 max_per_key: int = 4, max_bytes: int = 256 << 20,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.space = space
         self.allocator = allocator if allocator is not None else GLOBAL_ALLOCATOR
         self.max_per_key = int(max_per_key)
@@ -161,9 +163,13 @@ class BufferPool:
         self._lock = threading.Lock()
         self._free: dict[tuple[str, tuple[int, ...]], list[np.ndarray]] = {}
         self._free_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.drops = 0
+        # counters are registry-backed; ad-hoc pools (tests, experiments)
+        # get a private registry so their counts start at zero, while the
+        # process pool publishes into GLOBAL_METRICS (see GLOBAL_POOL)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("bufferpool.hits")
+        self._misses = self.metrics.counter("bufferpool.misses")
+        self._drops = self.metrics.counter("bufferpool.drops")
 
     def acquire(self, shape: tuple[int, ...] | int, dtype) -> np.ndarray:
         """An uninitialised array of the requested shape class."""
@@ -176,9 +182,9 @@ class BufferPool:
             if bucket:
                 arr = bucket.pop()
                 self._free_bytes -= arr.nbytes
-                self.hits += 1
+                self._hits.inc()
                 return arr
-            self.misses += 1
+            self._misses.inc()
         arr = np.empty(shape, dtype=dtype)
         self.allocator.on_alloc(self.space, arr.nbytes)
         return arr
@@ -193,7 +199,7 @@ class BufferPool:
                 bucket.append(arr)
                 self._free_bytes += arr.nbytes
                 return
-            self.drops += 1
+            self._drops.inc()
         self.allocator.on_free(self.space, arr.nbytes)
 
     def clear(self) -> None:
@@ -204,6 +210,19 @@ class BufferPool:
             self._free_bytes = 0
         if freed:
             self.allocator.on_free(self.space, freed)
+
+    # counters are registry-backed; these views keep the historical API
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def drops(self) -> int:
+        return self._drops.value
 
     @property
     def reuse_rate(self) -> float:
@@ -223,8 +242,25 @@ class BufferPool:
             }
 
 
-#: Process-wide scratch pool used by the hot-path kernels.
-GLOBAL_POOL = BufferPool()
+#: Process-wide scratch pool used by the hot-path kernels.  Its counters
+#: publish straight into the global metrics registry.
+GLOBAL_POOL = BufferPool(metrics=GLOBAL_METRICS)
+
+
+def _collect_runtime_gauges(registry: MetricsRegistry) -> None:
+    """Publish pool occupancy and allocator watermarks on scrape."""
+    with GLOBAL_POOL._lock:
+        pooled = sum(len(b) for b in GLOBAL_POOL._free.values())
+        pooled_bytes = GLOBAL_POOL._free_bytes
+    registry.gauge("bufferpool.pooled_arrays").set(pooled)
+    registry.gauge("bufferpool.pooled_bytes").set(pooled_bytes)
+    for space, nbytes in sorted(GLOBAL_ALLOCATOR.live.items()):
+        registry.gauge("allocator.live_bytes", space=space).set(nbytes)
+    for space, nbytes in sorted(GLOBAL_ALLOCATOR.peak.items()):
+        registry.gauge("allocator.peak_bytes", space=space).set(nbytes)
+
+
+GLOBAL_METRICS.add_collector(_collect_runtime_gauges)
 
 _POOL_DISABLED = False
 

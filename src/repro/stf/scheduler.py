@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import StfError
+from ..obs.spans import span
 from ..runtime.clock import SimClock
 from ..runtime.device import DeviceRegistry
 from ..runtime.memory import Buffer, MemorySpace
@@ -144,7 +145,8 @@ class Scheduler:
         try:
             args = self._stage_inputs(task)
             t0 = time.perf_counter()
-            result = task.fn(*args)
+            with span("stf.task", task=task.name, device=task.device_name):
+                result = task.fn(*args)
             task.wall_seconds = time.perf_counter() - t0
             self._commit_outputs(task, args, result)
             task.state = TaskState.DONE

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from ..obs.spans import SpanRecord
 from .graph import GraphBuilder
 from .scheduler import ExecutionReport
 
@@ -82,6 +83,26 @@ def timeline_json(report: ExecutionReport) -> list[dict]:
     return [{"resource": iv.resource, "label": iv.label,
              "start": iv.start, "end": iv.end}
             for iv in report.clock.intervals]
+
+
+def report_spans(report: ExecutionReport) -> list[SpanRecord]:
+    """The simulated schedule re-expressed as telemetry spans.
+
+    Each booked interval becomes one :class:`~repro.obs.spans.SpanRecord`
+    with ``lane="stf:<resource>"``, so the Chrome/JSONL/Perfetto
+    exporters of :mod:`repro.obs` serve the STF engine with the same code
+    path as the default and sharded engines — resources (devices, links)
+    appear as separate process lanes, exactly like shard workers.
+    Simulated times start at 0, so traces begin at ts=0.
+    """
+    out: list[SpanRecord] = []
+    for k, iv in enumerate(report.clock.intervals):
+        out.append(SpanRecord(
+            name="stf.interval", start=float(iv.start), end=float(iv.end),
+            span_id=k + 1, parent_id=None, thread="sim",
+            lane=f"stf:{iv.resource}",
+            attrs={"label": iv.label, "resource": iv.resource}))
+    return out
 
 
 def gantt(report: ExecutionReport, width: int = 72) -> str:

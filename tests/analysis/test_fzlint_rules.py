@@ -404,3 +404,58 @@ def test_fzl008_fires_on_leaked_pool_buffer(lint):
 
 def test_fzl008_silent_on_release_or_handoff(lint):
     assert lint({"anywhere.py": GOOD_POOL}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL009 telemetry hygiene                                               #
+# --------------------------------------------------------------------- #
+BAD_TELEMETRY = """
+from repro.obs import span
+
+def detached():
+    s = span("stage.work")   # not a with-item: leaks on exceptions
+    s.__enter__()
+    return s
+
+def manual(tracer):
+    tracer.begin_span("stage.work")
+    tracer.end_span()
+"""
+
+BAD_TELEMETRY_NAMES = """
+from repro.obs import span
+
+def run(registry, data):
+    with span("Stage.Work"):          # uppercase: bad span name
+        registry.counter("bytes-in").inc()   # dash: bad metric name
+"""
+
+GOOD_TELEMETRY = """
+from repro.obs import span
+
+def run(registry, data):
+    with span("stage.work", rows=len(data)) as s:
+        registry.counter("pipeline.bytes_in").inc(len(data))
+        registry.histogram("pipeline.stage_seconds", stage="work")
+        s.set(done=True)
+    return data
+"""
+
+
+def test_fzl009_fires_on_detached_and_manual_spans(lint):
+    result = lint({"core/bad.py": BAD_TELEMETRY})
+    assert rules_fired(result) == {"FZL009"}
+    msgs = " ".join(f.message for f in result.findings)
+    assert "with" in msgs and "manual span lifecycle" in msgs
+    assert len(result.findings) == 3  # detached span + begin + end
+
+
+def test_fzl009_fires_on_bad_telemetry_names(lint):
+    result = lint({"core/names.py": BAD_TELEMETRY_NAMES})
+    assert rules_fired(result) == {"FZL009"}
+    named = [f for f in result.findings if "does not match" in f.message]
+    assert len(named) == 2
+
+
+def test_fzl009_silent_on_context_manager_spans(lint):
+    assert lint({"core/good.py": GOOD_TELEMETRY}).findings == []

@@ -1,0 +1,98 @@
+"""MetricsRegistry: get-or-create, labels, validation, collectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestGetOrCreate:
+    def test_same_name_and_labels_is_same_object(self, reg):
+        a = reg.counter("plancache.hits", cache="huffman")
+        b = reg.counter("plancache.hits", cache="huffman")
+        assert a is b
+
+    def test_different_labels_are_different_series(self, reg):
+        a = reg.counter("plancache.hits", cache="a")
+        b = reg.counter("plancache.hits", cache="b")
+        a.inc(3)
+        assert a is not b and b.value == 0
+        assert reg.value("plancache.hits", cache="a") == 3
+
+    def test_kind_mismatch_raises(self, reg):
+        reg.counter("x.y")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x.y")
+
+    def test_bad_name_rejected(self, reg):
+        for bad in ("Caps.name", "da-sh", "spa ce", "unicode.ü"):
+            with pytest.raises(ValueError, match="must match"):
+                reg.counter(bad)
+
+    def test_value_of_unknown_metric_is_none(self, reg):
+        assert reg.value("nope") is None
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self, reg):
+        c = reg.counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self, reg):
+        g = reg.gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+    def test_reset_zeroes_everything(self, reg):
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(9)
+        reg.reset()
+        assert reg.value("c") == 0 and reg.value("g") == 0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, reg):
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts() == [1, 1, 1]   # <=1, <=10, overflow
+        assert h.count == 3 and h.sum == pytest.approx(55.5)
+
+    def test_default_buckets_are_sorted_wall_times(self, reg):
+        h = reg.histogram("t")
+        assert h.buckets == tuple(sorted(h.buckets))
+        assert h.buckets[0] <= 1e-6 and h.buckets[-1] >= 1.0
+
+    def test_same_series_is_same_object(self, reg):
+        assert reg.histogram("h", stage="enc") is reg.histogram(
+            "h", stage="enc")
+
+
+class TestCollectors:
+    def test_collect_runs_callbacks_against_registry(self, reg):
+        def publish(r: MetricsRegistry) -> None:
+            r.gauge("derived.depth").set(7)
+
+        reg.add_collector(publish)
+        reg.add_collector(publish)          # registration is idempotent
+        reg.collect()
+        assert reg.value("derived.depth") == 7
+
+    def test_snapshot_is_stable_ordered(self, reg):
+        reg.counter("b")
+        reg.counter("a", k="2")
+        reg.counter("a", k="1")
+        names = [(m.name, m.labels) for m in reg.snapshot()]
+        assert names == [("a", {"k": "1"}), ("a", {"k": "2"}), ("b", {})]

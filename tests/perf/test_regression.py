@@ -92,3 +92,63 @@ class TestSuite:
         out = tmp_path / "bench.json"
         write_report(quick_report, str(out))
         assert json.loads(out.read_text())["checks"] == quick_report["checks"]
+
+
+class TestTelemetrySection:
+    def test_report_has_telemetry_section(self, quick_report):
+        tel = quick_report["telemetry"]
+        assert tel["spans_per_compress"] > 0
+        assert tel["blob_identical"] is True
+        assert quick_report["checks"]["telemetry_blob_identical"]
+        assert "telemetry_disabled_overhead_lt_3pct" in quick_report["checks"]
+
+    def test_fakes_without_telemetry_still_check(self):
+        checks = check_results(_fake_report())
+        assert "telemetry_blob_identical" not in checks
+
+    def test_blob_mismatch_is_a_regression(self):
+        report = _fake_report()
+        report["telemetry"] = {"spans_per_compress": 9,
+                               "disabled_span_ns": 100.0,
+                               "disabled_overhead_s": 0.0,
+                               "disabled_overhead_fraction": 0.0,
+                               "blob_identical": False}
+        report["checks"] = check_results(report)
+        assert any("container" in f for f in check_regressions(report))
+
+    def test_overhead_over_budget_is_a_regression(self):
+        report = _fake_report()
+        report["telemetry"] = {"spans_per_compress": 9,
+                               "disabled_span_ns": 100.0,
+                               "disabled_overhead_s": 0.1,
+                               "disabled_overhead_fraction": 0.10,
+                               "blob_identical": True}
+        report["checks"] = check_results(report)
+        assert any("budget" in f for f in check_regressions(report))
+
+
+class TestWriteReportHistory:
+    def test_rewrites_append_history(self, quick_report, tmp_path):
+        out = tmp_path / "bench.json"
+        write_report(quick_report, str(out))
+        assert json.loads(out.read_text())["history"] == []
+        write_report(quick_report, str(out))
+        doc = json.loads(out.read_text())
+        assert doc["checks"] == quick_report["checks"]   # latest at root
+        assert len(doc["history"]) == 1
+        assert doc["history"][0]["checks"] == quick_report["checks"]
+        write_report(quick_report, str(out))
+        assert len(json.loads(out.read_text())["history"]) == 2
+
+    def test_fresh_discards_history(self, quick_report, tmp_path):
+        out = tmp_path / "bench.json"
+        write_report(quick_report, str(out))
+        write_report(quick_report, str(out))
+        write_report(quick_report, str(out), fresh=True)
+        assert json.loads(out.read_text())["history"] == []
+
+    def test_corrupt_prior_file_is_tolerated(self, quick_report, tmp_path):
+        out = tmp_path / "bench.json"
+        out.write_text("{not json")
+        write_report(quick_report, str(out))
+        assert json.loads(out.read_text())["history"] == []
