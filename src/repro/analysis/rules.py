@@ -1,4 +1,4 @@
-"""The FZModules contract rules (FZL001 - FZL009).
+"""The FZModules contract rules (FZL001 - FZL010).
 
 Each rule machine-checks one convention the framework's composability
 story depends on.  The checks are deliberately heuristic — AST-local,
@@ -632,3 +632,76 @@ class TelemetryHygiene(Rule):
                     f"telemetry name {node.args[0].value!r} does not match "
                     "^[a-z0-9_.]+$; dotted lowercase names keep the "
                     "Prometheus name mangling collision-free")
+
+
+@register_rule
+class StreamingHygiene(Rule):
+    """FZL010: streaming code must never materialise a full field."""
+
+    id = "FZL010"
+    title = "streaming-path hygiene"
+    contract = (
+        "repro.streaming exists to compress fields larger than RAM at a "
+        "bounded memory ceiling: peak RSS is O(window x shard), never "
+        "O(field).  One careless np.asarray()/.copy() on a source, or a "
+        "direct file slurp, silently materialises the whole field and "
+        "voids the ceiling while every test on small inputs still "
+        "passes.  Inside streaming/, whole-array conversion/copy calls "
+        "and unbounded reads are banned, and only source.py (the "
+        "FieldSource implementations) may map or read field files — "
+        "every other module must take slab handles from a FieldSource.")
+
+    #: numpy calls that produce a fresh array the size of their input
+    _MATERIALISERS = frozenset({
+        "asarray", "array", "ascontiguousarray", "asfortranarray",
+        "copy", "fromfile", "loadtxt", "genfromtxt",
+    })
+    #: file-to-array entry points reserved to source.py
+    _SOURCE_ONLY = frozenset({"memmap", "fromfile", "load"})
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Streaming subsystem only (``streaming/*``)."""
+        return ctx.in_dir("streaming")
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag materialising calls, ``.copy()``, and unbounded reads."""
+        in_source = ctx.filename == "source.py"
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain and chain[0] in ("np", "numpy"):
+                tail = chain[-1]
+                if tail in self._SOURCE_ONLY and not in_source:
+                    yield ctx.finding(
+                        self, node,
+                        f"np.{tail}() outside streaming/source.py; slab "
+                        "handles must come from a FieldSource (only the "
+                        "source module maps or reads field files)")
+                elif tail in self._MATERIALISERS:
+                    yield ctx.finding(
+                        self, node,
+                        f"np.{tail}() materialises a full array on the "
+                        "streaming path; consume slab views from "
+                        "FieldSource.slab() and copy at most one slab "
+                        "into a pooled buffer")
+                continue
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr == "copy" and not node.args:
+                    yield ctx.finding(
+                        self, node,
+                        ".copy() on the streaming path duplicates its "
+                        "whole receiver; slabs are copied once, into "
+                        "pooled buffers, by the prefetcher only")
+                elif node.func.attr == "read" and not node.args:
+                    # STF access tokens expose .read()/.write() as
+                    # dependency markers; by convention they are named
+                    # tok_* / *_tokens, and those never touch files
+                    root = node_root_name(node.func)
+                    if root and "tok" in root.lower():
+                        continue
+                    yield ctx.finding(
+                        self, node,
+                        "argless .read() slurps an entire stream into "
+                        "memory; read bounded chunks (read(n)) or use "
+                        "os.pread with explicit lengths")

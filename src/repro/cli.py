@@ -35,6 +35,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 import numpy as np
@@ -51,7 +53,7 @@ from .perf.platform import get_platform, table1_rows
 from .types import EbMode
 
 
-def _load_input(args: argparse.Namespace) -> np.ndarray:
+def _load_input(args: argparse.Namespace, *, mmap: bool = False) -> np.ndarray:
     if args.dataset:
         spec = get_dataset(args.dataset)
         return spec.load(field=args.field, scale=args.scale)
@@ -60,7 +62,7 @@ def _load_input(args: argparse.Namespace) -> np.ndarray:
     if not args.dims:
         raise FZModError("--dims is required for raw input files")
     dims = tuple(int(d) for d in args.dims.split(","))
-    return load_raw_file(args.input, dims, dtype=args.dtype)
+    return load_raw_file(args.input, dims, dtype=args.dtype, mmap=mmap)
 
 
 def _resolve_pipeline(name: str) -> object:
@@ -71,6 +73,8 @@ def _resolve_pipeline(name: str) -> object:
 
 def cmd_compress(args: argparse.Namespace) -> int:
     """``fzmod compress``: compress one field to a container file."""
+    if args.stream:
+        return _compress_stream(args)
     data = _load_input(args)
     comp = _resolve_pipeline(args.pipeline)
     parallel = (args.workers is not None or args.shard_mb is not None
@@ -99,8 +103,53 @@ def cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compress_stream(args: argparse.Namespace) -> int:
+    """The ``--stream`` arm of ``fzmod compress``: out-of-core engine."""
+    from .streaming import as_source, compress_stream
+    comp = _resolve_pipeline(args.pipeline)
+    if not isinstance(comp, Pipeline):
+        raise FZModError(
+            f"--stream needs a modular pipeline (one of {PRESET_NAMES}), "
+            f"not baseline {args.pipeline!r}")
+    # raw input files are memory-mapped, never read whole: pages fault
+    # in per slab and the prefetcher drops them once consumed
+    data = _load_input(args, mmap=True)
+    with as_source(data) as source:
+        cf = compress_stream(
+            source, comp, args.eb, EbMode(args.mode),
+            out_path=args.output, workers=args.workers,
+            shard_mb=args.shard_mb, layout=args.layout,
+            codebook="shared" if args.shared_codebook else "per-shard")
+    s = cf.stats
+    print(f"{args.pipeline}: {s.input_bytes} -> {s.output_bytes} bytes  "
+          f"CR={s.cr:.2f}  bitrate={s.bit_rate:.3f} b/val  "
+          f"eb_abs={s.eb_abs:.3g}")
+    print(f"streaming engine: {cf.shard_count} shards, "
+          f"{cf.workers} worker(s), backend={cf.backend}, "
+          f"layout={cf.layout}, codebook={cf.codebook_mode}, "
+          f"{cf.wall_seconds:.3f}s wall -> {cf.path}")
+    return 0
+
+
 def cmd_decompress(args: argparse.Namespace) -> int:
     """``fzmod decompress``: reconstruct a raw field from a container."""
+    if args.stream:
+        from .streaming import ShardReader, decompress_stream
+        with ShardReader(args.input) as reader:
+            shape = tuple(reader.index.shape)
+            dtype = np.dtype(reader.index.dtype)
+        out = np.memmap(args.output, dtype=dtype, mode="w+", shape=shape)
+        try:
+            decompress_stream(args.input, out=out, workers=args.workers)
+        except BaseException:
+            # never leave a partially scattered field behind — the
+            # in-memory path only writes its output after a clean decode
+            del out
+            with contextlib.suppress(OSError):
+                os.remove(args.output)
+            raise
+        print(f"reconstructed {shape} {dtype} -> {args.output} (streamed)")
+        return 0
     with open(args.input, "rb") as fh:
         blob = fh.read()
     from .parallel.executor import is_sharded
@@ -238,12 +287,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
     prev = set_telemetry(True)
     GLOBAL_TRACER.clear()
     try:
-        if args.workers is not None or shard_mb is not None:
+        if args.stream:
+            # streaming round trip: the decompress task graph is where
+            # shard k's outlier scatter overlaps shard k+1's Huffman
+            # decode — each pool thread is its own Perfetto row
+            import tempfile
+            from .streaming import as_source, compress_stream, \
+                decompress_stream
+            workers = args.workers or 4
+            if shard_mb is None:
+                shard_mb = max(data.nbytes / (1 << 20) / (2 * workers),
+                               0.25)
+            fd, tmp = tempfile.mkstemp(suffix=".fzms")
+            os.close(fd)
+            try:
+                with as_source(data) as source:
+                    cf = compress_stream(source, pipeline, args.eb,
+                                         EbMode(args.mode), out_path=tmp,
+                                         workers=workers, shard_mb=shard_mb)
+                decompress_stream(tmp, workers=workers)
+            finally:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+        elif args.workers is not None or shard_mb is not None:
             cf = pipeline.compress(data, args.eb, EbMode(args.mode),
                                    workers=args.workers, shard_mb=shard_mb)
         else:
             cf = pipeline.compress(data, args.eb, EbMode(args.mode))
-        if args.decompress:
+        if args.decompress and not args.stream:
             core_decompress(cf.blob)
         records = GLOBAL_TRACER.records()
     finally:
@@ -398,6 +469,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--shard-mb", type=float, default=None,
                     help="target shard size in MiB (implies the parallel "
                          "engine; default 32)")
+    sp.add_argument("--stream", action="store_true",
+                    help="out-of-core engine: memory-map the input and "
+                         "pump slabs through the pool (peak RSS "
+                         "O(window x shard), not O(field))")
+    sp.add_argument("--layout", default="compat",
+                    choices=["compat", "stream"],
+                    help="--stream container layout: compat is "
+                         "byte-identical to the in-memory engine, stream "
+                         "is single-pass append-only (FZMS v3)")
     sp.add_argument("--shared-codebook", action="store_true",
                     help="build one global Huffman codebook for all shards "
                          "(implies the parallel engine; huffman pipelines "
@@ -410,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--workers", type=int, default=None,
                     help="worker count for multi-shard containers "
                          "(default: one per CPU)")
+    sp.add_argument("--stream", action="store_true",
+                    help="decode shard-by-shard into a memory-mapped "
+                         "output file with overlapped decode/scatter "
+                         "stages (multi-shard containers only)")
     sp.add_argument("-o", "--output", required=True)
     sp.set_defaults(fn=cmd_decompress)
 
@@ -456,7 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_inspect)
 
     sp = sub.add_parser("lint", help="contract-aware static analysis "
-                                     "(fzlint rules FZL001-FZL009)")
+                                     "(fzlint rules FZL001-FZL010)")
     from .analysis.cli import add_arguments as add_lint_arguments
     add_lint_arguments(sp)
     sp.set_defaults(fn=cmd_lint)
@@ -483,6 +567,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "per worker when --workers is given)")
     sp.add_argument("--decompress", action="store_true",
                     help="also trace decompression of the result")
+    sp.add_argument("--stream", action="store_true",
+                    help="trace a streaming round trip instead: the "
+                         "decompress task graph's stream.huffman_decode "
+                         "and stream.outlier_scatter spans overlap "
+                         "across shards (one Perfetto row per pool "
+                         "thread)")
     sp.add_argument("-o", "--output", default="trace.json",
                     help="Chrome trace-event JSON path (default trace.json)")
     sp.add_argument("--jsonl", help="also write a JSONL span log here")

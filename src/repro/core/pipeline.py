@@ -309,6 +309,99 @@ def _module_table(header: ContainerHeader, registry: ModuleRegistry
                       for stage, name in names})
 
 
+def decode_codes(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
+                 *, section_overrides: dict[str, bytes] | None = None
+                 ) -> tuple[ContainerHeader, PredictorArtifacts]:
+    """The entropy half of container decoding.
+
+    Parses the container, runs the secondary decode and the encoder's
+    entropy decode (Huffman for the standard pipelines), and
+    deserialises the outlier/anchor/aux channels — everything up to but
+    excluding the predictor's reconstruction.  Returns the header plus
+    the recovered :class:`PredictorArtifacts`, which
+    :func:`reconstruct_field` turns back into a field.
+
+    The split exists for the streaming engine: entropy decode of shard
+    k+1 can run concurrently with the outlier scatter of shard k (the
+    paper's §3.3.1 overlap), which needs the two halves as separately
+    schedulable tasks.
+    """
+    header, stored_body = parse(blob)
+    modules = _module_table(header, registry)
+    secondary = modules[Stage.SECONDARY.value]
+    with span("stage.secondary", module=secondary.name, op="decode"):
+        body = secondary.decode(stored_body)
+    sections = split_sections(header, body, zero_copy=True)
+    if section_overrides:
+        sections.update(section_overrides)
+
+    encoder = modules[Stage.ENCODER.value]
+    stream = EncodedStream(
+        sections={k: v for k, v in sections.items()
+                  if k.startswith("enc.")},
+        meta=header.stage_meta.get("encoder", {}))
+    # interp predictors carry anchors: the dense code stream is shorter
+    # than the element count by the anchor count.  Predictors whose
+    # stream length differs from the element count for other reasons
+    # (e.g. the regression predictor's padded blocks) declare it
+    # explicitly.
+    anchors = None
+    anchor_count = 0
+    if "anchors" in sections:
+        anchors = np.frombuffer(sections["anchors"], dtype=header.np_dtype)
+        anchor_count = anchors.size
+    predictor_meta = header.stage_meta.get("predictor", {})
+    count = int(predictor_meta.get("stream_length",
+                                   header.element_count - anchor_count))
+    with span("stage.encoder", module=encoder.name, op="decode"):
+        codes = encoder.decode(stream, count, 2 * header.radius)
+
+    outlier_count = int(header.stage_meta.get("outliers", {})
+                        .get("count", 0))
+    outliers = _deserialize_outliers(sections, outlier_count)
+    aux: dict[str, np.ndarray] = {}
+    for aname, (dtype_str, shape) in header.stage_meta.get("aux",
+                                                           {}).items():
+        arr = np.frombuffer(sections[f"aux.{aname}"],
+                            dtype=np.dtype(dtype_str))
+        aux[aname] = arr.reshape([int(s) for s in shape])
+    arts = PredictorArtifacts(codes=codes, outliers=outliers,
+                              anchors=anchors, aux=aux,
+                              meta=header.stage_meta.get("predictor", {}))
+    return header, arts
+
+
+def reconstruct_field(header: ContainerHeader, arts: PredictorArtifacts,
+                      registry: ModuleRegistry = DEFAULT_REGISTRY
+                      ) -> np.ndarray:
+    """The reconstruction half: predictor decode (outlier merge/scatter
+    included) and the inverse preprocess, from :func:`decode_codes`
+    artifacts back to the field."""
+    modules = _module_table(header, registry)
+    predictor = modules[Stage.PREDICTOR.value]
+    with span("stage.predictor", module=predictor.name, op="decode"):
+        out = predictor.decode(arts, header.shape, header.np_dtype,
+                               header.eb_abs, header.radius)
+    preprocess = modules[Stage.PREPROCESS.value]
+    with span("stage.preprocess", module=preprocess.name, op="decode"):
+        out = preprocess.backward(out,
+                                  header.stage_meta.get("preprocess", {}))
+    # Contract: callers get exactly one C-contiguous, writable array of
+    # the header's dtype that owns its data.  The standard chain already
+    # ends in a fresh buffer (audited: Lorenzo/interp dequantize into a
+    # new array and the preprocessors pass it through), so these
+    # normalisations only fire for custom modules that return
+    # transposed/strided views, foreign dtypes, or views into
+    # blob-backed sections.
+    if out.dtype != header.np_dtype:
+        out = out.astype(header.np_dtype)
+    elif not out.flags.c_contiguous:
+        out = np.ascontiguousarray(out)
+    if not out.flags.writeable or out.base is not None:
+        out = out.copy()
+    return out
+
+
 def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
                *, workers: int | None = None,
                section_overrides: dict[str, bytes] | None = None
@@ -327,62 +420,8 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     if blob[:len(SHARD_MAGIC)] == SHARD_MAGIC:
         return decompress_sharded(blob, workers=workers, registry=registry)
     with span("pipeline.decompress", bytes_in=len(blob)):
-        header, stored_body = parse(blob)
-        modules = _module_table(header, registry)
-        secondary = modules[Stage.SECONDARY.value]
-        with span("stage.secondary", module=secondary.name, op="decode"):
-            body = secondary.decode(stored_body)
-        sections = split_sections(header, body, zero_copy=True)
-        if section_overrides:
-            sections.update(section_overrides)
-
-        encoder = modules[Stage.ENCODER.value]
-        stream = EncodedStream(
-            sections={k: v for k, v in sections.items()
-                      if k.startswith("enc.")},
-            meta=header.stage_meta.get("encoder", {}))
-        # interp predictors carry anchors: the dense code stream is shorter
-        # than the element count by the anchor count.  Predictors whose
-        # stream length differs from the element count for other reasons
-        # (e.g. the regression predictor's padded blocks) declare it
-        # explicitly.
-        anchors = None
-        anchor_count = 0
-        if "anchors" in sections:
-            anchors = np.frombuffer(sections["anchors"], dtype=header.np_dtype)
-            anchor_count = anchors.size
-        predictor_meta = header.stage_meta.get("predictor", {})
-        count = int(predictor_meta.get("stream_length",
-                                       header.element_count - anchor_count))
-        with span("stage.encoder", module=encoder.name, op="decode"):
-            codes = encoder.decode(stream, count, 2 * header.radius)
-
-        outlier_count = int(header.stage_meta.get("outliers", {})
-                            .get("count", 0))
-        outliers = _deserialize_outliers(sections, outlier_count)
-        aux: dict[str, np.ndarray] = {}
-        for aname, (dtype_str, shape) in header.stage_meta.get("aux",
-                                                               {}).items():
-            arr = np.frombuffer(sections[f"aux.{aname}"],
-                                dtype=np.dtype(dtype_str))
-            aux[aname] = arr.reshape([int(s) for s in shape])
-        arts = PredictorArtifacts(codes=codes, outliers=outliers,
-                                  anchors=anchors, aux=aux,
-                                  meta=header.stage_meta.get("predictor", {}))
-        predictor = modules[Stage.PREDICTOR.value]
-        with span("stage.predictor", module=predictor.name, op="decode"):
-            out = predictor.decode(arts, header.shape, header.np_dtype,
-                                   header.eb_abs, header.radius)
-        preprocess = modules[Stage.PREPROCESS.value]
-        with span("stage.preprocess", module=preprocess.name, op="decode"):
-            out = preprocess.backward(out,
-                                      header.stage_meta.get("preprocess", {}))
-        # Contract: callers get exactly one writable array that owns its
-        # data.  The standard predictor/preprocess chain already ends in a
-        # fresh buffer (audited: Lorenzo/interp dequantize into a new array
-        # and the preprocessors pass it through), so this copy only fires
-        # for custom modules that return views into blob-backed sections.
-        if not out.flags.writeable or out.base is not None:
-            out = out.copy()
+        header, arts = decode_codes(blob, registry,
+                                    section_overrides=section_overrides)
+        out = reconstruct_field(header, arts, registry)
     GLOBAL_METRICS.counter("pipeline.decompress_calls").inc()
     return out

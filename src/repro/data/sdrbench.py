@@ -109,8 +109,16 @@ def load_field(dataset: str, field: str | None = None,
 
 
 def load_raw_file(path: str, dims: tuple[int, ...],
-                  dtype: str = "f4") -> np.ndarray:
-    """Load an SDRBench raw binary field (row-major, little-endian)."""
+                  dtype: str = "f4", *, mmap: bool = False) -> np.ndarray:
+    """Load an SDRBench raw binary field (row-major, little-endian).
+
+    ``mmap=True`` maps the file read-only instead of reading it — the
+    out-of-core path: pages fault in as rows are touched, and the
+    streaming engine (:mod:`repro.streaming`) drops them again once a
+    slab is consumed, so fields far larger than RAM stay usable.  The
+    returned ``np.memmap`` feeds ``compress_stream`` directly (via
+    :func:`repro.streaming.as_source`).
+    """
     dt = np.dtype(dtype).newbyteorder("<")
     if dt.kind != "f":
         raise DataError(f"expected a float dtype, got {dtype!r}")
@@ -121,6 +129,8 @@ def load_raw_file(path: str, dims: tuple[int, ...],
     if actual != expected:
         raise DataError(f"{path}: size {actual} does not match dims {dims} "
                         f"({expected} bytes expected)")
+    if mmap:
+        return np.memmap(path, dtype=dt, mode="r", shape=tuple(dims))
     return np.fromfile(path, dtype=dt).reshape(dims)
 
 

@@ -31,7 +31,7 @@ Design points
   sharding — the container is byte-identical for every worker count and
   backend, and shard semantics match :func:`repro.core.compress_tiled`.
 
-Container layout (version 1)::
+Container layout (versions 1 and 2)::
 
     magic "FZMS" | u16 version | u32 header_len | u32 header_crc
     | header (JSON, UTF-8) | shard containers, back to back
@@ -40,6 +40,22 @@ The JSON header stores geometry, the resolved bound, the canonical
 pipeline spec, the slab boundaries and a shard byte table.  Each shard is
 a complete ``FZMD`` container with its own CRCs, so corruption anywhere
 still fails loudly before a codec runs.
+
+Version 3 is the *streaming* layout written by
+:func:`repro.streaming.compress_stream` when the sink cannot be seeked:
+the same prefix with ``header_len = header_crc = 0``, shard containers
+back to back, then the JSON index and a fixed trailer::
+
+    magic "FZMS" | u16 3 | u32 0 | u32 0
+    | shard containers, back to back
+    | index (JSON, UTF-8)
+    | u64 index_offset | u32 index_len | u32 index_crc | magic "SMZF"
+
+A writer can append shards as they complete and seal the file with one
+trailing write; a reader seeks to the end, validates the trailer and
+CRC, and then has random access to every shard.  Truncation anywhere
+surfaces as a clean :class:`~repro.errors.CodecError` before any codec
+runs.
 """
 
 from __future__ import annotations
@@ -62,7 +78,8 @@ from ..core.pipeline import (CompressedField, CompressionStats, Pipeline,
                              decompress as _decompress_container)
 from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
 from ..core.spec import PipelineSpec
-from ..errors import ConfigError, HeaderError, ModuleNotFoundInRegistry
+from ..errors import (CodecError, ConfigError, HeaderError,
+                      ModuleNotFoundInRegistry)
 from ..kernels import huffman
 from ..obs.spans import GLOBAL_TRACER, absorb_capture, export_capture, span
 from ..runtime.stream import OrderedWorkQueue
@@ -71,10 +88,18 @@ from ..types import EbMode, ErrorBound, Stage, check_field
 SHARD_MAGIC = b"FZMS"
 #: highest container version this reader accepts; per-shard-codebook
 #: containers are still written as version 1 (byte-identical with older
-#: engines), shared-codebook containers as version 2
-SHARD_VERSION = 2
+#: engines), shared-codebook containers as version 2, and the streaming
+#: trailing-index layout as version 3
+SHARD_VERSION = 3
+#: version of the streaming (trailing-index) layout
+STREAM_SHARD_VERSION = 3
 
 _PREFIX = struct.Struct("<4sHII")
+#: version-3 trailer: u64 index offset | u32 index len | u32 index crc
+#: | end magic (the shard magic reversed, so a bare prefix can never be
+#: mistaken for a trailer)
+_TRAILER = struct.Struct("<QII4s")
+TRAILER_MAGIC = b"SMZF"
 
 #: entropy-codebook scopes of the sharded engine
 CODEBOOK_MODES = ("per-shard", "shared")
@@ -266,22 +291,80 @@ def is_sharded(blob: bytes) -> bool:
     return bytes(blob[:len(SHARD_MAGIC)]) == SHARD_MAGIC
 
 
-def assemble_sharded(index: ShardIndex, shard_blobs: list[bytes]) -> bytes:
-    """Serialise the index + shard containers into one blob."""
-    index.table = []
-    offset = 0
-    for blob in shard_blobs:
-        index.table.append((offset, len(blob)))
-        offset += len(blob)
+def pack_index(index: ShardIndex) -> tuple[bytes, int, int]:
+    """Serialise an index to its wire JSON.
+
+    Returns ``(json_bytes, crc, version)`` — the version being the
+    header-first wire version (1 per-shard codebook, 2 shared) that
+    :func:`assemble_sharded` and the streaming writer's compat layout
+    both stamp, so the two paths stay byte-identical by construction.
+    """
     hjson = json.dumps(index.to_json(), separators=(",", ":")).encode("utf-8")
     hcrc = zlib.crc32(hjson) & 0xFFFFFFFF
-    version = 1 if index.codebook_mode == "per-shard" else SHARD_VERSION
+    version = 1 if index.codebook_mode == "per-shard" else 2
+    return hjson, hcrc, version
+
+
+def build_table(shard_lengths: list[int]) -> list[tuple[int, int]]:
+    """Per-shard ``(offset, length)`` table for back-to-back shard blobs."""
+    table = []
+    offset = 0
+    for length in shard_lengths:
+        table.append((offset, length))
+        offset += length
+    return table
+
+
+def load_index(hjson: bytes, hcrc: int, *, exc: type[Exception] = HeaderError
+               ) -> ShardIndex:
+    """Validate + deserialise index JSON, raising ``exc`` on corruption."""
+    if (zlib.crc32(hjson) & 0xFFFFFFFF) != hcrc:
+        raise exc("multi-shard index CRC mismatch; the blob is corrupt "
+                  "or truncated")
+    try:
+        return ShardIndex.from_json(json.loads(hjson.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise exc(f"unreadable multi-shard index: {e}") from e
+    except HeaderError as e:
+        if exc is HeaderError:
+            raise
+        raise exc(str(e)) from e
+
+
+def assemble_sharded(index: ShardIndex, shard_blobs: list[bytes]) -> bytes:
+    """Serialise the index + shard containers into one blob."""
+    index.table = build_table([len(b) for b in shard_blobs])
+    hjson, hcrc, version = pack_index(index)
     return b"".join([_PREFIX.pack(SHARD_MAGIC, version, len(hjson), hcrc),
                      hjson, *shard_blobs])
 
 
+def parse_trailer(tail: bytes, file_size: int) -> tuple[int, int, int]:
+    """Decode a version-3 trailer (the last ``_TRAILER.size`` bytes).
+
+    Returns ``(index_offset, index_len, index_crc)``; every structural
+    problem — short file, bad end magic, index range outside the file —
+    raises :class:`~repro.errors.CodecError` (truncation of a streamed
+    container is a payload-level defect, not a header-parse one).
+    """
+    if len(tail) < _TRAILER.size:
+        raise CodecError("streamed multi-shard container is truncated: "
+                         "no room for the trailer")
+    ioff, ilen, icrc, tmagic = _TRAILER.unpack_from(
+        tail, len(tail) - _TRAILER.size)
+    if tmagic != TRAILER_MAGIC:
+        raise CodecError(
+            f"bad streamed-container end magic {tmagic!r}; the trailing "
+            "index was truncated or never sealed")
+    if (ioff < _PREFIX.size
+            or ioff + ilen + _TRAILER.size > file_size):
+        raise CodecError("streamed-container trailer points outside the "
+                         "blob; the trailing index is truncated")
+    return ioff, ilen, icrc
+
+
 def parse_sharded(blob: bytes) -> tuple[ShardIndex, list[bytes]]:
-    """Split a multi-shard container into its index and shard blobs."""
+    """Split a multi-shard container (any version) into index + shards."""
     if len(blob) < _PREFIX.size:
         raise HeaderError("multi-shard container too short")
     magic, version, hlen, hcrc = _PREFIX.unpack_from(blob, 0)
@@ -290,24 +373,24 @@ def parse_sharded(blob: bytes) -> tuple[ShardIndex, list[bytes]]:
     if not (1 <= version <= SHARD_VERSION):
         raise HeaderError(f"unsupported multi-shard version {version}")
     start = _PREFIX.size
-    if len(blob) < start + hlen:
-        raise HeaderError("truncated multi-shard header")
-    hjson = blob[start:start + hlen]
-    if (zlib.crc32(hjson) & 0xFFFFFFFF) != hcrc:
-        raise HeaderError("multi-shard header CRC mismatch; the blob is "
-                          "corrupt or truncated")
-    try:
-        index = ShardIndex.from_json(json.loads(hjson.decode("utf-8")))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise HeaderError(f"unreadable multi-shard header: {exc}") from exc
-    body = blob[start + hlen:]
+    if version >= STREAM_SHARD_VERSION:
+        ioff, ilen, icrc = parse_trailer(blob[-_TRAILER.size:], len(blob))
+        index = load_index(blob[ioff:ioff + ilen], icrc, exc=CodecError)
+        body = blob[start:ioff]
+        bad_table = CodecError
+    else:
+        if len(blob) < start + hlen:
+            raise HeaderError("truncated multi-shard header")
+        index = load_index(blob[start:start + hlen], hcrc)
+        body = blob[start + hlen:]
+        bad_table = HeaderError
     shards: list[bytes] = []
     for offset, length in index.table:
         if offset + length > len(body):
-            raise HeaderError("shard table exceeds container size")
+            raise bad_table("shard table exceeds container size")
         shards.append(bytes(body[offset:offset + length]))
     if len(shards) != len(index.bounds):
-        raise HeaderError("shard table / bounds length mismatch")
+        raise bad_table("shard table / bounds length mismatch")
     return index, shards
 
 
@@ -416,6 +499,32 @@ def _compress_shard_shm(spec_json: dict, shm_name: str,
     finally:
         shm.close()
     return _compress_shard_local(pipeline, shard, eb_abs)
+
+
+def _compress_shard_bytes(spec_json: dict, raw: bytes,
+                          shape: tuple[int, ...], dtype: str, eb_abs: float,
+                          lengths: bytes | None = None
+                          ) -> tuple[bytes, CompressionStats, dict | None]:
+    """Process-pool job for the streaming engine: compress one slab that
+    travelled as raw bytes (the source field never exists as one array in
+    any process, so there is no shared-memory segment to map)."""
+    spec = PipelineSpec.from_json(spec_json)
+    pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
+    if lengths is not None:
+        pipeline = _with_fixed_codebook(
+            pipeline, np.frombuffer(lengths, dtype=np.uint8))
+    shard = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+    return _compress_shard_local(pipeline, shard, eb_abs)
+
+
+def _histogram_shard_bytes(spec_json: dict, raw: bytes,
+                           shape: tuple[int, ...], dtype: str, eb_abs: float
+                           ) -> tuple[np.ndarray, dict | None]:
+    """Process-pool job: histogram one slab shipped as raw bytes."""
+    spec = PipelineSpec.from_json(spec_json)
+    pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
+    shard = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+    return _histogram_shard_local(pipeline, shard, eb_abs)
 
 
 def _histogram_shard_local(pipeline: Pipeline, shard: np.ndarray,

@@ -255,6 +255,33 @@ def check_results(report: dict) -> dict:
     return checks
 
 
+#: streaming compress must keep its peak-RSS delta under this fraction
+#: of the (memory-mapped, never fully resident) input field
+STREAM_RSS_CEILING = 0.5
+
+
+def streaming_check_results(section: dict) -> dict:
+    """Pass/fail flags for a ``"streaming"`` report section.
+
+    The section is produced by ``benchmarks/bench_streaming.py``:
+    ``compress.peak_rss_delta_bytes`` is the ``ru_maxrss`` growth over
+    one out-of-core compress of ``config.field_bytes`` input,
+    ``identity.identical`` records byte-equality against the in-memory
+    sharded engine, and ``overlap.adjacent_overlaps`` counts shard-``k``
+    outlier scatters that ran concurrently with shard-``k+1`` Huffman
+    decodes.
+    """
+    field_bytes = section["config"]["field_bytes"]
+    return {
+        "stream_rss_below_half_field":
+            section["compress"]["peak_rss_delta_bytes"]
+            <= STREAM_RSS_CEILING * field_bytes,
+        "stream_blob_identical": bool(section["identity"]["identical"]),
+        "stream_overlap_observed":
+            section["overlap"]["adjacent_overlaps"] > 0,
+    }
+
+
 def check_regressions(report: dict, *, strict: bool = False) -> list[str]:
     """Failure messages for a report (empty = healthy).
 
@@ -296,6 +323,23 @@ def check_regressions(report: dict, *, strict: bool = False) -> list[str]:
                 f"warmed sharded compress speedup "
                 f"{report['sharded']['compress']['speedup']:.2f}x below "
                 f"the {TARGET_WARM_SHARDED}x target")
+    stream = report.get("streaming")
+    if stream is not None:
+        schecks = stream.get("checks") or streaming_check_results(stream)
+        if not schecks.get("stream_rss_below_half_field", True):
+            failures.append(
+                f"streaming compress peak-RSS delta "
+                f"{stream['compress']['peak_rss_delta_bytes']} B exceeds "
+                f"{STREAM_RSS_CEILING:.0%} of the "
+                f"{stream['config']['field_bytes']} B field")
+        if not schecks.get("stream_blob_identical", True):
+            failures.append(
+                "compress_stream output diverged from the in-memory "
+                "sharded container bytes")
+        if not schecks.get("stream_overlap_observed", True):
+            failures.append(
+                "no shard-k outlier scatter overlapped a shard-k+1 "
+                "Huffman decode in the streaming decompress trace")
     return failures
 
 
@@ -324,6 +368,18 @@ def render_report(report: dict) -> str:
             f"  telemetry   {tel['spans_per_compress']} spans/compress, "
             f"{tel['disabled_span_ns']:.0f} ns/span disabled "
             f"({tel['disabled_overhead_fraction'] * 100:.3f}% of warm)")
+    stream = report.get("streaming")
+    if stream is not None:
+        sc, sd = stream["compress"], stream["decompress"]
+        lines.append(
+            f"  streaming   {stream['config']['field_mb']:.0f} MB field: "
+            f"compress {sc['mb_s']:.1f} MB/s "
+            f"(peak-RSS delta {sc['peak_rss_delta_bytes'] / 1e6:.1f} MB), "
+            f"decompress {sd['mb_s']:.1f} MB/s, "
+            f"{stream['overlap']['adjacent_overlaps']} overlapped "
+            "scatter/decode pairs")
+        for name, ok in stream.get("checks", {}).items():
+            lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
     for name, ok in report["checks"].items():
         lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
     return "\n".join(lines)

@@ -42,9 +42,13 @@ class OrderedWorkQueue:
     submissions are outstanding it first blocks on the *oldest* one (the
     backpressure point).  ``drain`` yields every result in submission
     order.  Failures propagate on the blocking call with their original
-    traceback; once a job has failed the queue refuses further
-    submissions (the remaining in-flight futures are still awaited by
-    ``drain``, which re-raises the first error).
+    traceback; before re-raising, the queue *reaps* every other in-flight
+    future (cancelling the ones that have not started and awaiting the
+    rest), so no job is left running against resources the caller is
+    about to tear down — e.g. a shared-memory segment or an open source
+    file.  The first failure in submission order wins deterministically;
+    errors from younger jobs are swallowed (recorded on their futures
+    only).  Once a job has failed the queue refuses further submissions.
     """
 
     def __init__(self, executor: Executor, max_in_flight: int) -> None:
@@ -73,7 +77,23 @@ class OrderedWorkQueue:
             self._done.append(fut.result())
         except BaseException:  # noqa: BLE001 - flagged failed, then re-raised
             self._failed = True
+            self._reap_in_flight()
             raise
+
+    def _reap_in_flight(self) -> None:
+        """Cancel/await every remaining in-flight future after a failure.
+
+        Futures that have not started are cancelled outright; running
+        ones are awaited so their side effects finish before the first
+        error propagates (their own results and errors are discarded —
+        the oldest failure is the deterministic one).
+        """
+        pending, self._pending = self._pending, deque()
+        for fut in pending:
+            fut.cancel()
+        for fut in pending:
+            if not fut.cancelled():
+                fut.exception()  # waits; secondary errors stay on the future
 
     def submit(self, fn: Callable[..., Any], /, *args: Any,
                **kwargs: Any) -> None:
@@ -84,6 +104,14 @@ class OrderedWorkQueue:
             self._retire_oldest()
         self._pending.append(self.executor.submit(fn, *args, **kwargs))
         self._submitted += 1
+
+    def completed(self) -> Iterator[Any]:
+        """Yield the results already retired to the done queue, oldest
+        first, without blocking.  The streaming engine interleaves this
+        with ``submit`` to write finished shards out while later shards
+        are still compressing."""
+        while self._done:
+            yield self._done.popleft()
 
     def drain(self) -> Iterator[Any]:
         """Yield all results in submission order (blocks as needed)."""

@@ -1,0 +1,37 @@
+"""Out-of-core streaming: compress and decompress fields larger than RAM.
+
+The subsystem couples three pieces (see ``docs/PERFORMANCE.md``,
+"Streaming & memory ceiling"):
+
+* slab-granular ingestion — :class:`FieldSource` and adapters
+  (:func:`as_source`) plus the double-buffered :class:`SlabPrefetcher`;
+* incremental container I/O — :class:`ShardStreamWriter` /
+  :class:`ShardReader` over the FZMS format, including the version-3
+  trailing-index layout;
+* the engines — :func:`compress_stream` (bounded-memory parallel
+  compression, byte-compatible with the in-memory sharded engine) and
+  :func:`decompress_stream` (STF-scheduled decode with real
+  decode/scatter stage overlap).
+"""
+
+from .container import ShardReader, ShardStreamWriter
+from .engine import (DEFAULT_PREFETCH_DEPTH, StreamedCompressedField,
+                     compress_stream, decompress_stream)
+from .prefetch import SlabPrefetcher
+from .source import (ArraySource, FieldSource, MemmapSource, SlabIterSource,
+                     as_source)
+
+__all__ = [
+    "ArraySource",
+    "DEFAULT_PREFETCH_DEPTH",
+    "FieldSource",
+    "MemmapSource",
+    "ShardReader",
+    "ShardStreamWriter",
+    "SlabIterSource",
+    "SlabPrefetcher",
+    "StreamedCompressedField",
+    "as_source",
+    "compress_stream",
+    "decompress_stream",
+]

@@ -1,0 +1,412 @@
+"""Out-of-core streaming compression and decompression.
+
+:func:`compress_stream` is the sharded engine's big sibling for fields
+that do not fit in RAM: slabs flow from a
+:class:`~repro.streaming.source.FieldSource` through a double-buffered
+:class:`~repro.streaming.prefetch.SlabPrefetcher`, into the same worker
+pool and :class:`~repro.runtime.stream.OrderedWorkQueue` the in-memory
+engine uses, and out through an incremental
+:class:`~repro.streaming.container.ShardStreamWriter` — so at no point
+does the field, or the container, exist as one object.  Shard geometry,
+bound resolution, and codebook construction are shared with
+:func:`repro.parallel.compress_sharded`, which is why the ``"compat"``
+layout's output is byte-identical to the in-memory engine's for the
+same input, at every worker count and backend.
+
+:func:`decompress_stream` reverses it with *real* stage overlap: every
+shard becomes a fetch -> entropy-decode -> scatter task chain in one
+:class:`~repro.stf.StfContext`, executed by
+:meth:`~repro.stf.scheduler.Scheduler.run_pool` on a shared thread
+pool.  A sliding dependency window keeps at most ``window`` shards in
+flight (the memory ceiling) while letting the Huffman decode of shard
+``k+1`` run concurrently with the outlier scatter of shard ``k`` — the
+paper's §3.3.1 overlap, observable as wall-clock-overlapping
+``stream.huffman_decode`` / ``stream.outlier_scatter`` spans in the
+Perfetto trace.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pipeline import (CompressionStats, Pipeline, decode_codes,
+                             reconstruct_field)
+from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
+from ..core.spec import PipelineSpec
+from ..errors import ConfigError, DataError, HeaderError
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.spans import absorb_capture, span
+from ..parallel.executor import (CODEBOOK_MODES, DEFAULT_SHARD_MB,
+                                 ShardIndex, ShardPlan,
+                                 _IN_FLIGHT_PER_WORKER,
+                                 _build_shared_codebook, _choose_backend,
+                                 _compress_shard_bytes, _compress_shard_local,
+                                 _histogram_shard_bytes,
+                                 _histogram_shard_local, _make_pool,
+                                 _with_fixed_codebook, combine_stats,
+                                 default_workers)
+from ..runtime.memory import Allocator, BufferPool
+from ..runtime.stream import OrderedWorkQueue
+from ..stf.context import StfContext
+from ..types import EbMode, ErrorBound
+from .container import ShardReader, ShardStreamWriter
+from .prefetch import SlabPrefetcher
+from .source import FieldSource, as_source, drop_mapped_pages
+
+#: slabs read ahead of the work queue (2 = double buffering)
+DEFAULT_PREFETCH_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class StreamedCompressedField:
+    """Report of one :func:`compress_stream` run (blob stays on disk)."""
+
+    path: str
+    nbytes: int
+    stats: CompressionStats
+    shard_stats: tuple[CompressionStats, ...]
+    index: ShardIndex
+    workers: int
+    backend: str
+    layout: str
+    codebook_mode: str
+    wall_seconds: float
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_stats)
+
+
+def _resolve_eb(eb: ErrorBound, source: FieldSource) -> float:
+    """Absolute tolerance, via a slab-wise global min/max pass for REL."""
+    if eb.mode is EbMode.ABS:
+        return eb.absolute(0.0, 0.0)
+    if not source.rescannable:
+        raise ConfigError(
+            "a REL bound needs a min/max pass before compression, but the "
+            "source is sequential-only; resolve the bound to ABS first")
+    lo, hi = source.min_max()
+    return eb.absolute(lo, hi)
+
+
+def compress_stream(source, pipeline: Pipeline | PipelineSpec,
+                    eb: ErrorBound | float,
+                    mode: EbMode | str = EbMode.REL, *,
+                    out_path: str,
+                    workers: int | None = None,
+                    shard_mb: float | None = None,
+                    registry: ModuleRegistry = DEFAULT_REGISTRY,
+                    backend: str | None = None,
+                    codebook: str = "per-shard",
+                    layout: str = "compat",
+                    prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+                    prefetch_bytes: int | None = None
+                    ) -> StreamedCompressedField:
+    """Compress a field slab-by-slab into a multi-shard container on disk.
+
+    ``source`` is anything :func:`~repro.streaming.source.as_source`
+    accepts: a :class:`FieldSource`, an ``np.memmap`` (the out-of-core
+    path — consumed pages are dropped as slabs are read), or an
+    in-memory array.  Peak resident input is ``(prefetch_depth +
+    in-flight shards) x shard``, never the field.
+
+    ``layout="compat"`` (default) writes a header-first container
+    byte-identical to :func:`repro.parallel.compress_sharded` on the
+    same input — shards spill next to ``out_path`` and are rewritten
+    behind the header on close.  ``layout="stream"`` writes the
+    version-3 trailing-index container in one pass (nothing rewritten;
+    the sink may be append-only).
+
+    REL bounds and ``codebook="shared"`` need a second pass over the
+    rows and therefore a rescannable source.
+    """
+    t_start = time.perf_counter()
+    src = as_source(source)
+    if isinstance(pipeline, PipelineSpec):
+        pipeline = Pipeline.from_spec(pipeline, registry)
+    spec = pipeline.spec
+    if codebook not in CODEBOOK_MODES:
+        raise ConfigError(f"unknown codebook mode {codebook!r}; expected "
+                          f"one of {CODEBOOK_MODES}")
+    if codebook == "shared" and spec.encoder != "huffman":
+        raise ConfigError(
+            "shared-codebook sharding requires the 'huffman' encoder "
+            f"(pipeline uses {spec.encoder!r})")
+    if codebook == "shared" and not src.rescannable:
+        raise ConfigError(
+            "a shared codebook needs a histogram pass before encoding, but "
+            "the source is sequential-only; use codebook='per-shard'")
+    if not isinstance(eb, ErrorBound):
+        eb = ErrorBound(float(eb), EbMode(mode))
+    eb_abs = _resolve_eb(eb, src)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    dtype = np.dtype(src.dtype)
+    plan = ShardPlan.for_field(src.shape, dtype,
+                               DEFAULT_SHARD_MB if shard_mb is None
+                               else shard_mb)
+    bounds = plan.bounds
+    chosen = _choose_backend(backend, workers, src.nbytes, spec, registry,
+                             len(bounds))
+    workers = min(workers, len(bounds))
+    in_flight = _IN_FLIGHT_PER_WORKER * workers
+    slab_bytes = plan.rows_per_shard * src.row_bytes
+    # one recycling pool covers both passes: enough buffers for every
+    # queued shard plus the prefetch window, so steady state allocates
+    # nothing and the budget can never creep past the window
+    window = in_flight + prefetch_depth + 1
+    buf_pool = BufferPool(allocator=Allocator(), max_per_key=window,
+                          max_bytes=max(1, window * slab_bytes))
+
+    index = ShardIndex(shape=tuple(src.shape), dtype=dtype.str,
+                       eb_value=eb.value, eb_mode=eb.mode.value,
+                       eb_abs=eb_abs, pipeline=spec.to_json(),
+                       bounds=list(bounds), codebook_mode=codebook,
+                       codebook_lengths=None)
+    shard_stats: list[CompressionStats] = []
+    extra_seconds: dict[str, float] = {}
+    shared_lengths: np.ndarray | None = None
+
+    with span("engine.compress_stream", shards=len(bounds), workers=workers,
+              backend=chosen, layout=layout):
+        writer = ShardStreamWriter(out_path, index, layout=layout)
+        try:
+            with _make_pool(chosen, workers) as exec_pool:
+
+                def pump(submit_one, retire_one) -> None:
+                    """Prefetched slabs -> queue, retiring in order as
+                    results surface (backpressure comes from the queue's
+                    in-flight bound and the prefetcher's depth)."""
+                    queue = OrderedWorkQueue(exec_pool,
+                                             max_in_flight=in_flight)
+                    held: deque[np.ndarray] = deque()
+                    pf = SlabPrefetcher(src, bounds, pool=buf_pool,
+                                        depth=prefetch_depth,
+                                        max_bytes=prefetch_bytes)
+                    with pf:
+                        for _k, _bnds, buf in pf:
+                            if chosen == "process":
+                                raw = buf.tobytes()
+                                shape = buf.shape
+                                pf.recycle(buf)
+                                submit_one(queue, raw, shape)
+                            else:
+                                held.append(buf)
+                                submit_one(queue, buf, buf.shape)
+                            for res in queue.completed():
+                                retire_one(res)
+                                if held:
+                                    pf.recycle(held.popleft())
+                        for res in queue.drain():
+                            retire_one(res)
+                            if held:
+                                pf.recycle(held.popleft())
+
+                if codebook == "shared":
+                    t0 = time.perf_counter()
+                    with span("engine.codebook", shards=len(bounds)):
+                        totals: dict = {"counts": None, "k": 0}
+
+                        def submit_hist(queue, payload, shape):
+                            if chosen == "process":
+                                queue.submit(_histogram_shard_bytes,
+                                             spec.to_json(), payload, shape,
+                                             dtype.str, eb_abs)
+                            else:
+                                queue.submit(_histogram_shard_local,
+                                             pipeline, payload, eb_abs)
+
+                        def retire_hist(res):
+                            counts, payload = res
+                            absorb_capture(payload,
+                                           lane=f"shard:{totals['k']}")
+                            totals["k"] += 1
+                            totals["counts"] = (
+                                counts if totals["counts"] is None
+                                else totals["counts"] + counts)
+
+                        pump(submit_hist, retire_hist)
+                        shared_lengths = _build_shared_codebook(
+                            totals["counts"], pipeline)
+                    extra_seconds["codebook"] = time.perf_counter() - t0
+
+                lengths_blob = (None if shared_lengths is None
+                                else shared_lengths.tobytes())
+                enc_pipeline = (pipeline if shared_lengths is None
+                                else _with_fixed_codebook(pipeline,
+                                                          shared_lengths))
+                retired = {"k": 0}
+
+                def submit_compress(queue, payload, shape):
+                    if chosen == "process":
+                        queue.submit(_compress_shard_bytes, spec.to_json(),
+                                     payload, shape, dtype.str, eb_abs,
+                                     lengths_blob)
+                    else:
+                        queue.submit(_compress_shard_local, enc_pipeline,
+                                     payload, eb_abs)
+
+                def retire_compress(res):
+                    blob, stats, payload = res
+                    absorb_capture(payload, lane=f"shard:{retired['k']}")
+                    retired["k"] += 1
+                    writer.append(blob)
+                    shard_stats.append(stats)
+
+                pump(submit_compress, retire_compress)
+
+            if len(shard_stats) != len(bounds):
+                raise DataError(
+                    f"source produced {len(shard_stats)} shards, plan "
+                    f"expected {len(bounds)}")
+            if shared_lengths is not None:
+                index.codebook_lengths = [int(x) for x in shared_lengths]
+            writer.close()
+        except BaseException:  # noqa: BLE001 - partial output removed, re-raised
+            writer.abort()
+            raise
+        finally:
+            buf_pool.clear()
+        stats = combine_stats(shard_stats, writer.bytes_written, eb_abs,
+                              extra_seconds=extra_seconds)
+    GLOBAL_METRICS.counter("stream.compress_calls").inc()
+    GLOBAL_METRICS.counter("stream.compress_bytes_in").inc(src.nbytes)
+    GLOBAL_METRICS.counter("stream.compress_bytes_out").inc(
+        writer.bytes_written)
+    return StreamedCompressedField(
+        path=out_path, nbytes=writer.bytes_written, stats=stats,
+        shard_stats=tuple(shard_stats), index=index, workers=workers,
+        backend=chosen, layout=layout, codebook_mode=codebook,
+        wall_seconds=time.perf_counter() - t_start)
+
+
+# ---------------------------------------------------------------------- #
+# streaming decompression with real stage overlap                         #
+# ---------------------------------------------------------------------- #
+def decompress_stream(path: str, out: np.ndarray | None = None, *,
+                      workers: int | None = None,
+                      registry: ModuleRegistry = DEFAULT_REGISTRY,
+                      window: int | None = None) -> np.ndarray:
+    """Reconstruct a field from a multi-shard container on disk.
+
+    Reads the index (trailing for version 3, leading for 1/2), then
+    runs one STF task graph over the shards — per shard: fetch the blob
+    (``os.pread``), entropy-decode it (``stream.huffman_decode``), and
+    scatter the reconstruction into ``out`` (``stream.outlier_scatter``)
+    — on a shared thread pool via ``Scheduler.run_pool``.  Shard ``k``'s
+    scatter and shard ``k+1``'s decode have no dependency edge, so with
+    two or more workers they genuinely overlap.
+
+    ``out`` may be a writable ``np.memmap`` for out-of-core output; a
+    sliding window of ``window`` shards (default ``workers + 1``) bounds
+    what is in flight, so peak resident memory is
+    ``O(window x shard)``, not ``O(field)``.
+    """
+    t_start = time.perf_counter()
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    with ShardReader(path) as reader:
+        index = reader.index
+        dtype = np.dtype(index.dtype)
+        if out is None:
+            out = np.empty(index.shape, dtype=dtype)
+        else:
+            if tuple(out.shape) != tuple(index.shape):
+                raise ConfigError(
+                    f"out has shape {tuple(out.shape)}, container holds "
+                    f"{tuple(index.shape)}")
+            if out.dtype != dtype:
+                raise ConfigError(
+                    f"out has dtype {out.dtype}, container holds {dtype}")
+            if not out.flags.writeable:
+                raise ConfigError("out must be writable")
+        n = reader.shard_count
+        workers = min(workers, max(1, n))
+        shared = index.shared_lengths()
+        overrides = (None if shared is None
+                     else {"enc.lengths": shared.tobytes()})
+        win = window if window is not None else workers + 1
+        if win < 1:
+            raise ConfigError(f"window must be >= 1, got {win}")
+
+        row_nbytes = int(np.prod(index.shape[1:], dtype=np.int64)
+                         ) * dtype.itemsize
+        with span("engine.decompress_stream", shards=n, workers=workers,
+                  window=win):
+            ctx = StfContext()
+            state: dict = {}
+            token = np.zeros(1, dtype=np.uint8)
+            scatter_tokens = []
+            for k, (start, stop) in enumerate(index.bounds):
+                tok_fetch = ctx.logical_data_empty(f"fetched{k}")
+                tok_decode = ctx.logical_data_empty(f"decoded{k}")
+                tok_scatter = ctx.logical_data_empty(f"scattered{k}")
+
+                def fetch(*_args, k=k):
+                    with span("stream.fetch", shard=k):
+                        state["blob", k] = reader.shard(k)
+                    return (token,)
+
+                # the sliding window: shard k's fetch waits for shard
+                # (k - win)'s scatter, bounding in-flight shards to win
+                fetch_deps = ([scatter_tokens[k - win].read()]
+                              if k >= win else [])
+                ctx.task(f"fetch{k}", fetch,
+                         fetch_deps + [tok_fetch.write()], device="cpu0")
+
+                def decode(*_args, k=k):
+                    blob = state.pop(("blob", k))
+                    with span("stream.huffman_decode", shard=k,
+                              bytes_in=len(blob)):
+                        header, arts = decode_codes(
+                            blob, registry, section_overrides=overrides)
+                    state["arts", k] = (header, arts)
+                    return (token,)
+
+                ctx.task(f"decode{k}", decode,
+                         [tok_fetch.read(), tok_decode.write()],
+                         device="gpu0")
+
+                def scatter(*_args, k=k, start=start, stop=stop):
+                    header, arts = state.pop(("arts", k))
+                    with span("stream.outlier_scatter", shard=k,
+                              rows=stop - start):
+                        field = reconstruct_field(header, arts, registry)
+                        expected = (stop - start, *index.shape[1:])
+                        if field.shape != expected:
+                            raise HeaderError(
+                                f"shard rows {start}:{stop} decoded to "
+                                f"shape {field.shape}, expected {expected}")
+                        out[start:stop] = field
+                        # memmapped outputs: hand the freshly written
+                        # pages to the page cache so residency tracks
+                        # the window, not the bytes written so far
+                        drop_mapped_pages(out, start * row_nbytes,
+                                          stop * row_nbytes)
+                    return (token,)
+
+                ctx.task(f"scatter{k}", scatter,
+                         [tok_decode.read(), tok_scatter.write()],
+                         device="cpu0")
+                scatter_tokens.append(tok_scatter)
+
+            with ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="stream-dec") as pool:
+                ctx.run(mode="pool", pool=pool,
+                        max_in_flight=max(2, 2 * workers))
+        if hasattr(out, "flush"):
+            out.flush()
+    GLOBAL_METRICS.counter("stream.decompress_calls").inc()
+    GLOBAL_METRICS.gauge("stream.decompress_seconds").set(
+        time.perf_counter() - t_start)
+    return out

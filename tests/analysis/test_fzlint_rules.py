@@ -459,3 +459,73 @@ def test_fzl009_fires_on_bad_telemetry_names(lint):
 
 def test_fzl009_silent_on_context_manager_spans(lint):
     assert lint({"core/good.py": GOOD_TELEMETRY}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL010 streaming-path hygiene                                          #
+# --------------------------------------------------------------------- #
+BAD_STREAMING = """
+import numpy as np
+
+def pump(source, fh):
+    whole = np.asarray(source)        # materialises the full field
+    dup = whole.copy()                # full-array duplicate
+    raw = fh.read()                   # unbounded slurp
+    return dup, raw
+"""
+
+BAD_STREAMING_MAP = """
+import numpy as np
+
+def sneak(path, shape):
+    return np.memmap(path, dtype="f4", mode="r", shape=shape)
+"""
+
+GOOD_STREAMING = """
+import numpy as np
+
+def pump(source, pool, bounds, fh, tok_fetch):
+    for start, stop in bounds:
+        view = source.slab(start, stop)       # slab handle, not a copy
+        buf = pool.acquire(view.shape, view.dtype)
+        buf[...] = view                       # one slab into a pooled buffer
+        chunk = fh.read(8 << 20)              # bounded read
+        dep = tok_fetch.read()                # STF access token, not a file
+        pool.release(buf)
+        yield buf, chunk, dep
+"""
+
+GOOD_STREAMING_SOURCE = """
+import numpy as np
+
+def open_field(path, shape):
+    # source.py owns the file-to-array boundary
+    return np.memmap(path, dtype="f4", mode="r", shape=shape)
+"""
+
+
+def test_fzl010_fires_on_materialising_streaming_code(lint):
+    result = lint({"streaming/bad.py": BAD_STREAMING})
+    assert rules_fired(result) == {"FZL010"}
+    msgs = " ".join(f.message for f in result.findings)
+    assert "materialises" in msgs and ".copy()" in msgs
+    assert "argless .read()" in msgs
+    assert len(result.findings) == 3
+
+
+def test_fzl010_reserves_file_mapping_to_source_py(lint):
+    result = lint({"streaming/engine.py": BAD_STREAMING_MAP})
+    assert rules_fired(result) == {"FZL010"}
+    assert "FieldSource" in result.findings[0].message
+
+
+def test_fzl010_allows_mapping_inside_source_py(lint):
+    assert lint({"streaming/source.py": GOOD_STREAMING_SOURCE}).findings == []
+
+
+def test_fzl010_silent_on_slab_discipline(lint):
+    assert lint({"streaming/good.py": GOOD_STREAMING}).findings == []
+
+
+def test_fzl010_scoped_to_streaming_dir(lint):
+    assert lint({"core/bad.py": BAD_STREAMING}).findings == []

@@ -50,3 +50,55 @@ def test_mutating_the_output_does_not_corrupt_the_cache(field):
     reference = first.copy()
     first[...] = -1.0
     assert np.array_equal(decompress(blob), reference)
+
+
+# --------------------------------------------------------------------- #
+# custom modules returning awkward arrays: the reconstruct_field        #
+# contract must normalise them to C-contiguous, header-dtype, owned     #
+# --------------------------------------------------------------------- #
+
+def _doctored_registry(backward):
+    """A scratch registry whose rel-eb preprocessor has ``backward``."""
+    from repro.core.modules_std import RelEbPreprocess
+    from repro.core.registry import _build_default
+
+    class Doctored(RelEbPreprocess):
+        pass
+
+    Doctored.backward = staticmethod(backward)
+    reg = _build_default()
+    reg.register(Doctored(), replace=True)
+    return reg
+
+
+def test_fortran_order_backward_is_made_c_contiguous(field):
+    blob = fzmod_default().compress(field, 1e-3, EbMode.REL).blob
+    reg = _doctored_registry(
+        lambda data, meta: np.asfortranarray(data))
+    out = decompress(blob, reg)
+    assert out.flags.c_contiguous
+    _assert_owned(out, field)
+    assert np.array_equal(decompress(blob, reg), decompress(blob))
+
+
+def test_foreign_dtype_backward_is_coerced_to_header_dtype(field):
+    blob = fzmod_default().compress(field, 1e-3, EbMode.REL).blob
+    reg = _doctored_registry(
+        lambda data, meta: data.astype(np.float64))
+    out = decompress(blob, reg)
+    assert out.dtype == field.dtype          # header says float32
+    assert out.flags.c_contiguous
+    _assert_owned(out, field)
+    assert np.array_equal(decompress(blob, reg), decompress(blob))
+
+
+def test_sharded_reassembly_of_view_returning_backward_is_owned(field):
+    """Shard reassembly must also normalise zero-copy shard views."""
+    cf = compress_sharded(field, fzmod_default(), 1e-3, EbMode.REL,
+                          workers=2, shard_mb=0.01, backend="inprocess")
+    reg = _doctored_registry(
+        lambda data, meta: np.asfortranarray(data))
+    out = decompress(cf.blob, reg)
+    assert out.flags.c_contiguous
+    _assert_owned(out, field)
+    assert np.array_equal(decompress(cf.blob, reg), decompress(cf.blob))

@@ -131,3 +131,79 @@ class TestFailure:
             q.results()
         with pytest.raises(DeviceError):
             q.submit(lambda: 1)
+
+
+class TestReap:
+    """Drain-on-error: a failure reaps every other in-flight job."""
+
+    def test_failure_empties_the_in_flight_set(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=8)
+        q.submit(lambda: 1 / 0)
+        for _ in range(5):
+            q.submit(time.sleep, 0.01)
+        with pytest.raises(ZeroDivisionError):
+            q.results()
+        assert q.in_flight == 0
+
+    def test_oldest_failure_wins_deterministically(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=8)
+
+        def fail(msg: str, delay: float):
+            time.sleep(delay)
+            raise ValueError(msg)
+
+        q.submit(fail, "oldest", 0.08)   # finishes last in wall time...
+        q.submit(fail, "younger", 0.0)   # ...but loses to submission order
+        with pytest.raises(ValueError, match="oldest"):
+            q.results()
+
+    def test_running_jobs_are_awaited_before_the_error_propagates(self):
+        started = threading.Event()
+        finished = threading.Event()
+
+        def slow_ok():
+            started.set()
+            time.sleep(0.2)
+            finished.set()
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            q = OrderedWorkQueue(pool, max_in_flight=4)
+            q.submit(lambda: 1 / 0)
+            q.submit(slow_ok)
+            assert started.wait(timeout=5)   # running when the failure retires
+            with pytest.raises(ZeroDivisionError):
+                q.results()
+            # the reap must have awaited it, not abandoned it mid-flight
+            assert finished.is_set()
+
+    def test_unstarted_jobs_are_cancelled_not_run(self):
+        ran = []
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            q = OrderedWorkQueue(pool, max_in_flight=4)
+            q.submit(lambda: 1 / 0)      # the only worker takes this first
+            for i in range(3):
+                q.submit(lambda i=i: ran.append(i))
+            with pytest.raises(ZeroDivisionError):
+                q.results()
+            after = list(ran)
+            time.sleep(0.05)
+            assert ran == after          # nothing kept running post-reap
+
+
+class TestCompleted:
+    """The non-blocking drain the streaming writer interleaves with."""
+
+    def test_empty_before_anything_retires(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=2)
+        assert list(q.completed()) == []
+        q.submit(lambda: 0)
+        assert list(q.completed()) == []       # in flight, not retired
+        assert q.results() == [0]
+
+    def test_yields_exactly_the_retired_prefix(self, pool):
+        q = OrderedWorkQueue(pool, max_in_flight=2)
+        q.submit(lambda: 0)
+        q.submit(lambda: 1)
+        q.submit(lambda: 2)                    # retires job 0 (backpressure)
+        assert list(q.completed()) == [0]
+        assert q.results() == [1, 2]           # remainder still in order

@@ -1,0 +1,159 @@
+"""Field sources: slab-granular ingestion adapters.
+
+The engine's entire view of input data is a :class:`FieldSource`; these
+tests pin the adapter contracts — zero-copy slabs for in-memory arrays,
+validated geometry for file mappings, strict sequencing for iterator
+sources, and exact streaming min/max reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.streaming import (ArraySource, FieldSource, MemmapSource,
+                             SlabIterSource, as_source)
+
+
+@pytest.fixture
+def field() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(20, 6, 4)).astype(np.float32)
+
+
+@pytest.fixture
+def raw(tmp_path, field):
+    path = tmp_path / "field.f32"
+    path.write_bytes(field.tobytes())
+    return str(path)
+
+
+class TestArraySource:
+    def test_slabs_are_zero_copy_views(self, field):
+        src = ArraySource(field)
+        s = src.slab(3, 9)
+        assert np.shares_memory(s, field)
+        assert np.array_equal(s, field[3:9])
+
+    def test_rejects_non_contiguous(self, field):
+        with pytest.raises(DataError, match="C-contiguous"):
+            ArraySource(field.transpose(2, 1, 0))
+
+    def test_rejects_non_arrays(self):
+        with pytest.raises(DataError, match="ndarray"):
+            ArraySource([[1.0, 2.0]])
+
+    def test_geometry(self, field):
+        src = ArraySource(field)
+        assert src.row_bytes == 6 * 4 * 4
+        assert src.nbytes == field.nbytes
+        assert src.rescannable
+
+
+class TestMemmapSource:
+    def test_slabs_match_file_contents(self, raw, field):
+        with MemmapSource(raw, field.shape) as src:
+            assert np.array_equal(src.slab(0, 20), field)
+            assert np.array_equal(src.slab(7, 11), field[7:11])
+
+    def test_done_with_keeps_rows_rereadable(self, raw, field):
+        # MADV_DONTNEED drops residency, not data: pages re-fault
+        with MemmapSource(raw, field.shape) as src:
+            first = np.array(src.slab(0, 10))
+            src.done_with(0, 10)
+            assert np.array_equal(src.slab(0, 10), first)
+
+    def test_min_max_is_exact(self, raw, field):
+        with MemmapSource(raw, field.shape) as src:
+            lo, hi = src.min_max(rows_per_pass=3)
+        assert lo == float(field.min()) and hi == float(field.max())
+
+    def test_shape_must_fit_the_file(self, raw, field):
+        with pytest.raises(DataError, match="cannot hold"):
+            MemmapSource(raw, (field.shape[0] + 1,) + field.shape[1:])
+
+    def test_shape_is_required(self, raw):
+        with pytest.raises(DataError, match="explicit shape"):
+            MemmapSource(raw)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such file"):
+            MemmapSource(str(tmp_path / "absent.f32"), (4, 4))
+
+    def test_from_memmap_adopts_without_remapping(self, raw, field):
+        mm = np.memmap(raw, dtype=np.float32, mode="r", shape=field.shape)
+        src = MemmapSource.from_memmap(mm)
+        assert src.shape == field.shape
+        assert np.array_equal(src.slab(2, 5), field[2:5])
+
+    def test_from_memmap_rejects_plain_arrays(self, field):
+        with pytest.raises(DataError, match="np.memmap"):
+            MemmapSource.from_memmap(field)
+
+
+class TestSlabIterSource:
+    def _chunks(self, field, sizes):
+        r = 0
+        for n in sizes:
+            yield field[r:r + n]
+            r += n
+
+    def test_reslices_ragged_chunks(self, field):
+        src = SlabIterSource(self._chunks(field, (3, 9, 2, 6)),
+                             field.shape, field.dtype)
+        assert np.array_equal(src.slab(0, 4), field[0:4])
+        assert np.array_equal(src.slab(4, 13), field[4:13])
+        assert np.array_equal(src.slab(13, 20), field[13:20])
+
+    def test_out_of_order_reads_are_rejected(self, field):
+        src = SlabIterSource(self._chunks(field, (20,)),
+                             field.shape, field.dtype)
+        src.slab(0, 5)
+        with pytest.raises(DataError, match="in order"):
+            src.slab(10, 12)
+
+    def test_exhaustion_is_a_data_error(self, field):
+        src = SlabIterSource(self._chunks(field, (5,)),
+                             field.shape, field.dtype)
+        with pytest.raises(DataError, match="exhausted"):
+            src.slab(0, 20)
+
+    def test_mismatched_slabs_are_rejected(self, field):
+        src = SlabIterSource(iter([field.astype(np.float64)]),
+                             field.shape, field.dtype)
+        with pytest.raises(DataError, match="does not match"):
+            src.slab(0, 20)
+        src = SlabIterSource(iter(["not a slab"]),
+                             field.shape, field.dtype)
+        with pytest.raises(DataError, match="expected"):
+            src.slab(0, 20)
+
+    def test_not_rescannable_so_no_min_max(self, field):
+        src = SlabIterSource(self._chunks(field, (20,)),
+                             field.shape, field.dtype)
+        assert not src.rescannable
+        with pytest.raises(DataError, match="sequential-only"):
+            src.min_max()
+
+
+class TestAsSource:
+    def test_sources_pass_through(self, field):
+        src = ArraySource(field)
+        assert as_source(src) is src
+
+    def test_memmaps_get_page_dropping(self, raw, field):
+        mm = np.memmap(raw, dtype=np.float32, mode="r", shape=field.shape)
+        assert isinstance(as_source(mm), MemmapSource)
+
+    def test_arrays_get_zero_copy_views(self, field):
+        assert isinstance(as_source(field), ArraySource)
+        assert not isinstance(as_source(field), MemmapSource)
+
+    def test_everything_else_is_rejected(self):
+        with pytest.raises(DataError, match="cannot stream"):
+            as_source("field.f32")
+
+    def test_base_source_requires_geometry(self):
+        with pytest.raises(DataError, match="at least one dimension"):
+            FieldSource()._set_geometry((), np.float32)
