@@ -19,8 +19,7 @@ import numpy as np
 import pytest
 from _common import TimingOpts, emit, timed_median
 
-from repro.core import decompress, get_preset
-from repro.parallel import compress_sharded, decompress_sharded
+from repro import compress, decompress, get_preset
 
 BENCH_MB = max(64, int(os.environ.get("FZMOD_PARALLEL_BENCH_MB", "64")))
 WORKER_POINTS = (1, 2, 4)
@@ -53,7 +52,7 @@ def _run_curve(data: np.ndarray,
     for w in WORKER_POINTS:
         backend = "inprocess" if w == 1 else "process"
         dt, result = timed_median(
-            lambda w=w, backend=backend: compress_sharded(
+            lambda w=w, backend=backend: compress(
                 data, pipe, 1e-3, workers=w,
                 shard_mb=SHARD_MB, backend=backend),
             timing)
@@ -64,7 +63,7 @@ def _run_curve(data: np.ndarray,
         assert blobs[w] == blobs[WORKER_POINTS[0]], \
             f"blob at workers={w} differs from workers={WORKER_POINTS[0]}"
     # the container decodes from the blob alone, in parallel
-    recon = decompress_sharded(blobs[WORKER_POINTS[-1]], workers=2)
+    recon = decompress(blobs[WORKER_POINTS[-1]], workers=2)
     assert np.array_equal(recon, decompress(blobs[WORKER_POINTS[0]]))
     return curve
 

@@ -7,8 +7,8 @@ Exercises the three claims of :mod:`repro.streaming`:
   ``ru_maxrss`` high-water mark by less than half the field's size.
   The input is written and consumed out-of-core; only the prefetch
   window and in-flight shards are ever resident.
-* **Byte-identity** — ``compress_stream``'s compat-layout container must
-  be byte-identical to :func:`repro.parallel.compress_sharded` for the
+* **Byte-identity** — the streaming engine's compat-layout container
+  must be byte-identical to the in-memory sharded engine's for the
   same input at every worker count, in both codebook modes.
 * **Stage overlap** — the streaming decompress trace must show shard
   ``k``'s ``stream.outlier_scatter`` span running concurrently with
@@ -37,11 +37,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import compress, decompress
 from repro.core.pipeline import Pipeline
 from repro.obs import GLOBAL_TRACER, set_telemetry
-from repro.parallel.executor import compress_sharded
 from repro.perf.regression import check_regressions, streaming_check_results
-from repro.streaming import MemmapSource, compress_stream, decompress_stream
+from repro.streaming import MemmapSource
 from repro.types import EbMode
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -119,9 +119,9 @@ def run_streaming_suite(*, quick: bool = False, workers: int = 2,
         rss0 = _rss_bytes()
         t0 = time.perf_counter()
         with MemmapSource(raw, shape) as source:
-            cf = compress_stream(source, pipe, eb, EbMode.REL,
-                                 out_path=packed, workers=workers,
-                                 shard_mb=shard_mb, backend="process")
+            cf = compress(source, pipe, eb, mode=EbMode.REL, stream=True,
+                          out=packed, workers=workers,
+                          shard_mb=shard_mb, backend="process")
         compress_s = time.perf_counter() - t0
         compress_delta = max(0, _rss_bytes() - rss0)
         section["compress"] = {
@@ -138,7 +138,7 @@ def run_streaming_suite(*, quick: bool = False, workers: int = 2,
         rss1 = _rss_bytes()
         out = np.memmap(recon, dtype="<f4", mode="w+", shape=shape)
         t0 = time.perf_counter()
-        decompress_stream(packed, out=out, workers=workers)
+        decompress(packed, out=out, workers=workers)
         decompress_s = time.perf_counter() - t0
         section["decompress"] = {
             "seconds": decompress_s,
@@ -171,14 +171,14 @@ def run_streaming_suite(*, quick: bool = False, workers: int = 2,
         cases = [(w, "per-shard") for w in (1, 2, 3)] + [(2, "shared")]
         identical = True
         for w, codebook in cases:
-            ref = compress_sharded(data, pipe, eb, EbMode.REL, workers=w,
-                                   shard_mb=0.25, backend="inprocess",
-                                   codebook=codebook)
+            ref = compress(data, pipe, eb, mode=EbMode.REL, workers=w,
+                           shard_mb=0.25, backend="inprocess",
+                           codebook=codebook)
             spath = os.path.join(tmp, f"small-{w}-{codebook}.fzms")
             with MemmapSource(small, sshape) as source:
-                compress_stream(source, pipe, eb, EbMode.REL,
-                                out_path=spath, workers=w, shard_mb=0.25,
-                                backend="inprocess", codebook=codebook)
+                compress(source, pipe, eb, mode=EbMode.REL, stream=True,
+                         out=spath, workers=w, shard_mb=0.25,
+                         backend="inprocess", codebook=codebook)
             with open(spath, "rb") as fh:
                 identical = identical and fh.read() == ref.blob
         section["identity"] = {
@@ -193,7 +193,7 @@ def run_streaming_suite(*, quick: bool = False, workers: int = 2,
         try:
             for _ in range(OVERLAP_RETRIES):
                 GLOBAL_TRACER.clear()
-                decompress_stream(packed, workers=ov_workers)
+                decompress(packed, workers=ov_workers)
                 adjacent, anyp = _overlap_counts(GLOBAL_TRACER.records())
                 if adjacent > 0:
                     break

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ErrorBound, decompress, fzmod_default
+from repro import compress, decompress
 from repro.data import load_field
 from repro.metrics import bit_rate, max_abs_error, psnr
 
@@ -23,16 +23,17 @@ def main() -> None:
     print(f"field: {field.shape} {field.dtype}, "
           f"{field.nbytes / 1e6:.1f} MB")
 
-    # 2. compress under a value-range-relative bound of 1e-4
-    pipeline = fzmod_default()
-    compressed = pipeline.compress(field, ErrorBound(1e-4))
+    # 2. compress under a value-range-relative bound of 1e-4 — the
+    #    facade takes a preset name (or a PipelineSpec / Pipeline) and
+    #    runs the fused compiled plan when the pipeline supports it
+    compressed = compress(field, "fzmod-default", 1e-4)
     s = compressed.stats
     print(f"compressed: {s.output_bytes / 1e6:.3f} MB  "
           f"CR={s.cr:.1f}  bitrate={s.bit_rate:.3f} bits/value")
 
     # 3. decompress — works from the blob alone, anywhere the library is
     #    installed (the container header names the modules used)
-    restored = decompress(compressed.blob)
+    restored = decompress(compressed)
 
     # 4. verify the contract
     value_range = float(field.max() - field.min())

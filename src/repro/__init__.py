@@ -19,25 +19,33 @@ Computing Framework for Customizable Scientific Data Compression Pipelines"*
 Quickstart::
 
     import numpy as np
-    from repro import fzmod_default, decompress
+    import repro
 
     field = np.fromfile("velocity.f32", dtype=np.float32).reshape(512, 512, 512)
-    compressed = fzmod_default().compress(field, eb=1e-4)   # rel. bound
-    restored = decompress(compressed.blob)
+    compressed = repro.compress(field, "fzmod-default", eb=1e-4)  # rel. bound
+    restored = repro.decompress(compressed.blob)
     print(compressed.stats.cr, compressed.stats.bit_rate)
+
+:func:`repro.compress` / :func:`repro.decompress` (the :mod:`repro.api`
+facade) are the one-call front door: they dispatch between the single,
+shard-parallel and out-of-core streaming engines by argument shape
+(``workers=``, ``stream=``, sources, paths), and run the fused compiled
+execution plans of :mod:`repro.compile` transparently.
 """
 
+from .api import compress, decompress
 from .core import (DEFAULT_REGISTRY, CompressedField, CompressionStats,
-                   Pipeline, PipelineBuilder, PipelineSpec, decompress,
-                   fzmod_default, fzmod_quality, fzmod_speed, get_preset,
-                   get_preset_spec, register, unregister)
+                   Pipeline, PipelineBuilder, PipelineSpec, fzmod_default,
+                   fzmod_quality, fzmod_speed, get_preset, get_preset_spec,
+                   register, unregister)
 from .types import EbMode, ErrorBound
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompressedField", "CompressionStats", "DEFAULT_REGISTRY", "Pipeline",
-    "PipelineBuilder", "PipelineSpec", "decompress", "fzmod_default",
-    "fzmod_quality", "fzmod_speed", "get_preset", "get_preset_spec",
-    "register", "unregister", "EbMode", "ErrorBound", "__version__",
+    "PipelineBuilder", "PipelineSpec", "compress", "decompress",
+    "fzmod_default", "fzmod_quality", "fzmod_speed", "get_preset",
+    "get_preset_spec", "register", "unregister", "EbMode", "ErrorBound",
+    "__version__",
 ]

@@ -1,4 +1,4 @@
-"""The FZModules contract rules (FZL001 - FZL010).
+"""The FZModules contract rules (FZL001 - FZL011).
 
 Each rule machine-checks one convention the framework's composability
 story depends on.  The checks are deliberately heuristic — AST-local,
@@ -705,3 +705,57 @@ class StreamingHygiene(Rule):
                         "argless .read() slurps an entire stream into "
                         "memory; read bounded chunks (read(n)) or use "
                         "os.pread with explicit lengths")
+
+
+@register_rule
+class FacadeDiscipline(Rule):
+    """FZL011: engine entrypoints are called through the facade only."""
+
+    id = "FZL011"
+    title = "facade discipline"
+    contract = (
+        "repro.api is the single front door: repro.compress / "
+        "repro.decompress pick the engine (single / sharded / streaming) "
+        "from the argument shape and thread the compile=, telemetry and "
+        "out= contracts through uniformly.  Library code that calls "
+        "compress_sharded / decompress_sharded / compress_stream / "
+        "decompress_stream directly forks the calling convention the "
+        "facade exists to unify — keyword drift between engines is "
+        "exactly the bug class the redesign removed.  Only the facade "
+        "itself, the Pipeline dispatcher (core/pipeline.py) and the "
+        "engines' own packages (parallel/, streaming/) may name the raw "
+        "entrypoints; everything else, the CLI included, goes through "
+        "repro.api.")
+
+    #: the per-engine entrypoints the facade wraps
+    _ENTRYPOINTS = frozenset({
+        "compress_sharded", "decompress_sharded",
+        "compress_stream", "decompress_stream",
+    })
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Everywhere except the facade and the engines themselves."""
+        if ctx.in_dir("parallel") or ctx.in_dir("streaming"):
+            return False
+        if ctx.filename == "api.py":
+            return False
+        return not (ctx.filename == "pipeline.py" and ctx.in_dir("core"))
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag direct calls (plain or attribute-qualified) by name."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            else:
+                continue
+            if name in self._ENTRYPOINTS:
+                yield ctx.finding(
+                    self, node,
+                    f"direct engine entrypoint {name}() bypasses the "
+                    "repro.api facade; call repro.compress()/"
+                    "repro.decompress() and select the engine by argument "
+                    "shape (workers=, stream=, sources, paths)")

@@ -5,6 +5,8 @@ Subcommands
 ``compress``    compress a raw .f32/.f64 field (or a synthetic dataset
                 field) with a preset or custom pipeline
 ``decompress``  reconstruct a field from a ``.fzmod`` container
+``compile``     trace a preset/spec into its fused execution plan and
+                print the stage DAG (or the decline reason)
 ``eval``        run compressors over a dataset and print CR/PSNR rows
 ``report``      full comparison (CR/PSNR/SSIM/speedups) for one field
 ``analyze``     post-analysis fidelity metrics for a reconstruction
@@ -42,8 +44,9 @@ import sys
 import numpy as np
 
 from . import __version__
+from .api import compress as api_compress, decompress as api_decompress
 from .baselines import ALL_COMPRESSOR_NAMES, get_compressor
-from .core import DEFAULT_REGISTRY, Pipeline, decompress as core_decompress
+from .core import DEFAULT_REGISTRY, Pipeline
 from .core.autotune import OBJECTIVES, autotune
 from .core.presets import PRESET_NAMES, get_preset
 from .data import get_dataset, load_raw_file
@@ -71,6 +74,12 @@ def _resolve_pipeline(name: str) -> object:
     return get_compressor(name)
 
 
+def _compile_mode(args: argparse.Namespace):
+    """Map ``--compile/--no-compile`` (tri-state) to the facade kwarg."""
+    flag = getattr(args, "compile", None)
+    return "auto" if flag is None else flag
+
+
 def cmd_compress(args: argparse.Namespace) -> int:
     """``fzmod compress``: compress one field to a container file."""
     if args.stream:
@@ -79,19 +88,24 @@ def cmd_compress(args: argparse.Namespace) -> int:
     comp = _resolve_pipeline(args.pipeline)
     parallel = (args.workers is not None or args.shard_mb is not None
                 or args.shared_codebook)
-    if parallel:
-        if not isinstance(comp, Pipeline):
+    if not isinstance(comp, Pipeline):
+        if parallel:
             raise FZModError(
                 f"--workers/--shard-mb need a modular pipeline "
                 f"(one of {PRESET_NAMES}), not baseline {args.pipeline!r}")
-        cf = comp.compress(data, args.eb, EbMode(args.mode),
-                           workers=args.workers, shard_mb=args.shard_mb,
-                           codebook="shared" if args.shared_codebook
-                           else "per-shard")
-    else:
+        if getattr(args, "compile", None):
+            raise FZModError(
+                f"--compile needs a modular pipeline (one of "
+                f"{PRESET_NAMES}), not baseline {args.pipeline!r}")
         cf = comp.compress(data, args.eb, EbMode(args.mode))
-    with open(args.output, "wb") as fh:
-        fh.write(cf.blob)
+        with open(args.output, "wb") as fh:
+            fh.write(cf.blob)
+    else:
+        cf = api_compress(
+            data, comp, args.eb, mode=EbMode(args.mode),
+            workers=args.workers, shard_mb=args.shard_mb,
+            codebook=("shared" if args.shared_codebook else None),
+            compile=_compile_mode(args), out=args.output)
     s = cf.stats
     print(f"{args.pipeline}: {s.input_bytes} -> {s.output_bytes} bytes  "
           f"CR={s.cr:.2f}  bitrate={s.bit_rate:.3f} b/val  "
@@ -105,7 +119,7 @@ def cmd_compress(args: argparse.Namespace) -> int:
 
 def _compress_stream(args: argparse.Namespace) -> int:
     """The ``--stream`` arm of ``fzmod compress``: out-of-core engine."""
-    from .streaming import as_source, compress_stream
+    from .streaming import as_source
     comp = _resolve_pipeline(args.pipeline)
     if not isinstance(comp, Pipeline):
         raise FZModError(
@@ -115,11 +129,12 @@ def _compress_stream(args: argparse.Namespace) -> int:
     # in per slab and the prefetcher drops them once consumed
     data = _load_input(args, mmap=True)
     with as_source(data) as source:
-        cf = compress_stream(
-            source, comp, args.eb, EbMode(args.mode),
-            out_path=args.output, workers=args.workers,
+        cf = api_compress(
+            source, comp, args.eb, mode=EbMode(args.mode),
+            stream=True, out=args.output, workers=args.workers,
             shard_mb=args.shard_mb, layout=args.layout,
-            codebook="shared" if args.shared_codebook else "per-shard")
+            codebook=("shared" if args.shared_codebook else None),
+            compile=_compile_mode(args))
     s = cf.stats
     print(f"{args.pipeline}: {s.input_bytes} -> {s.output_bytes} bytes  "
           f"CR={s.cr:.2f}  bitrate={s.bit_rate:.3f} b/val  "
@@ -134,13 +149,13 @@ def _compress_stream(args: argparse.Namespace) -> int:
 def cmd_decompress(args: argparse.Namespace) -> int:
     """``fzmod decompress``: reconstruct a raw field from a container."""
     if args.stream:
-        from .streaming import ShardReader, decompress_stream
+        from .streaming import ShardReader
         with ShardReader(args.input) as reader:
             shape = tuple(reader.index.shape)
             dtype = np.dtype(reader.index.dtype)
         out = np.memmap(args.output, dtype=dtype, mode="w+", shape=shape)
         try:
-            decompress_stream(args.input, out=out, workers=args.workers)
+            api_decompress(args.input, out=out, workers=args.workers)
         except BaseException:
             # never leave a partially scattered field behind — the
             # in-memory path only writes its output after a clean decode
@@ -153,17 +168,41 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as fh:
         blob = fh.read()
     from .parallel.executor import is_sharded
-    if is_sharded(blob):
-        out = core_decompress(blob, workers=args.workers)
-    else:
+    if not is_sharded(blob):
         from .core.header import parse
         header, _ = parse(blob)
         if "baseline" in header.modules:
             out = get_compressor(header.modules["baseline"]).decompress(blob)
-        else:
-            out = core_decompress(blob)
+            out.tofile(args.output)
+            print(f"reconstructed {out.shape} {out.dtype} -> {args.output}")
+            return 0
+    out = api_decompress(blob, workers=args.workers)
     out.tofile(args.output)
     print(f"reconstructed {out.shape} {out.dtype} -> {args.output}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``fzmod compile``: trace a preset/spec to its fused plan."""
+    import json
+    from .core.spec import PipelineSpec
+    target = args.pipeline
+    if target in PRESET_NAMES:
+        pipe = get_preset(target)
+    elif os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as fh:
+            pipe = Pipeline.from_spec(PipelineSpec.from_json(json.load(fh)))
+    else:
+        raise FZModError(
+            f"{target!r} is neither a preset ({PRESET_NAMES}) nor a "
+            f"spec JSON file")
+    from .compile import decline_reason
+    reason = decline_reason(pipe)
+    if reason is not None:
+        print(f"{pipe.name}: not compilable — {reason}")
+        return 1
+    plan = pipe.compile()
+    print(plan.describe())
     return 0
 
 
@@ -292,8 +331,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             # shard k's outlier scatter overlaps shard k+1's Huffman
             # decode — each pool thread is its own Perfetto row
             import tempfile
-            from .streaming import as_source, compress_stream, \
-                decompress_stream
+            from .streaming import as_source
             workers = args.workers or 4
             if shard_mb is None:
                 shard_mb = max(data.nbytes / (1 << 20) / (2 * workers),
@@ -302,10 +340,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
             os.close(fd)
             try:
                 with as_source(data) as source:
-                    cf = compress_stream(source, pipeline, args.eb,
-                                         EbMode(args.mode), out_path=tmp,
-                                         workers=workers, shard_mb=shard_mb)
-                decompress_stream(tmp, workers=workers)
+                    cf = api_compress(source, pipeline, args.eb,
+                                      mode=EbMode(args.mode), stream=True,
+                                      out=tmp, workers=workers,
+                                      shard_mb=shard_mb)
+                api_decompress(tmp, workers=workers)
             finally:
                 if os.path.exists(tmp):
                     os.remove(tmp)
@@ -315,7 +354,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         else:
             cf = pipeline.compress(data, args.eb, EbMode(args.mode))
         if args.decompress and not args.stream:
-            core_decompress(cf.blob)
+            api_decompress(cf.blob)
         records = GLOBAL_TRACER.records()
     finally:
         set_telemetry(prev)
@@ -482,8 +521,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="build one global Huffman codebook for all shards "
                          "(implies the parallel engine; huffman pipelines "
                          "only)")
+    sp.add_argument("--compile", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="--compile requires the fused compiled plan "
+                         "(error if the pipeline declines); --no-compile "
+                         "forces the interpreter; default: auto "
+                         "(compiled when possible, byte-identical either "
+                         "way)")
     sp.add_argument("-o", "--output", required=True)
     sp.set_defaults(fn=cmd_compress)
+
+    sp = sub.add_parser("compile", help="trace a preset or spec JSON file "
+                                        "into its fused execution plan and "
+                                        "print the stage DAG")
+    sp.add_argument("pipeline",
+                    help=f"preset name (one of {PRESET_NAMES}) or a path "
+                         "to a PipelineSpec JSON file")
+    sp.set_defaults(fn=cmd_compile)
 
     sp = sub.add_parser("decompress", help="decompress a container")
     sp.add_argument("input")
@@ -540,7 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_inspect)
 
     sp = sub.add_parser("lint", help="contract-aware static analysis "
-                                     "(fzlint rules FZL001-FZL010)")
+                                     "(fzlint rules FZL001-FZL011)")
     from .analysis.cli import add_arguments as add_lint_arguments
     add_lint_arguments(sp)
     sp.set_defaults(fn=cmd_lint)

@@ -1,0 +1,41 @@
+"""Plan compiler: fused, specialised executors for frozen pipeline specs.
+
+``repro.compile`` traces an assembled pipeline into a
+:class:`~repro.compile.plan.CompiledPlan` — a flat list of pre-bound
+step closures that collapses preprocess, prediction, quantisation and
+histogramming into a single pooled pass per slab while staying
+byte-identical to the interpreted :class:`~repro.core.pipeline.Pipeline`.
+The single, sharded and streaming engines all pick plans up
+transparently (``compile="auto"``); specs the compiler declines run on
+the interpreter unchanged.
+
+Public surface
+--------------
+:func:`plan_for`
+    cached plan for a pipeline, or ``None`` when it declines — the
+    transparent engine entry.
+:func:`compile_plan`
+    uncached trace; raises :class:`~repro.errors.PipelineError` on
+    decline (``compile=True`` / ``fzmod compile`` semantics).
+:func:`plan_from_key`
+    resolve a plan key shipped to a shard worker, with digest agreement
+    enforced before the fused path is trusted.
+:func:`decline_reason` / :func:`plan_key`
+    introspection for CLI messaging and cache keying.
+"""
+
+from .fused import fused_predict_quantize, scaled_magnitude_bound
+from .plan import (CompiledPlan, PlanStep, compile_plan, decline_reason,
+                   plan_for, plan_from_key, plan_key)
+
+__all__ = [
+    "CompiledPlan",
+    "PlanStep",
+    "compile_plan",
+    "decline_reason",
+    "fused_predict_quantize",
+    "plan_for",
+    "plan_from_key",
+    "plan_key",
+    "scaled_magnitude_bound",
+]

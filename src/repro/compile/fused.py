@@ -1,0 +1,151 @@
+"""Fused stage kernels for compiled execution plans.
+
+The interpreted pipeline runs preprocess -> prequantize -> Lorenzo ->
+outlier split -> histogram as five separate kernels, each reading and
+writing a full field-sized array.  :func:`fused_predict_quantize`
+collapses them into a single pass over each slab, mirroring the paper's
+CUDASTF-fused pipelines (and cuSZ's coarse kernel, whose one launch
+covers pre-quantization, prediction and code emission):
+
+* the float->grid scale, round and ``int64`` cast write straight into
+  pooled scratch (``out=`` contracts end-to-end, no intermediates);
+* the d-D Lorenzo operator runs as one subtract per axis between two
+  ping-ponged grid buffers instead of the interpreter's copy-then-
+  subtract pair (halving the passes per axis);
+* the outlier mask is evaluated on the *rebased* codes through a
+  ``uint64`` view (wrapped negatives are huge, so one unsigned compare
+  replaces the two signed compares plus the boolean temporary);
+* the histogram bins the rebased ``int64`` codes in the same pass, so
+  the dense ``uint16`` code cast is the only full-size array the stage
+  materialises — exactly the one the encoder needs.
+
+Every step is arithmetic-identical to the interpreted kernels in
+:mod:`repro.kernels.quantize`, :mod:`repro.kernels.lorenzo` and
+:mod:`repro.kernels.histogram` — codes, outliers and counts match them
+bit for bit (the compiled-vs-interpreted golden tests enforce this), so
+downstream encoders and the content-addressed encode caches see the
+same bytes either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+from ..kernels.quantize import OutlierSet
+from ..runtime.memory import default_pool
+
+
+def scaled_magnitude_bound(lo: float, hi: float, eb_abs: float) -> float:
+    """``max |fl(x / (2*eb))|`` over a field with range ``[lo, hi]``.
+
+    Correctly-rounded division by a positive scalar is monotone, so the
+    extreme scaled magnitudes come from the extreme data values; this
+    reproduces the interpreter's full-array overflow scan
+    (:func:`repro.kernels.quantize.prequantize`) from two scalars.
+    """
+    return max(abs(lo / (2.0 * eb_abs)), abs(hi / (2.0 * eb_abs)))
+
+
+def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
+                           num_bins: int, *, collect_counts: bool,
+                           scaled_bound: float | None = None
+                           ) -> tuple[np.ndarray, OutlierSet,
+                                      np.ndarray | None]:
+    """One pass from floats to quant codes (+ outliers, + counts).
+
+    Parameters
+    ----------
+    data:
+        C-contiguous float field (already through ``check_field``).
+    eb_abs / radius / num_bins:
+        resolved bound and alphabet geometry (``num_bins == 2*radius``).
+    collect_counts:
+        also bin the codes (fused histogram) — skipped entirely for
+        encoders that need no statistics.
+    scaled_bound:
+        precomputed ``max|data/(2*eb)|`` (from
+        :func:`scaled_magnitude_bound` when the preprocessor already
+        scanned the range); ``None`` scans the scaled buffer instead.
+
+    Returns ``(codes, outliers, counts)`` with ``codes`` a fresh flat
+    ``uint16``/``uint32`` array, byte-identical to the interpreted
+    chain's, and ``counts`` ``None`` when not collected.
+    """
+    if eb_abs <= 0 or not np.isfinite(eb_abs):
+        raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
+    if radius < 1 or radius > 2**30:
+        raise CodecError(f"radius out of range: {radius}")
+    pool = default_pool()
+    shape = data.shape
+    if pool is None:
+        scaled = np.empty(shape, dtype=np.float64)
+        grid_a = np.empty(shape, dtype=np.int64)
+        grid_b = np.empty(shape, dtype=np.int64)
+    else:
+        scaled = pool.acquire(shape, np.float64)
+        grid_a = pool.acquire(shape, np.int64)
+        grid_b = pool.acquire(shape, np.int64)
+    try:
+        # -- prequantize: scale, overflow check, round, cast (in scratch)
+        # dtype= forces the float64 loop for float32 inputs, matching
+        # kernels.quantize.prequantize's half-point rounding exactly
+        np.divide(data, 2.0 * eb_abs, out=scaled, dtype=np.float64)
+        if scaled_bound is None:
+            scaled_bound = max(abs(float(scaled.min())),
+                               abs(float(scaled.max())))
+        if scaled.size and scaled_bound >= 2**62:
+            raise CodecError(
+                "error bound too tight: quantization index overflows int64")
+        # rint straight into the int64 grid: the rounded value is integral,
+        # so the unsafe cast truncates to exactly the interpreter's
+        # rint-then-astype result in one pass instead of two
+        np.rint(scaled, out=grid_a, casting="unsafe")
+
+        # -- Lorenzo: one backward-difference pass per axis, ping-ponged
+        # between the two grid buffers (the interpreter copies into a
+        # shift buffer and then subtracts — two passes per axis)
+        src, dst = grid_a, grid_b
+        ndim = len(shape)
+        for axis in range(ndim):
+            lo_s = [slice(None)] * ndim
+            hi_s = [slice(None)] * ndim
+            first = [slice(None)] * ndim
+            lo_s[axis] = slice(None, -1)
+            hi_s[axis] = slice(1, None)
+            first[axis] = slice(0, 1)
+            np.subtract(src[tuple(hi_s)], src[tuple(lo_s)],
+                        out=dst[tuple(hi_s)])
+            dst[tuple(first)] = src[tuple(first)]
+            src, dst = dst, src
+
+        # -- outlier split + histogram on the rebased int64 codes
+        flat = src.reshape(-1)
+        np.add(flat, radius, out=flat)
+        # one unsigned compare flags both tails: deltas >= radius rebase
+        # past 2*radius, deltas < -radius rebase negative and wrap huge
+        unsigned = flat.view(np.uint64)
+        bound = np.uint64(2 * radius)
+        if np.uint64(unsigned.max()) < bound:
+            # one reduction proves the slab outlier-free (the common case
+            # for smooth fields) and skips the mask + gather entirely
+            idx = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.int64)
+        else:
+            idx = np.flatnonzero(unsigned >= bound)
+            values = flat[idx]
+            np.subtract(values, radius, out=values)
+            idx = idx.astype(np.int64)
+        outliers = OutlierSet(indices=idx, values=values)
+        flat[idx] = radius
+        counts = None
+        if collect_counts:
+            counts = np.bincount(flat, minlength=num_bins).astype(np.int64)
+        dtype = np.uint16 if 2 * radius <= 65536 else np.uint32
+        codes = flat.astype(dtype)
+    finally:
+        if pool is not None:
+            pool.release(scaled)
+            pool.release(grid_a)
+            pool.release(grid_b)
+    return codes, outliers, counts

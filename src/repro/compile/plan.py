@@ -1,0 +1,486 @@
+"""The plan compiler: trace a pipeline into a fused, specialised executor.
+
+:func:`compile_plan` inspects an assembled
+:class:`~repro.core.pipeline.Pipeline`, verifies every hot-path stage is
+one of the standard modules the fused kernels reproduce exactly, and
+emits a :class:`CompiledPlan` — a flat list of pre-bound step closures
+(module lookups, codebook handles, histogram construction, header
+assembly all resolved at compile time) whose ``compress`` produces a
+container byte-identical to the interpreted
+:meth:`~repro.core.pipeline.Pipeline.compress`.
+
+What gets fused
+---------------
+``preprocess -> prequantize -> Lorenzo -> outlier split -> histogram``
+collapse into a single pass over the slab
+(:func:`repro.compile.fused.fused_predict_quantize`), threaded through
+the runtime :class:`~repro.runtime.memory.BufferPool` so no intermediate
+array is materialised between the fused stages.  The encoder and
+secondary stages still run as module calls — their cost already lives in
+content-addressed kernels and caches shared with the interpreter, which
+is also what keeps the two paths byte-identical by construction.
+
+What declines
+-------------
+Any stage bound to a non-standard module type (a re-registered custom
+module, the ``interp`` predictor, a subclassed histogram) declines
+compilation; :func:`plan_for` then returns ``None`` and the engines fall
+back to the interpreter.  ``type() is`` checks — not ``isinstance`` — do
+the gating, so subclasses that may override behaviour are never fused.
+
+Plans are content-addressed (spec JSON + per-module fingerprints) and
+cached in :data:`repro.kernels.plancache.COMPILED_PLAN_CACHE`, honouring
+``FZMOD_PLAN_CACHE=0``.  The digest is the *plan key* shard workers
+receive from the parallel and streaming engines: each worker process
+compiles (or cache-hits) the plan for that key once instead of
+re-tracing per shard.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.header import ContainerHeader, assemble
+from ..core.modules_std import (AbsEbPreprocess, BitshuffleEncoder,
+                                HuffmanEncoder, LorenzoPredictor,
+                                NoSecondary, RelEbPreprocess, RleSecondary,
+                                StandardHistogram, TopKHistogram,
+                                ZstdLikeSecondary)
+from ..core.pipeline import (CompressedField, CompressionStats,
+                             _serialize_outliers)
+from ..core.spec import PipelineSpec
+from ..errors import PipelineError
+from ..kernels.histogram import HistogramResult
+from ..kernels.plancache import COMPILED_PLAN_CACHE, digest
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.spans import span
+from ..types import EbMode, ErrorBound, Stage, check_field
+from .fused import fused_predict_quantize, scaled_magnitude_bound
+
+#: preprocessors the fused pass reproduces exactly
+_PREPROCESS_TYPES = (RelEbPreprocess, AbsEbPreprocess)
+#: statistics modules the fused histogram reproduces exactly
+_STATISTICS_TYPES = (StandardHistogram, TopKHistogram)
+
+
+class _ExecState:
+    """Mutable state threaded through a plan's step closures."""
+
+    __slots__ = ("data", "eb", "lo", "hi", "eb_abs", "pre_meta",
+                 "scaled_bound", "codes", "outliers", "counts", "hist",
+                 "stream", "sections", "outlier_sections", "outlier_count",
+                 "header", "body", "stored_body")
+
+    def __init__(self, data: np.ndarray, eb: ErrorBound) -> None:
+        self.data = data
+        self.eb = eb
+        self.scaled_bound = None
+        self.counts = None
+        self.hist = None
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One pre-bound stage of a compiled plan.
+
+    ``stage`` names the ``stage_seconds`` bucket the step's wall time is
+    charged to (``None`` = untimed glue, like header assembly), ``run``
+    is the closure itself, and ``detail`` is the human rendering used by
+    ``describe()`` and ``fzmod compile``.
+    """
+
+    name: str
+    detail: str
+    run: Callable[[_ExecState], None]
+    stage: str | None = None
+    span_name: str | None = None
+    span_attrs: dict = field(default_factory=dict)
+
+
+def _module_fingerprint(stage: Stage, module) -> tuple:
+    """Content fingerprint of a module's plan-relevant configuration.
+
+    Standard modules are fully captured by their knobs; unknown types
+    collapse to their registry name (cross-process plan identity for
+    them rests on the spec-name contract, exactly as the sharded
+    engine's spec shipping does).
+    """
+    t = type(module)
+    if t in (RelEbPreprocess, AbsEbPreprocess, LorenzoPredictor,
+             StandardHistogram, NoSecondary, RleSecondary,
+             ZstdLikeSecondary):
+        return (stage.value, module.name)
+    if t is TopKHistogram:
+        return (stage.value, module.name, int(module.k))
+    if t is HuffmanEncoder:
+        pinned = ("" if module.fixed_lengths is None
+                  else digest(module.fixed_lengths))
+        return (stage.value, module.name, int(module.chunk),
+                int(module.max_len), bool(module.emit_lengths), pinned)
+    if t is BitshuffleEncoder:
+        return (stage.value, module.name, int(module.word_bytes))
+    return (stage.value, "opaque", module.name)
+
+
+def decline_reason(pipeline) -> str | None:
+    """Why this pipeline cannot be compiled (``None`` = it can).
+
+    The compiler only fuses stages whose exact semantics it reproduces;
+    everything else stays on the interpreter.  Encoder and secondary
+    modules are never a reason to decline — they run as module calls in
+    the compiled plan too.
+    """
+    if type(pipeline.preprocess) not in _PREPROCESS_TYPES:
+        return (f"preprocess module {pipeline.preprocess.name!r} is not a "
+                "standard abs-eb/rel-eb preprocessor")
+    if type(pipeline.predictor) is not LorenzoPredictor:
+        return (f"predictor module {pipeline.predictor.name!r} has no fused "
+                "kernel (only 'lorenzo' compiles)")
+    if pipeline.encoder.needs_statistics:
+        stats = pipeline.statistics
+        if stats is None or type(stats) not in _STATISTICS_TYPES:
+            name = None if stats is None else stats.name
+            return (f"statistics module {name!r} is not a standard "
+                    "histogram")
+        if type(stats) is TopKHistogram and int(stats.k) < 1:
+            return "top-k histogram with k < 1"
+    if not (1 <= pipeline.radius <= 2**30):
+        return f"radius {pipeline.radius} outside the fused kernel's range"
+    return None
+
+
+def plan_key(pipeline) -> str:
+    """Content digest identifying the compiled plan for ``pipeline``.
+
+    Covers the canonical spec (stage names, radius, display name) plus
+    each module's configuration fingerprint — including a pinned Huffman
+    codebook's lengths digest — so two pipelines share a plan exactly
+    when their compiled executors would be indistinguishable.
+    """
+    spec = pipeline.spec
+    parts: list = ["fzmod-plan-v1",
+                   json.dumps(spec.to_json(), sort_keys=True)]
+    parts.append(_module_fingerprint(Stage.PREPROCESS, pipeline.preprocess))
+    parts.append(_module_fingerprint(Stage.PREDICTOR, pipeline.predictor))
+    if pipeline.encoder.needs_statistics and pipeline.statistics is not None:
+        parts.append(_module_fingerprint(Stage.STATISTICS,
+                                         pipeline.statistics))
+    parts.append(_module_fingerprint(Stage.ENCODER, pipeline.encoder))
+    parts.append(_module_fingerprint(Stage.SECONDARY, pipeline.secondary))
+    return digest(*[p if isinstance(p, str) else repr(p) for p in parts])
+
+
+class CompiledPlan:
+    """A fused, specialised executor for one pipeline configuration.
+
+    Produced by :func:`compile_plan`; execute with :meth:`compress`,
+    inspect with :meth:`describe`.  The plan pre-resolves everything the
+    interpreter looks up per call — module instances, the code alphabet,
+    the header name map, the histogram constructor — into
+    :class:`PlanStep` closures, and its output is byte-identical to
+    :meth:`repro.core.pipeline.Pipeline.compress` on the same input.
+    """
+
+    def __init__(self, *, key: str, spec: PipelineSpec, radius: int,
+                 module_names: dict[str, str], fingerprints: tuple,
+                 encoder, secondary, steps: list[PlanStep]) -> None:
+        self.key = key
+        self.spec = spec
+        self.name = spec.name
+        self.radius = radius
+        self.num_bins = 2 * radius
+        self.module_names = dict(module_names)
+        self._fingerprints = fingerprints
+        self._encoder = encoder
+        self._secondary = secondary
+        self.steps = list(steps)
+
+    # ------------------------------------------------------------------ #
+    def matches(self, pipeline) -> bool:
+        """Does this plan execute exactly what ``pipeline`` would?
+
+        Fingerprint equality decides for standard modules (their knobs
+        fully determine behaviour); opaque encoder/secondary modules
+        additionally require instance identity, because the plan calls
+        *its* bound instance, not the pipeline's.
+        """
+        if pipeline.spec != self.spec:
+            return False
+        if _plan_fingerprints(pipeline) != self._fingerprints:
+            return False
+        for mine, theirs in ((self._encoder, pipeline.encoder),
+                             (self._secondary, pipeline.secondary)):
+            fp = _module_fingerprint(Stage.ENCODER, mine)
+            if fp[1] == "opaque" and mine is not theirs:
+                return False
+        return True
+
+    def describe(self) -> str:
+        """Human rendering of the stage DAG (CLI / trace output)."""
+        lines = [f"plan {self.key}  {self.spec.describe()}"]
+        for i, step in enumerate(self.steps):
+            lines.append(f"  [{i}] {step.name:<24} {step.detail}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    def compress(self, data: np.ndarray, eb: ErrorBound | float,
+                 mode: EbMode | str = EbMode.REL) -> CompressedField:
+        """Run the fused plan; byte-identical to the interpreted path."""
+        if not isinstance(eb, ErrorBound):
+            eb = ErrorBound(float(eb), EbMode(mode))
+        data = check_field(data)
+        state = _ExecState(data, eb)
+        timings: dict[str, float] = {}
+        with span("pipeline.compress", pipeline=self.name,
+                  bytes_in=int(data.nbytes), compiled=True) as root:
+            t_exec = time.perf_counter()
+            # stage spans stay direct children of the pipeline root — the
+            # trace contract shared with the interpreter — so consumers
+            # need not know which path ran
+            for step in self.steps:
+                t0 = time.perf_counter()
+                if step.span_name is not None:
+                    with span(step.span_name, **step.span_attrs):
+                        step.run(state)
+                else:
+                    step.run(state)
+                if step.stage is not None:
+                    timings[step.stage] = (timings.get(step.stage, 0.0)
+                                           + time.perf_counter() - t0)
+            # summary marker: which plan ran and how long the step loop
+            # took (the covered wall time is the root span's)
+            with span("plan.exec", plan=self.key, steps=len(self.steps),
+                      seconds=time.perf_counter() - t_exec):
+                pass
+            blob = state.stored_body  # finalize step leaves the blob here
+            root.set(bytes_out=len(blob))
+        for stage, seconds in timings.items():
+            GLOBAL_METRICS.histogram("pipeline.stage_seconds",
+                                     stage=stage).observe(seconds)
+        GLOBAL_METRICS.counter("pipeline.compress_calls").inc()
+        GLOBAL_METRICS.counter("pipeline.bytes_in").inc(int(data.nbytes))
+        GLOBAL_METRICS.counter("pipeline.bytes_out").inc(len(blob))
+        GLOBAL_METRICS.counter("compile.plan_exec").inc()
+        stats = CompressionStats(
+            input_bytes=data.nbytes, output_bytes=len(blob),
+            element_count=data.size, eb_abs=state.eb_abs,
+            code_fraction=state.codes.nbytes / data.nbytes,
+            outlier_fraction=sum(len(v) for v
+                                 in state.outlier_sections.values())
+            / data.nbytes,
+            outlier_count=state.outliers.count,
+            section_sizes={k: len(v) for k, v in state.sections.items()},
+            stage_seconds=timings, interp_levels=0)
+        return CompressedField(blob=blob, stats=stats, header=state.header)
+
+
+def _plan_fingerprints(pipeline) -> tuple:
+    fps = [_module_fingerprint(Stage.PREPROCESS, pipeline.preprocess),
+           _module_fingerprint(Stage.PREDICTOR, pipeline.predictor)]
+    if pipeline.encoder.needs_statistics and pipeline.statistics is not None:
+        fps.append(_module_fingerprint(Stage.STATISTICS,
+                                       pipeline.statistics))
+    fps.append(_module_fingerprint(Stage.ENCODER, pipeline.encoder))
+    fps.append(_module_fingerprint(Stage.SECONDARY, pipeline.secondary))
+    return tuple(fps)
+
+
+def compile_plan(pipeline) -> CompiledPlan:
+    """Trace ``pipeline`` into a :class:`CompiledPlan` (uncached).
+
+    Raises :class:`~repro.errors.PipelineError` when the pipeline uses a
+    stage the compiler declines — call :func:`decline_reason` first (or
+    use :func:`plan_for`) for the soft-failure path.
+    """
+    with span("compile.plan", pipeline=pipeline.name):
+        with span("compile.trace"):
+            reason = decline_reason(pipeline)
+            if reason is not None:
+                raise PipelineError(
+                    f"pipeline {pipeline.name!r} cannot be compiled: "
+                    f"{reason}")
+            key = plan_key(pipeline)
+        with span("compile.specialize", plan=key):
+            plan = _specialize(pipeline, key)
+    GLOBAL_METRICS.counter("compile.plans_built").inc()
+    return plan
+
+
+def _specialize(pipeline, key: str) -> CompiledPlan:
+    """Build the flat step-closure list for a validated pipeline."""
+    spec = pipeline.spec
+    radius = pipeline.radius
+    num_bins = 2 * radius
+    preprocess = pipeline.preprocess
+    statistics = pipeline.statistics
+    encoder = pipeline.encoder
+    secondary = pipeline.secondary
+    module_names = pipeline.module_names()
+    collect_counts = bool(encoder.needs_statistics)
+    steps: list[PlanStep] = []
+
+    # -- preprocess: resolve the bound (and the range scan for rel-eb) --
+    if type(preprocess) is RelEbPreprocess:
+        def run_preprocess(state: _ExecState) -> None:
+            lo = float(state.data.min())
+            hi = float(state.data.max())
+            state.eb_abs = state.eb.absolute(lo, hi)
+            state.pre_meta = {"mode": state.eb.mode.value,
+                              "min": lo, "max": hi}
+            state.scaled_bound = scaled_magnitude_bound(lo, hi,
+                                                        state.eb_abs)
+
+        pre_detail = "range scan -> eb_abs (reused for the overflow bound)"
+    else:
+        def run_preprocess(state: _ExecState) -> None:
+            state.eb_abs = state.eb.absolute(0.0, 0.0)
+            state.pre_meta = {"mode": EbMode.ABS.value}
+
+        pre_detail = "absolute bound pass-through"
+    steps.append(PlanStep(
+        name=f"preprocess[{preprocess.name}]", detail=pre_detail,
+        run=run_preprocess, stage="preprocess",
+        span_name="stage.preprocess",
+        span_attrs={"module": preprocess.name, "fused": True}))
+
+    # -- fused predict + quantise (+ histogram) -------------------------
+    def run_fused(state: _ExecState) -> None:
+        state.codes, state.outliers, state.counts = fused_predict_quantize(
+            state.data, state.eb_abs, radius, num_bins,
+            collect_counts=collect_counts,
+            scaled_bound=state.scaled_bound)
+
+    hist_note = "+histogram" if collect_counts else ""
+    steps.append(PlanStep(
+        name=f"predictor[{pipeline.predictor.name}]",
+        detail=f"fused prequantize+lorenzo+split{hist_note}, one pass, "
+               "pooled scratch",
+        run=run_fused, stage="predictor", span_name="stage.predictor",
+        span_attrs={"module": pipeline.predictor.name, "fused": True}))
+
+    # -- statistics: wrap the fused counts into the module's result -----
+    if collect_counts:
+        if type(statistics) is TopKHistogram:
+            k = min(int(statistics.k), num_bins)
+
+            def run_statistics(state: _ExecState) -> None:
+                total = int(state.counts.sum())
+                if total == 0:
+                    mass = 1.0
+                else:
+                    top = np.partition(state.counts, num_bins - k)
+                    mass = float(top[num_bins - k:].sum()) / float(total)
+                state.hist = HistogramResult(counts=state.counts,
+                                             num_bins=num_bins,
+                                             topk_mass=mass, k=k)
+
+            stat_detail = f"top-{k} mass from the fused counts"
+        else:
+            def run_statistics(state: _ExecState) -> None:
+                state.hist = HistogramResult(counts=state.counts,
+                                             num_bins=num_bins)
+
+            stat_detail = "dense counts collected inside the fused pass"
+        steps.append(PlanStep(
+            name=f"statistics[{statistics.name}]", detail=stat_detail,
+            run=run_statistics, stage="statistics",
+            span_name="stage.statistics",
+            span_attrs={"module": statistics.name, "fused": True}))
+
+    # -- encoder: pre-bound module call (shares the encode caches) ------
+    def run_encoder(state: _ExecState) -> None:
+        state.stream = encoder.encode(state.codes, num_bins, state.hist)
+
+    steps.append(PlanStep(
+        name=f"encoder[{encoder.name}]",
+        detail="module call (content-addressed codebook/encode caches)",
+        run=run_encoder, stage="encoder", span_name="stage.encoder",
+        span_attrs={"module": encoder.name}))
+
+    # -- header + sections (untimed glue, as in the interpreter) --------
+    def run_assemble(state: _ExecState) -> None:
+        sections: dict[str, bytes] = dict(state.stream.sections)
+        outlier_sections, outlier_count = _serialize_outliers(state.outliers)
+        sections.update(outlier_sections)
+        state.sections = sections
+        state.outlier_sections = outlier_sections
+        state.outlier_count = outlier_count
+        state.header = ContainerHeader(
+            shape=state.data.shape, dtype=state.data.dtype.str,
+            eb_value=state.eb.value, eb_mode=state.eb.mode.value,
+            eb_abs=state.eb_abs, radius=radius, modules=dict(module_names),
+            pipeline=spec.to_json(),
+            stage_meta={"predictor": {},
+                        "encoder": dict(state.stream.meta),
+                        "preprocess": dict(state.pre_meta),
+                        "outliers": {"count": outlier_count},
+                        "aux": {}})
+        _, state.body = assemble(state.header, sections)
+
+    steps.append(PlanStep(
+        name="assemble", detail="outlier packing + container header",
+        run=run_assemble))
+
+    # -- secondary + CRC finalise ---------------------------------------
+    def run_secondary(state: _ExecState) -> None:
+        state.stored_body = secondary.encode(state.body)
+
+    steps.append(PlanStep(
+        name=f"secondary[{secondary.name}]", detail="module call",
+        run=run_secondary, stage="secondary", span_name="stage.secondary",
+        span_attrs={"module": secondary.name}))
+
+    def run_finalize(state: _ExecState) -> None:
+        header_bytes, _ = assemble(state.header, state.sections,
+                                   stored_body=state.stored_body)
+        state.stored_body = header_bytes + state.stored_body
+
+    steps.append(PlanStep(
+        name="finalize", detail="stored-body CRC + header rewrite",
+        run=run_finalize))
+
+    return CompiledPlan(key=key, spec=spec, radius=radius,
+                        module_names=module_names,
+                        fingerprints=_plan_fingerprints(pipeline),
+                        encoder=encoder, secondary=secondary, steps=steps)
+
+
+def plan_for(pipeline) -> CompiledPlan | None:
+    """The cached compiled plan for ``pipeline``, or ``None`` (declined).
+
+    This is the transparent entry the engines use: a decline costs a few
+    type checks, a hit costs one digest + cache lookup, and a miss
+    compiles once per process (``FZMOD_PLAN_CACHE=0`` recompiles every
+    call but still executes fused).  The cached plan is verified against
+    the live pipeline instance (:meth:`CompiledPlan.matches`); exotic
+    mismatches — same spec, differently-configured opaque modules — get
+    a fresh uncached plan instead of someone else's closures.
+    """
+    if decline_reason(pipeline) is not None:
+        return None
+    key = plan_key(pipeline)
+    plan = COMPILED_PLAN_CACHE.get_or_build(
+        key, lambda: compile_plan(pipeline))
+    if not plan.matches(pipeline):
+        plan = compile_plan(pipeline)
+    return plan
+
+
+def plan_from_key(pipeline, key: str) -> CompiledPlan | None:
+    """Resolve a plan key shipped by an engine (shard-worker entry).
+
+    The worker compiles (or cache-hits) the plan for its own rebuilt
+    pipeline and accepts it only when the content digests agree — a
+    mismatch means this process would trace a different plan than the
+    parent did, and the shard falls back to the interpreter rather than
+    silently diverging.
+    """
+    plan = plan_for(pipeline)
+    if plan is None or plan.key != key:
+        return None
+    return plan

@@ -183,32 +183,75 @@ class Pipeline:
         return names
 
     # ------------------------------------------------------------------ #
+    def _resolve_plan(self, compile_mode):
+        """Map a ``compile=`` argument to a plan (or ``None`` = interpret).
+
+        ``"auto"`` uses the compiled plan when the spec compiles and
+        falls back silently otherwise; ``True`` requires a plan (raises
+        :class:`~repro.errors.PipelineError` naming the declining stage);
+        ``False`` forces the interpreter.
+        """
+        if compile_mode is False:
+            return None
+        if compile_mode is not True and compile_mode != "auto":
+            raise PipelineError(
+                f"compile must be 'auto', True or False, got {compile_mode!r}")
+        from ..compile import decline_reason, plan_for
+        plan = plan_for(self)
+        if plan is None and compile_mode is True:
+            raise PipelineError(
+                f"pipeline {self.name!r} cannot be compiled: "
+                f"{decline_reason(self)}")
+        return plan
+
+    def compile(self):
+        """The cached :class:`~repro.compile.CompiledPlan` for this pipeline.
+
+        Raises :class:`~repro.errors.PipelineError` when the compiler
+        declines a stage (use :func:`repro.compile.decline_reason` to ask
+        why without raising).  Compiling is idempotent and content-cached,
+        so calling this once per process pre-warms the plan cache for
+        every engine.
+        """
+        plan = self._resolve_plan(True)
+        assert plan is not None  # _resolve_plan(True) raised otherwise
+        return plan
+
     def compress(self, data: np.ndarray, eb: ErrorBound | float,
                  mode: EbMode | str = EbMode.REL, *,
                  workers: int | None = None, shard_mb: float | None = None,
-                 codebook: str | None = None):
+                 codebook: str | None = None, compile="auto"):
         """Compress ``data`` under the given error bound.
 
         With ``workers`` or ``shard_mb`` set (``workers=1`` counts: it
         requests the engine with one worker), the field is split into
         shards and compressed concurrently by the parallel engine
-        (:func:`repro.parallel.compress_sharded`); the result is then a
-        multi-shard container whose blob :func:`decompress` decodes like
-        any other.  Sharding is deterministic: the blob is byte-identical
-        for every worker count, so ``workers=4`` and ``workers=1`` decode
-        to byte-identical fields.
+        (:func:`repro.parallel.executor.compress_sharded`); the result is
+        then a multi-shard container whose blob :func:`decompress` decodes
+        like any other.  Sharding is deterministic: the blob is
+        byte-identical for every worker count, so ``workers=4`` and
+        ``workers=1`` decode to byte-identical fields.
 
         ``codebook`` (sharded runs only) selects the entropy-codebook
         scope: ``"per-shard"`` (default) builds one Huffman codebook per
         shard; ``"shared"`` builds a single global codebook from the
         combined histogram and ships it to every shard — one package-merge
         run instead of N, and one stored codebook instead of N.
+
+        ``compile`` selects the execution path: ``"auto"`` (default) runs
+        the fused compiled plan when :mod:`repro.compile` accepts the spec
+        — output is byte-identical either way — and the interpreter
+        otherwise; ``True`` requires the compiled path; ``False`` forces
+        the interpreter.
         """
         if workers is not None or shard_mb is not None or codebook is not None:
             from ..parallel.executor import compress_sharded
             return compress_sharded(data, self, eb, mode, workers=workers,
-                                    shard_mb=shard_mb,
-                                    codebook=codebook or "per-shard")
+                                    shard_mb=shard_mb, codebook=codebook,
+                                    compile=compile)
+        plan = self._resolve_plan(compile)
+        if plan is not None:
+            return plan.compress(data, eb, mode)
         if not isinstance(eb, ErrorBound):
             eb = ErrorBound(float(eb), EbMode(mode))
         data = check_field(data)

@@ -123,3 +123,17 @@ class PipelineSpec:
         if self.secondary is not None:
             stages.append(self.secondary)
         return f"{self.name}: " + " -> ".join(stages) + f" (radius={self.radius})"
+
+    def compile(self, registry=None):
+        """Assemble this spec and compile it into a fused execution plan.
+
+        Returns the content-cached :class:`~repro.compile.CompiledPlan`
+        (so repeated calls are cheap) or raises
+        :class:`~repro.errors.PipelineError` when the compiler declines a
+        stage.  ``registry`` defaults to the process-wide module registry.
+        """
+        from .pipeline import Pipeline
+        from .registry import DEFAULT_REGISTRY
+        return Pipeline.from_spec(
+            self, registry=registry if registry is not None
+            else DEFAULT_REGISTRY).compile()

@@ -466,25 +466,38 @@ def _with_fixed_codebook(pipeline: Pipeline, lengths: np.ndarray) -> Pipeline:
 
 
 def _compress_shard_local(pipeline: Pipeline, shard: np.ndarray,
-                          eb_abs: float
+                          eb_abs: float, plan_key: str | None = None
                           ) -> tuple[bytes, CompressionStats, dict | None]:
+    compiled = None
+    if plan_key is not None:
+        from ..compile import plan_from_key
+        # the key the engine shipped resolves through this process's plan
+        # cache (one trace per worker, not per shard); a digest mismatch
+        # means this worker would compile something else — interpret then
+        compiled = plan_from_key(pipeline, plan_key)
     with GLOBAL_TRACER.capture() as spans:
         with span("shard.compress", rows=int(shard.shape[0])):
-            cf: CompressedField = pipeline.compress(
-                np.ascontiguousarray(shard), ErrorBound(eb_abs, EbMode.ABS),
-                EbMode.ABS)
+            shard = np.ascontiguousarray(shard)
+            eb = ErrorBound(eb_abs, EbMode.ABS)
+            if compiled is not None:
+                cf: CompressedField = compiled.compress(shard, eb, EbMode.ABS)
+            else:
+                cf = pipeline.compress(shard, eb, EbMode.ABS, compile=False)
     return cf.blob, cf.stats, export_capture(spans)
 
 
 def _compress_shard_shm(spec_json: dict, shm_name: str,
                         shape: tuple[int, ...], dtype: str,
                         start: int, stop: int, eb_abs: float,
-                        lengths: bytes | None = None
+                        lengths: bytes | None = None,
+                        plan_key: str | None = None
                         ) -> tuple[bytes, CompressionStats, dict | None]:
     """Process-pool job: map the shared field, compress rows [start, stop).
 
     ``lengths`` (serialised ``uint8`` code lengths) pins the shard to a
-    shared Huffman codebook instead of building one from its own stats.
+    shared Huffman codebook instead of building one from its own stats;
+    ``plan_key`` selects the compiled execution plan the parent resolved
+    (``None`` = interpret).
     """
     spec = PipelineSpec.from_json(spec_json)
     pipeline = Pipeline.from_spec(spec, DEFAULT_REGISTRY)
@@ -498,12 +511,13 @@ def _compress_shard_shm(spec_json: dict, shm_name: str,
         shard = np.array(field[start:stop])
     finally:
         shm.close()
-    return _compress_shard_local(pipeline, shard, eb_abs)
+    return _compress_shard_local(pipeline, shard, eb_abs, plan_key)
 
 
 def _compress_shard_bytes(spec_json: dict, raw: bytes,
                           shape: tuple[int, ...], dtype: str, eb_abs: float,
-                          lengths: bytes | None = None
+                          lengths: bytes | None = None,
+                          plan_key: str | None = None
                           ) -> tuple[bytes, CompressionStats, dict | None]:
     """Process-pool job for the streaming engine: compress one slab that
     travelled as raw bytes (the source field never exists as one array in
@@ -514,7 +528,7 @@ def _compress_shard_bytes(spec_json: dict, raw: bytes,
         pipeline = _with_fixed_codebook(
             pipeline, np.frombuffer(lengths, dtype=np.uint8))
     shard = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
-    return _compress_shard_local(pipeline, shard, eb_abs)
+    return _compress_shard_local(pipeline, shard, eb_abs, plan_key)
 
 
 def _histogram_shard_bytes(spec_json: dict, raw: bytes,
@@ -676,6 +690,12 @@ def _drain_histograms(queue: OrderedWorkQueue) -> np.ndarray:
     return total
 
 
+def _resolve_plan_key(pipeline: Pipeline, compile_mode) -> str | None:
+    """The plan key shipped to shard workers (``None`` = interpret)."""
+    plan = pipeline._resolve_plan(compile_mode)
+    return None if plan is None else plan.key
+
+
 def compress_sharded(data: np.ndarray,
                      pipeline: Pipeline | PipelineSpec,
                      eb: ErrorBound | float,
@@ -684,7 +704,8 @@ def compress_sharded(data: np.ndarray,
                      shard_mb: float | None = None,
                      registry: ModuleRegistry = DEFAULT_REGISTRY,
                      backend: str | None = None,
-                     codebook: str = "per-shard") -> ShardedCompressedField:
+                     codebook: str | None = None,
+                     compile="auto") -> ShardedCompressedField:
     """Compress ``data`` shard-parallel into a multi-shard container.
 
     ``pipeline`` may be an assembled :class:`Pipeline` or a bare
@@ -700,12 +721,23 @@ def compress_sharded(data: np.ndarray,
     instead of one per shard, and the codebook stored once in the index
     instead of once per shard.  Shared-mode blobs are still
     deterministic across worker counts and decode self-describingly.
+
+    ``compile`` selects the worker execution path (``"auto"`` / ``True``
+    / ``False``, as in :meth:`Pipeline.compress`): the parent resolves
+    the compiled plan once and ships its content key to the workers, who
+    trace at most once per process instead of once per shard.  Compiled
+    and interpreted shards are byte-identical.
     """
     t_start = time.perf_counter()
     data = check_field(data)
     if isinstance(pipeline, PipelineSpec):
         pipeline = Pipeline.from_spec(pipeline, registry)
     spec = pipeline.spec
+    # validate the compile mode (and fail a required compile) before any
+    # pool or shared-memory setup
+    pipeline._resolve_plan(compile)
+    if codebook is None:
+        codebook = "per-shard"
     if codebook not in CODEBOOK_MODES:
         raise ConfigError(f"unknown codebook mode {codebook!r}; expected "
                           f"one of {CODEBOOK_MODES}")
@@ -756,11 +788,16 @@ def compress_sharded(data: np.ndarray,
                         extra_seconds["codebook"] = time.perf_counter() - t0
                     lengths_blob = (None if shared_lengths is None
                                     else shared_lengths.tobytes())
+                    plan_key = _resolve_plan_key(
+                        pipeline if shared_lengths is None
+                        else _with_fixed_codebook(pipeline, shared_lengths),
+                        compile)
                     queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
                     for start, stop in bounds:
                         queue.submit(_compress_shard_shm, spec.to_json(),
                                      shm.name, data.shape, data.dtype.str,
-                                     start, stop, eb_abs, lengths_blob)
+                                     start, stop, eb_abs, lengths_blob,
+                                     plan_key)
                     for k, (blob, stats, payload) in enumerate(queue.drain()):
                         absorb_capture(payload, lane=f"shard:{k}")
                         shard_blobs.append(blob)
@@ -783,10 +820,11 @@ def compress_sharded(data: np.ndarray,
                 enc_pipeline = (pipeline if shared_lengths is None
                                 else _with_fixed_codebook(pipeline,
                                                           shared_lengths))
+                plan_key = _resolve_plan_key(enc_pipeline, compile)
                 queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
                 for start, stop in bounds:
                     queue.submit(_compress_shard_local, enc_pipeline,
-                                 data[start:stop], eb_abs)
+                                 data[start:stop], eb_abs, plan_key)
                 for k, (blob, stats, payload) in enumerate(queue.drain()):
                     absorb_capture(payload, lane=f"shard:{k}")
                     shard_blobs.append(blob)

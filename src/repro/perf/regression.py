@@ -86,6 +86,10 @@ def run_hotpath_suite(*, quick: bool = False,
     ``single``
         one-shot ``Pipeline.compress`` / ``decompress`` of a smooth field,
         cold (caches cleared per call, pool off) vs warm (primed, pool on).
+    ``compiled``
+        warm compiled-plan compress (``compile=True``) vs warm
+        interpreted (``compile=False``), with the byte-identity flag the
+        CI gate enforces and the fused plan's content address.
     ``sharded``
         ``workers``-worker in-process sharded compression with small
         shards (so codebook construction is a meaningful fraction), cold
@@ -146,14 +150,29 @@ def run_hotpath_suite(*, quick: bool = False,
         "stage_seconds": dict(cf.stats.stage_seconds),
     }
 
+    # ---- compiled plan vs interpreter (same engine, same bytes) ------- #
+    warm_i, icf = median_seconds(
+        lambda: pipe.compress(data, eb, compile=False),
+        warmup=max(1, warmup), repeat=rep)
+    warm_p, pcf = median_seconds(
+        lambda: pipe.compress(data, eb, compile=True),
+        warmup=max(1, warmup), repeat=rep)
+    report["compiled"] = {
+        "plan_key": pipe.compile().key,
+        "interpreted": {"warm_s": warm_i, "warm_mb_s": mb / warm_i},
+        "compress": {"warm_s": warm_p, "warm_mb_s": mb / warm_p,
+                     "speedup_vs_interpreted": warm_i / warm_p},
+        "blob_identical": pcf.blob == icf.blob,
+    }
+
     # ---- sharded compress (in-process pool: workers share the caches; a
     # process pool would start every worker cold) ----------------------- #
-    from ..parallel.executor import compress_sharded
+    from ..api import compress as facade_compress
 
     def sharded_in(codebook: str = "per-shard"):
-        return compress_sharded(data, pipe, eb, EbMode.REL, workers=workers,
-                                shard_mb=shard_mb, backend="inprocess",
-                                codebook=codebook)
+        return facade_compress(data, pipe, eb, mode=EbMode.REL,
+                               workers=workers, shard_mb=shard_mb,
+                               backend="inprocess", codebook=codebook)
 
     set_pooling(False)
     cold_s, sf = median_seconds(sharded_in, warmup=warmup, repeat=rep,
@@ -223,6 +242,11 @@ def run_hotpath_suite(*, quick: bool = False,
 #: perf targets asserted over the committed report (ratio floors)
 TARGET_WARM_DECOMPRESS = 1.5
 TARGET_WARM_SHARDED = 1.2
+#: the pre-compiler warm single-stream compress throughput this harness
+#: recorded on the reference machine; the compiled fused plans must at
+#: least double it (the plan-compiler tentpole's acceptance bar)
+BASELINE_SINGLE_MB_S = 137.0
+TARGET_COMPILED_MB_S = 2.0 * BASELINE_SINGLE_MB_S
 #: disabled-telemetry span cost must stay under this fraction of a warm
 #: compress (the ISSUE's "within 3% of untraced runtime" acceptance bar)
 TELEMETRY_OVERHEAD_BUDGET = 0.03
@@ -252,6 +276,13 @@ def check_results(report: dict) -> dict:
         checks["telemetry_disabled_overhead_lt_3pct"] = (
             tel["disabled_overhead_fraction"] < TELEMETRY_OVERHEAD_BUDGET)
         checks["telemetry_blob_identical"] = bool(tel["blob_identical"])
+    comp = report.get("compiled")
+    if comp is not None:  # pre-compiler reports lack the section
+        checks["compiled_blob_identical"] = bool(comp["blob_identical"])
+        checks["compiled_not_slower_than_interpreted"] = (
+            comp["compress"]["warm_s"] <= comp["interpreted"]["warm_s"])
+        checks["target_compiled_274_mb_s"] = (
+            comp["compress"]["warm_mb_s"] >= TARGET_COMPILED_MB_S)
     return checks
 
 
@@ -312,7 +343,25 @@ def check_regressions(report: dict, *, strict: bool = False) -> list[str]:
             f"{tel['disabled_overhead_fraction'] * 100:.2f}% of a warm "
             f"compress exceeds the {TELEMETRY_OVERHEAD_BUDGET * 100:.0f}% "
             "budget")
+    if not checks.get("compiled_blob_identical", True):
+        failures.append(
+            "compiled-plan container bytes diverged from the interpreter; "
+            "the fused executor must be byte-identical")
+    if not checks.get("compiled_not_slower_than_interpreted", True):
+        comp = report["compiled"]
+        failures.append(
+            f"compiled compress is slower than interpreted "
+            f"({comp['compress']['warm_s']:.4f}s vs "
+            f"{comp['interpreted']['warm_s']:.4f}s)")
     if strict:
+        if not checks.get("target_compiled_274_mb_s", True):
+            comp = report["compiled"]
+            failures.append(
+                f"compiled warm compress "
+                f"{comp['compress']['warm_mb_s']:.1f} MB/s below the "
+                f"{TARGET_COMPILED_MB_S:.0f} MB/s target "
+                f"(2x the {BASELINE_SINGLE_MB_S:.0f} MB/s pre-compiler "
+                "baseline)")
         if not checks["target_warm_decompress_1.5x"]:
             failures.append(
                 f"warmed decompress speedup "
@@ -362,6 +411,14 @@ def render_report(report: dict) -> str:
         f"({p['shared_codebook']['per_shard_bytes']} -> "
         f"{p['shared_codebook']['shared_bytes']})",
     ]
+    comp = report.get("compiled")
+    if comp is not None:
+        ident = ("byte-identical" if comp["blob_identical"] else "DIVERGED")
+        lines.append(
+            f"  compiled    {comp['compress']['warm_mb_s']:.1f} MB/s vs "
+            f"{comp['interpreted']['warm_mb_s']:.1f} MB/s interpreted "
+            f"({comp['compress']['speedup_vs_interpreted']:.2f}x, {ident}, "
+            f"plan {comp['plan_key'][:12]})")
     tel = report.get("telemetry")
     if tel is not None:
         lines.append(
@@ -394,6 +451,8 @@ def _history_entry(report: dict) -> dict:
         "warm_decompress_s": s.get("decompress", {}).get("warm_s"),
         "sharded_speedup":
             report.get("sharded", {}).get("compress", {}).get("speedup"),
+        "compiled_mb_s": report.get("compiled", {})
+            .get("compress", {}).get("warm_mb_s"),
         "checks": report.get("checks", {}),
     }
 

@@ -48,8 +48,8 @@ from ..parallel.executor import (CODEBOOK_MODES, DEFAULT_SHARD_MB,
                                  _compress_shard_bytes, _compress_shard_local,
                                  _histogram_shard_bytes,
                                  _histogram_shard_local, _make_pool,
-                                 _with_fixed_codebook, combine_stats,
-                                 default_workers)
+                                 _resolve_plan_key, _with_fixed_codebook,
+                                 combine_stats, default_workers)
 from ..runtime.memory import Allocator, BufferPool
 from ..runtime.stream import OrderedWorkQueue
 from ..stf.context import StfContext
@@ -102,7 +102,8 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
                     shard_mb: float | None = None,
                     registry: ModuleRegistry = DEFAULT_REGISTRY,
                     backend: str | None = None,
-                    codebook: str = "per-shard",
+                    codebook: str | None = None,
+                    compile="auto",
                     layout: str = "compat",
                     prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
                     prefetch_bytes: int | None = None
@@ -124,12 +125,21 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
 
     REL bounds and ``codebook="shared"`` need a second pass over the
     rows and therefore a rescannable source.
+
+    ``compile`` selects the worker execution path (``"auto"`` / ``True``
+    / ``False``, as in :meth:`Pipeline.compress`): workers receive the
+    resolved plan key and trace at most once per process.  Compiled and
+    interpreted slabs are byte-identical.
     """
     t_start = time.perf_counter()
     src = as_source(source)
     if isinstance(pipeline, PipelineSpec):
         pipeline = Pipeline.from_spec(pipeline, registry)
     spec = pipeline.spec
+    # validate the compile mode (and fail a required compile) up front
+    pipeline._resolve_plan(compile)
+    if codebook is None:
+        codebook = "per-shard"
     if codebook not in CODEBOOK_MODES:
         raise ConfigError(f"unknown codebook mode {codebook!r}; expected "
                           f"one of {CODEBOOK_MODES}")
@@ -242,16 +252,17 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
                 enc_pipeline = (pipeline if shared_lengths is None
                                 else _with_fixed_codebook(pipeline,
                                                           shared_lengths))
+                plan_key = _resolve_plan_key(enc_pipeline, compile)
                 retired = {"k": 0}
 
                 def submit_compress(queue, payload, shape):
                     if chosen == "process":
                         queue.submit(_compress_shard_bytes, spec.to_json(),
                                      payload, shape, dtype.str, eb_abs,
-                                     lengths_blob)
+                                     lengths_blob, plan_key)
                     else:
                         queue.submit(_compress_shard_local, enc_pipeline,
-                                     payload, eb_abs)
+                                     payload, eb_abs, plan_key)
 
                 def retire_compress(res):
                     blob, stats, payload = res
@@ -290,7 +301,7 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
 # ---------------------------------------------------------------------- #
 # streaming decompression with real stage overlap                         #
 # ---------------------------------------------------------------------- #
-def decompress_stream(path: str, out: np.ndarray | None = None, *,
+def decompress_stream(path: str, *, out: np.ndarray | None = None,
                       workers: int | None = None,
                       registry: ModuleRegistry = DEFAULT_REGISTRY,
                       window: int | None = None) -> np.ndarray:

@@ -529,3 +529,57 @@ def test_fzl010_silent_on_slab_discipline(lint):
 
 def test_fzl010_scoped_to_streaming_dir(lint):
     assert lint({"core/bad.py": BAD_STREAMING}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL011 facade discipline                                               #
+# --------------------------------------------------------------------- #
+BAD_FACADE = """
+from repro.parallel.executor import compress_sharded
+from repro.streaming import engine
+
+def shortcut(data, pipe, eb):
+    cf = compress_sharded(data, pipe, eb, workers=4)
+    engine.decompress_stream("field.fzms", workers=4)
+    return cf
+"""
+
+GOOD_FACADE = """
+import repro
+
+def front_door(data, pipe, eb):
+    cf = repro.compress(data, pipe, eb, workers=4)
+    return repro.decompress(cf.blob)
+"""
+
+
+def test_fzl011_fires_on_direct_engine_calls(lint):
+    result = lint({"core/shortcut.py": BAD_FACADE})
+    assert rules_fired(result) == {"FZL011"}
+    assert len(result.findings) == 2  # plain and attribute-qualified call
+    msgs = " ".join(f.message for f in result.findings)
+    assert "facade" in msgs and "compress_sharded" in msgs
+
+
+def test_fzl011_silent_on_facade_calls(lint):
+    assert lint({"core/front.py": GOOD_FACADE}).findings == []
+
+
+def test_fzl011_allows_the_engines_and_dispatchers(lint):
+    # the facade, the Pipeline dispatcher and the engine packages own
+    # the raw entrypoints — the rule must not fire on any of them
+    files = {
+        "api.py": BAD_FACADE,
+        "core/pipeline.py": BAD_FACADE,
+        "parallel/executor.py": BAD_FACADE,
+        "streaming/engine.py": BAD_FACADE,
+    }
+    for rel, src in files.items():
+        assert lint({rel: src}).findings == [], rel
+
+
+def test_fzl011_fires_in_the_cli(lint):
+    # cli.py is deliberately NOT allowlisted: the CLI proves the facade
+    # covers every engine path
+    result = lint({"cli.py": BAD_FACADE})
+    assert rules_fired(result) == {"FZL011"}

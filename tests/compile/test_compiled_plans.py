@@ -1,0 +1,183 @@
+"""Golden byte-identity and plan-cache tests for the plan compiler.
+
+The compiler's whole contract is *transparent* speed: for every preset
+and every engine, ``compile="auto"`` must produce the same container
+bytes as the interpreter, and declined pipelines must fall back without
+anyone noticing.  These tests pin that contract bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.compile import (compile_plan, decline_reason, plan_for,
+                           plan_from_key, plan_key)
+from repro.core import get_preset
+from repro.core.pipeline import decompress as core_decompress
+from repro.errors import PipelineError
+from repro.kernels.plancache import COMPILED_PLAN_CACHE
+from repro.types import EbMode
+
+PRESETS = ("fzmod-default", "fzmod-speed", "fzmod-quality")
+COMPILABLE = ("fzmod-default", "fzmod-speed")
+
+
+@pytest.fixture
+def field(rng) -> np.ndarray:
+    base = np.cumsum(rng.standard_normal((40, 32, 32)), axis=0)
+    return (base * 3.0).astype(np.float32)
+
+
+# --------------------------------------------------------------------- #
+# byte identity: compiled vs interpreted, every preset x every engine
+# --------------------------------------------------------------------- #
+class TestByteIdentity:
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("mode", [EbMode.REL, EbMode.ABS])
+    def test_single_engine(self, field, preset, mode):
+        pipe = get_preset(preset)
+        eb = 1e-3 if mode is EbMode.REL else 0.05
+        ref = pipe.compress(field, eb, mode, compile=False)
+        got = pipe.compress(field, eb, mode, compile="auto")
+        assert got.blob == ref.blob
+        recon = core_decompress(got.blob)
+        assert recon.shape == field.shape
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("codebook", ["per-shard", "shared"])
+    def test_sharded_engine(self, field, preset, codebook):
+        pipe = get_preset(preset)
+        if codebook == "shared" and preset == "fzmod-speed":
+            pytest.skip("shared codebook is a huffman-only mode")
+        ref = pipe.compress(field, 1e-3, workers=2, shard_mb=0.125,
+                            codebook=codebook, compile=False)
+        got = pipe.compress(field, 1e-3, workers=2, shard_mb=0.125,
+                            codebook=codebook, compile="auto")
+        assert got.blob == ref.blob
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_streaming_engine(self, field, preset, tmp_path):
+        from repro.streaming.engine import compress_stream
+        from repro.streaming.source import ArraySource
+        pipe = get_preset(preset)
+        blobs = {}
+        for flag in (False, "auto"):
+            path = tmp_path / f"f-{flag}.fzms"
+            with ArraySource(field) as source:
+                compress_stream(source, pipe, 1e-3, EbMode.REL,
+                                out_path=str(path), workers=2,
+                                shard_mb=0.125, compile=flag)
+            blobs[flag] = path.read_bytes()
+        assert blobs["auto"] == blobs[False]
+
+    def test_tight_bound_outlier_path(self, spiky_1d):
+        # spiky data under a tight bound exercises the outlier slow path
+        pipe = get_preset("fzmod-default")
+        ref = pipe.compress(spiky_1d, 1e-6, compile=False)
+        got = pipe.compress(spiky_1d, 1e-6, compile="auto")
+        assert got.blob == ref.blob
+        assert got.stats.outlier_count > 0
+
+    def test_stats_match_interpreter(self, field):
+        pipe = get_preset("fzmod-default")
+        ref = pipe.compress(field, 1e-3, compile=False).stats
+        got = pipe.compress(field, 1e-3, compile="auto").stats
+        assert got.output_bytes == ref.output_bytes
+        assert got.eb_abs == ref.eb_abs
+        assert got.code_fraction == ref.code_fraction
+        assert got.outlier_count == ref.outlier_count
+        assert got.section_sizes == ref.section_sizes
+
+
+# --------------------------------------------------------------------- #
+# compile= mode semantics
+# --------------------------------------------------------------------- #
+class TestCompileModes:
+    def test_quality_declines_and_interprets(self, field):
+        pipe = get_preset("fzmod-quality")
+        assert decline_reason(pipe) is not None
+        ref = pipe.compress(field, 1e-3, compile=False)
+        got = pipe.compress(field, 1e-3, compile="auto")  # silent fallback
+        assert got.blob == ref.blob
+
+    def test_compile_true_raises_on_decline(self, field):
+        pipe = get_preset("fzmod-quality")
+        with pytest.raises(PipelineError, match="interp"):
+            pipe.compress(field, 1e-3, compile=True)
+
+    def test_compile_true_raises_early_on_sharded(self, field):
+        pipe = get_preset("fzmod-quality")
+        with pytest.raises(PipelineError):
+            pipe.compress(field, 1e-3, workers=2, compile=True)
+
+    def test_invalid_mode_rejected(self, field):
+        pipe = get_preset("fzmod-default")
+        with pytest.raises(PipelineError, match="compile"):
+            pipe.compress(field, 1e-3, compile="yes-please")
+
+    @pytest.mark.parametrize("preset", COMPILABLE)
+    def test_pipeline_and_spec_compile_entrypoints(self, preset):
+        from repro.core.presets import get_preset_spec
+        plan_a = get_preset(preset).compile()
+        plan_b = get_preset_spec(preset).compile()
+        assert plan_a is plan_b  # content-addressed: same key, same object
+        assert plan_a.key == plan_key(get_preset(preset))
+        assert preset in plan_a.describe()
+
+
+# --------------------------------------------------------------------- #
+# plan cache behaviour
+# --------------------------------------------------------------------- #
+class TestPlanCache:
+    def test_hit_after_miss(self):
+        pipe = get_preset("fzmod-default")
+        COMPILED_PLAN_CACHE.clear()
+        COMPILED_PLAN_CACHE.reset_stats()
+        first = plan_for(pipe)
+        assert COMPILED_PLAN_CACHE.stats()["misses"] >= 1
+        hits0 = COMPILED_PLAN_CACHE.stats()["hits"]
+        second = plan_for(pipe)
+        assert second is first
+        assert COMPILED_PLAN_CACHE.stats()["hits"] == hits0 + 1
+
+    def test_distinct_specs_get_distinct_plans(self):
+        a = plan_for(get_preset("fzmod-default"))
+        b = plan_for(get_preset("fzmod-speed"))
+        assert a is not None and b is not None
+        assert a.key != b.key
+
+    def test_env_kill_switch_disables_reuse(self, monkeypatch):
+        pipe = get_preset("fzmod-default")
+        monkeypatch.setenv("FZMOD_PLAN_CACHE", "0")
+        COMPILED_PLAN_CACHE.clear()
+        first = plan_for(pipe)
+        second = plan_for(pipe)
+        assert first is not None and second is not None
+        assert first is not second  # rebuilt every time, never stored
+        assert len(COMPILED_PLAN_CACHE) == 0
+        assert first.key == second.key  # still the same content address
+
+    def test_env_kill_switch_output_identical(self, monkeypatch, smooth_3d):
+        pipe = get_preset("fzmod-default")
+        ref = pipe.compress(smooth_3d, 1e-3, compile="auto").blob
+        monkeypatch.setenv("FZMOD_PLAN_CACHE", "0")
+        got = pipe.compress(smooth_3d, 1e-3, compile="auto").blob
+        assert got == ref
+
+    def test_plan_from_key_round_trip(self):
+        pipe = get_preset("fzmod-default")
+        key = plan_key(pipe)
+        plan = plan_from_key(pipe, key)
+        assert plan is not None and plan.key == key
+
+    def test_plan_from_key_rejects_foreign_key(self):
+        pipe = get_preset("fzmod-default")
+        assert plan_from_key(pipe, "0" * 32) is None
+
+    def test_compile_plan_rejects_uncompilable(self):
+        with pytest.raises(PipelineError):
+            compile_plan(get_preset("fzmod-quality"))

@@ -1,0 +1,192 @@
+"""Dispatch matrix and shim tests for the ``repro.api`` facade.
+
+``repro.compress`` / ``repro.decompress`` are the public front door:
+they pick the engine from the argument shape.  These tests pin the
+dispatch table, the ``out=`` contracts, and the deprecation shims that
+keep the old per-engine entrypoints importable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.pipeline import CompressedField
+from repro.errors import ConfigError, DataError
+from repro.parallel.executor import ShardedCompressedField
+from repro.streaming.engine import StreamedCompressedField
+
+
+@pytest.fixture
+def field(rng) -> np.ndarray:
+    base = np.cumsum(rng.standard_normal((32, 24, 24)), axis=0)
+    return (base * 2.0).astype(np.float32)
+
+
+# --------------------------------------------------------------------- #
+# dispatch matrix
+# --------------------------------------------------------------------- #
+class TestCompressDispatch:
+    def test_plain_array_uses_single_engine(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3)
+        assert isinstance(cf, CompressedField)
+
+    def test_workers_selects_sharded(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3, workers=2)
+        assert isinstance(cf, ShardedCompressedField)
+
+    def test_shard_mb_selects_sharded(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3, shard_mb=0.125)
+        assert isinstance(cf, ShardedCompressedField)
+
+    def test_codebook_selects_sharded(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3, codebook="shared")
+        assert isinstance(cf, ShardedCompressedField)
+
+    def test_stream_flag_selects_streaming(self, field, tmp_path):
+        path = tmp_path / "f.fzms"
+        sf = repro.compress(field, "fzmod-default", 1e-3,
+                            stream=True, out=path)
+        assert isinstance(sf, StreamedCompressedField)
+        assert path.exists()
+
+    def test_memmap_input_selects_streaming(self, field, tmp_path):
+        raw = tmp_path / "f.f32"
+        field.tofile(raw)
+        mm = np.memmap(raw, dtype=field.dtype, mode="r", shape=field.shape)
+        sf = repro.compress(mm, "fzmod-default", 1e-3,
+                            out=tmp_path / "f.fzms")
+        assert isinstance(sf, StreamedCompressedField)
+
+    def test_stream_without_out_path_rejected(self, field):
+        with pytest.raises(ConfigError, match="destination path"):
+            repro.compress(field, "fzmod-default", 1e-3, stream=True)
+        with pytest.raises(ConfigError, match="destination path"):
+            repro.compress(field, "fzmod-default", 1e-3, stream=True,
+                           out=np.empty_like(field))
+
+    def test_out_array_rejected_for_in_memory(self, field):
+        with pytest.raises(ConfigError, match="destination path"):
+            repro.compress(field, "fzmod-default", 1e-3,
+                           out=np.empty_like(field))
+
+    def test_out_path_writes_blob(self, field, tmp_path):
+        path = tmp_path / "f.fzmod"
+        cf = repro.compress(field, "fzmod-default", 1e-3, out=path)
+        assert path.read_bytes() == cf.blob
+
+    def test_spec_and_pipeline_inputs(self, field):
+        from repro import get_preset, get_preset_spec
+        by_name = repro.compress(field, "fzmod-speed", 1e-3)
+        by_spec = repro.compress(field, get_preset_spec("fzmod-speed"), 1e-3)
+        by_pipe = repro.compress(field, get_preset("fzmod-speed"), 1e-3)
+        assert by_name.blob == by_spec.blob == by_pipe.blob
+
+    def test_unknown_preset_rejected(self, field):
+        with pytest.raises(ConfigError):
+            repro.compress(field, "no-such-preset", 1e-3)
+        with pytest.raises(ConfigError, match="Pipeline"):
+            repro.compress(field, 42, 1e-3)
+
+
+class TestDecompressDispatch:
+    def test_bytes_round_trip(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3)
+        recon = repro.decompress(cf.blob)
+        assert recon.shape == field.shape
+        assert recon.dtype == field.dtype
+
+    def test_result_object_accepted(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3)
+        assert np.array_equal(repro.decompress(cf), repro.decompress(cf.blob))
+
+    def test_sharded_blob_round_trip(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3, workers=2)
+        recon = repro.decompress(cf.blob, workers=2)
+        assert recon.shape == field.shape
+
+    def test_single_container_path(self, field, tmp_path):
+        path = tmp_path / "f.fzmod"
+        repro.compress(field, "fzmod-default", 1e-3, out=path)
+        recon = repro.decompress(path)
+        assert recon.shape == field.shape
+
+    def test_streamed_container_path(self, field, tmp_path):
+        path = tmp_path / "f.fzms"
+        sf = repro.compress(field, "fzmod-default", 1e-3, stream=True,
+                            out=path, workers=2)
+        by_path = repro.decompress(str(path))
+        by_result = repro.decompress(sf)  # carries .path, decoded streamed
+        assert np.array_equal(by_path, by_result)
+
+    def test_out_array_filled_and_returned(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3)
+        dst = np.empty_like(field)
+        ret = repro.decompress(cf.blob, out=dst)
+        assert ret is dst
+        assert np.array_equal(dst, repro.decompress(cf.blob))
+
+    def test_out_array_shape_validated(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3)
+        with pytest.raises(DataError, match="shape"):
+            repro.decompress(cf.blob, out=np.empty((2, 2), dtype=np.float32))
+        with pytest.raises(ConfigError, match="writable array"):
+            repro.decompress(cf.blob, out="not-an-array")
+
+    def test_garbage_input_rejected(self):
+        with pytest.raises(ConfigError, match="container bytes"):
+            repro.decompress(12345)
+
+
+class TestCompileKwarg:
+    def test_facade_compile_modes_byte_identical(self, field):
+        blobs = {flag: repro.compress(field, "fzmod-default", 1e-3,
+                                      compile=flag).blob
+                 for flag in ("auto", True, False)}
+        assert blobs["auto"] == blobs[True] == blobs[False]
+
+    def test_facade_compile_require_propagates(self, field):
+        from repro.errors import PipelineError
+        with pytest.raises(PipelineError):
+            repro.compress(field, "fzmod-quality", 1e-3, compile=True)
+
+
+# --------------------------------------------------------------------- #
+# deprecation shims
+# --------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_parallel_compress_shim_warns_and_works(self, field):
+        from repro.parallel import compress_sharded
+        with pytest.warns(DeprecationWarning, match="repro.compress"):
+            cf = compress_sharded(field, repro.get_preset("fzmod-default"),
+                                  1e-3, workers=2)
+        assert isinstance(cf, ShardedCompressedField)
+
+    def test_parallel_decompress_shim_warns_and_works(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3, workers=2)
+        from repro.parallel import decompress_sharded
+        with pytest.warns(DeprecationWarning, match="repro.decompress"):
+            recon = decompress_sharded(cf.blob)
+        assert recon.shape == field.shape
+
+    def test_streaming_shims_warn_and_work(self, field, tmp_path):
+        from repro.streaming import (ArraySource, compress_stream,
+                                     decompress_stream)
+        path = tmp_path / "f.fzms"
+        with pytest.warns(DeprecationWarning, match="stream=True"):
+            with ArraySource(field) as source:
+                compress_stream(source, repro.get_preset("fzmod-default"),
+                                1e-3, out_path=str(path), workers=2)
+        with pytest.warns(DeprecationWarning, match="repro.decompress"):
+            recon = decompress_stream(str(path))
+        assert recon.shape == field.shape
+
+    def test_shims_forward_byte_identically(self, field):
+        from repro.parallel import compress_sharded
+        ref = repro.compress(field, "fzmod-default", 1e-3, workers=2,
+                             shard_mb=0.125)
+        with pytest.warns(DeprecationWarning):
+            old = compress_sharded(field, repro.get_preset("fzmod-default"),
+                                   1e-3, workers=2, shard_mb=0.125)
+        assert old.blob == ref.blob
