@@ -1,10 +1,15 @@
 """Hot-path perf-regression bench (cold vs warmed caches/pool).
 
 Measures the wall-clock effect of the hot-path machinery — the plan
-caches, the buffer pool and shared-codebook sharding — via
+caches, the buffer pool, shared-codebook sharding and the compiled
+compress/decode plans — via
 :func:`repro.perf.regression.run_hotpath_suite`, and gates on
 :func:`repro.perf.regression.check_regressions`: the warmed path must
-never be slower than the cold path.
+never be slower than the cold path, and the compiled executors must be
+identical to the interpreter (bytes out on the write side, values out
+on the read side) and never slower; ``--strict`` additionally ratchets
+the targets (compress >= 274 MB/s warm, compiled decompress >= 1.5x the
+warm interpreter).
 
 Two entry points:
 

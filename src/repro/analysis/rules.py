@@ -1,4 +1,4 @@
-"""The FZModules contract rules (FZL001 - FZL011).
+"""The FZModules contract rules (FZL001 - FZL012).
 
 Each rule machine-checks one convention the framework's composability
 story depends on.  The checks are deliberately heuristic — AST-local,
@@ -759,3 +759,54 @@ class FacadeDiscipline(Rule):
                     "repro.api facade; call repro.compress()/"
                     "repro.decompress() and select the engine by argument "
                     "shape (workers=, stream=, sources, paths)")
+
+
+@register_rule
+class DecodeOutContract(Rule):
+    """FZL012: field-reconstructing decode kernels must accept ``out=``."""
+
+    id = "FZL012"
+    title = "decode out= contract"
+    contract = (
+        "The read side has the same pooled-buffer story as the write "
+        "side: the fused decode plans, the sharded workers and the "
+        "streaming scatter all hand reconstruction a destination slab "
+        "(a shared-memory view, a caller's out= array, a memmap window) "
+        "and expect the field written straight into it.  A decode-path "
+        "kernel that only returns a freshly allocated field forces every "
+        "one of those callers into a full staging copy, hiding a "
+        "field-sized allocation on the hot read path.  Any kernels/ "
+        "function that reconstructs a field (a decompress*/reconstruct* "
+        "returning an ndarray) must therefore accept `out=None`; FZL002 "
+        "then checks the buffer is honoured and returned.")
+
+    #: function-name prefixes that reconstruct a field (entropy decoders
+    #: named decode* return data-dependent streams and are exempt)
+    _NAMES = ("decompress", "reconstruct")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Kernel modules only (``kernels/*``, excluding ``__init__``)."""
+        return ctx.in_dir("kernels") and ctx.filename != "__init__.py"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag reconstructing functions whose signature lacks ``out=``."""
+        for fn in functions_of(ctx.tree):
+            if not fn.name.startswith(self._NAMES):
+                continue
+            if fn.returns is None or not self._returns_ndarray(fn.returns):
+                continue
+            if OutContract._has_out_param(fn):
+                continue
+            yield ctx.finding(
+                self, fn,
+                f"{fn.name}() reconstructs a field but accepts no out= "
+                "parameter; decode-path kernels must be able to write "
+                "into caller-supplied buffers (shm slabs, memmap "
+                "windows) without a staging copy")
+
+    @staticmethod
+    def _returns_ndarray(ann: ast.expr) -> bool:
+        return any(isinstance(n, (ast.Name, ast.Attribute))
+                   and (n.id if isinstance(n, ast.Name)
+                        else n.attr) == "ndarray"
+                   for n in ast.walk(ann))

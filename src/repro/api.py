@@ -35,7 +35,7 @@ from .core.pipeline import CompressedField, Pipeline, decompress as \
 from .core.presets import get_preset
 from .core.registry import DEFAULT_REGISTRY, ModuleRegistry
 from .core.spec import PipelineSpec
-from .errors import ConfigError, DataError
+from .errors import ConfigError
 from .types import EbMode, ErrorBound
 
 __all__ = ["compress", "decompress", "resolve_pipeline"]
@@ -132,6 +132,7 @@ def compress(data_or_source, spec_or_preset, eb, *,
 
 def decompress(blob_or_path, *, out: np.ndarray | None = None,
                workers: int | None = None,
+               compile="auto",
                registry: ModuleRegistry = DEFAULT_REGISTRY) -> np.ndarray:
     """Reconstruct a field from a container blob or container file.
 
@@ -141,8 +142,15 @@ def decompress(blob_or_path, *, out: np.ndarray | None = None,
     compressed file is never fully resident; other inputs decode
     header-driven in memory (multi-shard blobs shard-parallel under
     ``workers``).  ``out`` receives the field in place when given (its
-    shape/dtype must match) and is returned.
+    shape/dtype must match) and is returned — every engine writes the
+    reconstruction into it directly, no staging copy.  ``compile``
+    selects the decode path (``"auto"`` / ``True`` / ``False``, see
+    :func:`repro.core.decompress`); reconstructed values do not depend
+    on it.
     """
+    if out is not None and (not isinstance(out, np.ndarray)
+                            or not out.flags.writeable):
+        raise ConfigError("out= for decompression must be a writable array")
     blob = getattr(blob_or_path, "blob", blob_or_path)
     source_path = getattr(blob_or_path, "path", None)
     if isinstance(blob, (str, Path, os.PathLike)) or source_path is not None:
@@ -153,7 +161,8 @@ def decompress(blob_or_path, *, out: np.ndarray | None = None,
         if magic == SHARD_MAGIC:
             from .streaming.engine import decompress_stream
             return decompress_stream(path, out=out, workers=workers,
-                                     registry=registry, window=None)
+                                     registry=registry, window=None,
+                                     compile=compile)
         blob = Path(path).read_bytes()
     if isinstance(blob, (bytearray, memoryview)):
         blob = bytes(blob)
@@ -161,14 +170,5 @@ def decompress(blob_or_path, *, out: np.ndarray | None = None,
         raise ConfigError(
             "expected container bytes, a compressed-field result or a "
             f"path, got {type(blob_or_path).__name__}")
-    field = _decompress_blob(blob, registry, workers=workers)
-    if out is None:
-        return field
-    if not isinstance(out, np.ndarray):
-        raise ConfigError("out= for decompression must be a writable array")
-    if out.shape != field.shape or out.dtype != field.dtype:
-        raise DataError(
-            f"out= has shape {out.shape}/{out.dtype}, container holds "
-            f"{field.shape}/{field.dtype}")
-    out[...] = field
-    return out
+    return _decompress_blob(blob, registry, workers=workers,
+                            compile=compile, out=out)

@@ -22,17 +22,38 @@ Public surface
     enforced before the fused path is trusted.
 :func:`decline_reason` / :func:`plan_key`
     introspection for CLI messaging and cache keying.
+
+The read side mirrors all of it (:mod:`repro.compile.decode`):
+:func:`decode_plan_for` / :func:`decode_plan_for_header` are the
+transparent engine entries, :func:`compile_decode_plan` the raising
+trace, :func:`decode_plan_from_key` the shard-worker resolution, and
+:func:`decode_decline_reason` / :func:`decode_plan_key` the
+introspection pair.  Decode plans share ``COMPILED_PLAN_CACHE`` with
+the compress plans under a distinct digest tag.
 """
 
-from .fused import fused_predict_quantize, scaled_magnitude_bound
+from .decode import (CompiledDecodePlan, compile_decode_plan,
+                     decode_decline_reason, decode_plan_for,
+                     decode_plan_for_header, decode_plan_from_key,
+                     decode_plan_key)
+from .fused import (fused_decode_reconstruct, fused_predict_quantize,
+                    scaled_magnitude_bound)
 from .plan import (CompiledPlan, PlanStep, compile_plan, decline_reason,
                    plan_for, plan_from_key, plan_key)
 
 __all__ = [
+    "CompiledDecodePlan",
     "CompiledPlan",
     "PlanStep",
+    "compile_decode_plan",
     "compile_plan",
     "decline_reason",
+    "decode_decline_reason",
+    "decode_plan_for",
+    "decode_plan_for_header",
+    "decode_plan_from_key",
+    "decode_plan_key",
+    "fused_decode_reconstruct",
     "fused_predict_quantize",
     "plan_for",
     "plan_from_key",

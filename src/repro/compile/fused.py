@@ -19,6 +19,12 @@ covers pre-quantization, prediction and code emission):
   the dense ``uint16`` code cast is the only full-size array the stage
   materialises — exactly the one the encoder needs.
 
+:func:`fused_decode_reconstruct` is the read-side mirror: outlier
+merge, the d-D inverse-Lorenzo prefix-sum sweep and the dequantise
+scale/cast collapse into one pass over a single pooled ``int64`` grid,
+with the final floats written directly into the caller's ``out=``
+buffer — no full-field temporaries between the decode stages.
+
 Every step is arithmetic-identical to the interpreted kernels in
 :mod:`repro.kernels.quantize`, :mod:`repro.kernels.lorenzo` and
 :mod:`repro.kernels.histogram` — codes, outliers and counts match them
@@ -34,6 +40,38 @@ import numpy as np
 from ..errors import CodecError
 from ..kernels.quantize import OutlierSet
 from ..runtime.memory import default_pool
+
+#: slices smaller than this run the inverse-Lorenzo scan via
+#: ``np.cumsum`` — the running-add loop's per-iteration ufunc dispatch
+#: only pays off once each fused add covers a decent stretch of memory
+_SCAN_LOOP_MIN_SLICE = 1024
+
+
+def _inplace_prefix_sum(grid: np.ndarray) -> None:
+    """In-place inclusive prefix sum along every axis, last axis first.
+
+    ``np.cumsum(..., out=...)`` is only fast along the last (contiguous)
+    axis; for earlier axes its strided inner loop runs several times
+    slower than a running ``np.add`` over whole hyperplane slices, each
+    of which streams once at near-memcpy bandwidth.  Integer addition is
+    exact and order-independent, so either sweep produces a bit-identical
+    grid — the compiled-vs-interpreted golden tests pin this against the
+    interpreter's all-``cumsum`` sweep in ``kernels.lorenzo``.
+    """
+    ndim = grid.ndim
+    if ndim == 0:
+        return
+    np.cumsum(grid, axis=ndim - 1, out=grid)
+    for axis in range(ndim - 2, -1, -1):
+        n = grid.shape[axis]
+        if n <= 1:
+            continue
+        if grid.size // n < _SCAN_LOOP_MIN_SLICE:
+            np.cumsum(grid, axis=axis, out=grid)
+            continue
+        planes = np.moveaxis(grid, axis, 0)
+        for i in range(1, n):
+            np.add(planes[i], planes[i - 1], out=planes[i])
 
 
 def scaled_magnitude_bound(lo: float, hi: float, eb_abs: float) -> float:
@@ -149,3 +187,84 @@ def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
             pool.release(grid_a)
             pool.release(grid_b)
     return codes, outliers, counts
+
+
+def fused_decode_reconstruct(codes: np.ndarray, outliers: OutlierSet,
+                             radius: int, eb_abs: float,
+                             shape: tuple[int, ...], dtype: np.dtype, *,
+                             out: np.ndarray | None = None) -> np.ndarray:
+    """One pass from quant codes (+ outliers) back to the field.
+
+    The read-side mirror of :func:`fused_predict_quantize`: the decoded
+    codes are widened, rebased and cast into pooled ``int64`` scratch in
+    a single pass, the outlier scatter folds into the same grid, the d-D
+    inverse Lorenzo runs as one in-place prefix-sum sweep per axis
+    (``np.cumsum`` on the contiguous last axis, a running hyperplane add
+    on the earlier ones — see :func:`_inplace_prefix_sum`), and the
+    dequantise scale/cast lands directly in ``out`` — the only
+    field-sized array the caller sees.
+
+    Parameters
+    ----------
+    codes:
+        dense unsigned quant codes (``uint16``/``uint32``), flat or
+        field-shaped; alphabet ``[0, 2*radius)``.
+    outliers:
+        sparse unpredictable residuals to scatter over the grid.
+    radius / eb_abs:
+        alphabet geometry and the absolute bound from the header.
+    shape / dtype:
+        target field geometry.
+    out:
+        optional destination (``shape``/``dtype``-matching, writable,
+        C-contiguous); allocated fresh when ``None``.  Returned either
+        way.
+
+    Every step is arithmetic-identical to the interpreted chain
+    ``merge_outliers -> lorenzo_inverse -> dequantize`` in
+    :mod:`repro.kernels.quantize` / :mod:`repro.kernels.lorenzo`, so the
+    reconstruction is value-identical bit for bit.
+    """
+    if eb_abs <= 0 or not np.isfinite(eb_abs):
+        raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
+    if radius < 1 or radius > 2**30:
+        raise CodecError(f"radius out of range: {radius}")
+    shape = tuple(int(s) for s in shape)
+    dtype = np.dtype(dtype)
+    size = int(np.prod(shape)) if shape else 1
+    if int(codes.size) != size:
+        raise CodecError(
+            f"code stream has {codes.size} elements, field shape {shape} "
+            f"needs {size}")
+    if out is None:
+        out = np.empty(shape, dtype=dtype)
+    else:
+        if out.shape != shape or out.dtype != dtype:
+            raise CodecError(
+                f"out= has shape {out.shape}/{out.dtype}, reconstruction "
+                f"needs {shape}/{dtype}")
+        if not out.flags.writeable:
+            raise CodecError("out= buffer is not writable")
+    pool = default_pool()
+    grid = (np.empty(shape, dtype=np.int64) if pool is None
+            else pool.acquire(shape, np.int64))
+    try:
+        # -- outlier merge: widen + rebase + scatter, all inside the grid
+        # (the np.int64 scalar forces int64 promotion; a bare python int
+        # would run the subtract in the codes' uint dtype and wrap)
+        np.subtract(codes.reshape(shape), np.int64(radius), out=grid,
+                    casting="unsafe")
+        if outliers.count:
+            flat = grid.reshape(-1)
+            if int(outliers.indices.max()) >= flat.size:
+                raise CodecError("outlier index out of bounds")
+            flat[outliers.indices] = outliers.values
+        # -- inverse Lorenzo: one in-place inclusive scan per axis (the
+        # transpose order of the forward diffs), no ping-pong needed
+        _inplace_prefix_sum(grid)
+        # -- dequantise: scale/cast straight into the caller's buffer
+        np.multiply(grid, 2.0 * eb_abs, out=out, casting="unsafe")
+    finally:
+        if pool is not None:
+            pool.release(grid)
+    return out

@@ -465,7 +465,7 @@ def plan_for(pipeline) -> CompiledPlan | None:
         return None
     key = plan_key(pipeline)
     plan = COMPILED_PLAN_CACHE.get_or_build(
-        key, lambda: compile_plan(pipeline))
+        key, lambda: compile_plan(pipeline), group="compress")
     if not plan.matches(pipeline):
         plan = compile_plan(pipeline)
     return plan

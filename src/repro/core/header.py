@@ -179,6 +179,36 @@ def parse(blob: bytes) -> tuple[ContainerHeader, bytes]:
     return header, stored
 
 
+def peek_header(blob: bytes) -> ContainerHeader:
+    """Parse just the container header, skipping the body CRC.
+
+    :func:`parse` checksums the whole stored body before returning — the
+    right default, but wasted work for callers that only need the header
+    to make a decision (engine dispatch, decode-plan resolution) and
+    then hand the blob to a full ``parse``.  The header's own CRC is
+    still verified, so a corrupt header never yields a bogus spec.
+    """
+    if len(blob) < _PREFIX.size:
+        raise HeaderError("container too short")
+    magic, version, hlen, hcrc = _PREFIX.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise HeaderError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise HeaderError(f"unsupported container version {version}")
+    start = _PREFIX.size
+    if len(blob) < start + hlen:
+        raise HeaderError("truncated container header")
+    hjson = blob[start:start + hlen]
+    if (zlib.crc32(hjson) & 0xFFFFFFFF) != hcrc:
+        raise HeaderError("container header CRC mismatch; the blob is "
+                          "corrupt or truncated")
+    try:
+        obj = json.loads(hjson.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HeaderError(f"unreadable container header: {exc}") from exc
+    return ContainerHeader.from_json(obj)
+
+
 def split_sections(header: ContainerHeader, body: bytes, *,
                    zero_copy: bool = False) -> dict[str, bytes]:
     """Slice the decoded body back into named sections.

@@ -140,6 +140,13 @@ def render_hotpath() -> str:
                      f"{cs['bytes']:>10} B  hit rate {cs['hit_rate']:.2%} "
                      f"({cs['hits']} hits / {cs['misses']} misses, "
                      f"{cs['evictions']} evicted)")
+        # caches holding plans for several directions (compress vs
+        # decode) report each group on its own sub-line
+        for grp, g in cs.get("by_group", {}).items():
+            lines.append(f"    {grp:<22} {g['entries']:>4} entries "
+                         f"             ({g['hits']} hits / "
+                         f"{g['misses']} misses, "
+                         f"{g['evictions']} evicted)")
     bp = s["buffer_pool"]
     state = "on" if bp["enabled"] else "off"
     lines.append(f"buffer pool ({state}): {bp['pooled_arrays']} idle arrays, "

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import PipelineError
+from ..errors import ConfigError, DataError, PipelineError
 from ..kernels.quantize import (OutlierSet, pack_outliers as quantize_pack,
                                 unpack_outliers as quantize_unpack)
 from ..kernels.plancache import MODULE_TABLE_CACHE
@@ -24,7 +24,7 @@ from ..obs.metrics import GLOBAL_METRICS
 from ..obs.spans import span
 from ..types import EbMode, ErrorBound, check_field
 from .header import (ContainerHeader, as_bytes_view, assemble, parse,
-                     split_sections)
+                     peek_header, split_sections)
 from .module import (EncodedStream, EncoderModule, PredictorArtifacts,
                      PredictorModule, PreprocessModule, SecondaryModule,
                      StatisticsModule)
@@ -329,11 +329,21 @@ class Pipeline:
             interp_levels=int(arts.meta.get("max_level", 0)))
         return CompressedField(blob=blob, stats=stats, header=header)
 
-    def decompress(self, blob: bytes | CompressedField) -> np.ndarray:
-        """Reconstruct a field compressed by (any) pipeline."""
+    def decompress(self, blob: bytes | CompressedField, *,
+                   out: np.ndarray | None = None,
+                   compile="auto") -> np.ndarray:
+        """Reconstruct a field compressed by (any) pipeline.
+
+        ``out`` receives the field directly when given (and is
+        returned).  ``compile`` selects the decode path: ``"auto"``
+        (default) runs the fused compiled decode plan when the
+        container's spec is accepted — output is value-identical either
+        way — and the interpreter otherwise; ``True`` requires the
+        compiled path; ``False`` forces the interpreter.
+        """
         if isinstance(blob, CompressedField):
             blob = blob.blob
-        return decompress(blob)
+        return decompress(blob, out=out, compile=compile)
 
 
 def _module_table(header: ContainerHeader, registry: ModuleRegistry
@@ -445,9 +455,58 @@ def reconstruct_field(header: ContainerHeader, arts: PredictorArtifacts,
     return out
 
 
+def check_decode_out(out: np.ndarray, shape: tuple[int, ...],
+                     dtype: np.dtype) -> np.ndarray:
+    """Validate a caller-supplied decompression ``out=`` buffer.
+
+    Every decode engine funnels through this before writing: the buffer
+    must be a writable ndarray (:class:`~repro.errors.ConfigError`
+    otherwise) matching the container's geometry exactly
+    (:class:`~repro.errors.DataError` names both shapes on mismatch).
+    Returns ``out`` for chaining.
+    """
+    if not isinstance(out, np.ndarray) or not out.flags.writeable:
+        raise ConfigError("out= for decompression must be a writable array")
+    if tuple(out.shape) != tuple(shape) or out.dtype != np.dtype(dtype):
+        raise DataError(
+            f"out= has shape {tuple(out.shape)}/{out.dtype}, container "
+            f"holds {tuple(shape)}/{np.dtype(dtype)}")
+    return out
+
+
+def _decode_plan_for_mode(header: ContainerHeader, registry: ModuleRegistry,
+                          compile_mode):
+    """Map a decode ``compile=`` argument to a plan (``None`` = interpret).
+
+    ``"auto"`` uses the compiled decode plan when the header's spec
+    compiles and falls back silently otherwise; ``True`` requires a plan
+    (raises :class:`~repro.errors.PipelineError` naming the obstacle);
+    ``False`` forces the interpreter.
+    """
+    if compile_mode is False:
+        return None
+    if compile_mode is not True and compile_mode != "auto":
+        raise PipelineError(
+            f"compile must be 'auto', True or False, got {compile_mode!r}")
+    from ..compile import decode_decline_reason, decode_plan_for_header
+    plan = decode_plan_for_header(header, registry)
+    if plan is None and compile_mode is True:
+        spec = header.pipeline_spec()
+        if spec is None:
+            raise PipelineError(
+                "container carries no pipeline spec; compiled decode "
+                "requires one")
+        pipeline = Pipeline.from_spec(spec, registry=registry)
+        raise PipelineError(
+            f"pipeline {pipeline.name!r} cannot be compile-decoded: "
+            f"{decode_decline_reason(pipeline)}")
+    return plan
+
+
 def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
                *, workers: int | None = None,
-               section_overrides: dict[str, bytes] | None = None
+               section_overrides: dict[str, bytes] | None = None,
+               compile="auto", out: np.ndarray | None = None
                ) -> np.ndarray:
     """Container-driven decompression: module names come from the header.
 
@@ -458,13 +517,31 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     ``section_overrides`` merges extra named sections over the container's
     own after the body is split — the parallel engine uses it to inject
     the shared codebook into shard containers that deliberately omit it.
+
+    ``compile`` selects the decode path (``"auto"``/``True``/``False``,
+    see :meth:`Pipeline.decompress`) and ``out`` receives the field
+    directly when given — the compiled path dequantises straight into
+    it, the interpreter copies into it — and is returned.
     """
     from ..parallel.executor import SHARD_MAGIC, decompress_sharded
     if blob[:len(SHARD_MAGIC)] == SHARD_MAGIC:
-        return decompress_sharded(blob, workers=workers, registry=registry)
+        return decompress_sharded(blob, workers=workers, registry=registry,
+                                  compile=compile, out=out)
+    plan = None
+    if compile is not False or out is not None:
+        header = peek_header(blob)
+        if out is not None:
+            check_decode_out(out, header.shape, header.np_dtype)
+        plan = _decode_plan_for_mode(header, registry, compile)
+    if plan is not None:
+        return plan.decompress(blob, out=out,
+                               section_overrides=section_overrides)
     with span("pipeline.decompress", bytes_in=len(blob)):
         header, arts = decode_codes(blob, registry,
                                     section_overrides=section_overrides)
-        out = reconstruct_field(header, arts, registry)
+        field = reconstruct_field(header, arts, registry)
+        if out is not None:
+            out[...] = field
+            field = out
     GLOBAL_METRICS.counter("pipeline.decompress_calls").inc()
-    return out
+    return field

@@ -198,12 +198,15 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS,
                             choices=tuple(choices))
 
 
-def decompress(result: InterpResult) -> np.ndarray:
+def decompress(result: InterpResult, *,
+               out: np.ndarray | None = None) -> np.ndarray:
     """Reconstruct the field from interpolation artifacts.
 
     Replays the exact batch schedule of :func:`compress`, consuming the code
     stream in order; float64 arithmetic matches the compressor so the
     reconstruction is bit-identical to the compressor's internal state.
+    ``out`` receives the final dtype cast in place when given and is
+    returned.
     """
     shape = tuple(result.shape)
     stride = 1 << result.max_level
@@ -232,4 +235,7 @@ def decompress(result: InterpResult) -> np.ndarray:
         if pos != stream.size:
             raise CodecError(f"interp stream length mismatch: consumed {pos}, "
                              f"stream has {stream.size}")
-        return recon.astype(result.dtype)
+        if out is None:
+            return recon.astype(result.dtype)
+        np.copyto(out, recon, casting="unsafe")
+        return out

@@ -147,17 +147,20 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS
                              dtype=data.dtype)
 
 
-def decompress(result: LorenzoResult) -> np.ndarray:
+def decompress(result: LorenzoResult, *,
+               out: np.ndarray | None = None) -> np.ndarray:
     """Reconstruct the field from Lorenzo artifacts.
 
-    Exactly one writable array is materialised for the caller (the
-    dequantised field); the integer residual/scan buffer is pooled
-    scratch when the runtime pool is enabled.
+    ``out`` receives the dequantised field when given (shape/dtype
+    matching the artifacts) and is returned; otherwise exactly one
+    writable array is materialised for the caller.  The integer
+    residual/scan buffer is pooled scratch when the runtime pool is
+    enabled.
     """
     from ..runtime.memory import default_pool
     pool = default_pool()
     shape = tuple(result.shape)
-    recon = np.empty(shape, dtype=result.dtype)
+    recon = np.empty(shape, dtype=result.dtype) if out is None else out
     with span("kernel.lorenzo.decompress", elements=int(recon.size)):
         if pool is None:
             deltas = q.merge_outliers(result.codes, result.outliers,
@@ -180,12 +183,12 @@ def decompress(result: LorenzoResult) -> np.ndarray:
 
 
 def decompress_parts(codes: np.ndarray, outliers: q.OutlierSet, radius: int,
-                     eb_abs: float, shape: tuple[int, ...], dtype: np.dtype
-                     ) -> np.ndarray:
-    """Keyword-free variant of :func:`decompress` used by STF tasks."""
+                     eb_abs: float, shape: tuple[int, ...], dtype: np.dtype,
+                     *, out: np.ndarray | None = None) -> np.ndarray:
+    """Positional-artifact variant of :func:`decompress` used by STF tasks."""
     return decompress(LorenzoResult(codes=codes, outliers=outliers, radius=radius,
                                     eb_abs=eb_abs, shape=tuple(shape),
-                                    dtype=np.dtype(dtype)))
+                                    dtype=np.dtype(dtype)), out=out)
 
 
 def offset1d_forward(grid: np.ndarray) -> np.ndarray:

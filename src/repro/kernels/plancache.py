@@ -114,7 +114,8 @@ class PlanCache:
         self.max_entries = int(max_entries)
         self.max_bytes = int(max_bytes)
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._entries: OrderedDict[Any, tuple[Any, int, str | None]] = \
+            OrderedDict()
         self._bytes = 0
         # counters live in the global metrics registry (labelled by cache
         # name); a new cache taking over a name starts its counts fresh
@@ -122,13 +123,31 @@ class PlanCache:
         self._misses = GLOBAL_METRICS.counter("plancache.misses", cache=name)
         self._evictions = GLOBAL_METRICS.counter("plancache.evictions",
                                                  cache=name)
+        # optional per-group counter triples, created on first use by
+        # callers that tag inserts (the compiled-plan cache labels
+        # compress vs decode plans this way)
+        self._groups: dict[str, tuple] = {}
         self.reset_stats()
         # fzlint: disable-next-line=FZL001 -- deliberate process-wide
         # registration: caches self-enrol so stats/clear can reach them
         _CACHES[name] = self
 
+    def _group_counters(self, group: str) -> tuple:
+        """(hits, misses, evictions) counters for one insert group."""
+        triple = self._groups.get(group)
+        if triple is None:
+            triple = (GLOBAL_METRICS.counter("plancache.hits",
+                                             cache=self.name, group=group),
+                      GLOBAL_METRICS.counter("plancache.misses",
+                                             cache=self.name, group=group),
+                      GLOBAL_METRICS.counter("plancache.evictions",
+                                             cache=self.name, group=group))
+            self._groups[group] = triple
+        return triple
+
     def get_or_build(self, key: Any, builder: Callable[[], Any],
-                     nbytes: Callable[[Any], int] | int = 0) -> Any:
+                     nbytes: Callable[[Any], int] | int = 0,
+                     group: str | None = None) -> Any:
         """Return the cached plan for ``key``, building it on a miss.
 
         ``nbytes`` sizes the built value for the byte budget — either a
@@ -136,32 +155,47 @@ class PlanCache:
         builder runs outside the lock, so concurrent misses on the same
         key may build twice; last write wins (plans are value-objects, so
         duplicated work is safe, just wasted).
+
+        ``group`` optionally tags the lookup for per-group breakdown
+        counters on top of the cache-wide totals (the compiled-plan
+        cache labels compress vs decode plans this way); evictions are
+        attributed to the evicted entry's group.
         """
+        gstats = self._group_counters(group) if group is not None else None
         if not caching_enabled():
             self._misses.inc()
+            if gstats is not None:
+                gstats[1].inc()
             return builder()
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits.inc()
+                if gstats is not None:
+                    gstats[0].inc()
                 return entry[0]
             self._misses.inc()
+            if gstats is not None:
+                gstats[1].inc()
         value = builder()
         size = nbytes(value) if callable(nbytes) else int(nbytes)
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old[1]
-            self._entries[key] = (value, size)
+            self._entries[key] = (value, size, group)
             self._bytes += size
             while (len(self._entries) > self.max_entries
                    or (self.max_bytes and self._bytes > self.max_bytes)):
                 if len(self._entries) <= 1:
                     break
-                _, (_, dropped) = self._entries.popitem(last=False)
+                _, (_, dropped, dropped_group) = \
+                    self._entries.popitem(last=False)
                 self._bytes -= dropped
                 self._evictions.inc()
+                if dropped_group is not None:
+                    self._group_counters(dropped_group)[2].inc()
         return value
 
     def clear(self) -> None:
@@ -171,10 +205,13 @@ class PlanCache:
             self._bytes = 0
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss/eviction counters."""
+        """Zero the hit/miss/eviction counters (group counters too)."""
         self._hits.reset()
         self._misses.reset()
         self._evictions.reset()
+        for triple in self._groups.values():
+            for counter in triple:
+                counter.reset()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -198,9 +235,15 @@ class PlanCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Counters + occupancy, as stable scalars."""
+        """Counters + occupancy, as stable scalars.
+
+        Caches whose callers tag lookups with ``group`` additionally
+        report a ``by_group`` breakdown (hits/misses/evictions/entries
+        per group) — this is how ``fzmod stats`` separates compress from
+        decode plans in the compiled-plan cache.
+        """
         with self._lock:
-            return {
+            out = {
                 "entries": len(self._entries),
                 "bytes": self._bytes,
                 "hits": self.hits,
@@ -208,6 +251,21 @@ class PlanCache:
                 "evictions": self.evictions,
                 "hit_rate": round(self.hit_rate, 4),
             }
+            if self._groups:
+                occupancy: dict[str, int] = {}
+                for _, _, grp in self._entries.values():
+                    if grp is not None:
+                        occupancy[grp] = occupancy.get(grp, 0) + 1
+                out["by_group"] = {
+                    grp: {
+                        "entries": occupancy.get(grp, 0),
+                        "hits": triple[0].value,
+                        "misses": triple[1].value,
+                        "evictions": triple[2].value,
+                    }
+                    for grp, triple in sorted(self._groups.items())
+                }
+            return out
 
 
 #: every PlanCache ever constructed, by name (module-level caches register
@@ -234,9 +292,12 @@ DECODE_STREAM_CACHE = PlanCache("huffman.decode_streams", max_entries=64,
 MODULE_TABLE_CACHE = PlanCache("pipeline.modules", max_entries=128,
                                max_bytes=0)
 
-#: compiled execution plans (:mod:`repro.compile`), keyed by the plan's
-#: content digest.  Plans are flat closure lists over module references —
-#: a few hundred bytes each — so only the entry bound matters.
+#: compiled execution plans (:mod:`repro.compile`) for both directions —
+#: compress plans and decode plans — keyed by the plan's content digest
+#: (distinct digest tags keep the directions from colliding; lookups are
+#: tagged ``group="compress"``/``group="decode"`` so stats break out per
+#: direction).  Plans are flat closure lists over module references — a
+#: few hundred bytes each — so only the entry bound matters.
 COMPILED_PLAN_CACHE = PlanCache("compile.plans", max_entries=128,
                                 max_bytes=0)
 

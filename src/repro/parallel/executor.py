@@ -74,12 +74,14 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..core.chunked import TileGrid
+from ..core.header import peek_header
 from ..core.pipeline import (CompressedField, CompressionStats, Pipeline,
+                             check_decode_out,
                              decompress as _decompress_container)
 from ..core.registry import DEFAULT_REGISTRY, ModuleRegistry
 from ..core.spec import PipelineSpec
 from ..errors import (CodecError, ConfigError, HeaderError,
-                      ModuleNotFoundInRegistry)
+                      ModuleNotFoundInRegistry, PipelineError)
 from ..kernels import huffman
 from ..obs.spans import GLOBAL_TRACER, absorb_capture, export_capture, span
 from ..runtime.stream import OrderedWorkQueue
@@ -573,34 +575,77 @@ def _histogram_shard_shm(spec_json: dict, shm_name: str,
     return _histogram_shard_local(pipeline, shard, eb_abs)
 
 
+def _decode_plan_from_shipped_key(shard_blob: bytes,
+                                  registry: ModuleRegistry,
+                                  plan_key: str | None):
+    """Resolve the decode plan the engine shipped (``None`` = interpret).
+
+    The key resolves through this process's plan cache (one trace per
+    worker, not per shard); a digest mismatch means this worker would
+    compile something else — interpret then, exactly like the
+    compress-side workers.
+    """
+    if plan_key is None:
+        return None
+    from ..compile import decode_plan_for_header
+    plan = decode_plan_for_header(peek_header(shard_blob), registry)
+    if plan is None or plan.key != plan_key:
+        return None
+    return plan
+
+
 def _decompress_shard_shm(shard_blob: bytes, shm_name: str,
                           shape: tuple[int, ...], dtype: str,
                           start: int, stop: int,
-                          lengths: bytes | None = None) -> dict | None:
-    """Process-pool job: decode one shard into the shared output buffer."""
+                          lengths: bytes | None = None,
+                          plan_key: str | None = None) -> dict | None:
+    """Process-pool job: decode one shard into the shared output buffer.
+
+    With a compiled decode plan the fused reconstruction dequantises
+    straight into the shared-memory slab — the per-shard staging copy of
+    the interpreted path disappears.
+    """
     overrides = {"enc.lengths": lengths} if lengths is not None else None
     with GLOBAL_TRACER.capture() as spans:
         with span("shard.decompress", rows=int(stop - start)):
-            out = _decompress_container(shard_blob, DEFAULT_REGISTRY,
-                                        section_overrides=overrides)
+            plan = _decode_plan_from_shipped_key(shard_blob, DEFAULT_REGISTRY,
+                                                 plan_key)
             shm = shared_memory.SharedMemory(name=shm_name)
             try:
                 field = np.ndarray(shape, dtype=np.dtype(dtype),
                                    buffer=shm.buf)
-                field[start:stop] = out
+                if plan is not None:
+                    header, arts = plan.decode_entropy(
+                        shard_blob, section_overrides=overrides)
+                    plan.reconstruct(header, arts, out=field[start:stop])
+                else:
+                    field[start:stop] = _decompress_container(
+                        shard_blob, DEFAULT_REGISTRY,
+                        section_overrides=overrides, compile=False)
             finally:
                 shm.close()
     return export_capture(spans)
 
 
 def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry,
-                            lengths: bytes | None = None
+                            lengths: bytes | None = None,
+                            plan_key: str | None = None,
+                            dest: np.ndarray | None = None
                             ) -> tuple[np.ndarray, dict | None]:
+    """Thread-pool job: decode one shard (into ``dest`` when given)."""
     overrides = {"enc.lengths": lengths} if lengths is not None else None
     with GLOBAL_TRACER.capture() as spans:
         with span("shard.decompress"):
-            out = _decompress_container(shard_blob, registry,
-                                        section_overrides=overrides)
+            plan = _decode_plan_from_shipped_key(shard_blob, registry,
+                                                 plan_key)
+            if plan is not None:
+                header, arts = plan.decode_entropy(
+                    shard_blob, section_overrides=overrides)
+                out = plan.reconstruct(header, arts, out=dest)
+            else:
+                out = _decompress_container(shard_blob, registry,
+                                            section_overrides=overrides,
+                                            compile=False, out=dest)
     return out, export_capture(spans)
 
 
@@ -847,17 +892,63 @@ def compress_sharded(data: np.ndarray,
         codebook_mode=codebook)
 
 
+def _resolve_decode_plan(index: ShardIndex, registry: ModuleRegistry,
+                         compile_mode):
+    """The compiled decode plan for a shard index (``None`` = interpret).
+
+    ``compile=True`` demands a compiled decode and raises with the
+    decline reason; ``"auto"`` falls back silently, exactly as
+    :func:`repro.core.decompress` does for single containers.
+    """
+    if compile_mode is False:
+        return None
+    if compile_mode is not True and compile_mode != "auto":
+        raise PipelineError(
+            f"compile must be 'auto', True or False, got {compile_mode!r}")
+    from ..compile import decode_decline_reason, decode_plan_for
+    try:
+        pipeline = Pipeline.from_spec(index.spec(), registry)
+    except ModuleNotFoundInRegistry:
+        if compile_mode is True:
+            raise
+        return None
+    plan = decode_plan_for(pipeline)
+    if plan is None and compile_mode is True:
+        raise PipelineError(
+            f"pipeline {pipeline.name!r} cannot be compile-decoded: "
+            f"{decode_decline_reason(pipeline)}")
+    return plan
+
+
+def _resolve_decode_key(index: ShardIndex, registry: ModuleRegistry,
+                        compile_mode) -> str | None:
+    """The decode-plan key shipped to decode workers (``None`` = interpret)."""
+    plan = _resolve_decode_plan(index, registry, compile_mode)
+    return None if plan is None else plan.key
+
+
 def decompress_sharded(blob: bytes, *, workers: int | None = None,
                        registry: ModuleRegistry = DEFAULT_REGISTRY,
-                       backend: str | None = None) -> np.ndarray:
+                       backend: str | None = None,
+                       compile="auto",
+                       out: np.ndarray | None = None) -> np.ndarray:
     """Reconstruct a field from a multi-shard container, shard-parallel.
 
     Header-driven like single-container decompression: the index stores
     the pipeline spec, so the blob alone suffices for any process with
     the same modules registered.
+
+    ``compile`` selects the worker decode path (``"auto"`` / ``True`` /
+    ``False``): the engine resolves the compiled decode plan once from
+    the index spec and ships its content key to the workers, whose fused
+    reconstruction dequantises straight into the output slab.  Compiled
+    and interpreted decodes are value-identical.  ``out`` receives the
+    field in place (and is returned) when supplied.
     """
     index, shards = parse_sharded(blob)
     dtype = np.dtype(index.dtype)
+    if out is not None:
+        check_decode_out(out, index.shape, dtype)
     if workers is None:
         workers = default_workers()
     if workers < 1:
@@ -868,9 +959,11 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
     workers = min(workers, len(shards))
     shared = index.shared_lengths()
     lengths_blob = None if shared is None else shared.tobytes()
+    plan_key = _resolve_decode_key(index, registry, compile)
 
     with span("engine.decompress_sharded", shards=len(shards),
-              workers=workers, backend=chosen):
+              workers=workers, backend=chosen,
+              compiled=plan_key is not None):
         if chosen == "process":
             shm = _shm_create(nbytes)
             try:
@@ -880,23 +973,27 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
                     for shard_blob, (start, stop) in zip(shards, index.bounds):
                         queue.submit(_decompress_shard_shm, shard_blob, shm.name,
                                      index.shape, index.dtype, start, stop,
-                                     lengths_blob)
+                                     lengths_blob, plan_key)
                     for k, payload in enumerate(queue.drain()):
                         absorb_capture(payload, lane=f"shard:{k}")
-                out = np.ndarray(index.shape, dtype=dtype,
-                                 buffer=shm.buf).copy()
+                staged = np.ndarray(index.shape, dtype=dtype, buffer=shm.buf)
+                if out is None:
+                    out = staged.copy()
+                else:
+                    out[...] = staged
             finally:
                 shm.close()
                 shm.unlink()
             return out
 
-        out = np.empty(index.shape, dtype=dtype)
+        if out is None:
+            out = np.empty(index.shape, dtype=dtype)
         with _make_pool("inprocess", workers) as pool:
             queue = OrderedWorkQueue(
                 pool, max_in_flight=_IN_FLIGHT_PER_WORKER * workers)
-            for shard_blob in shards:
+            for shard_blob, (start, stop) in zip(shards, index.bounds):
                 queue.submit(_decompress_shard_local, shard_blob, registry,
-                             lengths_blob)
+                             lengths_blob, plan_key, out[start:stop])
             for k, ((start, stop), (shard, payload)) in enumerate(
                     zip(index.bounds, queue.drain())):
                 absorb_capture(payload, lane=f"shard:{k}")
@@ -905,5 +1002,4 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
                     raise HeaderError(
                         f"shard rows {start}:{stop} decoded to shape "
                         f"{shard.shape}, expected {expected}")
-                out[start:stop] = shard
         return out

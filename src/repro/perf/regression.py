@@ -90,6 +90,10 @@ def run_hotpath_suite(*, quick: bool = False,
         warm compiled-plan compress (``compile=True``) vs warm
         interpreted (``compile=False``), with the byte-identity flag the
         CI gate enforces and the fused plan's content address.
+    ``compiled_decompress``
+        the read-side mirror: warm compiled-decode-plan decompress vs
+        warm interpreted over the same container bytes, with the
+        value-identity flag and the decode plan's content address.
     ``sharded``
         ``workers``-worker in-process sharded compression with small
         shards (so codebook construction is a meaningful fraction), cold
@@ -163,6 +167,27 @@ def run_hotpath_suite(*, quick: bool = False,
         "compress": {"warm_s": warm_p, "warm_mb_s": mb / warm_p,
                      "speedup_vs_interpreted": warm_i / warm_p},
         "blob_identical": pcf.blob == icf.blob,
+    }
+
+    # ---- compiled decode plan vs interpreter (same bytes in, must be
+    # the same field out) ----------------------------------------------- #
+    from ..compile import decode_plan_for_header
+    from ..core.header import peek_header
+
+    warm_di, ifield = median_seconds(
+        lambda: decompress(blob, compile=False),
+        warmup=max(1, warmup), repeat=rep)
+    warm_dp, pfield = median_seconds(
+        lambda: decompress(blob, compile=True),
+        warmup=max(1, warmup), repeat=rep)
+    dplan = decode_plan_for_header(peek_header(blob))
+    report["compiled_decompress"] = {
+        "plan_key": None if dplan is None else dplan.key,
+        "interpreted": {"warm_s": warm_di, "warm_mb_s": mb / warm_di},
+        "decompress": {"warm_s": warm_dp, "warm_mb_s": mb / warm_dp,
+                       "speedup_vs_interpreted": warm_di / warm_dp},
+        "value_identical": (np.asarray(pfield).tobytes()
+                            == np.asarray(ifield).tobytes()),
     }
 
     # ---- sharded compress (in-process pool: workers share the caches; a
@@ -247,6 +272,9 @@ TARGET_WARM_SHARDED = 1.2
 #: least double it (the plan-compiler tentpole's acceptance bar)
 BASELINE_SINGLE_MB_S = 137.0
 TARGET_COMPILED_MB_S = 2.0 * BASELINE_SINGLE_MB_S
+#: the decode-plan tentpole's acceptance bar: warm compiled single-stream
+#: decompress must beat the warm interpreter by this ratio
+TARGET_COMPILED_DECODE = 1.5
 #: disabled-telemetry span cost must stay under this fraction of a warm
 #: compress (the ISSUE's "within 3% of untraced runtime" acceptance bar)
 TELEMETRY_OVERHEAD_BUDGET = 0.03
@@ -283,6 +311,15 @@ def check_results(report: dict) -> dict:
             comp["compress"]["warm_s"] <= comp["interpreted"]["warm_s"])
         checks["target_compiled_274_mb_s"] = (
             comp["compress"]["warm_mb_s"] >= TARGET_COMPILED_MB_S)
+    dcomp = report.get("compiled_decompress")
+    if dcomp is not None:  # pre-decode-compiler reports lack the section
+        checks["compiled_decode_value_identical"] = (
+            bool(dcomp["value_identical"]))
+        checks["compiled_decode_not_slower_than_interpreted"] = (
+            dcomp["decompress"]["warm_s"] <= dcomp["interpreted"]["warm_s"])
+        checks["target_compiled_decode_1.5x"] = (
+            dcomp["decompress"]["speedup_vs_interpreted"]
+            >= TARGET_COMPILED_DECODE)
     return checks
 
 
@@ -353,7 +390,25 @@ def check_regressions(report: dict, *, strict: bool = False) -> list[str]:
             f"compiled compress is slower than interpreted "
             f"({comp['compress']['warm_s']:.4f}s vs "
             f"{comp['interpreted']['warm_s']:.4f}s)")
+    if not checks.get("compiled_decode_value_identical", True):
+        failures.append(
+            "compiled-decode reconstruction diverged from the "
+            "interpreter; the fused decode executor must be "
+            "value-identical")
+    if not checks.get("compiled_decode_not_slower_than_interpreted", True):
+        dcomp = report["compiled_decompress"]
+        failures.append(
+            f"compiled decompress is slower than interpreted "
+            f"({dcomp['decompress']['warm_s']:.4f}s vs "
+            f"{dcomp['interpreted']['warm_s']:.4f}s)")
     if strict:
+        if not checks.get("target_compiled_decode_1.5x", True):
+            dcomp = report["compiled_decompress"]
+            failures.append(
+                f"compiled warm decompress speedup "
+                f"{dcomp['decompress']['speedup_vs_interpreted']:.2f}x "
+                f"below the {TARGET_COMPILED_DECODE}x-vs-interpreted "
+                "target")
         if not checks.get("target_compiled_274_mb_s", True):
             comp = report["compiled"]
             failures.append(
@@ -419,6 +474,16 @@ def render_report(report: dict) -> str:
             f"{comp['interpreted']['warm_mb_s']:.1f} MB/s interpreted "
             f"({comp['compress']['speedup_vs_interpreted']:.2f}x, {ident}, "
             f"plan {comp['plan_key'][:12]})")
+    dcomp = report.get("compiled_decompress")
+    if dcomp is not None:
+        ident = ("value-identical" if dcomp["value_identical"]
+                 else "DIVERGED")
+        key = dcomp["plan_key"]
+        lines.append(
+            f"  c.decomp    {dcomp['decompress']['warm_mb_s']:.1f} MB/s vs "
+            f"{dcomp['interpreted']['warm_mb_s']:.1f} MB/s interpreted "
+            f"({dcomp['decompress']['speedup_vs_interpreted']:.2f}x, "
+            f"{ident}, plan {'-' if key is None else key[:12]})")
     tel = report.get("telemetry")
     if tel is not None:
         lines.append(
@@ -453,6 +518,8 @@ def _history_entry(report: dict) -> dict:
             report.get("sharded", {}).get("compress", {}).get("speedup"),
         "compiled_mb_s": report.get("compiled", {})
             .get("compress", {}).get("warm_mb_s"),
+        "compiled_decode_speedup": report.get("compiled_decompress", {})
+            .get("decompress", {}).get("speedup_vs_interpreted"),
         "checks": report.get("checks", {}),
     }
 

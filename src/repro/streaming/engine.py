@@ -48,8 +48,9 @@ from ..parallel.executor import (CODEBOOK_MODES, DEFAULT_SHARD_MB,
                                  _compress_shard_bytes, _compress_shard_local,
                                  _histogram_shard_bytes,
                                  _histogram_shard_local, _make_pool,
-                                 _resolve_plan_key, _with_fixed_codebook,
-                                 combine_stats, default_workers)
+                                 _resolve_decode_plan, _resolve_plan_key,
+                                 _with_fixed_codebook, combine_stats,
+                                 default_workers)
 from ..runtime.memory import Allocator, BufferPool
 from ..runtime.stream import OrderedWorkQueue
 from ..stf.context import StfContext
@@ -304,7 +305,8 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
 def decompress_stream(path: str, *, out: np.ndarray | None = None,
                       workers: int | None = None,
                       registry: ModuleRegistry = DEFAULT_REGISTRY,
-                      window: int | None = None) -> np.ndarray:
+                      window: int | None = None,
+                      compile="auto") -> np.ndarray:
     """Reconstruct a field from a multi-shard container on disk.
 
     Reads the index (trailing for version 3, leading for 1/2), then
@@ -319,6 +321,13 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
     sliding window of ``window`` shards (default ``workers + 1``) bounds
     what is in flight, so peak resident memory is
     ``O(window x shard)``, not ``O(field)``.
+
+    ``compile`` selects the per-shard decode path (``"auto"`` / ``True``
+    / ``False``): with a compiled decode plan the decode task runs the
+    plan's entropy half and the scatter task its fused reconstruction,
+    dequantising straight into ``out[start:stop]`` — the task graph (and
+    so the scatter(k) / decode(k+1) overlap) is unchanged.  Compiled and
+    interpreted streams are value-identical.
     """
     t_start = time.perf_counter()
     if workers is None:
@@ -348,11 +357,14 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
         win = window if window is not None else workers + 1
         if win < 1:
             raise ConfigError(f"window must be >= 1, got {win}")
+        # one plan resolution for the whole stream (the tasks run on a
+        # thread pool, so the plan object is shared, not a shipped key)
+        plan = _resolve_decode_plan(index, registry, compile)
 
         row_nbytes = int(np.prod(index.shape[1:], dtype=np.int64)
                          ) * dtype.itemsize
         with span("engine.decompress_stream", shards=n, workers=workers,
-                  window=win):
+                  window=win, compiled=plan is not None):
             ctx = StfContext()
             state: dict = {}
             token = np.zeros(1, dtype=np.uint8)
@@ -377,9 +389,14 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
                 def decode(*_args, k=k):
                     blob = state.pop(("blob", k))
                     with span("stream.huffman_decode", shard=k,
-                              bytes_in=len(blob)):
-                        header, arts = decode_codes(
-                            blob, registry, section_overrides=overrides)
+                              bytes_in=len(blob),
+                              compiled=plan is not None):
+                        if plan is not None:
+                            header, arts = plan.decode_entropy(
+                                blob, section_overrides=overrides)
+                        else:
+                            header, arts = decode_codes(
+                                blob, registry, section_overrides=overrides)
                     state["arts", k] = (header, arts)
                     return (token,)
 
@@ -390,14 +407,22 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
                 def scatter(*_args, k=k, start=start, stop=stop):
                     header, arts = state.pop(("arts", k))
                     with span("stream.outlier_scatter", shard=k,
-                              rows=stop - start):
-                        field = reconstruct_field(header, arts, registry)
+                              rows=stop - start,
+                              compiled=plan is not None):
                         expected = (stop - start, *index.shape[1:])
-                        if field.shape != expected:
+                        if tuple(header.shape) != expected:
                             raise HeaderError(
                                 f"shard rows {start}:{stop} decoded to "
-                                f"shape {field.shape}, expected {expected}")
-                        out[start:stop] = field
+                                f"shape {tuple(header.shape)}, expected "
+                                f"{expected}")
+                        if plan is not None:
+                            # fused reconstruct writes straight into the
+                            # output slab — no per-shard staging copy
+                            plan.reconstruct(header, arts,
+                                             out=out[start:stop])
+                        else:
+                            field = reconstruct_field(header, arts, registry)
+                            out[start:stop] = field
                         # memmapped outputs: hand the freshly written
                         # pages to the page cache so residency tracks
                         # the window, not the bytes written so far

@@ -583,3 +583,49 @@ def test_fzl011_fires_in_the_cli(lint):
     # covers every engine path
     result = lint({"cli.py": BAD_FACADE})
     assert rules_fired(result) == {"FZL011"}
+
+
+# --------------------------------------------------------------------- #
+# FZL012 decode out= contract                                            #
+# --------------------------------------------------------------------- #
+BAD_DECODE_OUT = """
+import numpy as np
+
+def decompress(result) -> np.ndarray:
+    return np.zeros(result.shape, dtype=result.dtype)
+
+def reconstruct_field(codes, shape) -> np.ndarray:
+    return np.asarray(codes).reshape(shape)
+"""
+
+GOOD_DECODE_OUT = """
+import numpy as np
+
+def decompress(result, *, out: np.ndarray | None = None) -> np.ndarray:
+    recon = np.empty(result.shape, dtype=result.dtype) if out is None else out
+    recon[...] = 0
+    return recon
+
+def decode(enc) -> np.ndarray:
+    # entropy decoders return data-dependent streams; exempt by name
+    return np.frombuffer(enc.payload, dtype=np.uint16)
+
+def decompress_bytes(blob: bytes) -> bytes:
+    return blob  # bytes-to-bytes codec, no field reconstruction
+"""
+
+
+def test_fzl012_fires_on_outless_reconstruction(lint):
+    result = lint({"kernels/bad.py": BAD_DECODE_OUT})
+    assert rules_fired(result) == {"FZL012"}
+    assert len(result.findings) == 2
+    msgs = " ".join(f.message for f in result.findings)
+    assert "out=" in msgs and "staging copy" in msgs
+
+
+def test_fzl012_silent_on_honoured_out_and_exempt_shapes(lint):
+    assert lint({"kernels/good.py": GOOD_DECODE_OUT}).findings == []
+
+
+def test_fzl012_scoped_to_kernels_dir(lint):
+    assert lint({"core/bad.py": BAD_DECODE_OUT}).findings == []

@@ -1,0 +1,242 @@
+"""Golden value-identity and plan-cache tests for the decode-plan compiler.
+
+The read-side mirror of ``test_compiled_plans.py``: for every preset and
+every engine x container layout, ``compile="auto"`` decompression must
+reconstruct exactly the bytes the interpreter does, declined pipelines
+must fall back silently (with a nameable reason), and decode plans must
+be content-addressed in the shared plan cache under their own direction
+group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import (compile_decode_plan, decode_decline_reason,
+                           decode_plan_for, decode_plan_for_header,
+                           decode_plan_from_key, decode_plan_key, plan_key)
+from repro.core import get_preset
+from repro.core.header import peek_header
+from repro.core.pipeline import decompress as core_decompress
+from repro.errors import PipelineError
+from repro.kernels.plancache import COMPILED_PLAN_CACHE
+from repro.types import EbMode
+
+PRESETS = ("fzmod-default", "fzmod-speed", "fzmod-quality")
+#: presets whose decode path compiles (lorenzo predictor)
+DECODABLE = ("fzmod-default", "fzmod-speed")
+
+
+@pytest.fixture
+def field(rng) -> np.ndarray:
+    base = np.cumsum(rng.standard_normal((40, 32, 32)), axis=0)
+    return (base * 3.0).astype(np.float32)
+
+
+# --------------------------------------------------------------------- #
+# value identity: compiled vs interpreted, every preset x every engine
+# --------------------------------------------------------------------- #
+class TestValueIdentity:
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("mode", [EbMode.REL, EbMode.ABS])
+    def test_single_engine(self, field, preset, mode):
+        pipe = get_preset(preset)
+        eb = 1e-3 if mode is EbMode.REL else 0.05
+        blob = pipe.compress(field, eb, mode).blob
+        ref = core_decompress(blob, compile=False)
+        got = core_decompress(blob, compile="auto")
+        assert got.tobytes() == ref.tobytes()
+        assert got.shape == field.shape and got.dtype == field.dtype
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("codebook", ["per-shard", "shared"])
+    def test_sharded_engine(self, field, preset, codebook):
+        from repro.parallel.executor import decompress_sharded
+        pipe = get_preset(preset)
+        if codebook == "shared" and preset == "fzmod-speed":
+            pytest.skip("shared codebook is a huffman-only mode")
+        blob = pipe.compress(field, 1e-3, workers=2, shard_mb=0.125,
+                             codebook=codebook).blob
+        ref = decompress_sharded(blob, compile=False)
+        got = decompress_sharded(blob, workers=2, compile="auto")
+        assert got.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("layout", ["compat", "stream"])
+    def test_streaming_engine(self, field, preset, layout, tmp_path):
+        from repro.streaming.engine import compress_stream, decompress_stream
+        pipe = get_preset(preset)
+        path = tmp_path / "f.fzms"
+        compress_stream(field, pipe, 1e-3, EbMode.REL, out_path=str(path),
+                        workers=2, shard_mb=0.125, layout=layout)
+        ref = decompress_stream(str(path), workers=2, compile=False)
+        got = decompress_stream(str(path), workers=2, compile="auto")
+        assert got.tobytes() == ref.tobytes()
+
+    def test_process_backend_matches(self, field):
+        from repro.parallel.executor import decompress_sharded
+        pipe = get_preset("fzmod-default")
+        blob = pipe.compress(field, 1e-3, workers=2, shard_mb=0.125).blob
+        ref = decompress_sharded(blob, compile=False)
+        got = decompress_sharded(blob, workers=2, backend="process",
+                                 compile="auto")
+        assert got.tobytes() == ref.tobytes()
+
+    def test_tight_bound_outlier_path(self, spiky_1d):
+        # spiky data under a tight bound exercises the outlier scatter
+        pipe = get_preset("fzmod-default")
+        cf = pipe.compress(spiky_1d, 1e-6)
+        assert cf.stats.outlier_count > 0
+        ref = core_decompress(cf.blob, compile=False)
+        got = core_decompress(cf.blob, compile="auto")
+        assert got.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("preset", DECODABLE)
+    def test_out_buffer_written_through(self, field, preset):
+        pipe = get_preset(preset)
+        blob = pipe.compress(field, 1e-3).blob
+        ref = core_decompress(blob, compile=False)
+        out = np.empty(field.shape, dtype=field.dtype)
+        got = core_decompress(blob, compile="auto", out=out)
+        assert got is out
+        assert out.tobytes() == ref.tobytes()
+
+    def test_float64_fields(self, rng):
+        pipe = get_preset("fzmod-default")
+        data = np.cumsum(rng.standard_normal((30, 40)), axis=1)
+        blob = pipe.compress(data, 1e-4).blob
+        ref = core_decompress(blob, compile=False)
+        got = core_decompress(blob, compile=True)
+        assert got.dtype == np.float64
+        assert got.tobytes() == ref.tobytes()
+
+
+# --------------------------------------------------------------------- #
+# compile= mode semantics
+# --------------------------------------------------------------------- #
+class TestCompileModes:
+    def test_quality_declines_and_interprets(self, field):
+        pipe = get_preset("fzmod-quality")
+        reason = decode_decline_reason(pipe)
+        assert reason is not None and "interp" in reason
+        blob = pipe.compress(field, 1e-3).blob
+        ref = core_decompress(blob, compile=False)
+        got = core_decompress(blob, compile="auto")  # silent fallback
+        assert got.tobytes() == ref.tobytes()
+
+    def test_compile_true_raises_on_decline(self, field):
+        blob = get_preset("fzmod-quality").compress(field, 1e-3).blob
+        with pytest.raises(PipelineError, match="interp"):
+            core_decompress(blob, compile=True)
+
+    def test_compile_true_raises_on_sharded_decline(self, field):
+        from repro.parallel.executor import decompress_sharded
+        blob = get_preset("fzmod-quality").compress(
+            field, 1e-3, workers=2, shard_mb=0.125).blob
+        with pytest.raises(PipelineError, match="compile-decoded"):
+            decompress_sharded(blob, compile=True)
+
+    def test_compile_true_raises_on_stream_decline(self, field, tmp_path):
+        from repro.streaming.engine import compress_stream, decompress_stream
+        path = tmp_path / "f.fzms"
+        compress_stream(field, get_preset("fzmod-quality"), 1e-3,
+                        out_path=str(path), shard_mb=0.125)
+        with pytest.raises(PipelineError, match="compile-decoded"):
+            decompress_stream(str(path), compile=True)
+
+    def test_invalid_mode_rejected(self, field):
+        blob = get_preset("fzmod-default").compress(field, 1e-3).blob
+        with pytest.raises(PipelineError, match="compile"):
+            core_decompress(blob, compile="yes-please")
+
+    def test_compile_false_never_resolves_a_plan(self, field):
+        blob = get_preset("fzmod-default").compress(field, 1e-3).blob
+        COMPILED_PLAN_CACHE.clear()
+        COMPILED_PLAN_CACHE.reset_stats()
+        core_decompress(blob, compile=False)
+        assert COMPILED_PLAN_CACHE.stats()["misses"] == 0
+
+    def test_specless_header_declines(self, field):
+        pipe = get_preset("fzmod-default")
+        blob = pipe.compress(field, 1e-3).blob
+        header = peek_header(blob)
+        header.pipeline = None  # containers written before the spec field
+        assert decode_plan_for_header(header) is None
+
+
+# --------------------------------------------------------------------- #
+# plan cache behaviour (shared with compress plans, own direction group)
+# --------------------------------------------------------------------- #
+class TestDecodePlanCache:
+    def test_hit_after_miss_counts_in_decode_group(self):
+        pipe = get_preset("fzmod-default")
+        COMPILED_PLAN_CACHE.clear()
+        COMPILED_PLAN_CACHE.reset_stats()
+        first = decode_plan_for(pipe)
+        second = decode_plan_for(pipe)
+        assert second is first
+        grp = COMPILED_PLAN_CACHE.stats()["by_group"]["decode"]
+        assert grp["misses"] == 1 and grp["hits"] == 1
+        assert grp["entries"] == 1
+
+    def test_directions_do_not_collide(self):
+        from repro.compile import plan_for
+        pipe = get_preset("fzmod-default")
+        COMPILED_PLAN_CACHE.clear()
+        COMPILED_PLAN_CACHE.reset_stats()
+        enc = plan_for(pipe)
+        dec = decode_plan_for(pipe)
+        assert enc is not None and dec is not None
+        assert enc.key != dec.key
+        by_group = COMPILED_PLAN_CACHE.stats()["by_group"]
+        assert by_group["compress"]["entries"] == 1
+        assert by_group["decode"]["entries"] == 1
+        assert decode_plan_key(pipe) != plan_key(pipe)
+
+    def test_distinct_specs_get_distinct_plans(self):
+        a = decode_plan_for(get_preset("fzmod-default"))
+        b = decode_plan_for(get_preset("fzmod-speed"))
+        assert a is not None and b is not None
+        assert a.key != b.key
+
+    def test_env_kill_switch_disables_reuse(self, monkeypatch):
+        pipe = get_preset("fzmod-default")
+        monkeypatch.setenv("FZMOD_PLAN_CACHE", "0")
+        COMPILED_PLAN_CACHE.clear()
+        first = decode_plan_for(pipe)
+        second = decode_plan_for(pipe)
+        assert first is not None and second is not None
+        assert first is not second  # rebuilt every time, never stored
+        assert len(COMPILED_PLAN_CACHE) == 0
+        assert first.key == second.key  # still the same content address
+
+    def test_env_kill_switch_output_identical(self, monkeypatch, smooth_3d):
+        pipe = get_preset("fzmod-default")
+        blob = pipe.compress(smooth_3d, 1e-3).blob
+        ref = core_decompress(blob, compile="auto")
+        monkeypatch.setenv("FZMOD_PLAN_CACHE", "0")
+        got = core_decompress(blob, compile="auto")
+        assert got.tobytes() == ref.tobytes()
+
+    def test_plan_from_key_round_trip(self):
+        pipe = get_preset("fzmod-default")
+        key = decode_plan_key(pipe)
+        plan = decode_plan_from_key(pipe, key)
+        assert plan is not None and plan.key == key
+
+    def test_plan_from_key_rejects_foreign_key(self):
+        pipe = get_preset("fzmod-default")
+        assert decode_plan_from_key(pipe, "0" * 32) is None
+
+    def test_compile_decode_plan_rejects_uncompilable(self):
+        with pytest.raises(PipelineError, match="compile-decoded"):
+            compile_decode_plan(get_preset("fzmod-quality"))
+
+    def test_header_resolution_matches_pipeline_resolution(self, field):
+        pipe = get_preset("fzmod-default")
+        blob = pipe.compress(field, 1e-3).blob
+        plan = decode_plan_for_header(peek_header(blob))
+        assert plan is not None
+        assert plan.key == decode_plan_key(pipe)
+        assert "decode plan" in plan.describe()

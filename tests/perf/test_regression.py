@@ -127,6 +127,58 @@ class TestTelemetrySection:
         assert any("budget" in f for f in check_regressions(report))
 
 
+def _fake_decode_section(speedup=2.0, identical=True) -> dict:
+    warm_i = 1.0
+    return {"plan_key": "0" * 32,
+            "interpreted": {"warm_s": warm_i, "warm_mb_s": 10.0},
+            "decompress": {"warm_s": warm_i / speedup,
+                           "warm_mb_s": 10.0 * speedup,
+                           "speedup_vs_interpreted": speedup},
+            "value_identical": identical}
+
+
+class TestCompiledDecodeSection:
+    def test_report_has_section(self, quick_report):
+        dcomp = quick_report["compiled_decompress"]
+        assert dcomp["plan_key"] is not None
+        assert dcomp["value_identical"] is True
+        checks = quick_report["checks"]
+        assert checks["compiled_decode_value_identical"]
+        assert "compiled_decode_not_slower_than_interpreted" in checks
+        assert "target_compiled_decode_1.5x" in checks
+
+    def test_fakes_without_section_still_check(self):
+        checks = check_results(_fake_report())
+        assert "compiled_decode_value_identical" not in checks
+
+    def test_value_divergence_is_a_regression(self):
+        report = _fake_report()
+        report["compiled_decompress"] = _fake_decode_section(identical=False)
+        report["checks"] = check_results(report)
+        assert any("value-identical" in f for f in check_regressions(report))
+
+    def test_slower_than_interpreted_is_a_regression(self):
+        report = _fake_report()
+        report["compiled_decompress"] = _fake_decode_section(speedup=0.8)
+        report["checks"] = check_results(report)
+        assert any("compiled decompress is slower" in f
+                   for f in check_regressions(report))
+
+    def test_decode_target_only_gates_in_strict_mode(self):
+        # 1.2x: faster than the interpreter (no regression) but below goal
+        report = _fake_report()
+        report["compiled_decompress"] = _fake_decode_section(speedup=1.2)
+        report["checks"] = check_results(report)
+        assert not report["checks"]["target_compiled_decode_1.5x"]
+        assert check_regressions(report) == []
+        assert any("vs-interpreted" in f
+                   for f in check_regressions(report, strict=True))
+
+    def test_rendered_report_names_both_directions(self, quick_report):
+        text = render_report(quick_report)
+        assert "c.decomp" in text and "interpreted" in text
+
+
 class TestWriteReportHistory:
     def test_rewrites_append_history(self, quick_report, tmp_path):
         out = tmp_path / "bench.json"

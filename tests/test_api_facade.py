@@ -139,6 +139,67 @@ class TestDecompressDispatch:
             repro.decompress(12345)
 
 
+class TestDecompressBlobShapes:
+    """Every blob shape x delivery (bytes vs path) x out=/workers=.
+
+    The containers: FZMD single, FZMS v1 (per-shard codebooks), FZMS v2
+    (shared codebook), FZMS v3 (streaming trailing index).  ``out=``
+    must be written through on every one of them — never silently
+    ignored, never stale.
+    """
+
+    def _blob(self, field, kind, tmp_path):
+        if kind == "single":
+            return repro.compress(field, "fzmod-default", 1e-3).blob
+        if kind == "fzms-v1":
+            return repro.compress(field, "fzmod-default", 1e-3, workers=2,
+                                  shard_mb=0.125).blob
+        if kind == "fzms-v2":
+            return repro.compress(field, "fzmod-default", 1e-3, workers=2,
+                                  shard_mb=0.125, codebook="shared").blob
+        assert kind == "fzms-v3"
+        path = tmp_path / "v3.fzms"
+        repro.compress(field, "fzmod-default", 1e-3, stream=True,
+                       out=path, shard_mb=0.125, layout="stream")
+        return path.read_bytes()
+
+    @pytest.mark.parametrize("kind",
+                             ["single", "fzms-v1", "fzms-v2", "fzms-v3"])
+    @pytest.mark.parametrize("delivery", ["bytes", "path"])
+    def test_out_written_through_everywhere(self, field, tmp_path, kind,
+                                            delivery):
+        blob = self._blob(field, kind, tmp_path)
+        ref = repro.decompress(blob)
+        source = blob
+        if delivery == "path":
+            source = tmp_path / f"{kind}.bin"
+            source.write_bytes(blob)
+        dst = np.full(field.shape, np.nan, dtype=field.dtype)
+        ret = repro.decompress(source, out=dst)
+        assert ret is dst
+        assert dst.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("kind", ["fzms-v1", "fzms-v2", "fzms-v3"])
+    def test_workers_kwarg_value_identical(self, field, tmp_path, kind):
+        blob = self._blob(field, kind, tmp_path)
+        serial = repro.decompress(blob, workers=1)
+        parallel = repro.decompress(blob, workers=4)
+        assert serial.tobytes() == parallel.tobytes()
+
+    def test_bytearray_and_memoryview_accepted(self, field):
+        blob = repro.compress(field, "fzmod-default", 1e-3).blob
+        ref = repro.decompress(blob)
+        assert repro.decompress(bytearray(blob)).tobytes() == ref.tobytes()
+        assert repro.decompress(memoryview(blob)).tobytes() == ref.tobytes()
+
+    def test_readonly_out_rejected_before_any_decode(self, field):
+        blob = repro.compress(field, "fzmod-default", 1e-3).blob
+        frozen = np.empty_like(field)
+        frozen.flags.writeable = False
+        with pytest.raises(ConfigError, match="writable"):
+            repro.decompress(blob, out=frozen)
+
+
 class TestCompileKwarg:
     def test_facade_compile_modes_byte_identical(self, field):
         blobs = {flag: repro.compress(field, "fzmod-default", 1e-3,
@@ -150,6 +211,24 @@ class TestCompileKwarg:
         from repro.errors import PipelineError
         with pytest.raises(PipelineError):
             repro.compress(field, "fzmod-quality", 1e-3, compile=True)
+
+    def test_decompress_compile_modes_value_identical(self, field):
+        cf = repro.compress(field, "fzmod-default", 1e-3)
+        fields = {flag: repro.decompress(cf.blob, compile=flag)
+                  for flag in ("auto", True, False)}
+        assert (fields["auto"].tobytes() == fields[True].tobytes()
+                == fields[False].tobytes())
+
+    def test_decompress_compile_require_propagates(self, field, tmp_path):
+        from repro.errors import PipelineError
+        blob = repro.compress(field, "fzmod-quality", 1e-3).blob
+        with pytest.raises(PipelineError, match="compile-decoded"):
+            repro.decompress(blob, compile=True)
+        path = tmp_path / "q.fzms"
+        repro.compress(field, "fzmod-quality", 1e-3, stream=True, out=path,
+                       shard_mb=0.125)
+        with pytest.raises(PipelineError, match="compile-decoded"):
+            repro.decompress(path, compile=True)
 
 
 # --------------------------------------------------------------------- #
