@@ -2,27 +2,41 @@
 
 The framework's interchangeable-modules promise rests on implicit
 contracts — kernel purity, the ``out=`` buffer protocol, read-only plan
-caches, byte-deterministic shard serialization.  This package machine-
-checks them: an AST rule engine (:mod:`.engine`), eight
-FZModules-specific rules (:mod:`.rules`), a ratcheting baseline
-(:mod:`.baseline`) and text/JSON/SARIF reporters (:mod:`.output`).
+caches, byte-deterministic shard serialization, pool leases used
+within their lifetime.  This package machine-checks them: an AST rule
+engine (:mod:`.engine`), per-file rules FZL001-FZL012 (:mod:`.rules`),
+a whole-program layer — module/import/call-graph index
+(:mod:`.project`) and intra-procedural lease/alias dataflow
+(:mod:`.dataflow`) — feeding rules FZL013-FZL018
+(:mod:`.rules_program`), a ratcheting baseline (:mod:`.baseline`) and
+text/JSON/SARIF reporters with ``codeFlows`` traces (:mod:`.output`).
+
+The runtime mirror of the dataflow contracts lives in
+:mod:`repro.runtime.memory`: ``FZMOD_SANITIZE=1`` enforces
+use-after-release, double-release and ``out=`` aliasing at execution
+time.
 
 Run it as ``fzmod lint`` or ``python -m repro.analysis``; see
 ``docs/STATIC_ANALYSIS.md`` for the contract behind each rule.
 """
 
 from .baseline import load_baseline, partition, save_baseline
-from .engine import (LintContext, LintEngine, LintResult, Rule, all_rules,
-                     register_rule)
-from .findings import Finding
+from .engine import (LintContext, LintEngine, LintResult, ProjectRule,
+                     Rule, all_rules, register_rule)
+from .findings import Finding, FlowStep
 from .output import render_json, render_sarif, render_text
+from .project import ProjectContext
 from . import rules  # noqa: F401 - registers the built-in rules
+from . import rules_program  # noqa: F401 - registers FZL013-FZL018
 
 __all__ = [
     "Finding",
+    "FlowStep",
     "LintContext",
     "LintEngine",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "register_rule",

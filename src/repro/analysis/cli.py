@@ -73,6 +73,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "stdout")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
+    parser.add_argument("--changed", nargs="?", const="HEAD",
+                        default=None, metavar="REF",
+                        help="lint only files that differ from a git "
+                             "ref (default HEAD) plus untracked files, "
+                             "restricted to the given paths")
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -97,6 +102,17 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"fzlint: no such path: "
               f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
         return 2
+    if getattr(args, "changed", None):
+        try:
+            changed = changed_files(args.changed)
+        except GitError as exc:
+            print(f"fzlint: --changed: {exc}", file=sys.stderr)
+            return 2
+        paths = restrict_to_changed(paths, changed)
+        if not paths:
+            _emit("fzlint: no changed python files under the given "
+                  "paths", args.output)
+            return 0
     result = engine.run(paths)
 
     baseline_path: Path | None = None
@@ -123,6 +139,57 @@ def run_lint(args: argparse.Namespace) -> int:
                              show_baselined=args.show_baselined)
     _emit(report, args.output)
     return 1 if new else 0
+
+
+class GitError(RuntimeError):
+    """``--changed`` could not interrogate git."""
+
+
+def changed_files(ref: str, cwd: Path | None = None) -> list[Path]:
+    """Python files differing from ``ref`` plus untracked ones.
+
+    Keeps the pre-commit loop proportional to the diff, not the tree:
+    ``fzmod lint --changed`` before a commit, ``--changed=origin/main``
+    before a push.  Deleted files are excluded (nothing to lint).
+    """
+    import subprocess
+
+    base = Path(cwd) if cwd is not None else Path.cwd()
+    out: list[Path] = []
+    for argv in (
+        ["git", "diff", "--name-only", "--diff-filter=d", ref,
+         "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard",
+         "--", "*.py"],
+    ):
+        try:
+            proc = subprocess.run(argv, cwd=base, capture_output=True,
+                                  text=True, check=False)
+        except OSError as exc:
+            raise GitError(str(exc)) from exc
+        if proc.returncode != 0:
+            raise GitError(proc.stderr.strip()
+                           or f"git exited {proc.returncode}")
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                out.append((base / line).resolve())
+    return out
+
+
+def restrict_to_changed(paths: list[Path],
+                        changed: list[Path]) -> list[Path]:
+    """Changed files that live under one of the requested paths."""
+    roots = [Path(p).resolve() for p in paths]
+    picked: list[Path] = []
+    for f in changed:
+        if not f.exists():
+            continue
+        for root in roots:
+            if f == root or root in f.parents:
+                picked.append(f)
+                break
+    return picked
 
 
 def _emit(report: str, output: str | None) -> None:

@@ -1,0 +1,837 @@
+"""Intra-procedural dataflow for fzlint: CFG + worklist lease analysis.
+
+fzlint v1 rules were syntactic — one AST pattern, one finding.  The bugs
+that matter for the pooled hot path are *path* properties: a
+``BufferPool`` lease released on one branch and used on another, a
+release reached twice around a loop back-edge, an ``out=`` buffer that
+aliases an input through a chain of view assignments.  This module
+builds a statement-level control-flow graph per function and runs a
+worklist fixpoint over it, tracking
+
+* **origins** — every value-producing site (pool ``acquire``, fresh
+  allocation, parameter) gets a stable identity; names map to *sets* of
+  origins (may-points-to), propagated through alias-preserving
+  expressions only (plain names, ``.reshape``/``.view``/… chains, slice
+  subscripts, conditional expressions, the ``out=`` keyword convention,
+  and cross-module ``returns-param`` summaries from the
+  :class:`~repro.analysis.project.ProjectContext`);
+* **lease status** — ``live``/``released`` per pool-acquire origin,
+  joined as a may-analysis so a release on *any* path to a use is
+  reported.
+
+The analysis is deliberately conservative about what aliases: fancy
+indexing (``a[idx]``), ``.astype``/``np.asarray`` and unknown calls all
+produce fresh origins, so view-chain bugs are caught without flagging
+the copy-then-release idiom the kernels actually use.  Reports carry
+:class:`~repro.analysis.findings.FlowStep` traces (acquire → release →
+use) that the SARIF reporter renders as ``codeFlows``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from .engine import attribute_chain, node_root_name
+from .findings import FlowStep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import LintContext
+
+#: attribute calls that return a view of their receiver
+VIEW_METHODS = frozenset({
+    "view", "reshape", "ravel", "squeeze", "transpose", "swapaxes",
+})
+
+#: method-call names treated as a pool release
+_RELEASE_ATTRS = frozenset({"release"})
+
+#: method-call names treated as a pool acquire
+_ACQUIRE_ATTRS = frozenset({"acquire"})
+
+#: attribute names whose call hands work (and captured leases) to
+#: another execution context — a thread pool, process pool or STF graph
+SUBMIT_ATTRS = frozenset({"submit", "task"})
+
+
+def _is_pool_root(root: str | None) -> bool:
+    return root is not None and "pool" in root.lower()
+
+
+def alias_load_roots(expr: ast.AST) -> set[str]:
+    """Names whose storage ``expr``'s value may alias.
+
+    Follows only alias-preserving syntax; anything that copies (fancy
+    indexing, ``astype``, unknown calls) or is not rooted in a name
+    yields no roots.  The empty set therefore means "fresh or unknown",
+    never "aliases everything".
+    """
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, ast.Attribute):
+        if expr.attr == "T":
+            return alias_load_roots(expr.value)
+        return set()
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        if isinstance(fn, ast.Attribute) and fn.attr in VIEW_METHODS:
+            return alias_load_roots(fn.value)
+        return set()
+    if isinstance(expr, ast.Subscript):
+        if _is_view_index(expr.slice):
+            return alias_load_roots(expr.value)
+        return set()
+    if isinstance(expr, ast.IfExp):
+        return alias_load_roots(expr.body) | alias_load_roots(expr.orelse)
+    if isinstance(expr, ast.BoolOp):
+        roots: set[str] = set()
+        for v in expr.values:
+            roots |= alias_load_roots(v)
+        return roots
+    if isinstance(expr, ast.NamedExpr):
+        return alias_load_roots(expr.value)
+    if isinstance(expr, ast.Starred):
+        return alias_load_roots(expr.value)
+    return set()
+
+
+def _is_view_index(index: ast.AST) -> bool:
+    """True when subscripting with ``index`` returns a view (basic
+    indexing: slices, ellipsis, integer constants, tuples thereof).
+    Name/Call indices may be fancy (copying) indexing — treated as
+    fresh."""
+    if isinstance(index, ast.Slice):
+        return True
+    if isinstance(index, ast.Constant):
+        return index.value is Ellipsis or isinstance(index.value, int)
+    if isinstance(index, ast.Tuple):
+        return all(_is_view_index(e) for e in index.elts)
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# control-flow graph                                                      #
+# ---------------------------------------------------------------------- #
+class CFG:
+    """Blocks of straight-line units with successor edges.
+
+    A *unit* is a simple statement or the header expression of a
+    compound one (an ``if``/``while`` test, a ``for`` iterable); the
+    transfer function walks units in order within a block.
+    """
+
+    def __init__(self) -> None:
+        self.units: list[list[ast.AST]] = []
+        self.succs: list[set[int]] = []
+
+    def new_block(self) -> int:
+        """Append an empty block, returning its index."""
+        self.units.append([])
+        self.succs.append(set())
+        return len(self.units) - 1
+
+    def edge(self, a: int | None, b: int | None) -> None:
+        """Add a successor edge (ignoring unreachable endpoints)."""
+        if a is not None and b is not None:
+            self.succs[a].add(b)
+
+
+class _ForBind:
+    """Synthetic unit binding a ``for`` target each iteration."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.For | ast.AsyncFor) -> None:
+        self.node = node
+
+
+class _CFGBuilder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.entry = self.cfg.new_block()
+        self.exit = self.cfg.new_block()
+        #: entries of handler/finally blocks exceptions can reach
+        self._exc: list[int] = []
+        #: innermost-first finally entries (for return/break edges)
+        self._finally: list[int] = []
+        #: (continue_target, break_target) stack
+        self._loops: list[tuple[int, int]] = []
+
+    # -- plumbing ------------------------------------------------------ #
+    def _emit(self, block: int, unit: ast.AST) -> None:
+        self.cfg.units[block].append(unit)
+        for target in self._exc:
+            self.cfg.edge(block, target)
+
+    def _leave_via(self, block: int, target: int | None) -> None:
+        """Edge for a jump statement, routed through any finally."""
+        if self._finally:
+            self.cfg.edge(block, self._finally[-1])
+        self.cfg.edge(block, target)
+
+    # -- statement sequencing ------------------------------------------ #
+    def seq(self, stmts: Iterable[ast.stmt], cur: int | None) -> int | None:
+        for stmt in stmts:
+            if cur is None:
+                cur = self.cfg.new_block()  # unreachable continuation
+            cur = self.stmt(stmt, cur)
+        return cur
+
+    def stmt(self, stmt: ast.stmt, cur: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            self._emit(cur, stmt.test)
+            then_e = cfg.new_block()
+            else_e = cfg.new_block()
+            cfg.edge(cur, then_e)
+            cfg.edge(cur, else_e)
+            then_x = self.seq(stmt.body, then_e)
+            else_x = self.seq(stmt.orelse, else_e)
+            if then_x is None and else_x is None:
+                return None
+            join = cfg.new_block()
+            cfg.edge(then_x, join)
+            cfg.edge(else_x, join)
+            return join
+        if isinstance(stmt, (ast.While,)):
+            header = cfg.new_block()
+            cfg.edge(cur, header)
+            self._emit(header, stmt.test)
+            body_e = cfg.new_block()
+            after = cfg.new_block()
+            cfg.edge(header, body_e)
+            self._loops.append((header, after))
+            body_x = self.seq(stmt.body, body_e)
+            cfg.edge(body_x, header)
+            self._loops.pop()
+            if stmt.orelse:
+                else_e = cfg.new_block()
+                cfg.edge(header, else_e)
+                cfg.edge(self.seq(stmt.orelse, else_e), after)
+            else:
+                cfg.edge(header, after)
+            return after
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._emit(cur, stmt.iter)
+            header = cfg.new_block()
+            cfg.edge(cur, header)
+            self._emit(header, _ForBind(stmt))
+            body_e = cfg.new_block()
+            after = cfg.new_block()
+            cfg.edge(header, body_e)
+            self._loops.append((header, after))
+            body_x = self.seq(stmt.body, body_e)
+            cfg.edge(body_x, header)
+            self._loops.pop()
+            if stmt.orelse:
+                else_e = cfg.new_block()
+                cfg.edge(header, else_e)
+                cfg.edge(self.seq(stmt.orelse, else_e), after)
+            else:
+                cfg.edge(header, after)
+            return after
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._emit(cur, stmt)
+            return self.seq(stmt.body, cur)
+        if isinstance(stmt, ast.Return):
+            self._emit(cur, stmt)
+            self._leave_via(cur, self.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._emit(cur, stmt)
+            self._leave_via(cur, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._leave_via(cur, self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._leave_via(cur, self._loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Match):
+            self._emit(cur, stmt.subject)
+            after = cfg.new_block()
+            any_open = False
+            for case in stmt.cases:
+                case_e = cfg.new_block()
+                cfg.edge(cur, case_e)
+                case_x = self.seq(case.body, case_e)
+                if case_x is not None:
+                    any_open = True
+                cfg.edge(case_x, after)
+            cfg.edge(cur, after)  # no case may match
+            return after if (any_open or True) else None
+        # simple statement (incl. nested FunctionDef/ClassDef, which the
+        # transfer function treats as a binding + capture record)
+        self._emit(cur, stmt)
+        return cur
+
+    def _try(self, stmt: ast.Try, cur: int) -> int | None:
+        cfg = self.cfg
+        body_e = cfg.new_block()
+        cfg.edge(cur, body_e)
+        handler_entries = [cfg.new_block() for _ in stmt.handlers]
+        fin_e = cfg.new_block() if stmt.finalbody else None
+
+        targets = list(handler_entries)
+        if fin_e is not None:
+            targets.append(fin_e)
+        self._exc.extend(targets)
+        if fin_e is not None:
+            self._finally.append(fin_e)
+        body_x = self.seq(stmt.body, body_e)
+        body_x = self.seq(stmt.orelse, body_x) if stmt.orelse else body_x
+        del self._exc[len(self._exc) - len(targets):]
+
+        handler_exits: list[int | None] = []
+        for handler, h_entry in zip(stmt.handlers, handler_entries):
+            if fin_e is not None and fin_e not in self._exc:
+                self._exc.append(fin_e)
+                h_exit = self.seq(handler.body, h_entry)
+                self._exc.pop()
+            else:
+                h_exit = self.seq(handler.body, h_entry)
+            handler_exits.append(h_exit)
+        if fin_e is not None:
+            self._finally.pop()
+
+        after = cfg.new_block()
+        if fin_e is not None:
+            cfg.edge(body_x, fin_e)
+            for h_exit in handler_exits:
+                cfg.edge(h_exit, fin_e)
+            fin_x = self.seq(stmt.finalbody, fin_e)
+            cfg.edge(fin_x, after)
+            cfg.edge(fin_x, self.exit)  # re-raise / jump continuation
+        else:
+            cfg.edge(body_x, after)
+            for h_exit in handler_exits:
+                cfg.edge(h_exit, after)
+        return after
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Statement-level CFG of one function body."""
+    b = _CFGBuilder()
+    last = b.seq(fn.body, b.entry)
+    b.cfg.edge(last, b.exit)
+    return b.cfg
+
+
+# ---------------------------------------------------------------------- #
+# origins and lease state                                                 #
+# ---------------------------------------------------------------------- #
+@dataclass
+class Origin:
+    """One value-producing site tracked by the analysis."""
+
+    oid: int
+    kind: str              #: "lease" | "alloc" | "param"
+    line: int
+    label: str             #: display text for flow steps
+    release_lines: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Report:
+    """One raw dataflow diagnostic (rule layer turns these into findings)."""
+
+    kind: str              #: "use-after-release" | "double-release" |
+                           #: "lease-escape" | "out-aliasing"
+    node: ast.AST          #: anchor node for the finding
+    message: str
+    flow: tuple[FlowStep, ...] = ()
+
+
+_LIVE = "live"
+_RELEASED = "released"
+
+
+class _FunctionAnalysis:
+    """Worklist lease/alias analysis of a single function."""
+
+    def __init__(self, fn, ctx: "LintContext", project) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        self.project = project
+        self.cfg = build_cfg(fn)
+        self.origins: dict[int, Origin] = {}
+        self._origin_by_node: dict[int, int] = {}
+        self._next_oid = 0
+        #: nested def/lambda name -> free (captured) names
+        self.captures: dict[str, set[str]] = {}
+        self.reports: list[Report] = []
+        self._reported: set[tuple] = set()
+        self._collecting = False
+
+    # -- origin bookkeeping -------------------------------------------- #
+    def _origin_for(self, node: ast.AST, kind: str, label: str) -> int:
+        key = id(node)
+        oid = self._origin_by_node.get(key)
+        if oid is None:
+            oid = self._next_oid
+            self._next_oid += 1
+            self._origin_by_node[key] = oid
+            self.origins[oid] = Origin(
+                oid=oid, kind=kind, line=getattr(node, "lineno", 1),
+                label=label)
+        return oid
+
+    def _entry_state(self) -> tuple[dict, dict]:
+        bind: dict[str, frozenset[int]] = {}
+        args = self.fn.args
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            oid = self._origin_for(a, "param", f"parameter `{a.arg}`")
+            bind[a.arg] = frozenset({oid})
+        return bind, {}
+
+    # -- expression evaluation ----------------------------------------- #
+    def _is_acquire(self, call: ast.Call) -> bool:
+        fn = call.func
+        return (isinstance(fn, ast.Attribute)
+                and fn.attr in _ACQUIRE_ATTRS
+                and _is_pool_root(node_root_name(fn.value)))
+
+    def _release_arg(self, call: ast.Call) -> ast.expr | None:
+        fn = call.func
+        if (isinstance(fn, ast.Attribute) and fn.attr in _RELEASE_ATTRS
+                and _is_pool_root(node_root_name(fn.value))
+                and call.args):
+            return call.args[0]
+        return None
+
+    def _value_origins(self, expr: ast.AST, bind: dict) -> frozenset[int]:
+        """Origin set of ``expr``'s value (may create new origins)."""
+        if isinstance(expr, ast.Name):
+            return bind.get(expr.id, frozenset())
+        if isinstance(expr, ast.IfExp):
+            return (self._value_origins(expr.body, bind)
+                    | self._value_origins(expr.orelse, bind))
+        if isinstance(expr, ast.BoolOp):
+            out: frozenset[int] = frozenset()
+            for v in expr.values:
+                out |= self._value_origins(v, bind)
+            return out
+        if isinstance(expr, ast.NamedExpr):
+            return self._value_origins(expr.value, bind)
+        if isinstance(expr, ast.Call):
+            if self._is_acquire(expr):
+                root = node_root_name(expr.func) or "pool"
+                oid = self._origin_for(
+                    expr, "lease", f"lease acquired from `{root}`")
+                return frozenset({oid})
+            fn = expr.func
+            if isinstance(fn, ast.Attribute) and fn.attr in VIEW_METHODS:
+                return self._value_origins(fn.value, bind)
+            out: frozenset[int] = frozenset()
+            # numpy/kernel convention: a call given `out=` returns it
+            for kw in expr.keywords:
+                if kw.arg == "out":
+                    out |= self._value_origins(kw.value, bind)
+            out |= self._summary_origins(expr, bind)
+            if out:
+                return out
+            oid = self._origin_for(expr, "alloc", "allocated here")
+            return frozenset({oid})
+        if isinstance(expr, ast.Subscript):
+            if _is_view_index(expr.slice):
+                return self._value_origins(expr.value, bind)
+            return frozenset()
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "T":
+                return self._value_origins(expr.value, bind)
+            return frozenset()
+        if isinstance(expr, ast.Starred):
+            return self._value_origins(expr.value, bind)
+        return frozenset()
+
+    def _summary_origins(self, call: ast.Call, bind: dict) -> frozenset[int]:
+        """Cross-module returns-param aliasing via the project context."""
+        if self.project is None:
+            return frozenset()
+        info = self.project.resolve_call(self.ctx, call)
+        if info is None:
+            return frozenset()
+        out: frozenset[int] = frozenset()
+        for actual in self.project.actuals_for(info, call,
+                                               info.returns_params):
+            out |= self._value_origins(actual, bind)
+        return out
+
+    # -- reporting ------------------------------------------------------ #
+    def _report(self, kind: str, node: ast.AST, message: str,
+                flow: tuple[FlowStep, ...]) -> None:
+        if not self._collecting:
+            return
+        key = (kind, getattr(node, "lineno", 0),
+               getattr(node, "col_offset", 0), message)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.reports.append(Report(kind=kind, node=node, message=message,
+                                   flow=flow))
+
+    def _step(self, line: int, message: str) -> FlowStep:
+        return FlowStep(path=self.ctx.rel, line=line, message=message)
+
+    def _lease_flow(self, origin: Origin, node: ast.AST,
+                    last: str) -> tuple[FlowStep, ...]:
+        steps = [self._step(origin.line, origin.label)]
+        for rl in origin.release_lines[:3]:
+            steps.append(self._step(rl, "released here"))
+        steps.append(self._step(getattr(node, "lineno", origin.line), last))
+        return tuple(steps)
+
+    # -- transfer function --------------------------------------------- #
+    def _check_uses(self, expr: ast.AST, bind: dict, status: dict,
+                    skip: set[int] | None = None) -> None:
+        """Report loads of names bound to a may-released lease."""
+        for node in ast.walk(expr):
+            if (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and (skip is None or id(node) not in skip)):
+                for oid in bind.get(node.id, ()):
+                    origin = self.origins[oid]
+                    if (origin.kind == "lease"
+                            and _RELEASED in status.get(oid, ())):
+                        self._report(
+                            "use-after-release", node,
+                            f"`{node.id}` may be used after its pool "
+                            f"lease was released (acquired line "
+                            f"{origin.line})",
+                            self._lease_flow(origin, node,
+                                             f"`{node.id}` used here"))
+
+    def _live_lease_names(self, bind: dict, status: dict) -> dict[str, int]:
+        names: dict[str, int] = {}
+        for name, oids in bind.items():
+            for oid in oids:
+                origin = self.origins[oid]
+                if origin.kind == "lease" and _LIVE in status.get(oid, ()):
+                    names[name] = oid
+        return names
+
+    def _check_escapes(self, unit: ast.AST, bind: dict,
+                       status: dict) -> None:
+        live = self._live_lease_names(bind, status)
+        if not live:
+            return
+
+        def escape(node: ast.AST, oid: int, how: str) -> None:
+            origin = self.origins[oid]
+            self._report(
+                "lease-escape", node,
+                f"pool lease escapes its owning scope ({how}); the pool "
+                f"may recycle the buffer while the reference is live",
+                (self._step(origin.line, origin.label),
+                 self._step(getattr(node, "lineno", origin.line),
+                            f"escapes here ({how})")))
+
+        for node in ast.walk(unit):
+            # stores onto module-level state or long-lived objects
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                value = node.value
+                if value is None:
+                    continue
+                v_roots = alias_load_roots(value)
+                leaked = {live[r] for r in v_roots if r in live}
+                if not leaked:
+                    continue
+                for t in targets:
+                    if isinstance(t, (ast.Attribute, ast.Subscript)):
+                        root = node_root_name(t)
+                        if root == "self":
+                            how = "stored on self"
+                        elif root in self.ctx.module_level_names:
+                            how = f"stored into module-level `{root}`"
+                        else:
+                            continue
+                        for oid in sorted(leaked):
+                            escape(t, oid, how)
+            # leases handed to another execution context
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if not (isinstance(fn, ast.Attribute)
+                        and fn.attr in SUBMIT_ATTRS):
+                    continue
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    for root in alias_load_roots(arg):
+                        if root in live:
+                            escape(arg, live[root],
+                                   f"passed to `.{fn.attr}(...)`")
+                        elif root in self.captures:
+                            for cap in sorted(self.captures[root] &
+                                              live.keys()):
+                                escape(arg, live[cap],
+                                       f"captured by `{root}` passed "
+                                       f"to `.{fn.attr}(...)`")
+                    for lam in ast.walk(arg) if not isinstance(
+                            arg, ast.Name) else ():
+                        if isinstance(lam, ast.Lambda):
+                            free = _free_names(lam)
+                            for cap in sorted(free & live.keys()):
+                                escape(arg, live[cap],
+                                       "captured by a lambda passed "
+                                       f"to `.{fn.attr}(...)`")
+
+    def _check_out_aliasing(self, unit: ast.AST, bind: dict) -> None:
+        for node in ast.walk(unit):
+            if not isinstance(node, ast.Call):
+                continue
+            out_kw = next((kw for kw in node.keywords if kw.arg == "out"),
+                          None)
+            if out_kw is None:
+                continue
+            out_roots = alias_load_roots(out_kw.value)
+            out_origins = self._value_origins(out_kw.value, bind)
+            if len(out_origins) != 1:
+                continue  # must-alias only: ambiguous targets stay quiet
+            args = list(node.args) + [kw.value for kw in node.keywords
+                                      if kw.arg not in (None, "out")]
+            for arg in args:
+                roots = alias_load_roots(arg)
+                if not roots or roots & out_roots:
+                    # visible in-place use (same name) is a documented
+                    # idiom; only *hidden* aliasing is a contract bug
+                    continue
+                arg_origins = self._value_origins(arg, bind)
+                if len(arg_origins) == 1 and arg_origins == out_origins:
+                    oid = next(iter(arg_origins))
+                    origin = self.origins[oid]
+                    a_name = ", ".join(sorted(roots))
+                    o_name = ", ".join(sorted(out_roots)) or "<expr>"
+                    self._report(
+                        "out-aliasing", node,
+                        f"`out={o_name}` aliases input `{a_name}` "
+                        f"through assignments; the kernel will read "
+                        f"values it already overwrote",
+                        (self._step(origin.line,
+                                    f"both views originate here "
+                                    f"({origin.label})"),
+                         self._step(node.lineno,
+                                    f"`{a_name}` and `out={o_name}` "
+                                    f"reach the same call")))
+
+    def _transfer(self, unit: ast.AST, bind: dict, status: dict) -> None:
+        """Apply one unit to (bind, status) in place, reporting when in
+        the collecting pass."""
+        if isinstance(unit, _ForBind):
+            for n in ast.walk(unit.node.target):
+                if isinstance(n, ast.Name):
+                    bind.pop(n.id, None)
+            return
+        if isinstance(unit, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.captures[unit.name] = _free_names(unit)
+            bind.pop(unit.name, None)
+            return
+        if isinstance(unit, ast.ClassDef):
+            bind.pop(unit.name, None)
+            return
+        if isinstance(unit, (ast.Import, ast.ImportFrom, ast.Global,
+                             ast.Nonlocal, ast.Pass)):
+            return
+        if isinstance(unit, ast.Delete):
+            for t in unit.targets:
+                if isinstance(t, ast.Name):
+                    bind.pop(t.id, None)
+            return
+        if isinstance(unit, (ast.With, ast.AsyncWith)):
+            for item in unit.items:
+                self._check_uses(item.context_expr, bind, status)
+                if item.optional_vars is not None:
+                    for n in ast.walk(item.optional_vars):
+                        if isinstance(n, ast.Name):
+                            bind.pop(n.id, None)
+            return
+
+        # releases first: the released name inside `pool.release(x)` is
+        # not itself a use-after-release
+        skip_uses: set[int] = set()
+        for node in ast.walk(unit):
+            if isinstance(node, ast.Call):
+                arg = self._release_arg(node)
+                if arg is None:
+                    continue
+                skip_uses |= {id(n) for n in ast.walk(arg)}
+                for oid in self._value_origins(arg, bind):
+                    origin = self.origins[oid]
+                    if origin.kind != "lease":
+                        continue
+                    st = status.get(oid, frozenset())
+                    if _RELEASED in st:
+                        self._report(
+                            "double-release", node,
+                            f"pool lease may be released twice "
+                            f"(acquired line {origin.line})",
+                            self._lease_flow(origin, node,
+                                             "released again here"))
+                    if (self._collecting
+                            and node.lineno not in origin.release_lines):
+                        origin.release_lines.append(node.lineno)
+                    status[oid] = st | {_RELEASED}
+
+        self._check_uses(unit, bind, status, skip_uses)
+        if self._collecting:
+            self._check_escapes(unit, bind, status)
+            self._check_out_aliasing(unit, bind)
+
+        if isinstance(unit, (ast.Assign, ast.AnnAssign)):
+            value = unit.value
+            if value is None:
+                return
+            targets = (unit.targets if isinstance(unit, ast.Assign)
+                       else [unit.target])
+            if (len(targets) == 1 and isinstance(targets[0], ast.Tuple)
+                    and isinstance(value, ast.Tuple)
+                    and len(targets[0].elts) == len(value.elts)):
+                # simultaneous (a, b = b, a): evaluate RHS first
+                rhs = [self._value_origins(v, bind) for v in value.elts]
+                for t, origins in zip(targets[0].elts, rhs):
+                    if isinstance(t, ast.Name):
+                        bind[t.id] = origins
+                    else:
+                        self._clobber(t, bind)
+                self._refresh_acquire_status(value, status)
+                return
+            origins = self._value_origins(value, bind)
+            self._refresh_acquire_status(value, status)
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    bind[t.id] = origins
+                else:
+                    self._clobber(t, bind)
+        elif isinstance(unit, ast.Expr):
+            self._refresh_acquire_status(unit.value, status)
+        elif isinstance(unit, (ast.Return, ast.Raise)):
+            pass
+        elif isinstance(unit, ast.AugAssign):
+            pass  # in-place update keeps existing aliasing
+        else:
+            # header expressions (if/while tests, for iterables) and any
+            # other expression-bearing unit: uses were already checked
+            if isinstance(unit, ast.expr):
+                self._refresh_acquire_status(unit, status)
+
+    def _refresh_acquire_status(self, expr: ast.AST, status: dict) -> None:
+        """A (re-)executed acquire site yields a fresh generation: reset
+        its lease status to live so loop back-edges do not smear a prior
+        iteration's release onto the new lease."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and self._is_acquire(node):
+                oid = self._origin_for(node, "lease", "lease acquired")
+                status[oid] = frozenset({_LIVE})
+
+    def _clobber(self, target: ast.AST, bind: dict) -> None:
+        for n in ast.walk(target):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                bind.pop(n.id, None)
+
+    # -- fixpoint ------------------------------------------------------- #
+    @staticmethod
+    def _join(a: tuple[dict, dict], b: tuple[dict, dict]) -> tuple[dict,
+                                                                   dict]:
+        bind_a, st_a = a
+        bind_b, st_b = b
+        bind = dict(bind_a)
+        for k, v in bind_b.items():
+            bind[k] = bind.get(k, frozenset()) | v
+        st = dict(st_a)
+        for k, v in st_b.items():
+            st[k] = st.get(k, frozenset()) | v
+        return bind, st
+
+    @staticmethod
+    def _same(a: tuple[dict, dict], b: tuple[dict, dict]) -> bool:
+        return a[0] == b[0] and a[1] == b[1]
+
+    def run(self) -> list[Report]:
+        cfg = self.cfg
+        n = len(cfg.units)
+        in_states: dict[int, tuple[dict, dict]] = {0: self._entry_state()}
+        work = [0]
+        iterations = 0
+        limit = max(200, n * 40)
+        while work and iterations < limit:
+            iterations += 1
+            block = work.pop()
+            state = in_states.get(block)
+            if state is None:
+                continue
+            bind = dict(state[0])
+            status = dict(state[1])
+            for unit in cfg.units[block]:
+                self._transfer(unit, bind, status)
+            out = (bind, status)
+            for succ in cfg.succs[block]:
+                prev = in_states.get(succ)
+                merged = out if prev is None else self._join(prev, out)
+                if prev is None or not self._same(prev, merged):
+                    in_states[succ] = (dict(merged[0]), dict(merged[1]))
+                    work.append(succ)
+        # collecting pass over the final in-states
+        self._collecting = True
+        for block in range(n):
+            state = in_states.get(block)
+            if state is None:
+                continue
+            bind = dict(state[0])
+            status = dict(state[1])
+            for unit in cfg.units[block]:
+                self._transfer(unit, bind, status)
+        return self.reports
+
+
+def _free_names(fn) -> set[str]:
+    """Names a nested def/lambda loads but does not bind locally."""
+    if isinstance(fn, ast.Lambda):
+        body: list[ast.AST] = [fn.body]
+        args = fn.args
+    else:
+        body = list(fn.body)
+        args = fn.args
+    bound = {a.arg for a in (args.posonlyargs + args.args
+                             + args.kwonlyargs)}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    loads: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Store):
+                    bound.add(node.id)
+                elif isinstance(node.ctx, ast.Load):
+                    loads.add(node.id)
+    return loads - bound
+
+
+def analyze_function(fn, ctx: "LintContext", project=None) -> list[Report]:
+    """Lease/alias dataflow reports for one function."""
+    return _FunctionAnalysis(fn, ctx, project).run()
+
+
+def analyze_file(ctx: "LintContext") -> list[tuple[ast.AST, Report]]:
+    """Reports for every function in ``ctx``'s file, cached on the
+    context so the four dataflow rules share one fixpoint run."""
+    cached = getattr(ctx, "_dataflow_reports", None)
+    if cached is not None:
+        return cached
+    from .engine import functions_of
+    reports: list[tuple[ast.AST, Report]] = []
+    seen: set[int] = set()
+    for fn in functions_of(ctx.tree):
+        if id(fn) in seen:
+            continue
+        seen.add(id(fn))
+        for report in analyze_function(fn, ctx, ctx.project):
+            reports.append((fn, report))
+    ctx._dataflow_reports = reports
+    return reports

@@ -20,12 +20,17 @@ parser: ``# fzlint: disable=FZL004 -- shm names never reach a container``.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import ProjectContext
 
 #: pseudo-rule id for files the engine cannot parse
 PARSE_ERROR_RULE = "FZL000"
@@ -63,6 +68,23 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A rule that runs once per engine run over the whole program.
+
+    Project rules see the :class:`~repro.analysis.project.ProjectContext`
+    (symbol tables, import graph, call graph) instead of one file; their
+    findings are attributed to whichever file each violation lives in,
+    and per-file suppression directives apply as usual.
+    """
+
+    def run_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings across every analysed file."""
+        raise NotImplementedError
+
+    def run(self, ctx: "LintContext") -> Iterator[Finding]:
+        return iter(())  # project rules do not run per file
+
+
 _RULE_TYPES: dict[str, type[Rule]] = {}
 
 
@@ -79,6 +101,7 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
 def all_rules() -> list[Rule]:
     """One instance of every registered rule, sorted by id."""
     from . import rules  # noqa: F401 - registers the built-in rules
+    from . import rules_program  # noqa: F401 - registers FZL013-FZL018
     return [_RULE_TYPES[rid]() for rid in sorted(_RULE_TYPES)]
 
 
@@ -148,6 +171,9 @@ class LintContext:
     rel: str               #: path as reported in findings (posix)
     tree: ast.Module
     lines: list[str]
+    #: whole-program context, set by the engine once every file has been
+    #: parsed; ``None`` when a context is built stand-alone (tests)
+    project: "ProjectContext | None" = None
     _scopes: list[tuple[int, int, str]] = field(default_factory=list)
     _module_names: set[str] | None = None
     _imported_modules: set[str] | None = None
@@ -238,13 +264,15 @@ class LintContext:
             return self.lines[lineno - 1].strip()
         return ""
 
-    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+    def finding(self, rule: Rule, node: ast.AST, message: str,
+                flow: tuple = ()) -> Finding:
         """Build a :class:`Finding` for ``rule`` anchored at ``node``."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
         return Finding(path=self.rel, line=line, col=col, rule=rule.id,
                        message=message, scope=self.scope_at(line),
-                       snippet=self.snippet(line), severity=rule.severity)
+                       snippet=self.snippet(line), severity=rule.severity,
+                       flow=tuple(flow))
 
 
 # ---------------------------------------------------------------------- #
@@ -258,9 +286,35 @@ class Suppressions:
     by_line: dict[int, set[str]] = field(default_factory=dict)
 
     @classmethod
+    def from_source(cls, source: str, lines: list[str]) -> "Suppressions":
+        """Parse directives from *comment tokens* only.
+
+        Tokenizing (rather than regex-scanning raw lines) means a
+        directive-shaped string literal — test fixtures, docs, the
+        directive regex itself — can never silence a finding.  Files
+        that fail to tokenize (they will also fail to parse) fall back
+        to the line scanner so FZL000 reporting still works.
+        """
+        try:
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokenize.generate_tokens(
+                    io.StringIO(source).readline)
+                if tok.type == tokenize.COMMENT]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls.parse(lines)
+        return cls._from_directives(comments, lines)
+
+    @classmethod
     def parse(cls, lines: list[str]) -> "Suppressions":
+        """Line-regex fallback parser (tokenization unavailable)."""
+        return cls._from_directives(list(enumerate(lines, start=1)), lines)
+
+    @classmethod
+    def _from_directives(cls, texts: list[tuple[int, str]],
+                         lines: list[str]) -> "Suppressions":
         sup = cls()
-        for i, text in enumerate(lines, start=1):
+        for i, text in texts:
             m = _DIRECTIVE.search(text)
             if not m:
                 continue
@@ -308,6 +362,20 @@ class LintResult:
         return dict(sorted(counts.items()))
 
 
+#: directories the walker never descends into: bytecode caches, VCS
+#: metadata, virtualenvs and build detritus are not source
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hg", ".svn", ".tox", ".nox", ".venv",
+    "venv", "node_modules", "build", "dist", ".eggs", ".mypy_cache",
+    ".pytest_cache", ".ruff_cache", ".hypothesis",
+})
+
+
+def _skipped(f: Path) -> bool:
+    return any(part in _SKIP_DIRS or part.endswith(".egg-info")
+               for part in f.parts)
+
+
 def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
     seen: set[Path] = set()
     for p in paths:
@@ -317,7 +385,9 @@ def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
             candidates = [p]
         for f in candidates:
             f = f.resolve()
-            if "__pycache__" in f.parts or f in seen:
+            # only real .py source: skip caches/VCS dirs and, for
+            # explicitly-listed files, anything that is not python
+            if f.suffix != ".py" or _skipped(f) or f in seen:
                 continue
             seen.add(f)
             yield f
@@ -349,10 +419,15 @@ class LintEngine:
             cwd: Path | None = None) -> LintResult:
         """Lint every ``.py`` file under ``paths``; report paths are
         made relative to ``cwd`` (default: the working directory)."""
+        from .project import ProjectContext
+
         cwd = (Path.cwd() if cwd is None else Path(cwd)).resolve()
         findings: list[Finding] = []
         suppressed: list[Finding] = []
         files = 0
+        # phase 1: parse everything, so project rules and cross-module
+        # resolution see the whole tree before any rule runs
+        parsed: list[tuple[LintContext, Suppressions]] = []
         for path in _iter_py_files(Path(p).resolve() for p in paths):
             files += 1
             rel = _report_path(path, cwd)
@@ -366,12 +441,31 @@ class LintEngine:
                     message=f"file does not parse: {exc.msg}",
                     scope="<module>", snippet=""))
                 continue
-            sup = Suppressions.parse(ctx.lines)
+            parsed.append((ctx, Suppressions.from_source(source,
+                                                         ctx.lines)))
+
+        project = ProjectContext.build(ctx for ctx, _ in parsed)
+        sup_by_rel = {ctx.rel: sup for ctx, sup in parsed}
+
+        # phase 2: per-file rules
+        for ctx, sup in parsed:
+            ctx.project = project
             for rule in self.rules:
+                if isinstance(rule, ProjectRule):
+                    continue
                 if not rule.applies_to(ctx):
                     continue
                 for f in rule.run(ctx):
                     (suppressed if sup.covers(f) else findings).append(f)
+
+        # phase 3: whole-program rules, suppressions applied per file
+        for rule in self.rules:
+            if not isinstance(rule, ProjectRule):
+                continue
+            for f in rule.run_project(project):
+                sup = sup_by_rel.get(f.path)
+                (suppressed if sup is not None and sup.covers(f)
+                 else findings).append(f)
         findings.sort()
         suppressed.sort()
         return LintResult(findings=findings, suppressed=suppressed,

@@ -11,10 +11,24 @@ stores occurrence *counts*, so duplicates are ratcheted correctly.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: severity levels, mirroring SARIF's ``level`` values we emit
 SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass(frozen=True, order=True)
+class FlowStep:
+    """One step of the execution path that produces a finding.
+
+    Dataflow rules attach these so a reader can see *how* the bad state
+    arises (acquire -> release -> use), and SARIF output renders them as
+    ``codeFlows``/``threadFlows`` for code-scanning UIs.
+    """
+
+    path: str      #: posix path of the step (usually the finding's file)
+    line: int      #: 1-based line
+    message: str   #: what happens at this step ("lease acquired here", ...)
 
 
 @dataclass(frozen=True, order=True)
@@ -29,6 +43,10 @@ class Finding:
     scope: str = "<module>"   #: qualified enclosing function/class
     snippet: str = ""         #: stripped source line (fingerprint input)
     severity: str = "warning"
+    #: execution path behind the finding (dataflow rules only); excluded
+    #: from the fingerprint so flow wording can evolve without churning
+    #: the baseline
+    flow: tuple[FlowStep, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -61,6 +79,9 @@ class Finding:
             "severity": self.severity,
             "fingerprint": self.fingerprint,
         }
+        if self.flow:
+            obj["flow"] = [{"path": s.path, "line": s.line,
+                            "message": s.message} for s in self.flow]
         if baselined is not None:
             obj["baselined"] = baselined
         return obj

@@ -92,7 +92,7 @@ def render_sarif(result: LintResult, new: list[Finding],
 
 
 def _sarif_result(f: Finding, baseline_state: str) -> dict:
-    return {
+    result = {
         "ruleId": f.rule,
         "level": _level(f.severity),
         "message": {"text": f.message},
@@ -105,6 +105,23 @@ def _sarif_result(f: Finding, baseline_state: str) -> dict:
         "partialFingerprints": {"fzlint/v1": f.fingerprint},
         "baselineState": baseline_state,
     }
+    if f.flow:
+        # dataflow rules attach the path behind the finding
+        # (acquire -> release -> use); render as one thread flow
+        result["codeFlows"] = [{
+            "threadFlows": [{
+                "locations": [{
+                    "location": {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": step.path},
+                            "region": {"startLine": step.line},
+                        },
+                        "message": {"text": step.message},
+                    },
+                } for step in f.flow],
+            }],
+        }]
+    return result
 
 
 def _level(severity: str) -> str:

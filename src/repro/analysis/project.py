@@ -1,0 +1,477 @@
+"""Whole-program context for fzlint: symbols, imports, call graph.
+
+v1 rules saw one file at a time, so any contract spanning a call — an
+``out=`` buffer aliasing its input through a helper, a worker entrypoint
+mutating module state three calls deep — was invisible.
+:class:`ProjectContext` is built once per engine run from every parsed
+file and gives rules:
+
+* a **module symbol table** (top-level functions, classes and their
+  methods, module-level names) keyed by dotted module name derived from
+  the reported path;
+* an **import graph** resolving ``import``/``from``/relative imports and
+  aliases to project modules and symbols;
+* an approximate **call graph**: plain-name calls, ``module.func``
+  calls, ``self.method`` calls, ``ClassName(...)`` constructor calls,
+  and a unique-method-name fallback for attribute calls (skipped for
+  generic container-ish names), each edge annotated with its first call
+  site for flow reconstruction;
+* **returns-param summaries**: which parameters a function's return
+  value may alias (computed over alias-preserving syntax only), letting
+  the dataflow pass follow aliasing through call hops;
+* **worker/task entrypoints**: functions handed to ``*.submit(...)`` or
+  ``*.task(...)`` anywhere in the project, plus everything reachable
+  from them — the post-fork/concurrent surface the fork-safety rule
+  walks.
+
+Everything here is approximate in the usual static-analysis sense; the
+rules built on top are tuned so the approximations bias toward silence,
+not noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .dataflow import SUBMIT_ATTRS, alias_load_roots
+from .engine import attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import LintContext
+
+#: attribute-call names too generic for the unique-method fallback
+_GENERIC_METHODS = frozenset({
+    "get", "put", "set", "add", "pop", "append", "extend", "update",
+    "copy", "keys", "values", "items", "close", "read", "write", "run",
+    "start", "join", "result", "done", "clear", "next", "send",
+})
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name for a reported (posix) path.
+
+    ``src/repro/kernels/lorenzo.py`` -> ``repro.kernels.lorenzo``;
+    ``pkg/__init__.py`` -> ``pkg``.
+    """
+    parts = list(PurePosixPath(rel).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<root>"
+
+
+@dataclass
+class FunctionInfo:
+    """One project function (top-level or method)."""
+
+    module: str
+    qual: str                      #: e.g. ``merge_outliers`` or ``Pool.get``
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: "LintContext"
+    _returns_params: frozenset[str] | None = field(default=None,
+                                                   repr=False)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.module, self.qual)
+
+    @property
+    def returns_params(self) -> frozenset[str]:
+        """Parameter names the return value may alias."""
+        if self._returns_params is None:
+            params = {a.arg for a in (self.node.args.posonlyargs
+                                      + self.node.args.args
+                                      + self.node.args.kwonlyargs)}
+            hit: set[str] = set()
+            for node in ast.walk(self.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    hit |= alias_load_roots(node.value) & params
+            self._returns_params = frozenset(hit)
+        return self._returns_params
+
+
+@dataclass
+class ClassInfo:
+    """One project class and its methods."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one parsed module."""
+
+    name: str
+    ctx: "LintContext"
+    is_package: bool = False
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: local alias -> ("module", dotted) | ("symbol", dotted, symbol)
+    imports: dict[str, tuple] = field(default_factory=dict)
+
+
+@dataclass
+class Entrypoint:
+    """One function handed to ``*.submit``/``*.task`` somewhere."""
+
+    info: FunctionInfo
+    site_path: str
+    site_line: int
+    via: str       #: ``submit`` or ``task``
+
+
+class ProjectContext:
+    """Cross-file resolution shared by every rule in one engine run."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_ctx: dict[int, ModuleInfo] = {}
+        #: method name -> every FunctionInfo defining it
+        self._methods: dict[str, list[FunctionInfo]] = {}
+        #: caller key -> {callee key: first call-site line}
+        self.call_edges: dict[tuple, dict[tuple, int]] = {}
+        self._functions_by_key: dict[tuple, FunctionInfo] = {}
+        self._entrypoints: list[Entrypoint] | None = None
+        self._reachable: dict[tuple, tuple] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, ctxs: Iterable["LintContext"]) -> "ProjectContext":
+        proj = cls()
+        for ctx in ctxs:
+            proj._index_module(ctx)
+        for mod in proj.modules.values():
+            proj._resolve_imports(mod)
+        for mod in proj.modules.values():
+            proj._index_calls(mod)
+        return proj
+
+    def _index_module(self, ctx: "LintContext") -> None:
+        name = module_name_for(ctx.rel)
+        mod = ModuleInfo(name=name, ctx=ctx,
+                         is_package=ctx.path.name == "__init__.py")
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(module=name, qual=stmt.name,
+                                    node=stmt, ctx=ctx)
+                mod.functions[stmt.name] = info
+                self._functions_by_key[info.key] = info
+            elif isinstance(stmt, ast.ClassDef):
+                cinfo = ClassInfo(module=name, name=stmt.name, node=stmt)
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        minfo = FunctionInfo(
+                            module=name, qual=f"{stmt.name}.{item.name}",
+                            node=item, ctx=ctx)
+                        cinfo.methods[item.name] = minfo
+                        self._functions_by_key[minfo.key] = minfo
+                        self._methods.setdefault(item.name,
+                                                 []).append(minfo)
+                mod.classes[stmt.name] = cinfo
+        self.modules[name] = mod
+        self._by_ctx[id(ctx)] = mod
+
+    def _resolve_imports(self, mod: ModuleInfo) -> None:
+        parts = mod.name.split(".")
+        package = parts if mod.is_package else parts[:-1]
+        for node in ast.walk(mod.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    mod.imports[local] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = package[:len(package) - (node.level - 1)]
+                    prefix = ".".join(base)
+                else:
+                    prefix = ""
+                source = ".".join(p for p in (prefix, node.module or "")
+                                  if p)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    dotted = f"{source}.{alias.name}" if source else \
+                        alias.name
+                    if dotted in self.modules:
+                        mod.imports[local] = ("module", dotted)
+                    else:
+                        mod.imports[local] = ("symbol", source, alias.name)
+
+    # ------------------------------------------------------------------ #
+    # resolution                                                          #
+    # ------------------------------------------------------------------ #
+    def module_of(self, ctx: "LintContext") -> ModuleInfo | None:
+        """The ModuleInfo built from ``ctx``, if any."""
+        return self._by_ctx.get(id(ctx))
+
+    def _lookup_in(self, module: str,
+                   symbol: str) -> FunctionInfo | ClassInfo | None:
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if symbol in mod.functions:
+            return mod.functions[symbol]
+        if symbol in mod.classes:
+            return mod.classes[symbol]
+        # re-exported symbol (one hop through the module's own imports)
+        target = mod.imports.get(symbol)
+        if target and target[0] == "symbol":
+            inner = self.modules.get(target[1])
+            if inner is not None and inner is not mod:
+                return self._lookup_in(target[1], target[2])
+        return None
+
+    def resolve_chain(self, mod: ModuleInfo,
+                      chain: list[str]) -> FunctionInfo | ClassInfo | None:
+        """Resolve ``a.b.c`` name chains against a module's namespace."""
+        if not chain:
+            return None
+        head = chain[0]
+        if len(chain) == 1:
+            if head in mod.functions:
+                return mod.functions[head]
+            if head in mod.classes:
+                return mod.classes[head]
+            target = mod.imports.get(head)
+            if target is None:
+                return None
+            if target[0] == "symbol":
+                return self._lookup_in(target[1], target[2])
+            return None
+        target = mod.imports.get(head)
+        if target is None:
+            return None
+        if target[0] == "module":
+            dotted = target[1]
+        else:
+            dotted = f"{target[1]}.{target[2]}"
+            if dotted not in self.modules:
+                # symbol import of a class: Class.method chains
+                found = self._lookup_in(target[1], target[2])
+                if isinstance(found, ClassInfo) and len(chain) == 2:
+                    return found.methods.get(chain[1])
+                return None
+        rest = chain[1:]
+        inner = self.modules.get(dotted)
+        while inner is None and len(rest) > 1:
+            dotted = f"{dotted}.{rest[0]}"
+            rest = rest[1:]
+            inner = self.modules.get(dotted)
+        if inner is None or not rest:
+            return None
+        if len(rest) == 1:
+            return self._lookup_in(dotted, rest[0])
+        found = self._lookup_in(dotted, rest[0])
+        if isinstance(found, ClassInfo) and len(rest) == 2:
+            return found.methods.get(rest[1])
+        return None
+
+    def resolve_call(self, ctx: "LintContext",
+                     call: ast.Call,
+                     enclosing_class: str | None = None
+                     ) -> FunctionInfo | None:
+        """Best-effort FunctionInfo for a call expression in ``ctx``."""
+        mod = self.module_of(ctx)
+        if mod is None:
+            return None
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            found = self.resolve_chain(mod, [fn.id])
+            if isinstance(found, FunctionInfo):
+                return found
+            if isinstance(found, ClassInfo):
+                return found.methods.get("__init__")
+            return None
+        chain = attribute_chain(fn)
+        if not chain:
+            return None
+        if chain[0] == "self" and len(chain) == 2:
+            if enclosing_class is None:
+                enclosing_class = self._enclosing_class(ctx, call)
+            if enclosing_class:
+                cinfo = mod.classes.get(enclosing_class)
+                if cinfo is not None:
+                    found = cinfo.methods.get(chain[1])
+                    if found is not None:
+                        return found
+        found = self.resolve_chain(mod, chain)
+        if isinstance(found, FunctionInfo):
+            return found
+        if isinstance(found, ClassInfo):
+            return found.methods.get("__init__")
+        # unique-method fallback: obj.meth() with exactly one project
+        # definition of `meth` (skipping generic container-ish names)
+        meth = chain[-1]
+        if meth not in _GENERIC_METHODS:
+            candidates = self._methods.get(meth, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def _enclosing_class(self, ctx: "LintContext",
+                         node: ast.AST) -> str | None:
+        scope = ctx.scope_at(getattr(node, "lineno", 1))
+        parts = scope.split(".")
+        mod = self.module_of(ctx)
+        if mod is None:
+            return None
+        for part in reversed(parts):
+            if part in mod.classes:
+                return part
+        return None
+
+    @staticmethod
+    def actuals_for(info: FunctionInfo, call: ast.Call,
+                    params: Iterable[str]) -> list[ast.expr]:
+        """Actual argument expressions bound to named formals."""
+        wanted = set(params)
+        if not wanted:
+            return []
+        out: list[ast.expr] = []
+        args = info.node.args
+        positional = [a.arg for a in (args.posonlyargs + args.args)]
+        # methods: drop self/cls from the positional mapping
+        if positional and positional[0] in ("self", "cls") \
+                and "." in info.qual:
+            positional = positional[1:]
+        for i, actual in enumerate(call.args):
+            if isinstance(actual, ast.Starred):
+                break
+            if i < len(positional) and positional[i] in wanted:
+                out.append(actual)
+        for kw in call.keywords:
+            if kw.arg in wanted:
+                out.append(kw.value)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # call graph + entrypoints                                            #
+    # ------------------------------------------------------------------ #
+    def _index_calls(self, mod: ModuleInfo) -> None:
+        infos = list(mod.functions.values())
+        for cinfo in mod.classes.values():
+            infos.extend(cinfo.methods.values())
+        for info in infos:
+            enclosing = info.qual.split(".")[0] if "." in info.qual \
+                else None
+            edges = self.call_edges.setdefault(info.key, {})
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(info.ctx, node,
+                                           enclosing_class=enclosing)
+                if callee is not None and callee.key != info.key:
+                    edges.setdefault(callee.key, node.lineno)
+
+    def function(self, key: tuple) -> FunctionInfo | None:
+        """Look up a FunctionInfo by its ``(module, qual)`` key."""
+        return self._functions_by_key.get(key)
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed project function (top-level and methods)."""
+        yield from self._functions_by_key.values()
+
+    def entrypoints(self) -> list[Entrypoint]:
+        """Functions handed to ``*.submit(...)``/``*.task(...)``."""
+        if self._entrypoints is not None:
+            return self._entrypoints
+        found: list[Entrypoint] = []
+        seen: set[tuple] = set()
+        for mod in self.modules.values():
+            for node in ast.walk(mod.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                if not (isinstance(fn, ast.Attribute)
+                        and fn.attr in SUBMIT_ATTRS):
+                    continue
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    info = self._resolve_ref(mod, arg, node)
+                    if info is None:
+                        continue
+                    key = (info.key, mod.ctx.rel, node.lineno)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    found.append(Entrypoint(
+                        info=info, site_path=mod.ctx.rel,
+                        site_line=node.lineno, via=fn.attr))
+        self._entrypoints = found
+        return found
+
+    def _resolve_ref(self, mod: ModuleInfo, expr: ast.AST,
+                     site: ast.AST) -> FunctionInfo | None:
+        """A bare function *reference* (not call) passed as an argument.
+
+        Unlike :meth:`resolve_call` there is no unique-method fallback
+        here: a non-call argument like ``shm.name`` is almost always a
+        plain attribute value, so only explicitly resolvable references
+        (names, imported symbols, ``self.method``, ``module.func``)
+        count as entrypoints.
+        """
+        if isinstance(expr, ast.Name):
+            found = self.resolve_chain(mod, [expr.id])
+            return found if isinstance(found, FunctionInfo) else None
+        if isinstance(expr, ast.Attribute):
+            chain = attribute_chain(expr)
+            if not chain:
+                return None
+            if chain[0] == "self" and len(chain) == 2:
+                cls = self._enclosing_class(mod.ctx, site)
+                if cls and cls in mod.classes:
+                    return mod.classes[cls].methods.get(chain[1])
+            found = self.resolve_chain(mod, chain)
+            if isinstance(found, FunctionInfo):
+                return found
+        return None
+
+    def reachable_from_entrypoints(self) -> dict[tuple, tuple]:
+        """Function keys reachable from any entrypoint, mapped to their
+        BFS parent ``(caller_key, call_line)`` (entrypoints map to
+        ``(None, registration_line)``) for flow reconstruction."""
+        if self._reachable is not None:
+            return self._reachable
+        parents: dict[tuple, tuple] = {}
+        queue: list[tuple] = []
+        for ep in self.entrypoints():
+            if ep.info.key not in parents:
+                parents[ep.info.key] = (None, ep.site_line)
+                queue.append(ep.info.key)
+        while queue:
+            key = queue.pop(0)
+            for callee, line in self.call_edges.get(key, {}).items():
+                if callee not in parents:
+                    parents[callee] = (key, line)
+                    queue.append(callee)
+        self._reachable = parents
+        return parents
+
+    def call_path(self, key: tuple) -> list[tuple]:
+        """``[(function_key, line), ...]`` from an entrypoint to ``key``."""
+        parents = self.reachable_from_entrypoints()
+        path: list[tuple] = []
+        cur: tuple | None = key
+        hops = 0
+        while cur is not None and cur in parents and hops < 32:
+            parent, line = parents[cur]
+            path.append((cur, line))
+            cur = parent
+            hops += 1
+        path.reverse()
+        return path

@@ -594,7 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_inspect)
 
     sp = sub.add_parser("lint", help="contract-aware static analysis "
-                                     "(fzlint rules FZL001-FZL012)")
+                                     "(fzlint rules FZL001-FZL018)")
     from .analysis.cli import add_arguments as add_lint_arguments
     add_lint_arguments(sp)
     sp.set_defaults(fn=cmd_lint)

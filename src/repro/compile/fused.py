@@ -39,7 +39,7 @@ import numpy as np
 
 from ..errors import CodecError
 from ..kernels.quantize import OutlierSet
-from ..runtime.memory import default_pool
+from ..runtime.memory import SANITIZER, default_pool
 
 #: slices smaller than this run the inverse-Lorenzo scan via
 #: ``np.cumsum`` — the running-add loop's per-iteration ufunc dispatch
@@ -114,6 +114,8 @@ def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
         raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
     if radius < 1 or radius > 2**30:
         raise CodecError(f"radius out of range: {radius}")
+    if SANITIZER.enabled:
+        SANITIZER.check_live("fused_predict_quantize", data)
     pool = default_pool()
     shape = data.shape
     if pool is None:
@@ -229,6 +231,13 @@ def fused_decode_reconstruct(codes: np.ndarray, outliers: OutlierSet,
         raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
     if radius < 1 or radius > 2**30:
         raise CodecError(f"radius out of range: {radius}")
+    if SANITIZER.enabled:
+        SANITIZER.check_live("fused_decode_reconstruct", codes, out,
+                             outliers.indices, outliers.values)
+        SANITIZER.check_no_alias("fused_decode_reconstruct", out,
+                                 codes=codes,
+                                 outlier_values=outliers.values,
+                                 allow_identical=False)
     shape = tuple(int(s) for s in shape)
     dtype = np.dtype(dtype)
     size = int(np.prod(shape)) if shape else 1

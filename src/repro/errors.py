@@ -51,3 +51,10 @@ class StfError(FZModError):
 class DataError(FZModError):
     """A dataset loader/generator was asked for something it cannot
     produce (unknown dataset name, bad field, corrupt file, ...)."""
+
+
+class SanitizerError(FZModError):
+    """The runtime contract sanitizer (``FZMOD_SANITIZE=1``) caught a
+    memory-contract violation at a kernel or pool boundary: a buffer
+    used after its pool lease was released, a lease released twice, or
+    an ``out=`` destination that aliases an input array."""

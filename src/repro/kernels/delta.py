@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.memory import SANITIZER
+
 
 def delta_forward(values: np.ndarray, *,
                   out: np.ndarray | None = None) -> np.ndarray:
@@ -19,6 +21,10 @@ def delta_forward(values: np.ndarray, *,
     ``values``) receives the differences, making the call allocation-free
     for pooled callers.
     """
+    if SANITIZER.enabled:
+        SANITIZER.check_live("delta_forward", values, out)
+        SANITIZER.check_no_alias("delta_forward", out, values=values,
+                                 allow_identical=False)
     flat = np.asarray(values, dtype=np.int64).reshape(-1)
     out = np.empty_like(flat) if out is None else out.reshape(-1)[:flat.size]
     if flat.size:
@@ -33,6 +39,9 @@ def delta_inverse(deltas: np.ndarray, *,
 
     ``out=deltas`` scans in place (clobbering the input).
     """
+    if SANITIZER.enabled:
+        SANITIZER.check_live("delta_inverse", deltas, out)
+        SANITIZER.check_no_alias("delta_inverse", out, deltas=deltas)
     flat = np.asarray(deltas, dtype=np.int64).reshape(-1)
     if out is None:
         return np.cumsum(flat)

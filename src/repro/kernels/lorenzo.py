@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import CodecError
 from ..obs.spans import span
+from ..runtime.memory import SANITIZER
 from . import quantize as q
 
 
@@ -43,6 +44,11 @@ def lorenzo_forward(grid: np.ndarray, *, out: np.ndarray | None = None,
     the shifted copy each axis pass needs; with both supplied the operator
     allocates nothing instead of two grid-sized temporaries per axis.
     """
+    if SANITIZER.enabled:
+        SANITIZER.check_live("lorenzo_forward", grid, out, scratch)
+        SANITIZER.check_no_alias("lorenzo_forward", out, grid=grid)
+        SANITIZER.check_no_alias("lorenzo_forward(scratch)", scratch,
+                                 grid=grid, out=out, allow_identical=False)
     grid = np.asarray(grid)
     if grid.dtype != np.int64:
         grid = grid.astype(np.int64)
@@ -72,6 +78,9 @@ def lorenzo_inverse(deltas: np.ndarray, *,
     allocates one working copy and scans inside it, instead of one fresh
     array per axis.
     """
+    if SANITIZER.enabled:
+        SANITIZER.check_live("lorenzo_inverse", deltas, out)
+        SANITIZER.check_no_alias("lorenzo_inverse", out, deltas=deltas)
     deltas = np.asarray(deltas, dtype=np.int64)
     if out is None:
         out = deltas.copy()

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CodecError
+from ..runtime.memory import SANITIZER
 
 #: Default quant-code radius, matching cuSZ's default dictionary size 1024.
 DEFAULT_RADIUS = 512
@@ -46,6 +47,11 @@ def prequantize(data: np.ndarray, eb_abs: float, *,
     """
     if eb_abs <= 0 or not np.isfinite(eb_abs):
         raise CodecError(f"absolute error bound must be positive, got {eb_abs}")
+    if SANITIZER.enabled:
+        SANITIZER.check_live("prequantize", data, out, scratch)
+        SANITIZER.check_no_alias("prequantize", out, data=data,
+                                 scratch=scratch)
+        SANITIZER.check_no_alias("prequantize(scratch)", scratch, data=data)
     data = np.asarray(data)
     if scratch is None:
         scaled = np.asarray(data, dtype=np.float64) / (2.0 * eb_abs)
@@ -70,6 +76,9 @@ def dequantize(codes: np.ndarray, eb_abs: float, dtype: np.dtype, *,
     computed straight into it, skipping the full-size ``float64``
     intermediate the allocating path pays.
     """
+    if SANITIZER.enabled:
+        SANITIZER.check_live("dequantize", codes, out)
+        SANITIZER.check_no_alias("dequantize", out, codes=codes)
     if out is None:
         return (np.asarray(codes, dtype=np.float64) * (2.0 * eb_abs)).astype(dtype)
     np.multiply(codes, 2.0 * eb_abs, out=out, casting="unsafe")
@@ -156,6 +165,12 @@ def merge_outliers(codes: np.ndarray, outliers: OutlierSet,
     ``out`` (``int64``, at least ``codes.size`` elements) receives the
     residuals, making the call allocation-free for pooled callers.
     """
+    if SANITIZER.enabled:
+        SANITIZER.check_live("merge_outliers", codes, out,
+                             outliers.indices, outliers.values)
+        SANITIZER.check_no_alias("merge_outliers", out, codes=codes,
+                                 outlier_values=outliers.values,
+                                 allow_identical=False)
     if out is None:
         flat = codes.reshape(-1).astype(np.int64)
     else:

@@ -9,14 +9,16 @@ timelines, so schedules, overlap and transfer traffic are all observable.
 
 from .clock import Interval, SimClock
 from .device import Device, DeviceRegistry, default_node
-from .memory import (Allocator, Buffer, BufferPool, MemorySpace, default_pool,
-                     pooling_enabled, set_pooling)
+from .memory import (SANITIZER, Allocator, Buffer, BufferPool, MemorySpace,
+                     Sanitizer, default_pool, pooling_enabled,
+                     sanitizing_enabled, set_pooling, set_sanitizing)
 from .stream import Event, OrderedWorkQueue, Stream
 from .transfer import TransferStats, copy_to, transfer_seconds
 
 __all__ = [
     "Interval", "SimClock", "Device", "DeviceRegistry", "default_node",
     "Allocator", "Buffer", "BufferPool", "MemorySpace", "default_pool",
-    "pooling_enabled", "set_pooling", "Event", "OrderedWorkQueue",
+    "pooling_enabled", "set_pooling", "Sanitizer", "SANITIZER",
+    "sanitizing_enabled", "set_sanitizing", "Event", "OrderedWorkQueue",
     "Stream", "TransferStats", "copy_to", "transfer_seconds",
 ]

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DeviceError
+from ..errors import DeviceError, SanitizerError
 from ..obs.metrics import GLOBAL_METRICS, MetricsRegistry
 from ..types import DeviceKind
 from .device import Device
@@ -117,6 +118,192 @@ class Buffer:
 
 
 # ---------------------------------------------------------------------- #
+# runtime contract sanitizer                                              #
+# ---------------------------------------------------------------------- #
+
+class Sanitizer:
+    """Runtime mirror of the fzlint dataflow contracts (FZL014-FZL016).
+
+    Enabled with ``FZMOD_SANITIZE=1`` (or :func:`set_sanitizing` in
+    tests), it enforces at execution time what the static pass proves
+    at lint time:
+
+    * **use-after-release** — every array released back to a
+      :class:`BufferPool` is poisoned with a canary byte (``0xA5``) and
+      remembered while the pool keeps it alive; hot-path kernels call
+      :meth:`check_live` at entry and a released operand raises
+      :class:`~repro.errors.SanitizerError` at the call site instead of
+      silently reading recycled memory;
+    * **double-release** — releasing the same lease twice raises before
+      the free list is corrupted;
+    * **out= aliasing** — kernels call :meth:`check_no_alias`; an
+      ``out=`` destination that overlaps an input per
+      ``np.shares_memory`` raises, except the documented in-place form
+      where input and ``out`` are the *same object*.
+
+    Violations are also counted in the observability registry
+    (``sanitizer.use_after_release`` / ``sanitizer.double_release`` /
+    ``sanitizer.aliasing``), so a service can alert on them even where
+    the exception is swallowed by a job boundary.  When disabled, every
+    check is a single attribute load and boolean test — the hot path
+    stays unaffected.
+    """
+
+    #: byte written over every released buffer; reads of recycled memory
+    #: that dodge the id check still surface as loud deterministic garbage
+    CANARY = 0xA5
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self._override: bool | None = None
+        self._lock = threading.Lock()
+        # id(arr) -> weakref for arrays released *and* still held by a
+        # pool.  Weak references (not plain ids): when a whole pool is
+        # dropped its idle arrays die without passing through acquire/
+        # clear, and CPython reuses their ids for fresh allocations — a
+        # plain id set would then report phantom double releases.  The
+        # weakref callback purges the entry the moment the array dies.
+        self._released: dict[int, weakref.ref] = {}
+        registry = metrics if metrics is not None else GLOBAL_METRICS
+        self._uar = registry.counter("sanitizer.use_after_release")
+        self._double = registry.counter("sanitizer.double_release")
+        self._alias = registry.counter("sanitizer.aliasing")
+        self._poisoned = registry.counter("sanitizer.poisoned")
+
+    @property
+    def enabled(self) -> bool:
+        """True when contract checks are active (env or override)."""
+        if self._override is not None:
+            return self._override
+        return os.environ.get("FZMOD_SANITIZE", "0") == "1"
+
+    def set_enabled(self, enabled: bool | None) -> None:
+        """Force on/off (``None`` returns control to the env var)."""
+        self._override = enabled
+
+    def _is_released(self, arr: np.ndarray) -> bool:
+        with self._lock:
+            ref = self._released.get(id(arr))
+            if ref is None:
+                return False
+            target = ref()
+            if target is None:
+                # array died and a new object reused its id before the
+                # weakref callback ran
+                del self._released[id(arr)]
+                return False
+            return target is arr
+
+    # -- pool integration ---------------------------------------------- #
+    def check_release(self, arr: np.ndarray) -> None:
+        """Raise if ``arr`` is already sitting released in a pool."""
+        if not self.enabled:
+            return
+        if self._is_released(arr):
+            self._double.inc()
+            raise SanitizerError(
+                f"double release of a pooled {arr.dtype} array of shape "
+                f"{arr.shape}: the lease was already returned to the "
+                f"pool (static counterpart: FZL014)")
+
+    def on_release(self, arr: np.ndarray, *, pooled: bool) -> None:
+        """Poison a released array; track it while the pool holds it."""
+        if not self.enabled:
+            return
+        key = id(arr)
+        if pooled:
+            def _purge(ref, *, _key=key):
+                with self._lock:
+                    if self._released.get(_key) is ref:
+                        del self._released[_key]
+            with self._lock:
+                self._released[key] = weakref.ref(arr, _purge)
+        else:
+            # dropped (freed): stop tracking so a future allocation can
+            # reuse the id without tripping a phantom violation
+            with self._lock:
+                self._released.pop(key, None)
+        self._poison(arr)
+
+    def on_acquire(self, arr: np.ndarray) -> None:
+        """A pooled array went back into service: stop tracking it."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._released.pop(id(arr), None)
+
+    def forget(self, arrays) -> None:
+        """Untrack arrays leaving a pool for good (``clear``)."""
+        with self._lock:
+            for arr in arrays:
+                self._released.pop(id(arr), None)
+
+    def _poison(self, arr: np.ndarray) -> None:
+        try:
+            arr.view(np.uint8)[...] = self.CANARY
+        except (ValueError, TypeError):
+            return  # non-contiguous / exotic dtype: skip, id check remains
+        self._poisoned.inc()
+
+    # -- kernel entry checks ------------------------------------------- #
+    def check_live(self, context: str, *arrays) -> None:
+        """Raise if any operand (or a view base) was released."""
+        if not self.enabled:
+            return
+        for arr in arrays:
+            a = arr
+            while isinstance(a, np.ndarray):
+                if self._is_released(a):
+                    self._uar.inc()
+                    raise SanitizerError(
+                        f"{context}: operand {a.dtype}{a.shape} is used "
+                        f"after its pool lease was released (static "
+                        f"counterpart: FZL015)")
+                a = a.base
+
+    def check_no_alias(self, context: str, dest, allow_identical: bool = True,
+                       **inputs) -> None:
+        """Raise when ``dest`` overlaps an input it is not identical to.
+
+        Identical objects (``arr is dest``) are the documented visible
+        in-place idiom (``lorenzo_forward(grid, out=grid)``) and pass
+        unless ``allow_identical=False`` (kernels like ``delta_forward``
+        whose write order makes even full in-place illegal); any other
+        overlap per ``np.shares_memory`` is the hidden aliasing FZL016
+        flags statically.
+        """
+        if not self.enabled or dest is None:
+            return
+        if not isinstance(dest, np.ndarray):
+            return
+        for name, arr in inputs.items():
+            if arr is None or not isinstance(arr, np.ndarray):
+                continue
+            if arr is dest and allow_identical:
+                continue
+            if np.shares_memory(dest, arr):
+                self._alias.inc()
+                raise SanitizerError(
+                    f"{context}: out= destination aliases input "
+                    f"`{name}` ({arr.dtype}{arr.shape}); the kernel "
+                    f"would read values it already overwrote (static "
+                    f"counterpart: FZL016)")
+
+
+#: Process-wide sanitizer; pools and hot-path kernels all consult it.
+SANITIZER = Sanitizer()
+
+
+def sanitizing_enabled() -> bool:
+    """True when the runtime contract sanitizer is active."""
+    return SANITIZER.enabled
+
+
+def set_sanitizing(enabled: bool | None) -> None:
+    """Process-wide switch (tests / harnesses); ``None`` re-reads env."""
+    SANITIZER.set_enabled(enabled)
+
+
+# ---------------------------------------------------------------------- #
 # buffer pool                                                             #
 # ---------------------------------------------------------------------- #
 
@@ -183,6 +370,7 @@ class BufferPool:
                 arr = bucket.pop()
                 self._free_bytes -= arr.nbytes
                 self._hits.inc()
+                SANITIZER.on_acquire(arr)
                 return arr
             self._misses.inc()
         arr = np.empty(shape, dtype=dtype)
@@ -191,23 +379,30 @@ class BufferPool:
 
     def release(self, arr: np.ndarray) -> None:
         """Return an acquired array to the pool (or free it when full)."""
+        SANITIZER.check_release(arr)
         key = (arr.dtype.str, arr.shape)
         with self._lock:
             bucket = self._free.setdefault(key, [])
             if (len(bucket) < self.max_per_key
                     and self._free_bytes + arr.nbytes <= self.max_bytes):
+                # poison/track before the array becomes acquirable again,
+                # so a concurrent acquire cannot observe a stale record
+                SANITIZER.on_release(arr, pooled=True)
                 bucket.append(arr)
                 self._free_bytes += arr.nbytes
                 return
             self._drops.inc()
         self.allocator.on_free(self.space, arr.nbytes)
+        SANITIZER.on_release(arr, pooled=False)
 
     def clear(self) -> None:
         """Free every pooled (idle) array."""
         with self._lock:
             freed = self._free_bytes
+            idle = [a for b in self._free.values() for a in b]
             self._free.clear()
             self._free_bytes = 0
+        SANITIZER.forget(idle)
         if freed:
             self.allocator.on_free(self.space, freed)
 

@@ -1,0 +1,101 @@
+"""``fzmod lint --changed[=REF]``: diff-scoped linting."""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.analysis.cli import (GitError, changed_files, main,
+                                restrict_to_changed)
+
+MUTATION = "_CACHE = {}\n\ndef f(x):\n    _CACHE[x] = x\n    return x\n"
+CLEAN = "def f(x):\n    return x + 1\n"
+
+
+def git(repo, *argv):
+    subprocess.run(["git", *argv], cwd=repo, check=True,
+                   capture_output=True)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A git repo with one committed clean file under ``kernels/``."""
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "config", "user.email", "t@example.com")
+    git(tmp_path, "config", "user.name", "t")
+    pkg = tmp_path / "kernels"
+    pkg.mkdir()
+    (pkg / "committed.py").write_text(CLEAN, encoding="utf-8")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path
+
+
+class TestChangedFiles:
+    def test_modified_and_untracked_are_listed(self, repo):
+        (repo / "kernels" / "committed.py").write_text(
+            CLEAN + "\n# touched\n", encoding="utf-8")
+        (repo / "kernels" / "fresh.py").write_text(CLEAN,
+                                                   encoding="utf-8")
+        names = {p.name for p in changed_files("HEAD", cwd=repo)}
+        assert names == {"committed.py", "fresh.py"}
+
+    def test_clean_tree_lists_nothing(self, repo):
+        assert changed_files("HEAD", cwd=repo) == []
+
+    def test_non_python_files_are_ignored(self, repo):
+        (repo / "notes.txt").write_text("x", encoding="utf-8")
+        assert changed_files("HEAD", cwd=repo) == []
+
+    def test_outside_a_repo_raises(self, tmp_path):
+        lonely = tmp_path / "no_repo"
+        lonely.mkdir()
+        with pytest.raises(GitError):
+            changed_files("HEAD", cwd=lonely)
+
+
+class TestRestrictToChanged:
+    def test_filters_by_requested_roots(self, tmp_path):
+        a = tmp_path / "a" / "x.py"
+        b = tmp_path / "b" / "y.py"
+        for p in (a, b):
+            p.parent.mkdir()
+            p.write_text("", encoding="utf-8")
+        picked = restrict_to_changed([tmp_path / "a"], [a, b])
+        assert picked == [a]
+
+    def test_missing_files_are_dropped(self, tmp_path):
+        ghost = tmp_path / "gone.py"
+        assert restrict_to_changed([tmp_path], [ghost]) == []
+
+
+class TestCliChanged:
+    def test_lints_only_the_dirty_file(self, repo, monkeypatch, capsys):
+        # committed.py stays clean; the new file carries a violation
+        (repo / "kernels" / "dirty.py").write_text(MUTATION,
+                                                   encoding="utf-8")
+        monkeypatch.chdir(repo)
+        # positional paths go first: `--changed REF` greedily consumes
+        # a following bare token as the ref
+        code = main(["kernels", "--no-baseline", "--select", "FZL001",
+                     "--changed"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "dirty.py" in out and "committed.py" not in out
+
+    def test_clean_tree_short_circuits(self, repo, monkeypatch, capsys):
+        monkeypatch.chdir(repo)
+        code = main(["kernels", "--no-baseline", "--changed"])
+        assert code == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_outside_repo_is_usage_error(self, tmp_path, monkeypatch,
+                                         capsys):
+        lonely = tmp_path / "no_repo"
+        lonely.mkdir()
+        (lonely / "f.py").write_text(CLEAN, encoding="utf-8")
+        monkeypatch.chdir(lonely)
+        code = main([".", "--no-baseline", "--changed"])
+        assert code == 2
+        assert "--changed" in capsys.readouterr().err

@@ -1,0 +1,270 @@
+"""Dataflow rules FZL013-FZL016: lease escape, double release,
+use-after-release, hidden out= aliasing — plus the SARIF codeFlows
+rendering of their step traces."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import all_rules
+from repro.analysis.output import render_sarif
+
+from conftest import rules_fired
+
+# -- FZL015: use after release ----------------------------------------- #
+
+UAR_DIRECT = """\
+import numpy as np
+
+def stage(pool, n):
+    buf = pool.acquire((n,), np.int64)
+    buf[:] = 0
+    pool.release(buf)
+    return buf.sum()
+"""
+
+UAR_THROUGH_VIEW = """\
+import numpy as np
+
+def stage(pool, n):
+    buf = pool.acquire((n,), np.int64)
+    flat = buf.reshape(-1)
+    pool.release(buf)
+    return flat[0]
+"""
+
+UAR_ONE_BRANCH = """\
+import numpy as np
+
+def stage(pool, n, early):
+    buf = pool.acquire((n,), np.int64)
+    if early:
+        pool.release(buf)
+    return buf.sum()
+"""
+
+CLEAN_LOOP = """\
+import numpy as np
+
+def stage(pool, chunks):
+    for chunk in chunks:
+        buf = pool.acquire(chunk.shape, np.int64)
+        buf[:] = chunk
+        total = buf.sum()
+        pool.release(buf)
+    return total
+"""
+
+CLEAN_RELEASE_LAST = """\
+import numpy as np
+
+def stage(pool, n):
+    buf = pool.acquire((n,), np.int64)
+    buf[:] = 1
+    out = buf.sum()
+    pool.release(buf)
+    return out
+"""
+
+
+class TestUseAfterRelease:
+    def test_direct_use_flagged(self, lint):
+        res = lint({"kernels/k.py": UAR_DIRECT}, select=["FZL015"])
+        assert rules_fired(res) == {"FZL015"}
+
+    def test_use_through_view_flagged(self, lint):
+        res = lint({"kernels/k.py": UAR_THROUGH_VIEW}, select=["FZL015"])
+        assert rules_fired(res) == {"FZL015"}
+
+    def test_release_on_one_branch_flagged(self, lint):
+        res = lint({"kernels/k.py": UAR_ONE_BRANCH}, select=["FZL015"])
+        assert rules_fired(res) == {"FZL015"}
+
+    def test_loop_reacquire_is_clean(self, lint):
+        res = lint({"kernels/k.py": CLEAN_LOOP}, select=["FZL015"])
+        assert rules_fired(res) == set()
+
+    def test_release_after_last_use_is_clean(self, lint):
+        res = lint({"kernels/k.py": CLEAN_RELEASE_LAST}, select=["FZL015"])
+        assert rules_fired(res) == set()
+
+    def test_finding_carries_flow_steps(self, lint):
+        res = lint({"kernels/k.py": UAR_DIRECT}, select=["FZL015"])
+        (finding,) = res.findings
+        assert len(finding.flow) >= 2           # acquire ... use
+        assert finding.flow[0].line < finding.flow[-1].line
+
+
+# -- FZL014: double release --------------------------------------------- #
+
+DOUBLE_STRAIGHT = """\
+import numpy as np
+
+def stage(pool, n):
+    buf = pool.acquire((n,), np.int64)
+    pool.release(buf)
+    pool.release(buf)
+"""
+
+DOUBLE_BRANCH_MERGE = """\
+import numpy as np
+
+def stage(pool, n, failed):
+    buf = pool.acquire((n,), np.int64)
+    if failed:
+        pool.release(buf)
+    pool.release(buf)
+"""
+
+CLEAN_BRANCHES = """\
+import numpy as np
+
+def stage(pool, n, failed):
+    buf = pool.acquire((n,), np.int64)
+    if failed:
+        pool.release(buf)
+    else:
+        pool.release(buf)
+"""
+
+
+class TestDoubleRelease:
+    def test_straight_line_flagged(self, lint):
+        res = lint({"kernels/k.py": DOUBLE_STRAIGHT}, select=["FZL014"])
+        assert rules_fired(res) == {"FZL014"}
+
+    def test_branch_merge_flagged(self, lint):
+        res = lint({"kernels/k.py": DOUBLE_BRANCH_MERGE}, select=["FZL014"])
+        assert rules_fired(res) == {"FZL014"}
+
+    def test_one_release_per_branch_is_clean(self, lint):
+        res = lint({"kernels/k.py": CLEAN_BRANCHES}, select=["FZL014"])
+        assert rules_fired(res) == set()
+
+
+# -- FZL013: lease escape ------------------------------------------------ #
+
+ESCAPE_MODULE_STORE = """\
+import numpy as np
+
+_SCRATCH = {}
+
+def stage(pool, key, n):
+    buf = pool.acquire((n,), np.int64)
+    _SCRATCH[key] = buf
+"""
+
+ESCAPE_SUBMIT = """\
+import numpy as np
+
+def fan_out(pool, ex, n):
+    buf = pool.acquire((n,), np.int64)
+    return ex.submit(consume, buf)
+
+def consume(buf):
+    return buf.sum()
+"""
+
+ESCAPE_CLOSURE_SUBMIT = """\
+import numpy as np
+
+def fan_out(pool, ex, n):
+    buf = pool.acquire((n,), np.int64)
+    return ex.submit(lambda: buf.sum())
+"""
+
+CLEAN_HANDOFF = """\
+import numpy as np
+
+def stage(pool, n):
+    buf = pool.acquire((n,), np.int64)
+    buf[:] = 0
+    yield buf
+    pool.release(buf)
+"""
+
+
+class TestLeaseEscape:
+    def test_module_store_flagged(self, lint):
+        res = lint({"kernels/k.py": ESCAPE_MODULE_STORE}, select=["FZL013"])
+        assert rules_fired(res) == {"FZL013"}
+
+    def test_submit_arg_flagged(self, lint):
+        res = lint({"kernels/k.py": ESCAPE_SUBMIT}, select=["FZL013"])
+        assert rules_fired(res) == {"FZL013"}
+
+    def test_closure_capture_into_submit_flagged(self, lint):
+        res = lint({"kernels/k.py": ESCAPE_CLOSURE_SUBMIT},
+                   select=["FZL013"])
+        assert rules_fired(res) == {"FZL013"}
+
+    def test_generator_handoff_is_clean(self, lint):
+        res = lint({"kernels/k.py": CLEAN_HANDOFF}, select=["FZL013"])
+        assert rules_fired(res) == set()
+
+
+# -- FZL016: hidden out= aliasing ---------------------------------------- #
+
+HIDDEN_ALIAS = """\
+import numpy as np
+
+def stage(kernel, data):
+    flat = data.reshape(-1)
+    return kernel(data, out=flat)
+"""
+
+VISIBLE_INPLACE = """\
+import numpy as np
+
+def stage(kernel, grid):
+    return kernel(grid, out=grid)
+"""
+
+DISTINCT_BUFFERS = """\
+import numpy as np
+
+def stage(kernel, pool, data):
+    out = pool.acquire(data.shape, np.int64)
+    return kernel(data, out=out)
+"""
+
+
+class TestHiddenOutAliasing:
+    def test_view_alias_flagged(self, lint):
+        res = lint({"kernels/k.py": HIDDEN_ALIAS}, select=["FZL016"])
+        assert rules_fired(res) == {"FZL016"}
+
+    def test_visible_inplace_is_exempt(self, lint):
+        res = lint({"kernels/k.py": VISIBLE_INPLACE}, select=["FZL016"])
+        assert rules_fired(res) == set()
+
+    def test_distinct_buffers_are_clean(self, lint):
+        res = lint({"kernels/k.py": DISTINCT_BUFFERS}, select=["FZL016"])
+        assert rules_fired(res) == set()
+
+
+# -- SARIF codeFlows ----------------------------------------------------- #
+
+class TestSarifCodeFlows:
+    def test_use_after_release_renders_code_flow(self, lint):
+        res = lint({"kernels/k.py": UAR_DIRECT}, select=["FZL015"])
+        doc = json.loads(
+            render_sarif(res, res.findings, [], all_rules()))
+        (result,) = doc["runs"][0]["results"]
+        (flow,) = result["codeFlows"]
+        locations = flow["threadFlows"][0]["locations"]
+        assert len(locations) >= 2
+        for step in locations:
+            phys = step["location"]["physicalLocation"]
+            assert phys["artifactLocation"]["uri"].endswith("kernels/k.py")
+            assert phys["region"]["startLine"] >= 1
+            assert step["location"]["message"]["text"]
+        messages = " ".join(
+            s["location"]["message"]["text"] for s in locations)
+        assert "release" in messages
+
+    def test_plain_findings_have_no_code_flow(self, lint):
+        res = lint({"kernels/k.py": CLEAN_RELEASE_LAST}, select=["FZL001"])
+        doc = json.loads(render_sarif(res, res.findings, [], all_rules()))
+        for result in doc["runs"][0]["results"]:
+            assert "codeFlows" not in result

@@ -1,0 +1,200 @@
+"""Whole-program rules: FZL017 fork-safety and FZL018 unordered layout,
+plus the ProjectContext call-graph plumbing they ride on."""
+
+from __future__ import annotations
+
+from conftest import rules_fired
+
+# -- FZL017: fork-unsafe module state ------------------------------------ #
+
+WORKER_MUTATES_GLOBAL = """\
+_RESULTS = {}
+
+def run(ex, shards):
+    futs = [ex.submit(work, s) for s in shards]
+    return [f.result() for f in futs]
+
+def work(shard):
+    _RESULTS[shard.key] = shard.total()
+    return shard.key
+"""
+
+WORKER_MUTATES_VIA_HELPER = """\
+_TABLE = {}
+
+def run(ex, shards):
+    return [ex.submit(work, s) for s in shards]
+
+def work(shard):
+    return record(shard)
+
+def record(shard):
+    _TABLE[shard.key] = shard
+    return shard.key
+"""
+
+WORKER_REBINDS_GLOBAL = """\
+_COUNT = 0
+
+def run(ex, shards):
+    return [ex.submit(work, s) for s in shards]
+
+def work(shard):
+    global _COUNT
+    _COUNT = _COUNT + 1
+    return shard
+"""
+
+WORKER_INSTANCE_STATE = """\
+class Reducer:
+    def __init__(self):
+        self.partials = {}
+
+    def run(self, ex, shards):
+        return [ex.submit(self.work, s) for s in shards]
+
+    def work(self, shard):
+        self.partials[shard.key] = shard.total()
+        return shard.key
+"""
+
+UNREACHABLE_MUTATION = """\
+_CACHE = {}
+
+def run(ex, shards):
+    return [ex.submit(work, s) for s in shards]
+
+def work(shard):
+    return shard.total()
+
+def warm(key, value):
+    _CACHE[key] = value
+"""
+
+
+class TestForkSafety:
+    def test_direct_worker_mutation_flagged(self, lint):
+        res = lint({"parallel/w.py": WORKER_MUTATES_GLOBAL},
+                   select=["FZL017"])
+        assert rules_fired(res) == {"FZL017"}
+
+    def test_mutation_via_callee_flagged(self, lint):
+        res = lint({"parallel/w.py": WORKER_MUTATES_VIA_HELPER},
+                   select=["FZL017"])
+        assert rules_fired(res) == {"FZL017"}
+        (finding,) = res.findings
+        # flow walks entrypoint -> call edge -> mutation site
+        assert len(finding.flow) >= 3
+        assert "record" in " ".join(s.message for s in finding.flow)
+
+    def test_global_rebind_flagged(self, lint):
+        res = lint({"parallel/w.py": WORKER_REBINDS_GLOBAL},
+                   select=["FZL017"])
+        assert rules_fired(res) == {"FZL017"}
+
+    def test_instance_state_is_clean(self, lint):
+        res = lint({"parallel/w.py": WORKER_INSTANCE_STATE},
+                   select=["FZL017"])
+        assert rules_fired(res) == set()
+
+    def test_mutation_outside_worker_reach_is_clean(self, lint):
+        res = lint({"parallel/w.py": UNREACHABLE_MUTATION},
+                   select=["FZL017"])
+        assert rules_fired(res) == set()
+
+    def test_cross_module_reachability(self, lint):
+        res = lint({
+            "parallel/driver.py": (
+                "from .helpers import work\n"
+                "def run(ex, shards):\n"
+                "    return [ex.submit(work, s) for s in shards]\n"),
+            "parallel/helpers.py": (
+                "_SEEN = {}\n"
+                "def work(shard):\n"
+                "    _SEEN[shard.key] = True\n"
+                "    return shard.key\n"),
+        }, select=["FZL017"])
+        assert rules_fired(res) == {"FZL017"}
+        (finding,) = res.findings
+        assert finding.path.endswith("helpers.py")
+        # submit site lives in driver.py; the entrypoint it references
+        # was resolved across the module boundary into helpers.py
+        assert finding.flow[0].message.endswith("entrypoint")
+
+
+# -- FZL018: unordered collection feeds layout --------------------------- #
+
+SET_TO_LIST = """\
+def shard_order(keys):
+    wanted = {k for k in keys if k}
+    return list(wanted)
+"""
+
+SET_JOIN = """\
+def field_header(names):
+    return ",".join(set(names))
+"""
+
+UNSORTED_LISTDIR = """\
+import os
+
+def chunk_files(root):
+    return [os.path.join(root, n) for n in os.listdir(root)]
+"""
+
+SORTED_EVERYTHING = """\
+import os
+
+def shard_order(keys):
+    wanted = {k for k in keys if k}
+    return sorted(wanted)
+
+def chunk_files(root):
+    return sorted(os.listdir(root))
+"""
+
+
+class TestUnorderedLayout:
+    def test_list_of_set_flagged_in_scope(self, lint):
+        res = lint({"parallel/layout.py": SET_TO_LIST}, select=["FZL018"])
+        assert rules_fired(res) == {"FZL018"}
+
+    def test_join_of_set_flagged(self, lint):
+        res = lint({"core/header.py": SET_JOIN}, select=["FZL018"])
+        assert rules_fired(res) == {"FZL018"}
+
+    def test_unsorted_listdir_flagged(self, lint):
+        res = lint({"streaming/reader.py": UNSORTED_LISTDIR},
+                   select=["FZL018"])
+        assert rules_fired(res) == {"FZL018"}
+
+    def test_sorted_wrappers_are_clean(self, lint):
+        res = lint({"parallel/layout.py": SORTED_EVERYTHING},
+                   select=["FZL018"])
+        assert rules_fired(res) == set()
+
+    def test_out_of_scope_file_is_ignored(self, lint):
+        res = lint({"kernels/layout.py": SET_TO_LIST}, select=["FZL018"])
+        assert rules_fired(res) == set()
+
+
+# -- project-rule engine plumbing ---------------------------------------- #
+
+class TestProjectRulePlumbing:
+    def test_suppression_applies_to_project_findings(self, lint):
+        suppressed = WORKER_MUTATES_GLOBAL.replace(
+            "    _RESULTS[shard.key] = shard.total()",
+            "    # fzlint: disable-next-line=FZL017 -- per-process cache\n"
+            "    _RESULTS[shard.key] = shard.total()")
+        res = lint({"parallel/w.py": suppressed}, select=["FZL017"])
+        assert rules_fired(res) == set()
+        assert len(res.suppressed) == 1
+
+    def test_syntax_error_file_does_not_kill_project_pass(self, lint):
+        res = lint({
+            "parallel/w.py": WORKER_MUTATES_GLOBAL,
+            "parallel/broken.py": "def broken(:\n",
+        }, select=["FZL017"])
+        # the broken file reports FZL000 (parse error) but the project
+        # pass still runs over the parsable files
+        assert "FZL017" in rules_fired(res)

@@ -491,8 +491,8 @@ def pump(source, pool, bounds, fh, tok_fetch):
         buf[...] = view                       # one slab into a pooled buffer
         chunk = fh.read(8 << 20)              # bounded read
         dep = tok_fetch.read()                # STF access token, not a file
-        pool.release(buf)
         yield buf, chunk, dep
+        pool.release(buf)                     # recycled once the consumer is done
 """
 
 GOOD_STREAMING_SOURCE = """

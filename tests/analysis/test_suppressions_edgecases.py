@@ -1,0 +1,84 @@
+"""Suppression-directive parsing edge cases.
+
+``Suppressions.from_source`` tokenizes the file and reads *comment
+tokens* only, so a directive-shaped string literal (a test fixture, a
+docs example, the directive regex itself) can never silence a finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Suppressions
+from repro.analysis.findings import Finding
+
+from conftest import rules_fired
+
+
+def parse(source: str) -> Suppressions:
+    return Suppressions.from_source(source, source.splitlines())
+
+
+def fake(rule: str, line: int) -> Finding:
+    return Finding(path="kernels/k.py", line=line, col=1, rule=rule,
+                   message="m", scope="f", snippet="s")
+
+
+# a kernels-scoped source that trips FZL001 (module-state mutation)
+MUTATION = "_CACHE = {}\n\ndef f(x):\n    _CACHE[x] = x\n    return x\n"
+
+
+class TestDirectivesInsideStrings:
+    def test_string_literal_directive_is_inert(self):
+        sup = parse('PATTERN = "# fzlint: disable-file=FZL001"\n')
+        assert not sup.file_wide and not sup.by_line
+
+    def test_docstring_directive_is_inert(self):
+        sup = parse('def f():\n'
+                    '    """Docs show `# fzlint: disable=FZL001`."""\n'
+                    '    return 1\n')
+        assert not sup.file_wide and not sup.by_line
+
+    def test_string_directive_does_not_silence_finding(self, lint):
+        source = MUTATION.replace(
+            "    _CACHE[x] = x",
+            '    note = "# fzlint: disable-file=FZL001"\n'
+            "    _CACHE[x] = x")
+        res = lint({"kernels/k.py": source}, select=["FZL001"])
+        assert rules_fired(res) == {"FZL001"}
+
+    def test_real_comment_after_string_still_works(self):
+        sup = parse('x = "text"  # fzlint: disable=FZL001\n')
+        assert sup.by_line == {1: {"FZL001"}}
+
+
+class TestDirectiveForms:
+    def test_disable_file_with_justification(self):
+        sup = parse("# fzlint: disable-file=FZL003 -- vetted RNG use\n")
+        assert sup.file_wide == {"FZL003"}
+
+    def test_multiple_ids_with_odd_whitespace(self):
+        sup = parse("x = 1  # fzlint: disable=FZL001 ,  FZL002,FZL003\n")
+        assert sup.by_line == {1: {"FZL001", "FZL002", "FZL003"}}
+
+    def test_bare_disable_means_all_rules(self):
+        sup = parse("x = 1  # fzlint: disable\n")
+        assert sup.covers(fake("FZL007", 1))
+
+    def test_unknown_rule_id_only_covers_itself(self):
+        sup = parse("x = 1  # fzlint: disable=FZL999\n")
+        assert not sup.covers(fake("FZL001", 1))
+        assert sup.covers(fake("FZL999", 1))
+
+    def test_next_line_skips_comment_runs(self):
+        sup = parse("# fzlint: disable-next-line=FZL001\n"
+                    "# justification continues here\n"
+                    "\n"
+                    "target = 1\n")
+        assert sup.by_line == {4: {"FZL001"}}
+
+
+class TestTokenizeFallback:
+    def test_untokenizable_source_falls_back_to_line_scan(self):
+        # unterminated string: tokenize raises, line parser takes over
+        source = '# fzlint: disable-file=FZL001\nx = "unterminated\n'
+        sup = Suppressions.from_source(source, source.splitlines())
+        assert sup.file_wide == {"FZL001"}

@@ -1,0 +1,231 @@
+"""Runtime contract sanitizer (``FZMOD_SANITIZE=1``).
+
+The runtime half of the fzlint dataflow contracts: canary poisoning on
+release, use-after-release / double-release / ``out=`` aliasing raised
+at the call site, violation counters in the global metrics registry,
+and byte-identical output with the checks on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SanitizerError
+from repro.kernels.delta import delta_forward
+from repro.kernels.lorenzo import lorenzo_forward, lorenzo_inverse
+from repro.kernels.quantize import dequantize
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.runtime.memory import (SANITIZER, BufferPool, Sanitizer,
+                                  sanitizing_enabled, set_sanitizing)
+
+
+@pytest.fixture
+def sanitize():
+    """Enable the sanitizer for one test, restoring env control after."""
+    set_sanitizing(True)
+    yield SANITIZER
+    set_sanitizing(None)
+
+
+def counter(name: str) -> int:
+    return GLOBAL_METRICS.counter(name).value
+
+
+class TestPoisoning:
+    def test_release_paints_canary(self, sanitize):
+        pool = BufferPool()
+        buf = pool.acquire((64,), np.int64)
+        buf[:] = 7
+        pool.release(buf)
+        assert (buf.view(np.uint8) == Sanitizer.CANARY).all()
+
+    def test_disabled_release_leaves_bytes(self):
+        set_sanitizing(False)
+        try:
+            pool = BufferPool()
+            buf = pool.acquire((64,), np.int64)
+            buf[:] = 7
+            pool.release(buf)
+            assert (buf == 7).all()
+        finally:
+            set_sanitizing(None)
+
+
+class TestUseAfterRelease:
+    def test_kernel_rejects_released_operand(self, sanitize):
+        pool = BufferPool()
+        buf = pool.acquire((32,), np.int64)
+        pool.release(buf)
+        before = counter("sanitizer.use_after_release")
+        with pytest.raises(SanitizerError, match="after its pool lease"):
+            delta_forward(buf)
+        assert counter("sanitizer.use_after_release") == before + 1
+
+    def test_view_of_released_buffer_is_rejected(self, sanitize):
+        pool = BufferPool()
+        buf = pool.acquire((32,), np.int64)
+        view = buf[4:16]
+        pool.release(buf)
+        with pytest.raises(SanitizerError):
+            SANITIZER.check_live("test", view)
+
+    def test_reacquire_makes_buffer_live_again(self, sanitize):
+        pool = BufferPool()
+        buf = pool.acquire((32,), np.int64)
+        pool.release(buf)
+        again = pool.acquire((32,), np.int64)
+        assert again is buf                      # pool hit
+        SANITIZER.check_live("test", again)      # no raise
+        delta_forward(again)                     # kernels accept it too
+
+    def test_check_live_ignores_non_arrays(self, sanitize):
+        SANITIZER.check_live("test", None, 3, "s")
+
+
+class TestDoubleRelease:
+    def test_second_release_raises_and_counts(self, sanitize):
+        pool = BufferPool()
+        buf = pool.acquire((16,), np.int64)
+        pool.release(buf)
+        before = counter("sanitizer.double_release")
+        with pytest.raises(SanitizerError, match="double release"):
+            pool.release(buf)
+        assert counter("sanitizer.double_release") == before + 1
+
+    def test_release_after_reacquire_is_fine(self, sanitize):
+        pool = BufferPool()
+        buf = pool.acquire((16,), np.int64)
+        pool.release(buf)
+        assert pool.acquire((16,), np.int64) is buf
+        pool.release(buf)                        # lease cycled: legal
+
+    def test_dead_pool_id_reuse_is_not_a_violation(self, sanitize):
+        # a pool dropped with idle buffers must not leave tombstones
+        # that incriminate unrelated arrays reusing the same ids
+        for _ in range(10):
+            pool = BufferPool()
+            buf = pool.acquire((1000,), np.int64)
+            pool.release(buf)
+            del pool, buf
+        pool = BufferPool()
+        arrs = [pool.acquire((1000,), np.int64) for _ in range(10)]
+        for a in arrs:
+            pool.release(a)                      # must not raise
+
+
+class TestOutAliasing:
+    def test_hidden_view_alias_raises_and_counts(self, sanitize):
+        deltas = np.arange(32, dtype=np.int64)
+        before = counter("sanitizer.aliasing")
+        with pytest.raises(SanitizerError, match="aliases input"):
+            lorenzo_inverse(deltas, out=deltas.reshape(-1))
+        assert counter("sanitizer.aliasing") == before + 1
+
+    def test_documented_inplace_is_exempt(self, sanitize):
+        grid = np.arange(32, dtype=np.int64)
+        expected = np.cumsum(np.arange(32))
+        result = lorenzo_inverse(grid, out=grid)
+        assert result is grid
+        np.testing.assert_array_equal(result, expected)
+        lorenzo_forward(grid, out=grid)          # also documented
+
+    def test_distinct_out_is_fine(self, sanitize):
+        codes = np.arange(16, dtype=np.int64)
+        out = np.empty(16, dtype=np.float32)
+        dequantize(codes, 0.5, np.float32, out=out)
+
+    def test_strict_kernels_reject_even_identical(self, sanitize):
+        values = np.arange(16, dtype=np.int64)
+        with pytest.raises(SanitizerError):
+            delta_forward(values, out=values)
+
+
+class TestSeededBugsMatchStaticFindings:
+    """The same seeded bugs are caught by BOTH halves of the tentpole:
+    fzlint's dataflow pass flags them statically, and executing them
+    under ``FZMOD_SANITIZE=1`` raises at the same operations."""
+
+    BUGGY = """\
+import numpy as np
+
+def use_after_release(pool, kernel, n):
+    buf = pool.acquire((n,), np.int64)
+    buf[:] = 1
+    pool.release(buf)
+    return kernel(buf)
+
+def hidden_alias(kernel, deltas):
+    flat = deltas.reshape(-1)
+    return kernel(deltas, out=flat)
+"""
+
+    def test_static_pass_flags_both(self, tmp_path):
+        from repro.analysis import LintEngine
+        path = tmp_path / "kernels" / "seeded.py"
+        path.parent.mkdir()
+        path.write_text(self.BUGGY, encoding="utf-8")
+        res = LintEngine(select=["FZL015", "FZL016"]).run(
+            [path.parent], cwd=tmp_path)
+        assert {f.rule for f in res.findings} == {"FZL015", "FZL016"}
+
+    def test_runtime_sanitizer_catches_both(self, sanitize, tmp_path):
+        namespace: dict = {}
+        exec(compile(self.BUGGY, "seeded.py", "exec"), namespace)
+        with pytest.raises(SanitizerError):
+            namespace["use_after_release"](BufferPool(), delta_forward,
+                                           32)
+        with pytest.raises(SanitizerError):
+            namespace["hidden_alias"](lorenzo_inverse,
+                                      np.arange(32, dtype=np.int64))
+
+
+class TestByteIdentity:
+    def test_blob_identical_with_sanitizer_on(self):
+        rng = np.random.default_rng(7)
+        field = rng.standard_normal((64, 64)).astype(np.float32)
+        set_sanitizing(False)
+        try:
+            plain = repro.compress(field, "fzmod-default", 1e-3).blob
+        finally:
+            set_sanitizing(None)
+        set_sanitizing(True)
+        try:
+            sanitized = repro.compress(field, "fzmod-default", 1e-3)
+            assert sanitized.blob == plain
+            recon = repro.decompress(sanitized.blob)
+        finally:
+            set_sanitizing(None)
+        assert np.abs(recon - field).max() <= 1e-3 * np.ptp(field) + 1e-7
+
+    def test_sharded_blob_identical_with_sanitizer_on(self):
+        rng = np.random.default_rng(11)
+        field = rng.standard_normal((128, 128)).astype(np.float32)
+        set_sanitizing(False)
+        try:
+            plain = repro.compress(field, "fzmod-default", 1e-3,
+                                   workers=2, shard_mb=0.05).blob
+        finally:
+            set_sanitizing(None)
+        set_sanitizing(True)
+        try:
+            sanitized = repro.compress(field, "fzmod-default", 1e-3,
+                                       workers=2, shard_mb=0.05).blob
+        finally:
+            set_sanitizing(None)
+        assert sanitized == plain
+
+
+class TestSwitches:
+    def test_env_override_round_trip(self, monkeypatch):
+        monkeypatch.setenv("FZMOD_SANITIZE", "1")
+        assert sanitizing_enabled()
+        monkeypatch.setenv("FZMOD_SANITIZE", "0")
+        assert not sanitizing_enabled()
+        set_sanitizing(True)
+        try:
+            assert sanitizing_enabled()          # override beats env
+        finally:
+            set_sanitizing(None)
+        assert not sanitizing_enabled()
