@@ -78,11 +78,15 @@ def _write_field_slabwise(path: str, shape: tuple[int, ...],
 
 
 def _overlap_counts(records) -> tuple[int, int]:
-    """(adjacent, any) wall-clock overlaps of scatter(k) x decode(k+1)."""
+    """(adjacent, any) wall-clock overlaps of scatter(k) x decode(k+1).
+
+    Task spans are named ``stream.<task>:<k>`` (deterministic lane ids);
+    match on the base name before the colon.
+    """
     sc = {r.attrs["shard"]: (r.start, r.end) for r in records
-          if r.name == "stream.outlier_scatter"}
+          if r.name.split(":", 1)[0] == "stream.outlier_scatter"}
     de = {r.attrs["shard"]: (r.start, r.end) for r in records
-          if r.name == "stream.huffman_decode"}
+          if r.name.split(":", 1)[0] == "stream.huffman_decode"}
     adjacent = sum(1 for k, (s0, s1) in sc.items()
                    if k + 1 in de and s0 < de[k + 1][1] and de[k + 1][0] < s1)
     anyp = sum(1 for k, (s0, s1) in sc.items()

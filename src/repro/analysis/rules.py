@@ -1,4 +1,4 @@
-"""The FZModules contract rules (FZL001 - FZL012).
+"""The FZModules contract rules (FZL001 - FZL012, FZL019).
 
 Each rule machine-checks one convention the framework's composability
 story depends on.  The checks are deliberately heuristic — AST-local,
@@ -810,3 +810,91 @@ class DecodeOutContract(Rule):
                    and (n.id if isinstance(n, ast.Name)
                         else n.attr) == "ndarray"
                    for n in ast.walk(ann))
+
+
+@register_rule
+class BandwidthAccounting(Rule):
+    """FZL019: kernel/engine-stage spans must account their bytes."""
+
+    id = "FZL019"
+    title = "span bandwidth accounting"
+    contract = (
+        "The trace analyzer (repro.obs.analyze) turns spans into per-"
+        "stage bandwidth rows: MB/s per kernel, stage and engine, ranked "
+        "against the warm-path ceiling in BENCH_pipeline.json.  That "
+        "arithmetic silently reports '-' for any span missing its byte "
+        "counts, so a kernel instrumented without them disappears from "
+        "the bandwidth table and from regression diffs.  Every span "
+        "opened with a kernel./engine./stream./shard./stage. name must "
+        "therefore record bytes_in= or bytes_out= — either as span() "
+        "keywords at open, or via `<var>.set(bytes_...=...)` on the "
+        "`as <var>` handle inside the with body (for outputs whose size "
+        "is only known after the work runs).")
+
+    #: span-name prefixes that appear in the analyzer's bandwidth table
+    #: (stf.task is a scheduler envelope, not a data-moving stage)
+    _PREFIXES = ("kernel.", "engine.", "stream.", "shard.", "stage.")
+    _BYTES = frozenset({"bytes_in", "bytes_out"})
+
+    @staticmethod
+    def _literal_prefix(arg: ast.expr) -> str | None:
+        """The leading literal text of a span-name argument.
+
+        Plain string constants return themselves; f-strings (the
+        deterministic per-shard lane names, ``f"stream.fetch:{k}"``)
+        return their leading constant part.  Computed names (variables,
+        attributes such as a plan step's ``span_name``) return None and
+        are out of scope — the name owner is responsible there.
+        """
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.JoinedStr) and arg.values:
+            head = arg.values[0]
+            if (isinstance(head, ast.Constant)
+                    and isinstance(head.value, str)):
+                return head.value
+        return None
+
+    def _sets_bytes(self, with_node: ast.With | ast.AsyncWith,
+                    var: str) -> bool:
+        """True if the body calls ``var.set(bytes_in=... / bytes_out=...)``."""
+        for node in ast.walk(with_node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "set"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == var
+                    and any(kw.arg in self._BYTES
+                            for kw in node.keywords)):
+                return True
+        return False
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag data-stage spans that never record a byte count."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if not (isinstance(call, ast.Call)
+                        and isinstance(call.func, (ast.Name, ast.Attribute))
+                        and (call.func.id if isinstance(call.func, ast.Name)
+                             else call.func.attr) == "span"
+                        and call.args):
+                    continue
+                name = self._literal_prefix(call.args[0])
+                if name is None or not name.startswith(self._PREFIXES):
+                    continue
+                if any(kw.arg in self._BYTES for kw in call.keywords):
+                    continue
+                var = item.optional_vars
+                if (isinstance(var, ast.Name)
+                        and self._sets_bytes(node, var.id)):
+                    continue
+                yield ctx.finding(
+                    self, call,
+                    f"span {name!r} records no bytes_in=/bytes_out=; "
+                    "data-stage spans feed the bandwidth table in "
+                    "`fzmod analyze` — pass the counts as span() "
+                    "keywords or set them on the `as` handle "
+                    "(`sp.set(bytes_out=...)`) before the span closes")

@@ -9,7 +9,11 @@ Subcommands
                 print the stage DAG (or the decline reason)
 ``eval``        run compressors over a dataset and print CR/PSNR rows
 ``report``      full comparison (CR/PSNR/SSIM/speedups) for one field
-``analyze``     post-analysis fidelity metrics for a reconstruction
+``analyze``     trace analytics for a recorded span trace (critical
+                path, per-stage bandwidth, stragglers) — or fidelity
+                metrics for an original/reconstructed field pair
+``diff-bench``  attribute the perf delta between two hot-path bench
+                reports to pipeline stages
 ``verify``      contract check battery for any pipeline
 ``inspect``     describe any .fzmod/.fzar/.fzst blob without decoding
 ``archive``     create/list/extract multi-field snapshot archives
@@ -422,10 +426,50 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_trace(args: argparse.Namespace) -> int:
+    """The trace arm of ``fzmod analyze``: span forest analytics."""
+    import json
+    from .obs.analyze import (analyze, load_trace_path, render_analysis,
+                              render_analysis_markdown)
+    records = load_trace_path(args.original)
+    if not records:
+        raise FZModError(f"no spans found in {args.original!r}")
+    bench = None
+    if args.bench:
+        with open(args.bench, encoding="utf-8") as fh:
+            bench = json.load(fh)
+    kw = {}
+    if args.straggler_k is not None:
+        kw["straggler_k"] = args.straggler_k
+    report = analyze(records, bench=bench, **kw)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(render_analysis_markdown(report))
+    else:
+        print(render_analysis(report))
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """``fzmod analyze``: fidelity metrics for a reconstruction."""
+    """``fzmod analyze``: trace analytics or reconstruction fidelity.
+
+    One positional ending ``.jsonl``/``.json`` is a recorded span trace
+    (JSONL span log or Chrome trace-event doc) — critical path, per-stage
+    bandwidth, stragglers.  Two positionals plus ``--dims`` keep the
+    original fidelity-metrics behaviour.
+    """
+    if args.reconstructed is None:
+        if not args.original.endswith((".jsonl", ".json")):
+            raise FZModError(
+                "analyze needs either a span trace (.jsonl/.json) or an "
+                "original+reconstructed raw field pair with --dims")
+        return _analyze_trace(args)
     from .metrics import (gradient_fidelity, histogram_intersection,
                           max_abs_error, nrmse, spectral_fidelity, ssim)
+    if not args.dims:
+        raise FZModError("--dims is required for fidelity analysis of "
+                         "raw field files")
     dims = tuple(int(d) for d in args.dims.split(","))
     a = load_raw_file(args.original, dims, dtype=args.dtype)
     b = load_raw_file(args.reconstructed, dims, dtype=args.dtype)
@@ -438,6 +482,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(f"{'spectral fidelity':<24} {spectral_fidelity(a, b):>12.4f}")
     print(f"{'gradient PSNR (dB)':<24} {gradient_fidelity(a, b):>12.2f}")
     print(f"{'histogram overlap':<24} {histogram_intersection(a, b):>12.4f}")
+    return 0
+
+
+def cmd_diff_bench(args: argparse.Namespace) -> int:
+    """``fzmod diff-bench``: attribute a perf delta between two reports."""
+    import json
+    from .perf.regression import diff, render_diff
+    with open(args.a, encoding="utf-8") as fh:
+        run_a = json.load(fh)
+    with open(args.b, encoding="utf-8") as fh:
+        run_b = json.load(fh)
+    d = diff(run_a, run_b)
+    if args.format == "json":
+        print(json.dumps(d, indent=2, sort_keys=True))
+    else:
+        print(render_diff(d, top=args.top))
+    if not d["sections"]:
+        return 1
     return 0
 
 
@@ -594,7 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_inspect)
 
     sp = sub.add_parser("lint", help="contract-aware static analysis "
-                                     "(fzlint rules FZL001-FZL018)")
+                                     "(fzlint rules FZL001-FZL019)")
     from .analysis.cli import add_arguments as add_lint_arguments
     add_lint_arguments(sp)
     sp.set_defaults(fn=cmd_lint)
@@ -649,13 +711,39 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--compressors")
     sp.set_defaults(fn=cmd_report)
 
-    sp = sub.add_parser("analyze", help="post-analysis fidelity report "
-                                        "(PSNR, SSIM, spectra, gradients)")
-    sp.add_argument("original", help="raw original field (.f32/.f64)")
-    sp.add_argument("reconstructed", help="raw reconstructed field")
-    sp.add_argument("--dims", required=True)
+    sp = sub.add_parser("analyze",
+                        help="trace analytics (critical path, per-stage "
+                             "MB/s, stragglers) for a .jsonl/.json span "
+                             "trace, or a fidelity report (PSNR, SSIM, "
+                             "spectra) for an original/reconstructed "
+                             "field pair")
+    sp.add_argument("original",
+                    help="span trace (.jsonl/.json from 'fzmod trace') "
+                         "or raw original field (.f32/.f64)")
+    sp.add_argument("reconstructed", nargs="?",
+                    help="raw reconstructed field (fidelity mode)")
+    sp.add_argument("--dims", help="comma-separated dims (fidelity mode)")
     sp.add_argument("--dtype", default="f4", choices=["f4", "f8"])
+    sp.add_argument("--format", default="text",
+                    choices=["text", "json", "markdown"],
+                    help="trace-mode output format")
+    sp.add_argument("--bench", help="BENCH_pipeline.json to rank stage "
+                                    "MB/s against the warm-path ceiling")
+    sp.add_argument("--straggler-k", type=float, default=None,
+                    help="MAD multiplier for straggler detection "
+                         "(default 3.0)")
     sp.set_defaults(fn=cmd_analyze)
+
+    sp = sub.add_parser("diff-bench",
+                        help="attribute the wall-time delta between two "
+                             "hot-path bench reports (BENCH_pipeline.json) "
+                             "to pipeline stages")
+    sp.add_argument("a", help="baseline report JSON")
+    sp.add_argument("b", help="candidate report JSON")
+    sp.add_argument("--format", default="text", choices=["text", "json"])
+    sp.add_argument("--top", type=int, default=5,
+                    help="stages to show per direction (default 5)")
+    sp.set_defaults(fn=cmd_diff_bench)
 
     sp = sub.add_parser("archive", help="create/list/extract snapshot archives")
     sp.add_argument("action", choices=["create", "list", "extract"])
@@ -671,13 +759,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``FZMOD_PROFILE=1`` runs the whole invocation under the sampling
+    profiler (:mod:`repro.obs.profile`) and writes a collapsed-stack
+    flamegraph file on exit (``FZMOD_PROFILE_OUT``, default
+    ``fzmod-profile.collapsed``).
+    """
+    from .obs.profile import maybe_start_from_env, stop_profiler
     args = build_parser().parse_args(argv)
+    prof = maybe_start_from_env()
     try:
         return args.fn(args)
     except FZModError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if prof is not None:
+            stop_profiler()
+            out = os.environ.get("FZMOD_PROFILE_OUT",
+                                 "fzmod-profile.collapsed")
+            with open(out, "w", encoding="utf-8") as fh:
+                prof.write_collapsed(fh)
+            print(f"profile: {prof.sample_count} samples "
+                  f"({len(prof.samples)} stacks) -> {out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

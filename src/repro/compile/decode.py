@@ -177,8 +177,10 @@ class CompiledDecodePlan:
         """
         header, stored_body = parse(blob)
         with span("stage.secondary", module=self._secondary.name,
-                  op="decode", compiled=True):
+                  op="decode", compiled=True,
+                  bytes_in=len(stored_body)) as sp:
             body = self._secondary.decode(stored_body)
+            sp.set(bytes_out=len(body))
         sections = split_sections(header, body, zero_copy=True)
         if section_overrides:
             sections.update(section_overrides)
@@ -194,8 +196,11 @@ class CompiledDecodePlan:
         count = int(predictor_meta.get("stream_length",
                                        header.element_count))
         with span("stage.encoder", module=self._encoder.name,
-                  op="decode", compiled=True):
+                  op="decode", compiled=True,
+                  bytes_in=sum(len(v) for v in
+                               stream.sections.values())) as sp:
             codes = self._encoder.decode(stream, count, 2 * header.radius)
+            sp.set(bytes_out=int(codes.nbytes))
         outlier_count = int(header.stage_meta.get("outliers", {})
                             .get("count", 0))
         outliers = _deserialize_outliers(sections, outlier_count)
@@ -215,10 +220,12 @@ class CompiledDecodePlan:
         """
         with span("stage.predictor", module=self.module_names
                   .get(Stage.PREDICTOR.value, "lorenzo"), op="decode",
-                  compiled=True, fused=True):
+                  compiled=True, fused=True,
+                  bytes_in=int(arts.codes.nbytes)) as sp:
             out = fused_decode_reconstruct(
                 arts.codes, arts.outliers, header.radius, header.eb_abs,
                 header.shape, header.np_dtype, out=out)
+            sp.set(bytes_out=int(out.nbytes))
         return out
 
     def decompress(self, blob: bytes, *, out: np.ndarray | None = None,
@@ -229,11 +236,12 @@ class CompiledDecodePlan:
         ``out`` is written through (and returned) when supplied.
         """
         with span("pipeline.decompress", bytes_in=len(blob),
-                  compiled=True):
+                  compiled=True) as root:
             t0 = time.perf_counter()
             header, arts = self.decode_entropy(
                 blob, section_overrides=section_overrides)
             out = self.reconstruct(header, arts, out=out)
+            root.set(bytes_out=int(out.nbytes))
             # summary marker: which decode plan ran (trace contract
             # shared with the compress plans)
             with span("plan.exec", plan=self.key, direction="decode",

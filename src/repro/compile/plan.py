@@ -91,7 +91,10 @@ class PlanStep:
     ``stage`` names the ``stage_seconds`` bucket the step's wall time is
     charged to (``None`` = untimed glue, like header assembly), ``run``
     is the closure itself, and ``detail`` is the human rendering used by
-    ``describe()`` and ``fzmod compile``.
+    ``describe()`` and ``fzmod compile``.  ``bytes_of`` (optional) maps
+    the post-run state to ``{"bytes_in": ..., "bytes_out": ...}`` span
+    attributes so compiled stage spans carry the same bandwidth
+    accounting as the interpreter's.
     """
 
     name: str
@@ -100,6 +103,7 @@ class PlanStep:
     stage: str | None = None
     span_name: str | None = None
     span_attrs: dict = field(default_factory=dict)
+    bytes_of: Callable[[_ExecState], dict] | None = None
 
 
 def _module_fingerprint(stage: Stage, module) -> tuple:
@@ -245,8 +249,10 @@ class CompiledPlan:
             for step in self.steps:
                 t0 = time.perf_counter()
                 if step.span_name is not None:
-                    with span(step.span_name, **step.span_attrs):
+                    with span(step.span_name, **step.span_attrs) as sp:
                         step.run(state)
+                        if step.bytes_of is not None:
+                            sp.set(**step.bytes_of(state))
                 else:
                     step.run(state)
                 if step.stage is not None:
@@ -346,7 +352,9 @@ def _specialize(pipeline, key: str) -> CompiledPlan:
         name=f"preprocess[{preprocess.name}]", detail=pre_detail,
         run=run_preprocess, stage="preprocess",
         span_name="stage.preprocess",
-        span_attrs={"module": preprocess.name, "fused": True}))
+        span_attrs={"module": preprocess.name, "fused": True},
+        bytes_of=lambda s: {"bytes_in": int(s.data.nbytes),
+                            "bytes_out": int(s.data.nbytes)}))
 
     # -- fused predict + quantise (+ histogram) -------------------------
     def run_fused(state: _ExecState) -> None:
@@ -361,7 +369,9 @@ def _specialize(pipeline, key: str) -> CompiledPlan:
         detail=f"fused prequantize+lorenzo+split{hist_note}, one pass, "
                "pooled scratch",
         run=run_fused, stage="predictor", span_name="stage.predictor",
-        span_attrs={"module": pipeline.predictor.name, "fused": True}))
+        span_attrs={"module": pipeline.predictor.name, "fused": True},
+        bytes_of=lambda s: {"bytes_in": int(s.data.nbytes),
+                            "bytes_out": int(s.codes.nbytes)}))
 
     # -- statistics: wrap the fused counts into the module's result -----
     if collect_counts:
@@ -390,7 +400,9 @@ def _specialize(pipeline, key: str) -> CompiledPlan:
             name=f"statistics[{statistics.name}]", detail=stat_detail,
             run=run_statistics, stage="statistics",
             span_name="stage.statistics",
-            span_attrs={"module": statistics.name, "fused": True}))
+            span_attrs={"module": statistics.name, "fused": True},
+            bytes_of=lambda s: {"bytes_in": int(s.codes.nbytes),
+                                "bytes_out": int(s.counts.nbytes)}))
 
     # -- encoder: pre-bound module call (shares the encode caches) ------
     def run_encoder(state: _ExecState) -> None:
@@ -400,7 +412,10 @@ def _specialize(pipeline, key: str) -> CompiledPlan:
         name=f"encoder[{encoder.name}]",
         detail="module call (content-addressed codebook/encode caches)",
         run=run_encoder, stage="encoder", span_name="stage.encoder",
-        span_attrs={"module": encoder.name}))
+        span_attrs={"module": encoder.name},
+        bytes_of=lambda s: {
+            "bytes_in": int(s.codes.nbytes),
+            "bytes_out": sum(len(v) for v in s.stream.sections.values())}))
 
     # -- header + sections (untimed glue, as in the interpreter) --------
     def run_assemble(state: _ExecState) -> None:
@@ -433,7 +448,9 @@ def _specialize(pipeline, key: str) -> CompiledPlan:
     steps.append(PlanStep(
         name=f"secondary[{secondary.name}]", detail="module call",
         run=run_secondary, stage="secondary", span_name="stage.secondary",
-        span_attrs={"module": secondary.name}))
+        span_attrs={"module": secondary.name},
+        bytes_of=lambda s: {"bytes_in": len(s.body),
+                            "bytes_out": len(s.stored_body)}))
 
     def run_finalize(state: _ExecState) -> None:
         header_bytes, _ = assemble(state.header, state.sections,

@@ -122,12 +122,23 @@ def hotpath_stats() -> dict:
     existing consumers of the bench report.
     """
     from ..kernels.plancache import cache_stats
+    from ..obs.metrics import GLOBAL_METRICS
+    from ..obs.spans import GLOBAL_TRACER, telemetry_enabled
     from ..runtime.memory import GLOBAL_ALLOCATOR, GLOBAL_POOL, pooling_enabled
     return {
         "plan_caches": cache_stats(),
         "buffer_pool": {"enabled": pooling_enabled(), **GLOBAL_POOL.stats()},
         "allocator": {"live": dict(GLOBAL_ALLOCATOR.live),
                       "peak": dict(GLOBAL_ALLOCATOR.peak)},
+        "telemetry": {"enabled": telemetry_enabled(),
+                      "spans_emitted": GLOBAL_TRACER.emitted,
+                      "spans_in_ring": len(GLOBAL_TRACER.records()),
+                      "spans_dropped": GLOBAL_TRACER.dropped},
+        "sanitizer": {
+            key: int(GLOBAL_METRICS.value(f"sanitizer.{key}") or 0)
+            for key in ("use_after_release", "double_release",
+                        "aliasing", "poisoned")
+        },
     }
 
 
@@ -157,6 +168,16 @@ def render_hotpath() -> str:
     for space in sorted(alloc["peak"]):
         lines.append(f"allocator[{space}]: live {alloc['live'].get(space, 0)} B, "
                      f"peak {alloc['peak'][space]} B")
+    tel = s["telemetry"]
+    lines.append(f"telemetry ({'on' if tel['enabled'] else 'off'}): "
+                 f"{tel['spans_emitted']} spans emitted, "
+                 f"{tel['spans_in_ring']} in ring, "
+                 f"{tel['spans_dropped']} dropped")
+    san = s["sanitizer"]
+    total = sum(san.values())
+    state = "clean" if total == 0 else f"{total} finding(s)"
+    lines.append(f"sanitizer ({state}): " + ", ".join(
+        f"{k}={v}" for k, v in san.items()))
     return "\n".join(lines)
 
 

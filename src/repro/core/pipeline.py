@@ -259,25 +259,34 @@ class Pipeline:
         with span("pipeline.compress", pipeline=self.name,
                   bytes_in=int(data.nbytes)) as root:
             t0 = time.perf_counter()
-            with span("stage.preprocess", module=self.preprocess.name):
+            with span("stage.preprocess", module=self.preprocess.name,
+                      bytes_in=int(data.nbytes)) as sp:
                 pre = self.preprocess.forward(data, eb)
+                sp.set(bytes_out=int(pre.data.nbytes))
             timings["preprocess"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            with span("stage.predictor", module=self.predictor.name):
+            with span("stage.predictor", module=self.predictor.name,
+                      bytes_in=int(pre.data.nbytes)) as sp:
                 arts = self.predictor.encode(pre.data, pre.eb_abs, self.radius)
+                sp.set(bytes_out=int(arts.codes.nbytes))
             timings["predictor"] = time.perf_counter() - t0
 
             hist = None
             if self.encoder.needs_statistics:
                 t0 = time.perf_counter()
-                with span("stage.statistics", module=self.statistics.name):
+                with span("stage.statistics", module=self.statistics.name,
+                          bytes_in=int(arts.codes.nbytes)) as sp:
                     hist = self.statistics.collect(arts.codes, self.num_bins)
+                    sp.set(bytes_out=int(hist.counts.nbytes))
                 timings["statistics"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            with span("stage.encoder", module=self.encoder.name):
+            with span("stage.encoder", module=self.encoder.name,
+                      bytes_in=int(arts.codes.nbytes)) as sp:
                 stream = self.encoder.encode(arts.codes, self.num_bins, hist)
+                sp.set(bytes_out=sum(len(v) for v in
+                                     stream.sections.values()))
             timings["encoder"] = time.perf_counter() - t0
 
             sections: dict[str, bytes] = dict(stream.sections)
@@ -302,8 +311,10 @@ class Pipeline:
             _, body = assemble(header, sections)
 
             t0 = time.perf_counter()
-            with span("stage.secondary", module=self.secondary.name):
+            with span("stage.secondary", module=self.secondary.name,
+                      bytes_in=len(body)) as sp:
                 stored_body = self.secondary.encode(body)
+                sp.set(bytes_out=len(stored_body))
             timings["secondary"] = time.perf_counter() - t0
 
             # rebuild the header with the CRC of the *stored* body so parse()
@@ -382,8 +393,10 @@ def decode_codes(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     header, stored_body = parse(blob)
     modules = _module_table(header, registry)
     secondary = modules[Stage.SECONDARY.value]
-    with span("stage.secondary", module=secondary.name, op="decode"):
+    with span("stage.secondary", module=secondary.name, op="decode",
+              bytes_in=len(stored_body)) as sp:
         body = secondary.decode(stored_body)
+        sp.set(bytes_out=len(body))
     sections = split_sections(header, body, zero_copy=True)
     if section_overrides:
         sections.update(section_overrides)
@@ -406,8 +419,10 @@ def decode_codes(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     predictor_meta = header.stage_meta.get("predictor", {})
     count = int(predictor_meta.get("stream_length",
                                    header.element_count - anchor_count))
-    with span("stage.encoder", module=encoder.name, op="decode"):
+    with span("stage.encoder", module=encoder.name, op="decode",
+              bytes_in=sum(len(v) for v in stream.sections.values())) as sp:
         codes = encoder.decode(stream, count, 2 * header.radius)
+        sp.set(bytes_out=int(codes.nbytes))
 
     outlier_count = int(header.stage_meta.get("outliers", {})
                         .get("count", 0))
@@ -432,13 +447,17 @@ def reconstruct_field(header: ContainerHeader, arts: PredictorArtifacts,
     artifacts back to the field."""
     modules = _module_table(header, registry)
     predictor = modules[Stage.PREDICTOR.value]
-    with span("stage.predictor", module=predictor.name, op="decode"):
+    with span("stage.predictor", module=predictor.name, op="decode",
+              bytes_in=int(arts.codes.nbytes)) as sp:
         out = predictor.decode(arts, header.shape, header.np_dtype,
                                header.eb_abs, header.radius)
+        sp.set(bytes_out=int(out.nbytes))
     preprocess = modules[Stage.PREPROCESS.value]
-    with span("stage.preprocess", module=preprocess.name, op="decode"):
+    with span("stage.preprocess", module=preprocess.name, op="decode",
+              bytes_in=int(out.nbytes)) as sp:
         out = preprocess.backward(out,
                                   header.stage_meta.get("preprocess", {}))
+        sp.set(bytes_out=int(out.nbytes))
     # Contract: callers get exactly one C-contiguous, writable array of
     # the header's dtype that owns its data.  The standard chain already
     # ends in a fresh buffer (audited: Lorenzo/interp dequantize into a
@@ -536,12 +555,13 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     if plan is not None:
         return plan.decompress(blob, out=out,
                                section_overrides=section_overrides)
-    with span("pipeline.decompress", bytes_in=len(blob)):
+    with span("pipeline.decompress", bytes_in=len(blob)) as root:
         header, arts = decode_codes(blob, registry,
                                     section_overrides=section_overrides)
         field = reconstruct_field(header, arts, registry)
         if out is not None:
             out[...] = field
             field = out
+        root.set(bytes_out=int(field.nbytes))
     GLOBAL_METRICS.counter("pipeline.decompress_calls").inc()
     return field

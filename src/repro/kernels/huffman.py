@@ -225,13 +225,17 @@ def build_codebook(counts: np.ndarray, max_len: int = DEFAULT_MAX_LEN, *,
     fresh build (the cold-path baseline the perf harness measures).
     """
     counts = np.asarray(counts, dtype=np.int64)
-    with span("kernel.huffman.build_codebook", bins=int(counts.size)):
+    with span("kernel.huffman.build_codebook", bins=int(counts.size),
+              bytes_in=int(counts.nbytes)) as sp:
         if not cache:
-            return _build_codebook_uncached(counts, max_len)
-        key = (digest(counts), int(max_len))
-        return CODEBOOK_CACHE.get_or_build(
-            key, lambda: _build_codebook_uncached(counts, max_len),
-            nbytes=lambda book: int(book.lengths.nbytes) + 64)
+            book = _build_codebook_uncached(counts, max_len)
+        else:
+            key = (digest(counts), int(max_len))
+            book = CODEBOOK_CACHE.get_or_build(
+                key, lambda: _build_codebook_uncached(counts, max_len),
+                nbytes=lambda book: int(book.lengths.nbytes) + 64)
+        sp.set(bytes_out=int(book.lengths.nbytes))
+        return book
 
 
 def warm_decode_book(lengths: np.ndarray, max_len: int, *,
@@ -325,21 +329,25 @@ def encode(symbols: np.ndarray, book: Codebook,
     have read-only table arrays; ``cache=False`` forces a fresh pack.
     """
     symbols = np.ascontiguousarray(np.asarray(symbols).reshape(-1))
-    with span("kernel.huffman.encode", symbols=int(symbols.size)):
+    with span("kernel.huffman.encode", symbols=int(symbols.size),
+              bytes_in=int(symbols.nbytes)) as sp:
         if not cache:
-            return _encode_uncached(symbols, book, chunk)
-        key = (digest(symbols), digest(book.lengths), int(chunk),
-               int(book.max_len))
-
-        def build() -> HuffmanEncoded:
             enc = _encode_uncached(symbols, book, chunk)
-            enc.chunk_symbols.setflags(write=False)
-            enc.chunk_bits.setflags(write=False)
-            enc.lengths.setflags(write=False)
-            return enc
+        else:
+            key = (digest(symbols), digest(book.lengths), int(chunk),
+                   int(book.max_len))
 
-        return ENCODE_STREAM_CACHE.get_or_build(
-            key, build, nbytes=lambda enc: enc.nbytes() + 64)
+            def build() -> HuffmanEncoded:
+                fresh = _encode_uncached(symbols, book, chunk)
+                fresh.chunk_symbols.setflags(write=False)
+                fresh.chunk_bits.setflags(write=False)
+                fresh.lengths.setflags(write=False)
+                return fresh
+
+            enc = ENCODE_STREAM_CACHE.get_or_build(
+                key, build, nbytes=lambda enc: enc.nbytes() + 64)
+        sp.set(bytes_out=len(enc.payload))
+        return enc
 
 
 def _encode_uncached(symbols: np.ndarray, book: Codebook,
@@ -413,20 +421,24 @@ def decode(enc: HuffmanEncoded, *, cache: bool = True) -> np.ndarray:
     ``astype``/fancy indexing before mutating.  ``cache=False`` forces a
     fresh decode.
     """
-    with span("kernel.huffman.decode", symbols=int(enc.count)):
+    with span("kernel.huffman.decode", symbols=int(enc.count),
+              bytes_in=len(enc.payload)) as sp:
         if not cache:
-            return _decode_uncached(enc, cache=False)
-        key = digest(enc.payload, np.ascontiguousarray(enc.lengths),
-                     enc.chunk_symbols, enc.chunk_bits, int(enc.count),
-                     int(enc.max_len))
+            out = _decode_uncached(enc, cache=False)
+        else:
+            key = digest(enc.payload, np.ascontiguousarray(enc.lengths),
+                         enc.chunk_symbols, enc.chunk_bits, int(enc.count),
+                         int(enc.max_len))
 
-        def build() -> np.ndarray:
-            out = _decode_uncached(enc, cache=True)
-            out.setflags(write=False)
-            return out
+            def build() -> np.ndarray:
+                fresh = _decode_uncached(enc, cache=True)
+                fresh.setflags(write=False)
+                return fresh
 
-        return DECODE_STREAM_CACHE.get_or_build(
-            key, build, nbytes=lambda arr: int(arr.nbytes) + 64)
+            out = DECODE_STREAM_CACHE.get_or_build(
+                key, build, nbytes=lambda arr: int(arr.nbytes) + 64)
+        sp.set(bytes_out=int(out.nbytes))
+        return out
 
 
 def _decode_uncached(enc: HuffmanEncoded, *, cache: bool) -> np.ndarray:

@@ -157,7 +157,8 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS,
     stride = 1 << max_level
     twoeb = 2.0 * eb_abs
 
-    with span("kernel.interp.compress", elements=int(data.size)):
+    with span("kernel.interp.compress", elements=int(data.size),
+              bytes_in=int(data.nbytes)) as kernel_sp:
         work = data.astype(np.float64, copy=False)
         recon = np.zeros(shape, dtype=np.float64)
         asl = _anchor_slices(shape, stride)
@@ -192,6 +193,7 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS,
         stream = (np.concatenate(code_batches) if code_batches
                   else np.zeros(0, dtype=np.int64))
         dense, outliers = q.split_outliers(stream, radius)
+        kernel_sp.set(bytes_out=int(dense.nbytes + anchors.nbytes))
         return InterpResult(codes=dense, outliers=outliers, anchors=anchors,
                             radius=radius, eb_abs=float(eb_abs), max_level=max_level,
                             shape=shape, dtype=data.dtype,
@@ -211,7 +213,9 @@ def decompress(result: InterpResult, *,
     shape = tuple(result.shape)
     stride = 1 << result.max_level
     twoeb = 2.0 * result.eb_abs
-    with span("kernel.interp.decompress", elements=int(np.prod(shape, dtype=np.int64))):
+    with span("kernel.interp.decompress",
+              elements=int(np.prod(shape, dtype=np.int64)),
+              bytes_in=int(result.codes.nbytes + result.anchors.nbytes)):
         stream = q.merge_outliers(result.codes, result.outliers, result.radius).reshape(-1)
 
         recon = np.zeros(shape, dtype=np.float64)

@@ -131,26 +131,27 @@ def compress(data: np.ndarray, eb_abs: float, radius: int = q.DEFAULT_RADIUS
     """
     from ..runtime.memory import default_pool
     data = np.asarray(data)
-    with span("kernel.lorenzo.compress", elements=int(data.size)):
+    with span("kernel.lorenzo.compress", elements=int(data.size),
+              bytes_in=int(data.nbytes)) as sp:
         pool = default_pool()
         if pool is None:
             grid = q.prequantize(data, eb_abs)
             deltas = lorenzo_forward(grid, out=grid)
             codes, outliers = q.split_outliers(deltas, radius, in_place=True)
-            return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
-                                 eb_abs=float(eb_abs), shape=data.shape,
-                                 dtype=data.dtype)
-        scaled = pool.acquire(data.shape, np.float64)
-        grid = pool.acquire(data.shape, np.int64)
-        shifted = pool.acquire(data.shape, np.int64)
-        try:
-            q.prequantize(data, eb_abs, out=grid, scratch=scaled)
-            deltas = lorenzo_forward(grid, out=grid, scratch=shifted)
-            codes, outliers = q.split_outliers(deltas, radius, in_place=True)
-        finally:
-            pool.release(scaled)
-            pool.release(shifted)
-            pool.release(grid)
+        else:
+            scaled = pool.acquire(data.shape, np.float64)
+            grid = pool.acquire(data.shape, np.int64)
+            shifted = pool.acquire(data.shape, np.int64)
+            try:
+                q.prequantize(data, eb_abs, out=grid, scratch=scaled)
+                deltas = lorenzo_forward(grid, out=grid, scratch=shifted)
+                codes, outliers = q.split_outliers(deltas, radius,
+                                                   in_place=True)
+            finally:
+                pool.release(scaled)
+                pool.release(shifted)
+                pool.release(grid)
+        sp.set(bytes_out=int(codes.nbytes))
         return LorenzoResult(codes=codes, outliers=outliers, radius=radius,
                              eb_abs=float(eb_abs), shape=data.shape,
                              dtype=data.dtype)
@@ -170,7 +171,9 @@ def decompress(result: LorenzoResult, *,
     pool = default_pool()
     shape = tuple(result.shape)
     recon = np.empty(shape, dtype=result.dtype) if out is None else out
-    with span("kernel.lorenzo.decompress", elements=int(recon.size)):
+    with span("kernel.lorenzo.decompress", elements=int(recon.size),
+              bytes_in=int(result.codes.nbytes),
+              bytes_out=int(recon.nbytes)):
         if pool is None:
             deltas = q.merge_outliers(result.codes, result.outliers,
                                       result.radius)

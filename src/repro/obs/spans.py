@@ -93,6 +93,9 @@ class _Span:
         if tls.stack:
             self.parent_id = tls.stack[-1].span_id
         tls.stack.append(self)
+        if _OPEN_REGISTRY is not None:
+            _OPEN_REGISTRY.setdefault(
+                threading.get_ident(), []).append(self.name)
         self._start = time.perf_counter()
         return self
 
@@ -101,6 +104,10 @@ class _Span:
         tls = self._tracer._tls
         if tls.stack and tls.stack[-1] is self:
             tls.stack.pop()
+        if _OPEN_REGISTRY is not None:
+            names = _OPEN_REGISTRY.get(threading.get_ident())
+            if names and names[-1] == self.name:
+                names.pop()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._emit(SpanRecord(
@@ -128,6 +135,52 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+# --------------------------------------------------------------------- #
+# open-span registry (sampling-profiler hook)                           #
+# --------------------------------------------------------------------- #
+#
+# When the sampling profiler (repro.obs.profile) is active it needs to
+# know, from *its own* thread, which span each traced thread currently
+# has open.  Thread-local stacks are invisible across threads, so while
+# profiling is on every span enter/exit mirrors its name into this
+# plain dict keyed by thread ident.  When profiling is off the registry
+# is ``None`` and the hot path pays one module-global load + ``is not
+# None`` check per enter/exit.
+
+_OPEN_REGISTRY: dict[int, list[str]] | None = None
+
+
+def enable_open_span_registry() -> None:
+    """Start mirroring open-span names per thread (profiler support)."""
+    global _OPEN_REGISTRY
+    if _OPEN_REGISTRY is None:
+        _OPEN_REGISTRY = {}
+
+
+def disable_open_span_registry() -> None:
+    """Stop mirroring and drop the registry."""
+    global _OPEN_REGISTRY
+    _OPEN_REGISTRY = None
+
+
+def open_span_stacks() -> dict[int, tuple[str, ...]]:
+    """Snapshot {thread_ident: open span names, outermost first}.
+
+    Empty when the registry is disabled.  Reading a mutating list from
+    another thread is safe here: worst case a sample lands on a stale
+    frame, which is inherent to sampling anyway.
+    """
+    reg = _OPEN_REGISTRY
+    if reg is None:
+        return {}
+    out: dict[int, tuple[str, ...]] = {}
+    for ident, names in list(reg.items()):
+        snap = tuple(names)
+        if snap:
+            out[ident] = snap
+    return out
+
+
 class Tracer:
     """Collects finished spans into a bounded ring buffer."""
 
@@ -137,6 +190,7 @@ class Tracer:
         self._spans: deque[SpanRecord] = deque(maxlen=max_spans)
         self._ids = itertools.count(1)
         self.dropped = 0
+        self.emitted = 0             # monotonic: never reset by clear()
 
     def span(self, name: str, **attrs) -> _Span:
         """A new live span bound to this tracer (use as a context manager)."""
@@ -145,9 +199,11 @@ class Tracer:
     def _emit(self, record: SpanRecord) -> None:
         sink = self._tls.sink
         if sink is not None:
+            self.emitted += 1
             sink.append(record)
             return
         with self._lock:
+            self.emitted += 1
             if len(self._spans) == self._spans.maxlen:
                 self.dropped += 1
             self._spans.append(record)

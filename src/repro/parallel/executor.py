@@ -478,13 +478,15 @@ def _compress_shard_local(pipeline: Pipeline, shard: np.ndarray,
         # means this worker would compile something else — interpret then
         compiled = plan_from_key(pipeline, plan_key)
     with GLOBAL_TRACER.capture() as spans:
-        with span("shard.compress", rows=int(shard.shape[0])):
+        with span("shard.compress", rows=int(shard.shape[0]),
+                  plan=plan_key, bytes_in=int(shard.nbytes)) as sp:
             shard = np.ascontiguousarray(shard)
             eb = ErrorBound(eb_abs, EbMode.ABS)
             if compiled is not None:
                 cf: CompressedField = compiled.compress(shard, eb, EbMode.ABS)
             else:
                 cf = pipeline.compress(shard, eb, EbMode.ABS, compile=False)
+            sp.set(bytes_out=len(cf.blob))
     return cf.blob, cf.stats, export_capture(spans)
 
 
@@ -549,12 +551,14 @@ def _histogram_shard_local(pipeline: Pipeline, shard: np.ndarray,
     """Histogram-pass job: quant-code counts of one shard (no encoding)."""
     shard = np.ascontiguousarray(shard)
     with GLOBAL_TRACER.capture() as spans:
-        with span("shard.histogram", rows=int(shard.shape[0])):
+        with span("shard.histogram", rows=int(shard.shape[0]),
+                  bytes_in=int(shard.nbytes)) as sp:
             pre = pipeline.preprocess.forward(shard,
                                               ErrorBound(eb_abs, EbMode.ABS))
             arts = pipeline.predictor.encode(pre.data, pre.eb_abs,
                                              pipeline.radius)
             hist = pipeline.statistics.collect(arts.codes, pipeline.num_bins)
+            sp.set(bytes_out=int(np.asarray(hist.counts).nbytes))
     return (np.asarray(hist.counts, dtype=np.int64),
             export_capture(spans))
 
@@ -607,13 +611,15 @@ def _decompress_shard_shm(shard_blob: bytes, shm_name: str,
     """
     overrides = {"enc.lengths": lengths} if lengths is not None else None
     with GLOBAL_TRACER.capture() as spans:
-        with span("shard.decompress", rows=int(stop - start)):
+        with span("shard.decompress", rows=int(stop - start),
+                  plan=plan_key, bytes_in=len(shard_blob)) as sp:
             plan = _decode_plan_from_shipped_key(shard_blob, DEFAULT_REGISTRY,
                                                  plan_key)
             shm = shared_memory.SharedMemory(name=shm_name)
             try:
                 field = np.ndarray(shape, dtype=np.dtype(dtype),
                                    buffer=shm.buf)
+                sp.set(bytes_out=int(field[start:stop].nbytes))
                 if plan is not None:
                     header, arts = plan.decode_entropy(
                         shard_blob, section_overrides=overrides)
@@ -635,7 +641,8 @@ def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry,
     """Thread-pool job: decode one shard (into ``dest`` when given)."""
     overrides = {"enc.lengths": lengths} if lengths is not None else None
     with GLOBAL_TRACER.capture() as spans:
-        with span("shard.decompress"):
+        with span("shard.decompress", plan=plan_key,
+                  bytes_in=len(shard_blob)) as sp:
             plan = _decode_plan_from_shipped_key(shard_blob, registry,
                                                  plan_key)
             if plan is not None:
@@ -646,6 +653,7 @@ def _decompress_shard_local(shard_blob: bytes, registry: ModuleRegistry,
                 out = _decompress_container(shard_blob, registry,
                                             section_overrides=overrides,
                                             compile=False, out=dest)
+            sp.set(bytes_out=int(out.nbytes))
     return out, export_capture(spans)
 
 
@@ -806,7 +814,8 @@ def compress_sharded(data: np.ndarray,
     workers = min(workers, len(bounds))
 
     with span("engine.compress_sharded", shards=len(bounds),
-              workers=workers, backend=chosen):
+              workers=workers, backend=chosen,
+              bytes_in=int(data.nbytes)) as engine_sp:
         shard_blobs: list[bytes] = []
         shard_stats: list[CompressionStats] = []
         extra_seconds: dict[str, float] = {}
@@ -820,7 +829,8 @@ def compress_sharded(data: np.ndarray,
                 with _make_pool("process", workers) as pool:
                     if codebook == "shared":
                         t0 = time.perf_counter()
-                        with span("engine.codebook", shards=len(bounds)):
+                        with span("engine.codebook", shards=len(bounds),
+                                  bytes_in=int(data.nbytes)) as sp:
                             queue = OrderedWorkQueue(pool,
                                                      max_in_flight=in_flight)
                             for start, stop in bounds:
@@ -830,6 +840,7 @@ def compress_sharded(data: np.ndarray,
                             counts = _drain_histograms(queue)
                             shared_lengths = _build_shared_codebook(counts,
                                                                     pipeline)
+                            sp.set(bytes_out=int(shared_lengths.nbytes))
                         extra_seconds["codebook"] = time.perf_counter() - t0
                     lengths_blob = (None if shared_lengths is None
                                     else shared_lengths.tobytes())
@@ -854,13 +865,15 @@ def compress_sharded(data: np.ndarray,
             with _make_pool("inprocess", workers) as pool:
                 if codebook == "shared":
                     t0 = time.perf_counter()
-                    with span("engine.codebook", shards=len(bounds)):
+                    with span("engine.codebook", shards=len(bounds),
+                              bytes_in=int(data.nbytes)) as sp:
                         queue = OrderedWorkQueue(pool, max_in_flight=in_flight)
                         for start, stop in bounds:
                             queue.submit(_histogram_shard_local, pipeline,
                                          data[start:stop], eb_abs)
                         counts = _drain_histograms(queue)
                         shared_lengths = _build_shared_codebook(counts, pipeline)
+                        sp.set(bytes_out=int(shared_lengths.nbytes))
                     extra_seconds["codebook"] = time.perf_counter() - t0
                 enc_pipeline = (pipeline if shared_lengths is None
                                 else _with_fixed_codebook(pipeline,
@@ -885,6 +898,7 @@ def compress_sharded(data: np.ndarray,
         blob = assemble_sharded(index, shard_blobs)
         stats = combine_stats(shard_stats, len(blob), eb_abs,
                               extra_seconds=extra_seconds)
+        engine_sp.set(bytes_out=len(blob))
     return ShardedCompressedField(
         blob=blob, stats=stats, shard_stats=tuple(shard_stats), index=index,
         workers=workers, backend=chosen,
@@ -963,7 +977,8 @@ def decompress_sharded(blob: bytes, *, workers: int | None = None,
 
     with span("engine.decompress_sharded", shards=len(shards),
               workers=workers, backend=chosen,
-              compiled=plan_key is not None):
+              compiled=plan_key is not None,
+              bytes_in=len(blob), bytes_out=nbytes):
         if chosen == "process":
             shm = _shm_create(nbytes)
             try:

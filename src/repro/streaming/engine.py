@@ -186,7 +186,8 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
     shared_lengths: np.ndarray | None = None
 
     with span("engine.compress_stream", shards=len(bounds), workers=workers,
-              backend=chosen, layout=layout):
+              backend=chosen, layout=layout,
+              bytes_in=int(src.nbytes)) as engine_sp:
         writer = ShardStreamWriter(out_path, index, layout=layout)
         try:
             with _make_pool(chosen, workers) as exec_pool:
@@ -222,7 +223,8 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
 
                 if codebook == "shared":
                     t0 = time.perf_counter()
-                    with span("engine.codebook", shards=len(bounds)):
+                    with span("engine.codebook", shards=len(bounds),
+                              bytes_in=int(src.nbytes)) as cb_sp:
                         totals: dict = {"counts": None, "k": 0}
 
                         def submit_hist(queue, payload, shape):
@@ -246,6 +248,7 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
                         pump(submit_hist, retire_hist)
                         shared_lengths = _build_shared_codebook(
                             totals["counts"], pipeline)
+                        cb_sp.set(bytes_out=int(shared_lengths.nbytes))
                     extra_seconds["codebook"] = time.perf_counter() - t0
 
                 lengths_blob = (None if shared_lengths is None
@@ -288,6 +291,7 @@ def compress_stream(source, pipeline: Pipeline | PipelineSpec,
             buf_pool.clear()
         stats = combine_stats(shard_stats, writer.bytes_written, eb_abs,
                               extra_seconds=extra_seconds)
+        engine_sp.set(bytes_out=writer.bytes_written)
     GLOBAL_METRICS.counter("stream.compress_calls").inc()
     GLOBAL_METRICS.counter("stream.compress_bytes_in").inc(src.nbytes)
     GLOBAL_METRICS.counter("stream.compress_bytes_out").inc(
@@ -363,8 +367,10 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
 
         row_nbytes = int(np.prod(index.shape[1:], dtype=np.int64)
                          ) * dtype.itemsize
+        blob_bytes = sum(length for _, length in index.table)
         with span("engine.decompress_stream", shards=n, workers=workers,
-                  window=win, compiled=plan is not None):
+                  window=win, compiled=plan is not None,
+                  bytes_in=blob_bytes, bytes_out=int(out.nbytes)):
             ctx = StfContext()
             state: dict = {}
             token = np.zeros(1, dtype=np.uint8)
@@ -375,8 +381,13 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
                 tok_scatter = ctx.logical_data_empty(f"scattered{k}")
 
                 def fetch(*_args, k=k):
-                    with span("stream.fetch", shard=k):
-                        state["blob", k] = reader.shard(k)
+                    # task spans carry the shard index in the *name*
+                    # (stream.<task>:<k>) so traces from any backend or
+                    # worker count diff cleanly line-for-line; analytics
+                    # aggregate on the base name before the colon
+                    with span(f"stream.fetch:{k}", shard=k) as sp:
+                        blob = state["blob", k] = reader.shard(k)
+                        sp.set(bytes_in=len(blob), bytes_out=len(blob))
                     return (token,)
 
                 # the sliding window: shard k's fetch waits for shard
@@ -388,15 +399,17 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
 
                 def decode(*_args, k=k):
                     blob = state.pop(("blob", k))
-                    with span("stream.huffman_decode", shard=k,
+                    with span(f"stream.huffman_decode:{k}", shard=k,
                               bytes_in=len(blob),
-                              compiled=plan is not None):
+                              plan=plan.key if plan is not None else None,
+                              compiled=plan is not None) as sp:
                         if plan is not None:
                             header, arts = plan.decode_entropy(
                                 blob, section_overrides=overrides)
                         else:
                             header, arts = decode_codes(
                                 blob, registry, section_overrides=overrides)
+                        sp.set(bytes_out=int(arts.codes.nbytes))
                     state["arts", k] = (header, arts)
                     return (token,)
 
@@ -406,8 +419,10 @@ def decompress_stream(path: str, *, out: np.ndarray | None = None,
 
                 def scatter(*_args, k=k, start=start, stop=stop):
                     header, arts = state.pop(("arts", k))
-                    with span("stream.outlier_scatter", shard=k,
+                    with span(f"stream.outlier_scatter:{k}", shard=k,
                               rows=stop - start,
+                              bytes_in=int(arts.codes.nbytes),
+                              bytes_out=(stop - start) * row_nbytes,
                               compiled=plan is not None):
                         expected = (stop - start, *index.shape[1:])
                         if tuple(header.shape) != expected:

@@ -434,10 +434,10 @@ GOOD_TELEMETRY = """
 from repro.obs import span
 
 def run(registry, data):
-    with span("stage.work", rows=len(data)) as s:
+    with span("stage.work", rows=len(data), bytes_in=len(data)) as s:
         registry.counter("pipeline.bytes_in").inc(len(data))
         registry.histogram("pipeline.stage_seconds", stage="work")
-        s.set(done=True)
+        s.set(done=True, bytes_out=len(data))
     return data
 """
 
@@ -629,3 +629,53 @@ def test_fzl012_silent_on_honoured_out_and_exempt_shapes(lint):
 
 def test_fzl012_scoped_to_kernels_dir(lint):
     assert lint({"core/bad.py": BAD_DECODE_OUT}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL019 span bandwidth accounting                                       #
+# --------------------------------------------------------------------- #
+BAD_BANDWIDTH = """
+from repro.obs.spans import span
+
+def compress(data):
+    with span("kernel.fake.compress", elements=int(data.size)):
+        return data * 2
+
+def drive(blob):
+    with span(f"stream.huffman_decode:{3}", shard=3):
+        return blob
+"""
+
+GOOD_BANDWIDTH = """
+from repro.obs.spans import span
+
+def compress(data):
+    with span("kernel.fake.compress", bytes_in=int(data.nbytes)) as sp:
+        out = data * 2
+        sp.set(bytes_out=int(out.nbytes))
+        return out
+
+def fetch(reader, k, blob):
+    with span(f"stream.fetch:{k}", shard=k) as sp:
+        sp.set(bytes_in=len(blob), bytes_out=len(blob))
+        return blob
+
+def schedule(step, state):
+    # scheduler envelope and computed names are out of scope: the
+    # name owner (the plan step) carries the byte accounting
+    with span("stf.task"):
+        with span(step.span_name, **step.span_attrs):
+            return state
+"""
+
+
+def test_fzl019_fires_on_byteless_data_spans(lint):
+    result = lint({"core/bad.py": BAD_BANDWIDTH})
+    assert rules_fired(result) == {"FZL019"}
+    assert len(result.findings) == 2
+    msgs = " ".join(f.message for f in result.findings)
+    assert "bytes_in" in msgs and "bandwidth" in msgs
+
+
+def test_fzl019_silent_on_accounted_and_exempt_spans(lint):
+    assert lint({"core/good.py": GOOD_BANDWIDTH}).findings == []

@@ -124,6 +124,74 @@ class TestPrometheus:
         assert r'path="a\"b\\c"' in prometheus_text(reg)
 
 
+class TestPerfettoValidity:
+    """Schema properties Perfetto / chrome://tracing depend on."""
+
+    def test_event_ordering_metadata_first_then_start_sorted(self, records):
+        doc = chrome_trace(records)
+        phases = [ev["ph"] for ev in doc["traceEvents"]]
+        first_x = phases.index("X")
+        assert all(p == "M" for p in phases[:first_x])
+        assert all(p == "X" for p in phases[first_x:])
+        ts = [ev["ts"] for ev in doc["traceEvents"][first_x:]]
+        assert ts == sorted(ts)
+
+    def test_no_negative_timestamps_or_durations(self, records):
+        for ev in chrome_trace(records)["traceEvents"]:
+            if ev["ph"] != "X":
+                continue
+            assert ev["ts"] >= 0.0
+            assert ev["dur"] >= 0.0
+
+    def test_every_x_event_has_a_declared_pid_tid(self, records):
+        doc = chrome_trace(records)
+        declared_pids = {ev["pid"] for ev in doc["traceEvents"]
+                         if ev["ph"] == "M" and ev["name"] == "process_name"}
+        declared_tids = {(ev["pid"], ev["tid"]) for ev in doc["traceEvents"]
+                         if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] != "X":
+                continue
+            assert ev["pid"] in declared_pids
+            assert (ev["pid"], ev["tid"]) in declared_tids
+            assert ev["tid"] >= 1       # tid 0 is reserved for process meta
+
+    def test_x_events_carry_required_fields(self, records):
+        for ev in chrome_trace(records)["traceEvents"]:
+            if ev["ph"] != "X":
+                continue
+            assert {"name", "cat", "pid", "tid", "ts", "dur",
+                    "args"} <= set(ev)
+
+    def test_round_trips_through_the_analyzer(self, records):
+        from repro.obs.analyze import analyze, records_from_chrome
+        back = records_from_chrome(chrome_trace(records))
+        rep = analyze(back)
+        assert rep["span_count"] == len(records)
+        assert rep["lane_count"] == 3
+        names = {r["name"] for r in rep["stages"]}
+        assert names == {"pipeline.compress", "stage.encoder",
+                         "shard.compress"}
+        by_name = {r["name"]: r for r in rep["stages"]}
+        assert by_name["pipeline.compress"]["bytes_in"] == 64
+        # parentage survives: the encoder's time is carved out of the root
+        assert (by_name["pipeline.compress"]["exclusive_s"]
+                == pytest.approx(0.5, abs=1e-5))
+
+    def test_jsonl_forest_chrome_round_trip(self, records):
+        """JSONL log -> rebuilt records -> Chrome doc: the full read-side
+        path a CI artifact takes, ending in a loadable trace."""
+        from repro.obs.analyze import build_forest, records_from_jsonl
+        back = records_from_jsonl(span_jsonl_lines(records))
+        forest = build_forest(back)
+        assert len(forest.roots) == 3         # pipeline + 2 shard lanes
+        doc = chrome_trace(forest.records)
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert len(xs) == len(records)
+        child = next(ev for ev in xs if ev["name"] == "stage.encoder")
+        assert child["args"]["parent_id"] == 1
+
+
 class TestSummaries:
     def test_summarize_orders_by_total_time(self, records):
         rows = summarize_spans(records)

@@ -1,0 +1,200 @@
+"""Sampling profiler: lifecycle, span bucketing, collapsed-stack output."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    Profiler,
+    active_profiler,
+    maybe_start_from_env,
+    start_profiler,
+    stop_profiler,
+)
+from repro.obs.spans import open_span_stacks, set_telemetry, span
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler_state():
+    """Every test starts and ends with no profiler running."""
+    stop_profiler()
+    yield
+    stop_profiler()
+
+
+def busy_for(seconds, stop_event):
+    """Spin until ``seconds`` elapse (sampleable pure-Python work)."""
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline and not stop_event.is_set():
+        x += 1
+    return x
+
+
+def run_busy_thread(prof, seconds=0.2, span_name=None):
+    """Run a busy loop in a worker thread while ``prof`` samples it."""
+    stop = threading.Event()
+
+    def work():
+        if span_name is not None:
+            with span(span_name):
+                busy_for(seconds, stop)
+        else:
+            busy_for(seconds, stop)
+
+    t = threading.Thread(target=work, name="busy-worker")
+    t.start()
+    # wait until at least a few samples landed rather than a fixed sleep
+    deadline = time.time() + 5.0
+    while prof.sample_count < 5 and time.time() < deadline:
+        time.sleep(0.005)
+    stop.set()
+    t.join()
+
+
+class TestSampling:
+    def test_samples_busy_thread(self):
+        prof = Profiler(interval=0.002)
+        prof.start()
+        try:
+            run_busy_thread(prof)
+        finally:
+            prof.stop()
+        assert prof.sample_count >= 5
+        assert prof.samples
+        # the busy loop's frame shows up in at least one stack
+        assert any("busy_for" in key for key in prof.samples)
+
+    def test_open_span_prefixes_stack(self):
+        prev = set_telemetry(True)
+        prof = Profiler(interval=0.002)
+        prof.start()
+        try:
+            run_busy_thread(prof, span_name="stage.busywork")
+        finally:
+            prof.stop()
+            set_telemetry(prev)
+        keyed = [k for k in prof.samples if k.startswith("stage.busywork;")]
+        assert keyed, "no sample carried the open-span prefix"
+        totals = prof.span_totals()
+        assert totals.get("stage.busywork", 0) >= 1
+
+    def test_span_totals_buckets_unspanned_work(self):
+        prof = Profiler(interval=0.002)
+        prof.start()
+        try:
+            run_busy_thread(prof)
+        finally:
+            prof.stop()
+        totals = prof.span_totals()
+        assert sum(totals.values()) == sum(prof.samples.values())
+        assert "(no span)" in totals
+
+
+class TestCollapsedOutput:
+    def test_collapsed_format(self):
+        prof = Profiler(interval=0.002)
+        prof.start()
+        try:
+            run_busy_thread(prof)
+        finally:
+            prof.stop()
+        text = prof.collapsed()
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            frames, _, count = line.rpartition(" ")
+            assert frames, line
+            assert count.isdigit(), line
+        # deterministic ordering: sorted by stack key
+        assert lines == sorted(lines)
+
+    def test_write_collapsed_line_count(self):
+        prof = Profiler(interval=0.002)
+        prof.start()
+        try:
+            run_busy_thread(prof)
+        finally:
+            prof.stop()
+        buf = io.StringIO()
+        n = prof.write_collapsed(buf)
+        assert n == len(prof.samples)
+        assert n == len(buf.getvalue().splitlines())
+
+    def test_empty_profiler_outputs_nothing(self):
+        prof = Profiler()
+        assert prof.collapsed() == ""
+        buf = io.StringIO()
+        assert prof.write_collapsed(buf) == 0
+
+    def test_clear(self):
+        prof = Profiler(interval=0.002)
+        prof.start()
+        try:
+            run_busy_thread(prof)
+        finally:
+            prof.stop()
+        assert prof.samples
+        prof.clear()
+        assert prof.samples == {}
+        assert prof.sample_count == 0
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        prof = Profiler(interval=0.002)
+        assert not prof.running
+        prof.start()
+        first = prof._thread
+        prof.start()                          # second start is a no-op
+        assert prof._thread is first
+        assert prof.running
+        prof.stop()
+        prof.stop()                           # second stop is a no-op
+        assert not prof.running
+
+    def test_registry_mirrors_only_while_running(self):
+        prev = set_telemetry(True)
+        prof = Profiler(interval=0.05)
+        try:
+            with span("stage.before"):
+                assert open_span_stacks() == {}
+            prof.start()
+            with span("stage.during"):
+                stacks = open_span_stacks()
+                assert any("stage.during" in names
+                           for names in stacks.values())
+            prof.stop()
+            with span("stage.after"):
+                assert open_span_stacks() == {}
+        finally:
+            prof.stop()
+            set_telemetry(prev)
+
+    def test_process_wide_helpers(self):
+        assert active_profiler() is None
+        prof = start_profiler(interval=0.002)
+        assert prof.running
+        assert active_profiler() is prof
+        assert start_profiler() is prof       # idempotent: same instance
+        stopped = stop_profiler()
+        assert stopped is prof
+        assert not prof.running
+        assert active_profiler() is None
+
+    def test_env_gate_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("FZMOD_PROFILE", raising=False)
+        assert maybe_start_from_env() is None
+        assert active_profiler() is None
+
+    def test_env_gate_on(self, monkeypatch):
+        monkeypatch.setenv("FZMOD_PROFILE", "1")
+        prof = maybe_start_from_env()
+        try:
+            assert prof is not None
+            assert prof.running
+            assert active_profiler() is prof
+        finally:
+            stop_profiler()

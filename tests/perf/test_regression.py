@@ -9,12 +9,16 @@ the warm/cold gap is several-fold, so this is robust to CI noise.
 from __future__ import annotations
 
 import json
+import time
 
+import numpy as np
 import pytest
 
-from repro.perf.regression import (check_regressions, check_results,
-                                   median_seconds, render_report,
-                                   run_hotpath_suite, write_report)
+from repro.perf.regression import (_traced_stages, best_seconds,
+                                   check_regressions, check_results, diff,
+                                   median_seconds, render_diff,
+                                   render_report, run_hotpath_suite,
+                                   write_report)
 from repro.runtime.memory import sanitizing_enabled
 
 
@@ -37,6 +41,14 @@ class TestMedianSeconds:
         calls = []
         median_seconds(lambda: calls.append(1), warmup=0, repeat=0)
         assert len(calls) == 1                       # repeat clamps to 1
+
+    def test_best_seconds_call_counts_and_result(self):
+        calls = []
+        t, result = best_seconds(lambda: calls.append(1) or len(calls),
+                                 warmup=1, repeat=3)
+        assert len(calls) == 4                       # 1 warmup + 3 timed
+        assert result == 4                           # last call's value
+        assert t >= 0.0
 
 
 def _fake_report(warm_d=1.0, cold_d=2.0, warm_c=1.0, cold_c=2.0,
@@ -182,6 +194,151 @@ class TestCompiledDecodeSection:
     def test_rendered_report_names_both_directions(self, quick_report):
         text = render_report(quick_report)
         assert "c.decomp" in text and "interpreted" in text
+
+
+class TestStagesSection:
+    def test_report_has_per_direction_breakdown(self, quick_report):
+        stages = quick_report["stages"]
+        for direction in ("compress", "decompress"):
+            sec = stages[direction]
+            assert sec["wall_seconds"] > 0
+            assert sec["mb_s"] > 0
+            assert any(n.startswith("stage.") for n in sec["stages"])
+            for row in sec["stages"].values():
+                assert set(row) == {"count", "inclusive_s", "exclusive_s",
+                                    "bytes_in", "bytes_out", "mb_s"}
+
+    def test_exclusive_time_accounts_for_the_wall(self, quick_report):
+        # the ISSUE gate: per-stage exclusive time must sum to >= 95% of
+        # the traced wall — less means untraced gaps in the hot path
+        for direction in ("compress", "decompress"):
+            sec = quick_report["stages"][direction]
+            assert sec["exclusive_coverage"] >= 0.95, direction
+
+    def test_stage_bandwidth_recorded(self, quick_report):
+        comp = quick_report["stages"]["compress"]["stages"]
+        assert comp["stage.predictor"]["bytes_in"] > 0
+        assert comp["stage.encoder"]["mb_s"] is not None
+
+    def test_rendered_report_includes_breakdown(self, quick_report):
+        text = render_report(quick_report)
+        assert "stages/compress" in text
+        assert "stage." in text
+
+
+class TestProfilerSection:
+    def test_report_has_section_and_checks(self, quick_report):
+        prof = quick_report["profiler"]
+        assert prof["interval_s"] > 0
+        assert prof["samples"] >= 0
+        assert prof["blob_identical"] is True
+        checks = quick_report["checks"]
+        assert checks["profiler_blob_identical"]
+        assert "profiler_overhead_lt_5pct" in checks
+
+    def test_fakes_without_section_still_check(self):
+        checks = check_results(_fake_report())
+        assert "profiler_overhead_lt_5pct" not in checks
+
+    def _fake_profiler(self, overhead=0.01, identical=True) -> dict:
+        return {"interval_s": 0.005, "samples": 100, "distinct_stacks": 10,
+                "warm_off_s": 1.0, "warm_on_s": 1.0 + overhead,
+                "overhead_fraction": overhead, "blob_identical": identical}
+
+    def test_overhead_over_budget_is_a_regression(self):
+        report = _fake_report()
+        report["profiler"] = self._fake_profiler(overhead=0.10)
+        report["checks"] = check_results(report)
+        assert any("sampling-profiler overhead" in f
+                   for f in check_regressions(report))
+
+    def test_blob_mismatch_is_a_regression(self):
+        report = _fake_report()
+        report["profiler"] = self._fake_profiler(identical=False)
+        report["checks"] = check_results(report)
+        assert any("serialized output" in f
+                   for f in check_regressions(report))
+
+
+class TestDiff:
+    def _stages(self, wall, **excl):
+        return {"wall_seconds": wall,
+                "mb_s": 1.0 / wall,
+                "exclusive_coverage": 1.0,
+                "stages": {name: {"count": 1, "inclusive_s": s,
+                                  "exclusive_s": s, "bytes_in": 0,
+                                  "bytes_out": 0, "mb_s": None}
+                           for name, s in excl.items()}}
+
+    def test_attributes_delta_to_the_regressed_stage(self):
+        a = {"stages": {"compress": self._stages(
+            1.0, **{"stage.predictor": 0.4, "stage.encoder": 0.6})}}
+        b = {"stages": {"compress": self._stages(
+            1.3, **{"stage.predictor": 0.7, "stage.encoder": 0.6})}}
+        d = diff(a, b)
+        sec = d["sections"]["compress"]
+        assert sec["regressed"] is True
+        assert sec["delta_s"] == pytest.approx(0.3)
+        assert sec["delta_pct"] == pytest.approx(30.0)
+        assert sec["top_stage"] == "stage.predictor"
+        top = sec["stages"][0]
+        assert top["name"] == "stage.predictor"
+        assert top["share"] == pytest.approx(1.0)
+
+    def test_speedup_and_new_stage_handling(self):
+        a = {"stages": {"decompress": self._stages(
+            2.0, **{"stage.encoder": 1.9})}}
+        b = {"stages": {"decompress": self._stages(
+            1.0, **{"stage.encoder": 0.8, "stage.fused": 0.1})}}
+        sec = diff(a, b)["sections"]["decompress"]
+        assert sec["regressed"] is False
+        assert sec["top_stage"] == "stage.encoder"
+        fused = next(r for r in sec["stages"] if r["name"] == "stage.fused")
+        assert fused["a_s"] == 0.0 and fused["b_s"] == pytest.approx(0.1)
+
+    def test_missing_sections_are_skipped(self):
+        assert diff({}, {})["sections"] == {}
+        a = {"stages": {"compress": self._stages(1.0, **{"s": 1.0})}}
+        assert diff(a, {})["sections"] == {}
+        assert "no comparable" in render_diff(diff(a, {}))
+
+    def test_render_diff_text(self):
+        a = {"stages": {"compress": self._stages(1.0, **{"stage.x": 1.0})}}
+        b = {"stages": {"compress": self._stages(1.3, **{"stage.x": 1.3})}}
+        text = render_diff(diff(a, b))
+        assert "compress: 1.0000s -> 1.3000s (+30.0%, slower)" in text
+        assert "stage.x" in text and "of delta" in text
+
+    def test_injected_sleep_is_attributed_to_its_stage(self, monkeypatch):
+        # the acceptance test from the ISSUE: slow one stage down for real
+        # and check the diff names it as the prime suspect
+        from repro.core.pipeline import Pipeline
+        x = np.linspace(0, 6, 40, dtype=np.float32)
+        field = (np.sin(x)[:, None, None]
+                 + np.cos(x)[None, :, None] * x[None, None, :]
+                 ).astype(np.float32)
+        pipe = Pipeline.from_names()
+        mb = field.nbytes / 1e6
+
+        baseline = _traced_stages(
+            lambda: pipe.compress(field, 1e-3, compile=False), mb)
+
+        real_encode = pipe.predictor.encode
+
+        def slow_encode(*args, **kwargs):
+            time.sleep(0.05)
+            return real_encode(*args, **kwargs)
+
+        monkeypatch.setattr(pipe.predictor, "encode", slow_encode)
+        slowed = _traced_stages(
+            lambda: pipe.compress(field, 1e-3, compile=False), mb)
+
+        sec = diff({"stages": {"compress": baseline}},
+                   {"stages": {"compress": slowed}})["sections"]["compress"]
+        assert sec["regressed"] is True
+        assert sec["top_stage"] == "stage.predictor"
+        assert sec["stages"][0]["delta_s"] >= 0.04
+        assert sec["stages"][0]["share"] > 0.5
 
 
 class TestWriteReportHistory:

@@ -184,6 +184,11 @@ class TestOverlapPlumbing:
             GLOBAL_TRACER.clear()
         for name in ("stream.fetch", "stream.huffman_decode",
                      "stream.outlier_scatter"):
-            shards = sorted(r.attrs["shard"] for r in records
-                            if r.name == name)
+            matching = [r for r in records
+                        if r.name.split(":", 1)[0] == name]
+            shards = sorted(r.attrs["shard"] for r in matching)
             assert shards == list(range(cf.shard_count))
+            # deterministic lane ids: the span name embeds the shard
+            # index, so traces diff cleanly across backends/runs
+            for r in matching:
+                assert r.name == f"{name}:{r.attrs['shard']}"
