@@ -1,4 +1,4 @@
-"""The FZModules contract rules (FZL001 - FZL012, FZL019).
+"""The FZModules contract rules (FZL001 - FZL012, FZL019, FZL020).
 
 Each rule machine-checks one convention the framework's composability
 story depends on.  The checks are deliberately heuristic — AST-local,
@@ -898,3 +898,119 @@ class BandwidthAccounting(Rule):
                     "`fzmod analyze` — pass the counts as span() "
                     "keywords or set them on the `as` handle "
                     "(`sp.set(bytes_out=...)`) before the span closes")
+
+
+@register_rule
+class SlabTaskIsolation(Rule):
+    """FZL020: slab-pool tasks stay isolated; merges stay ordered."""
+
+    id = "FZL020"
+    title = "slab task isolation"
+    contract = (
+        "The compiled hot paths fan work over the shared SlabPool "
+        "(repro.runtime.threads): one callable per contiguous axis-0 "
+        "slab, running concurrently on pool threads.  Byte-identity "
+        "with threads=1 only holds if every scheduled task touches "
+        "nothing but its own slab: a task that declares global/"
+        "nonlocal, writes a module-level table or mutates an imported "
+        "module races other slabs and makes output depend on thread "
+        "timing.  Merges are the coordinator's job and must happen in "
+        "submission (slab) order — run_slabs/run_ordered already return "
+        "ordered results, so iterating completion order "
+        "(as_completed) in a slab-scheduling function reintroduces "
+        "nondeterminism the pool was designed out of.")
+
+    #: the slab scheduling entrypoints whose first argument is a task
+    _SCHEDULERS = frozenset({"run_slabs", "run_ordered",
+                             "_run_slab_tasks"})
+
+    @classmethod
+    def _schedule_call(cls, node: ast.AST) -> ast.Call | None:
+        if not isinstance(node, ast.Call):
+            return None
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None)
+        return node if name in cls._SCHEDULERS else None
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        """Check every callable handed to a slab scheduling API."""
+        schedules = [call for node in ast.walk(ctx.tree)
+                     if (call := self._schedule_call(node)) is not None]
+        if not schedules:
+            return
+        shared = ctx.module_level_names | ctx.imported_modules
+        defs: dict[str, ast.FunctionDef] = {}
+        for fn in functions_of(ctx.tree):
+            defs.setdefault(fn.name, fn)
+        seen: set[int] = set()
+        for call in schedules:
+            task = call.args[0] if call.args else None
+            if isinstance(task, ast.Lambda):
+                yield from self._check_lambda(ctx, task, shared)
+            elif (isinstance(task, ast.Name) and task.id in defs
+                    and id(defs[task.id]) not in seen):
+                seen.add(id(defs[task.id]))
+                yield from self._check_task(ctx, defs[task.id], shared)
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and node_root_name(node.func) == "as_completed"):
+                yield ctx.finding(
+                    self, node,
+                    "as_completed() iterates slab results in completion "
+                    "order; slab merges must be deterministic — use the "
+                    "ordered results run_slabs()/run_ordered() return")
+
+    def _check_task(self, ctx: LintContext, fn: ast.FunctionDef,
+                    shared: set[str]) -> Iterator[Finding]:
+        local = assigned_names(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = ("global" if isinstance(node, ast.Global)
+                        else "nonlocal")
+                yield ctx.finding(
+                    self, node,
+                    f"slab task {fn.name}() declares {kind} "
+                    f"{', '.join(node.names)}; pool tasks run "
+                    "concurrently and must not rebind shared state — "
+                    "return the value and merge in the coordinator")
+                continue
+            for target in _stored_targets(node):
+                if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                    continue
+                root = node_root_name(target)
+                if root in shared and root not in local:
+                    yield ctx.finding(
+                        self, node,
+                        f"slab task {fn.name}() writes module-level "
+                        f"state {root!r} from a pool thread; tasks may "
+                        "only touch their own slab (disjoint views and "
+                        "per-thread arenas)")
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS):
+                root = node_root_name(node.func.value)
+                if root in ctx.module_level_names and root not in local:
+                    yield ctx.finding(
+                        self, node,
+                        f"slab task {fn.name}() mutates module-level "
+                        f"state {root!r} via .{node.func.attr}() from a "
+                        "pool thread; merge results in the coordinator "
+                        "instead")
+
+    def _check_lambda(self, ctx: LintContext, task: ast.Lambda,
+                      shared: set[str]) -> Iterator[Finding]:
+        local = {a.arg for a in (task.args.posonlyargs + task.args.args
+                                 + task.args.kwonlyargs)}
+        for node in ast.walk(task):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS):
+                root = node_root_name(node.func.value)
+                if root in ctx.module_level_names and root not in local:
+                    yield ctx.finding(
+                        self, node,
+                        "slab task lambda mutates module-level state "
+                        f"{root!r} via .{node.func.attr}() from a pool "
+                        "thread; merge results in the coordinator "
+                        "instead")

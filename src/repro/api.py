@@ -75,6 +75,7 @@ def compress(data_or_source, spec_or_preset, eb, *,
              stream: bool = False,
              compile="auto",
              out=None,
+             threads: int | None = None,
              shard_mb: float | None = None,
              codebook: str | None = None,
              backend: str | None = None,
@@ -93,6 +94,15 @@ def compress(data_or_source, spec_or_preset, eb, *,
       (:class:`~repro.parallel.executor.ShardedCompressedField`).
     * otherwise — the single-stream pipeline
       (:class:`~repro.core.pipeline.CompressedField`).
+
+    The single-stream path is the fast warm path for in-memory fields:
+    its compiled plan auto-threads large inputs across the cores
+    (slab parallelism, container bytes identical at every width), which
+    beats the process-pool sharded engine's warm throughput — per-shard
+    container framing and IPC make processes worth it only for cold
+    runs, explicit ``workers=`` requests or out-of-core inputs.
+    ``threads`` pins the slab width explicitly (``None`` resolves
+    ``FZMOD_THREADS``, then auto by input size).
 
     ``compile`` selects the execution path on every engine (``"auto"`` /
     ``True`` / ``False``, see :meth:`Pipeline.compress`); output bytes do
@@ -120,7 +130,8 @@ def compress(data_or_source, spec_or_preset, eb, *,
                                   backend=backend, codebook=codebook,
                                   compile=compile)
     else:
-        result = pipeline.compress(data, eb, mode, compile=compile)
+        result = pipeline.compress(data, eb, mode, compile=compile,
+                                   threads=threads)
     if out is not None:
         if isinstance(out, np.ndarray):
             raise ConfigError(
@@ -133,6 +144,7 @@ def compress(data_or_source, spec_or_preset, eb, *,
 def decompress(blob_or_path, *, out: np.ndarray | None = None,
                workers: int | None = None,
                compile="auto",
+               threads: int | None = None,
                registry: ModuleRegistry = DEFAULT_REGISTRY) -> np.ndarray:
     """Reconstruct a field from a container blob or container file.
 
@@ -146,7 +158,9 @@ def decompress(blob_or_path, *, out: np.ndarray | None = None,
     reconstruction into it directly, no staging copy.  ``compile``
     selects the decode path (``"auto"`` / ``True`` / ``False``, see
     :func:`repro.core.decompress`); reconstructed values do not depend
-    on it.
+    on it.  ``threads`` selects the compiled decode's slab-parallel
+    width (``None`` resolves ``FZMOD_THREADS``, then auto by field
+    size); values do not depend on it either.
     """
     if out is not None and (not isinstance(out, np.ndarray)
                             or not out.flags.writeable):
@@ -171,4 +185,4 @@ def decompress(blob_or_path, *, out: np.ndarray | None = None,
             "expected container bytes, a compressed-field result or a "
             f"path, got {type(blob_or_path).__name__}")
     return _decompress_blob(blob, registry, workers=workers,
-                            compile=compile, out=out)
+                            compile=compile, out=out, threads=threads)

@@ -109,7 +109,8 @@ def cmd_compress(args: argparse.Namespace) -> int:
             data, comp, args.eb, mode=EbMode(args.mode),
             workers=args.workers, shard_mb=args.shard_mb,
             codebook=("shared" if args.shared_codebook else None),
-            compile=_compile_mode(args), out=args.output)
+            compile=_compile_mode(args), out=args.output,
+            threads=args.threads)
     s = cf.stats
     print(f"{args.pipeline}: {s.input_bytes} -> {s.output_bytes} bytes  "
           f"CR={s.cr:.2f}  bitrate={s.bit_rate:.3f} b/val  "
@@ -159,7 +160,8 @@ def cmd_decompress(args: argparse.Namespace) -> int:
             dtype = np.dtype(reader.index.dtype)
         out = np.memmap(args.output, dtype=dtype, mode="w+", shape=shape)
         try:
-            api_decompress(args.input, out=out, workers=args.workers)
+            api_decompress(args.input, out=out, workers=args.workers,
+                           threads=args.threads)
         except BaseException:
             # never leave a partially scattered field behind — the
             # in-memory path only writes its output after a clean decode
@@ -180,7 +182,7 @@ def cmd_decompress(args: argparse.Namespace) -> int:
             out.tofile(args.output)
             print(f"reconstructed {out.shape} {out.dtype} -> {args.output}")
             return 0
-    out = api_decompress(blob, workers=args.workers)
+    out = api_decompress(blob, workers=args.workers, threads=args.threads)
     out.tofile(args.output)
     print(f"reconstructed {out.shape} {out.dtype} -> {args.output}")
     return 0
@@ -567,6 +569,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--workers", type=int, default=None,
                     help="compress shard-parallel on this many workers "
                          "(writes a multi-shard container)")
+    sp.add_argument("--threads", type=int, default=None,
+                    help="slab-parallel thread width for the single-stream "
+                         "compiled path (container bytes identical at any "
+                         "width; default: FZMOD_THREADS, then auto by "
+                         "input size)")
     sp.add_argument("--shard-mb", type=float, default=None,
                     help="target shard size in MiB (implies the parallel "
                          "engine; default 32)")
@@ -606,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--workers", type=int, default=None,
                     help="worker count for multi-shard containers "
                          "(default: one per CPU)")
+    sp.add_argument("--threads", type=int, default=None,
+                    help="slab-parallel decode width for single-stream "
+                         "containers (values identical at any width; "
+                         "default: FZMOD_THREADS, then auto by field size)")
     sp.add_argument("--stream", action="store_true",
                     help="decode shard-by-shard into a memory-mapped "
                          "output file with overlapped decode/scatter "
@@ -656,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_inspect)
 
     sp = sub.add_parser("lint", help="contract-aware static analysis "
-                                     "(fzlint rules FZL001-FZL019)")
+                                     "(fzlint rules FZL001-FZL020)")
     from .analysis.cli import add_arguments as add_lint_arguments
     add_lint_arguments(sp)
     sp.set_defaults(fn=cmd_lint)

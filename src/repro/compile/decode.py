@@ -56,6 +56,7 @@ from ..errors import CodecError, ModuleNotFoundInRegistry, PipelineError
 from ..kernels.plancache import COMPILED_PLAN_CACHE, digest
 from ..obs.metrics import GLOBAL_METRICS
 from ..obs.spans import span
+from ..runtime.threads import resolve_threads, thread_budget
 from ..types import Stage
 from .fused import fused_decode_reconstruct
 from .plan import _PREPROCESS_TYPES, _module_fingerprint
@@ -165,7 +166,8 @@ class CompiledDecodePlan:
 
     # ------------------------------------------------------------------ #
     def decode_entropy(self, blob: bytes, *,
-                       section_overrides: dict[str, bytes] | None = None
+                       section_overrides: dict[str, bytes] | None = None,
+                       threads: int | None = None
                        ) -> tuple[ContainerHeader, PredictorArtifacts]:
         """The entropy half: parse, secondary decode, wavefront decode.
 
@@ -173,7 +175,9 @@ class CompiledDecodePlan:
         lookups pre-bound.  The recovered artifacts feed
         :meth:`reconstruct`; the split keeps the two halves separately
         schedulable so the streaming engine's scatter(k) still overlaps
-        decode(k+1).
+        decode(k+1).  ``threads`` is the slab-thread budget the Huffman
+        kernel uses to decode payload chunks concurrently (``None`` =
+        resolve from ``FZMOD_THREADS`` / payload size).
         """
         header, stored_body = parse(blob)
         with span("stage.secondary", module=self._secondary.name,
@@ -195,11 +199,16 @@ class CompiledDecodePlan:
         predictor_meta = header.stage_meta.get("predictor", {})
         count = int(predictor_meta.get("stream_length",
                                        header.element_count))
+        n_threads = resolve_threads(
+            threads, nbytes=int(header.element_count
+                                * header.np_dtype.itemsize))
         with span("stage.encoder", module=self._encoder.name,
-                  op="decode", compiled=True,
+                  op="decode", compiled=True, threads=n_threads,
                   bytes_in=sum(len(v) for v in
                                stream.sections.values())) as sp:
-            codes = self._encoder.decode(stream, count, 2 * header.radius)
+            with thread_budget(n_threads):
+                codes = self._encoder.decode(stream, count,
+                                             2 * header.radius)
             sp.set(bytes_out=int(codes.nbytes))
         outlier_count = int(header.stage_meta.get("outliers", {})
                             .get("count", 0))
@@ -209,7 +218,8 @@ class CompiledDecodePlan:
         return header, arts
 
     def reconstruct(self, header: ContainerHeader, arts: PredictorArtifacts,
-                    *, out: np.ndarray | None = None) -> np.ndarray:
+                    *, out: np.ndarray | None = None,
+                    threads: int | None = None) -> np.ndarray:
         """The fused reconstruction half: artifacts back to the field.
 
         One pooled pass replaces the interpreter's predictor decode +
@@ -217,30 +227,37 @@ class CompiledDecodePlan:
         the field directly when given (and is returned), otherwise a
         fresh owning array is allocated — the same contract
         :func:`~repro.core.pipeline.reconstruct_field` guarantees.
+        ``threads`` slab-parallelises the fused pass (value-identical
+        for every width).
         """
+        n_threads = resolve_threads(
+            threads, nbytes=int(header.element_count
+                                * header.np_dtype.itemsize))
         with span("stage.predictor", module=self.module_names
                   .get(Stage.PREDICTOR.value, "lorenzo"), op="decode",
-                  compiled=True, fused=True,
+                  compiled=True, fused=True, threads=n_threads,
                   bytes_in=int(arts.codes.nbytes)) as sp:
             out = fused_decode_reconstruct(
                 arts.codes, arts.outliers, header.radius, header.eb_abs,
-                header.shape, header.np_dtype, out=out)
+                header.shape, header.np_dtype, out=out, threads=n_threads)
             sp.set(bytes_out=int(out.nbytes))
         return out
 
     def decompress(self, blob: bytes, *, out: np.ndarray | None = None,
-                   section_overrides: dict[str, bytes] | None = None
-                   ) -> np.ndarray:
+                   section_overrides: dict[str, bytes] | None = None,
+                   threads: int | None = None) -> np.ndarray:
         """Run the full fused decode; value-identical to the interpreter.
 
         ``out`` is written through (and returned) when supplied.
+        ``threads`` selects the slab-parallel width for both halves
+        (``None`` = resolve from ``FZMOD_THREADS`` / field size).
         """
         with span("pipeline.decompress", bytes_in=len(blob),
                   compiled=True) as root:
             t0 = time.perf_counter()
             header, arts = self.decode_entropy(
-                blob, section_overrides=section_overrides)
-            out = self.reconstruct(header, arts, out=out)
+                blob, section_overrides=section_overrides, threads=threads)
+            out = self.reconstruct(header, arts, out=out, threads=threads)
             root.set(bytes_out=int(out.nbytes))
             # summary marker: which decode plan ran (trace contract
             # shared with the compress plans)

@@ -31,6 +31,33 @@ Every step is arithmetic-identical to the interpreted kernels in
 bit for bit (the compiled-vs-interpreted golden tests enforce this), so
 downstream encoders and the content-addressed encode caches see the
 same bytes either way.
+
+Slab parallelism
+----------------
+Both fused passes accept ``threads=``: the field is partitioned into
+contiguous axis-0 slab ranges (:func:`repro.runtime.threads.
+slab_ranges`) and each slab runs on the shared
+:class:`~repro.runtime.threads.SlabPool`.  NumPy releases the GIL on
+every large ufunc, so the slabs genuinely overlap.  Byte-identity with
+``threads=1`` holds for every thread count by construction:
+
+* the Lorenzo axis-0 difference reads the *previous* slab's last input
+  plane as a read-only ghost plane (recomputed locally from the shared
+  input — no cross-slab writes);
+* per-slab scratch comes from per-thread arenas
+  (:func:`~repro.runtime.threads.thread_arena`), never shared;
+* per-slab ``bincount`` partials are summed in fixed slab order
+  (integer adds — exact), outlier lists are concatenated in slab order
+  (each slab's ``flatnonzero`` is ascending, offsets are disjoint and
+  increasing, so the concatenation equals the global scan), and dense
+  codes are cast into disjoint slices of one shared output array;
+* on the read side only the axis-0 inverse-Lorenzo hyperplane sweep is
+  inherently sequential — it runs between two slab fan-outs, exactly
+  where the single-threaded sweep runs it (axis 0 is last).
+
+Each slab task captures its spans and the coordinator re-emits them on
+a deterministic ``slab:<k>`` lane, so ``fzmod analyze`` overlap metrics
+prove the concurrency.
 """
 
 from __future__ import annotations
@@ -39,7 +66,10 @@ import numpy as np
 
 from ..errors import CodecError
 from ..kernels.quantize import OutlierSet
+from ..obs.spans import (GLOBAL_TRACER, absorb_capture, export_capture, span,
+                         telemetry_enabled)
 from ..runtime.memory import SANITIZER, default_pool
+from ..runtime.threads import run_slabs, slab_ranges, thread_arena
 
 #: slices smaller than this run the inverse-Lorenzo scan via
 #: ``np.cumsum`` — the running-add loop's per-iteration ufunc dispatch
@@ -74,6 +104,36 @@ def _inplace_prefix_sum(grid: np.ndarray) -> None:
             np.add(planes[i], planes[i - 1], out=planes[i])
 
 
+def _run_slab_tasks(task, ranges: list[tuple[int, int]], threads: int, *,
+                    phase: str) -> list:
+    """Fan ``task(k, start, stop)`` over the shared pool, one lane per slab.
+
+    Results come back in slab order (the :class:`SlabPool` ordering
+    contract).  When telemetry is on, each slab's spans are captured on
+    the worker thread and re-emitted by the coordinator on the
+    deterministic lane ``slab:<k>`` — same trace for a given input
+    regardless of scheduling, and `fzmod analyze` overlap metrics see
+    one busy lane per slab.
+    """
+    items = [(k, s, e) for k, (s, e) in enumerate(ranges)]
+    if not telemetry_enabled():
+        return run_slabs(lambda it: task(*it), items, threads=threads)
+
+    def traced(it):
+        k, s, e = it
+        with GLOBAL_TRACER.capture() as buf:
+            with span(f"compile.slab.{phase}", slab=k, start=s, stop=e):
+                result = task(k, s, e)
+        return result, export_capture(buf)
+
+    results = []
+    for k, (res, payload) in enumerate(
+            run_slabs(traced, items, threads=threads)):
+        absorb_capture(payload, lane=f"slab:{k}")
+        results.append(res)
+    return results
+
+
 def scaled_magnitude_bound(lo: float, hi: float, eb_abs: float) -> float:
     """``max |fl(x / (2*eb))|`` over a field with range ``[lo, hi]``.
 
@@ -87,7 +147,8 @@ def scaled_magnitude_bound(lo: float, hi: float, eb_abs: float) -> float:
 
 def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
                            num_bins: int, *, collect_counts: bool,
-                           scaled_bound: float | None = None
+                           scaled_bound: float | None = None,
+                           threads: int = 1
                            ) -> tuple[np.ndarray, OutlierSet,
                                       np.ndarray | None]:
     """One pass from floats to quant codes (+ outliers, + counts).
@@ -105,6 +166,11 @@ def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
         precomputed ``max|data/(2*eb)|`` (from
         :func:`scaled_magnitude_bound` when the preprocessor already
         scanned the range); ``None`` scans the scaled buffer instead.
+    threads:
+        slab-parallel width; ``> 1`` runs one contiguous axis-0 slab
+        per task on the shared :class:`~repro.runtime.threads.SlabPool`
+        (byte-identical output for every value — see the module
+        docstring).
 
     Returns ``(codes, outliers, counts)`` with ``codes`` a fresh flat
     ``uint16``/``uint32`` array, byte-identical to the interpreted
@@ -116,6 +182,14 @@ def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
         raise CodecError(f"radius out of range: {radius}")
     if SANITIZER.enabled:
         SANITIZER.check_live("fused_predict_quantize", data)
+    threads = max(1, int(threads))
+    if threads > 1 and data.ndim >= 1 and data.size:
+        ranges = slab_ranges(data.shape[0], threads)
+        if len(ranges) > 1:
+            return _predict_quantize_slabs(
+                data, eb_abs, radius, num_bins,
+                collect_counts=collect_counts, scaled_bound=scaled_bound,
+                ranges=ranges, threads=threads)
     pool = default_pool()
     shape = data.shape
     if pool is None:
@@ -191,10 +265,122 @@ def fused_predict_quantize(data: np.ndarray, eb_abs: float, radius: int,
     return codes, outliers, counts
 
 
+def _predict_quantize_slabs(data: np.ndarray, eb_abs: float, radius: int,
+                            num_bins: int, *, collect_counts: bool,
+                            scaled_bound: float | None,
+                            ranges: list[tuple[int, int]], threads: int
+                            ) -> tuple[np.ndarray, OutlierSet,
+                                       np.ndarray | None]:
+    """Slab-parallel body of :func:`fused_predict_quantize`.
+
+    Each slab recomputes its ghost plane (the previous slab's last input
+    row) locally from the read-only input, so the axis-0 Lorenzo
+    difference needs no cross-slab ordering; everything a slab writes is
+    either private arena scratch or a disjoint slice of the shared
+    ``codes`` output.  Merging is deterministic by slab index, so the
+    result is byte-identical to the sequential pass.
+    """
+    shape = data.shape
+    ndim = len(shape)
+    size = int(data.size)
+    plane = size // shape[0]
+    if scaled_bound is not None and scaled_bound >= 2**62:
+        raise CodecError(
+            "error bound too tight: quantization index overflows int64")
+    dtype = np.uint16 if 2 * radius <= 65536 else np.uint32
+    codes = np.empty(size, dtype=dtype)
+    pooling = default_pool() is not None
+
+    def slab_task(k: int, s: int, e: int):
+        ghost = 1 if s > 0 else 0
+        lshape = (e - s + ghost,) + shape[1:]
+        arena = thread_arena() if pooling else None
+        if arena is None:
+            scaled = np.empty(lshape, dtype=np.float64)
+            grid_a = np.empty(lshape, dtype=np.int64)
+            grid_b = np.empty(lshape, dtype=np.int64)
+        else:
+            scaled = arena.acquire(lshape, np.float64)
+            grid_a = arena.acquire(lshape, np.int64)
+            grid_b = arena.acquire(lshape, np.int64)
+        try:
+            np.divide(data[s - ghost:e], 2.0 * eb_abs, out=scaled,
+                      dtype=np.float64)
+            if scaled_bound is None:
+                # per-slab bound check: the max over slabs is the global
+                # max, so raising here reproduces the sequential check
+                local = max(abs(float(scaled.min())),
+                            abs(float(scaled.max())))
+                if local >= 2**62:
+                    raise CodecError("error bound too tight: quantization "
+                                     "index overflows int64")
+            np.rint(scaled, out=grid_a, casting="unsafe")
+            # axis-0 Lorenzo over the ghost-extended rows: local row i
+            # is global row s-ghost+i, so dst[1:] lands the correct
+            # global difference on every owned row
+            src, dst = grid_a, grid_b
+            np.subtract(src[1:], src[:-1], out=dst[1:])
+            if ghost == 0:
+                dst[0:1] = src[0:1]
+            src, dst = dst, src
+            # later axes act within rows — owned views only
+            vsrc, vdst = src[ghost:], dst[ghost:]
+            for axis in range(1, ndim):
+                lo_s = [slice(None)] * ndim
+                hi_s = [slice(None)] * ndim
+                first = [slice(None)] * ndim
+                lo_s[axis] = slice(None, -1)
+                hi_s[axis] = slice(1, None)
+                first[axis] = slice(0, 1)
+                np.subtract(vsrc[tuple(hi_s)], vsrc[tuple(lo_s)],
+                            out=vdst[tuple(hi_s)])
+                vdst[tuple(first)] = vsrc[tuple(first)]
+                vsrc, vdst = vdst, vsrc
+            flat = vsrc.reshape(-1)
+            np.add(flat, radius, out=flat)
+            unsigned = flat.view(np.uint64)
+            bound = np.uint64(2 * radius)
+            if np.uint64(unsigned.max()) < bound:
+                idx = np.empty(0, dtype=np.int64)
+                values = np.empty(0, dtype=np.int64)
+            else:
+                idx = np.flatnonzero(unsigned >= bound)
+                values = flat[idx]
+                np.subtract(values, radius, out=values)
+                idx = idx.astype(np.int64)
+                flat[idx] = radius
+                # global index = local index + slab's flat offset; each
+                # slab's flatnonzero is ascending and offsets increase
+                # with k, so slab-order concatenation equals the
+                # sequential global scan
+                np.add(idx, np.int64(s * plane), out=idx)
+            counts = (np.bincount(flat, minlength=num_bins).astype(np.int64)
+                      if collect_counts else None)
+            np.copyto(codes[s * plane:e * plane], flat, casting="unsafe")
+            return idx, values, counts
+        finally:
+            if arena is not None:
+                arena.release(scaled)
+                arena.release(grid_a)
+                arena.release(grid_b)
+
+    results = _run_slab_tasks(slab_task, ranges, threads, phase="predict")
+    idx = np.concatenate([r[0] for r in results])
+    values = np.concatenate([r[1] for r in results])
+    outliers = OutlierSet(indices=idx, values=values)
+    counts = None
+    if collect_counts:
+        counts = results[0][2]
+        for _, _, part in results[1:]:
+            np.add(counts, part, out=counts)
+    return codes, outliers, counts
+
+
 def fused_decode_reconstruct(codes: np.ndarray, outliers: OutlierSet,
                              radius: int, eb_abs: float,
                              shape: tuple[int, ...], dtype: np.dtype, *,
-                             out: np.ndarray | None = None) -> np.ndarray:
+                             out: np.ndarray | None = None,
+                             threads: int = 1) -> np.ndarray:
     """One pass from quant codes (+ outliers) back to the field.
 
     The read-side mirror of :func:`fused_predict_quantize`: the decoded
@@ -221,6 +407,11 @@ def fused_decode_reconstruct(codes: np.ndarray, outliers: OutlierSet,
         optional destination (``shape``/``dtype``-matching, writable,
         C-contiguous); allocated fresh when ``None``.  Returned either
         way.
+    threads:
+        slab-parallel width for the widen/rebase/scatter pass, the
+        per-slab prefix-sum sweeps over axes >= 1 and the dequantise
+        cast; only the axis-0 inverse-Lorenzo hyperplane sweep stays
+        sequential.  Value-identical for every width.
 
     Every step is arithmetic-identical to the interpreted chain
     ``merge_outliers -> lorenzo_inverse -> dequantize`` in
@@ -254,6 +445,18 @@ def fused_decode_reconstruct(codes: np.ndarray, outliers: OutlierSet,
                 f"needs {shape}/{dtype}")
         if not out.flags.writeable:
             raise CodecError("out= buffer is not writable")
+    threads = max(1, int(threads))
+    if threads > 1 and len(shape) >= 2 and size:
+        ranges = slab_ranges(shape[0], threads)
+        # the in-slab outlier scatter routes indices by binary search,
+        # which needs them ascending — true for every container this
+        # codec writes (forward scan order); anything else falls back
+        if len(ranges) > 1 and (
+                not outliers.count
+                or bool((np.diff(outliers.indices) >= 0).all())):
+            return _decode_reconstruct_slabs(codes, outliers, radius,
+                                             eb_abs, shape, out,
+                                             ranges=ranges, threads=threads)
     pool = default_pool()
     grid = (np.empty(shape, dtype=np.int64) if pool is None
             else pool.acquire(shape, np.int64))
@@ -273,6 +476,77 @@ def fused_decode_reconstruct(codes: np.ndarray, outliers: OutlierSet,
         _inplace_prefix_sum(grid)
         # -- dequantise: scale/cast straight into the caller's buffer
         np.multiply(grid, 2.0 * eb_abs, out=out, casting="unsafe")
+    finally:
+        if pool is not None:
+            pool.release(grid)
+    return out
+
+
+def _decode_reconstruct_slabs(codes: np.ndarray, outliers: OutlierSet,
+                              radius: int, eb_abs: float,
+                              shape: tuple[int, ...], out: np.ndarray, *,
+                              ranges: list[tuple[int, int]],
+                              threads: int) -> np.ndarray:
+    """Slab-parallel body of :func:`fused_decode_reconstruct`.
+
+    Phase 1 (parallel): widen/rebase the codes, scatter each slab's
+    outlier range (located by binary search over the ascending global
+    indices) and run the prefix-sum sweeps over axes >= 1 — all of
+    which act within rows, so slabs are independent.  Phase 2
+    (sequential): the axis-0 hyperplane sweep, which the sequential
+    sweep also runs last.  Phase 3 (parallel): dequantise each slab
+    straight into ``out``.  Integer adds are exact, so every phase is
+    value-identical to the single-threaded sweep.
+    """
+    ndim = len(shape)
+    size = int(np.prod(shape))
+    plane = size // shape[0]
+    idx = outliers.indices
+    scatter = bool(outliers.count)
+    if scatter and int(idx.max()) >= size:
+        raise CodecError("outlier index out of bounds")
+    codes_shaped = codes.reshape(shape)
+    pool = default_pool()
+    grid = (np.empty(shape, dtype=np.int64) if pool is None
+            else pool.acquire(shape, np.int64))
+    try:
+        def slab_scan(k: int, s: int, e: int) -> None:
+            sub = grid[s:e]
+            np.subtract(codes_shaped[s:e], np.int64(radius), out=sub,
+                        casting="unsafe")
+            if scatter:
+                lo = int(np.searchsorted(idx, s * plane, side="left"))
+                hi = int(np.searchsorted(idx, e * plane, side="left"))
+                if hi > lo:
+                    sub.reshape(-1)[idx[lo:hi] - s * plane] = \
+                        outliers.values[lo:hi]
+            np.cumsum(sub, axis=ndim - 1, out=sub)
+            for axis in range(ndim - 2, 0, -1):
+                n = sub.shape[axis]
+                if n <= 1:
+                    continue
+                if sub.size // n < _SCAN_LOOP_MIN_SLICE:
+                    np.cumsum(sub, axis=axis, out=sub)
+                    continue
+                planes = np.moveaxis(sub, axis, 0)
+                for i in range(1, n):
+                    np.add(planes[i], planes[i - 1], out=planes[i])
+
+        _run_slab_tasks(slab_scan, ranges, threads, phase="scan")
+        # -- axis-0 inverse Lorenzo: the one inherently sequential sweep
+        # (same cumsum-vs-running-add selection as _inplace_prefix_sum)
+        n0 = shape[0]
+        if size // n0 < _SCAN_LOOP_MIN_SLICE:
+            np.cumsum(grid, axis=0, out=grid)
+        else:
+            for i in range(1, n0):
+                np.add(grid[i], grid[i - 1], out=grid[i])
+
+        def slab_dequantize(k: int, s: int, e: int) -> None:
+            np.multiply(grid[s:e], 2.0 * eb_abs, out=out[s:e],
+                        casting="unsafe")
+
+        _run_slab_tasks(slab_dequantize, ranges, threads, phase="dequantize")
     finally:
         if pool is not None:
             pool.release(grid)

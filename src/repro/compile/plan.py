@@ -59,6 +59,7 @@ from ..kernels.histogram import HistogramResult
 from ..kernels.plancache import COMPILED_PLAN_CACHE, digest
 from ..obs.metrics import GLOBAL_METRICS
 from ..obs.spans import span
+from ..runtime.threads import resolve_threads, thread_budget
 from ..types import EbMode, ErrorBound, Stage, check_field
 from .fused import fused_predict_quantize, scaled_magnitude_bound
 
@@ -74,11 +75,13 @@ class _ExecState:
     __slots__ = ("data", "eb", "lo", "hi", "eb_abs", "pre_meta",
                  "scaled_bound", "codes", "outliers", "counts", "hist",
                  "stream", "sections", "outlier_sections", "outlier_count",
-                 "header", "body", "stored_body")
+                 "header", "body", "stored_body", "threads")
 
-    def __init__(self, data: np.ndarray, eb: ErrorBound) -> None:
+    def __init__(self, data: np.ndarray, eb: ErrorBound,
+                 threads: int = 1) -> None:
         self.data = data
         self.eb = eb
+        self.threads = threads
         self.scaled_bound = None
         self.counts = None
         self.hist = None
@@ -233,15 +236,24 @@ class CompiledPlan:
 
     # ------------------------------------------------------------------ #
     def compress(self, data: np.ndarray, eb: ErrorBound | float,
-                 mode: EbMode | str = EbMode.REL) -> CompressedField:
-        """Run the fused plan; byte-identical to the interpreted path."""
+                 mode: EbMode | str = EbMode.REL, *,
+                 threads: int | None = None) -> CompressedField:
+        """Run the fused plan; byte-identical to the interpreted path.
+
+        ``threads`` selects the slab-parallel width (``None`` = resolve
+        from ``FZMOD_THREADS`` / input size, see
+        :func:`repro.runtime.threads.resolve_threads`); the container
+        bytes are identical for every value.
+        """
         if not isinstance(eb, ErrorBound):
             eb = ErrorBound(float(eb), EbMode(mode))
         data = check_field(data)
-        state = _ExecState(data, eb)
+        n_threads = resolve_threads(threads, nbytes=int(data.nbytes))
+        state = _ExecState(data, eb, n_threads)
         timings: dict[str, float] = {}
         with span("pipeline.compress", pipeline=self.name,
-                  bytes_in=int(data.nbytes), compiled=True) as root:
+                  bytes_in=int(data.nbytes), compiled=True,
+                  threads=n_threads) as root, thread_budget(n_threads):
             t_exec = time.perf_counter()
             # stage spans stay direct children of the pipeline root — the
             # trace contract shared with the interpreter — so consumers
@@ -361,7 +373,7 @@ def _specialize(pipeline, key: str) -> CompiledPlan:
         state.codes, state.outliers, state.counts = fused_predict_quantize(
             state.data, state.eb_abs, radius, num_bins,
             collect_counts=collect_counts,
-            scaled_bound=state.scaled_bound)
+            scaled_bound=state.scaled_bound, threads=state.threads)
 
     hist_note = "+histogram" if collect_counts else ""
     steps.append(PlanStep(

@@ -220,7 +220,8 @@ class Pipeline:
     def compress(self, data: np.ndarray, eb: ErrorBound | float,
                  mode: EbMode | str = EbMode.REL, *,
                  workers: int | None = None, shard_mb: float | None = None,
-                 codebook: str | None = None, compile="auto"):
+                 codebook: str | None = None, compile="auto",
+                 threads: int | None = None):
         """Compress ``data`` under the given error bound.
 
         With ``workers`` or ``shard_mb`` set (``workers=1`` counts: it
@@ -243,6 +244,13 @@ class Pipeline:
         — output is byte-identical either way — and the interpreter
         otherwise; ``True`` requires the compiled path; ``False`` forces
         the interpreter.
+
+        ``threads`` selects the compiled plan's slab-parallel width
+        (``None`` resolves ``FZMOD_THREADS``, then auto-threads large
+        inputs across the cores — see
+        :func:`repro.runtime.threads.resolve_threads`); the container
+        bytes are identical for every value.  The interpreter path runs
+        single-threaded regardless.
         """
         if workers is not None or shard_mb is not None or codebook is not None:
             from ..parallel.executor import compress_sharded
@@ -251,7 +259,7 @@ class Pipeline:
                                     compile=compile)
         plan = self._resolve_plan(compile)
         if plan is not None:
-            return plan.compress(data, eb, mode)
+            return plan.compress(data, eb, mode, threads=threads)
         if not isinstance(eb, ErrorBound):
             eb = ErrorBound(float(eb), EbMode(mode))
         data = check_field(data)
@@ -342,7 +350,8 @@ class Pipeline:
 
     def decompress(self, blob: bytes | CompressedField, *,
                    out: np.ndarray | None = None,
-                   compile="auto") -> np.ndarray:
+                   compile="auto",
+                   threads: int | None = None) -> np.ndarray:
         """Reconstruct a field compressed by (any) pipeline.
 
         ``out`` receives the field directly when given (and is
@@ -350,11 +359,13 @@ class Pipeline:
         (default) runs the fused compiled decode plan when the
         container's spec is accepted — output is value-identical either
         way — and the interpreter otherwise; ``True`` requires the
-        compiled path; ``False`` forces the interpreter.
+        compiled path; ``False`` forces the interpreter.  ``threads``
+        selects the compiled decode's slab-parallel width
+        (value-identical for every width).
         """
         if isinstance(blob, CompressedField):
             blob = blob.blob
-        return decompress(blob, out=out, compile=compile)
+        return decompress(blob, out=out, compile=compile, threads=threads)
 
 
 def _module_table(header: ContainerHeader, registry: ModuleRegistry
@@ -525,8 +536,8 @@ def _decode_plan_for_mode(header: ContainerHeader, registry: ModuleRegistry,
 def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
                *, workers: int | None = None,
                section_overrides: dict[str, bytes] | None = None,
-               compile="auto", out: np.ndarray | None = None
-               ) -> np.ndarray:
+               compile="auto", out: np.ndarray | None = None,
+               threads: int | None = None) -> np.ndarray:
     """Container-driven decompression: module names come from the header.
 
     Multi-shard containers (written by the parallel engine) are detected
@@ -540,7 +551,9 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
     ``compile`` selects the decode path (``"auto"``/``True``/``False``,
     see :meth:`Pipeline.decompress`) and ``out`` receives the field
     directly when given — the compiled path dequantises straight into
-    it, the interpreter copies into it — and is returned.
+    it, the interpreter copies into it — and is returned.  ``threads``
+    selects the compiled decode's slab-parallel width (ignored by the
+    interpreter; values identical for every width).
     """
     from ..parallel.executor import SHARD_MAGIC, decompress_sharded
     if blob[:len(SHARD_MAGIC)] == SHARD_MAGIC:
@@ -554,7 +567,8 @@ def decompress(blob: bytes, registry: ModuleRegistry = DEFAULT_REGISTRY,
         plan = _decode_plan_for_mode(header, registry, compile)
     if plan is not None:
         return plan.decompress(blob, out=out,
-                               section_overrides=section_overrides)
+                               section_overrides=section_overrides,
+                               threads=threads)
     with span("pipeline.decompress", bytes_in=len(blob)) as root:
         header, arts = decode_codes(blob, registry,
                                     section_overrides=section_overrides)

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import CodecError
 from ..obs.spans import span
+from ..runtime.threads import active_threads, run_slabs
 from .bitio import pack_varlen, unpack_windows
 from .plancache import (CODEBOOK_CACHE, DECODE_STREAM_CACHE,
                         DECODE_TABLE_CACHE, ENCODE_STREAM_CACHE, digest)
@@ -361,14 +362,30 @@ def _encode_uncached(symbols: np.ndarray, book: Codebook,
     parts: list[bytes] = []
     csyms: list[int] = []
     cbits: list[int] = []
-    for start in range(0, max(symbols.size, 1), chunk):
-        part = symbols[start:start + chunk]
-        if part.size == 0:
-            break
-        payload, nbits = pack_varlen(codes_lut[part], lengths_lut[part])
-        parts.append(payload)
-        csyms.append(part.size)
-        cbits.append(nbits)
+    starts = [s for s in range(0, max(symbols.size, 1), chunk)
+              if symbols[s:s + chunk].size]
+    budget = active_threads()
+    if budget > 1 and len(starts) > 1:
+        # chunks are independent by format (byte-aligned, own bit
+        # counts): pack them concurrently on the slab pool and splice
+        # in chunk order — byte-identical to the serial loop
+        def pack_chunk(start: int) -> tuple[bytes, int, int]:
+            part = symbols[start:start + chunk]
+            payload, nbits = pack_varlen(codes_lut[part], lengths_lut[part])
+            return payload, part.size, nbits
+
+        for payload, nsyms, nbits in run_slabs(pack_chunk, starts,
+                                               threads=budget):
+            parts.append(payload)
+            csyms.append(nsyms)
+            cbits.append(nbits)
+    else:
+        for start in starts:
+            part = symbols[start:start + chunk]
+            payload, nbits = pack_varlen(codes_lut[part], lengths_lut[part])
+            parts.append(payload)
+            csyms.append(part.size)
+            cbits.append(nbits)
     return HuffmanEncoded(payload=b"".join(parts),
                           chunk_symbols=np.asarray(csyms, dtype=np.int64),
                           chunk_bits=np.asarray(cbits, dtype=np.int64),
@@ -414,21 +431,26 @@ def decode(enc: HuffmanEncoded, *, cache: bool = True) -> np.ndarray:
     """Decode a :class:`HuffmanEncoded` stream back to symbols (uint32).
 
     Decoded streams are memoised in a content-addressed plan cache keyed
-    by the digests of the payload, codebook and chunk tables: re-reading a
+    by (payload digest, lengths digest, max_len, count): re-reading a
     container the process has already decoded (the warm serving path)
-    costs one digest instead of the wavefront-doubling pass.  Cached
-    arrays are returned read-only — every in-tree consumer copies via
-    ``astype``/fancy indexing before mutating.  ``cache=False`` forces a
-    fresh decode.
+    costs two digests instead of the wavefront-doubling pass.  The count
+    is part of the key because degenerate single-symbol streams pad to
+    identical payload bytes for different symbol counts; the chunk
+    tables need no key of their own — they are derived from the same
+    encode that produced the payload, and a corrupt mismatch still
+    surfaces because the *first* decode of any payload runs in full.
+    Cached arrays are returned read-only — every in-tree consumer
+    copies via ``astype``/fancy indexing before mutating.
+    ``cache=False`` forces a fresh decode.
     """
     with span("kernel.huffman.decode", symbols=int(enc.count),
               bytes_in=len(enc.payload)) as sp:
         if not cache:
             out = _decode_uncached(enc, cache=False)
         else:
-            key = digest(enc.payload, np.ascontiguousarray(enc.lengths),
-                         enc.chunk_symbols, enc.chunk_bits, int(enc.count),
-                         int(enc.max_len))
+            key = (digest(enc.payload),
+                   digest(np.ascontiguousarray(enc.lengths)),
+                   int(enc.max_len), int(enc.count))
 
             def build() -> np.ndarray:
                 fresh = _decode_uncached(enc, cache=True)
@@ -437,6 +459,11 @@ def decode(enc: HuffmanEncoded, *, cache: bool = True) -> np.ndarray:
 
             out = DECODE_STREAM_CACHE.get_or_build(
                 key, build, nbytes=lambda arr: int(arr.nbytes) + 64)
+            if out.size != enc.count:
+                # the key ignores the chunk tables; a decode whose
+                # size disagrees with the declared count means the
+                # container metadata was tampered with
+                raise CodecError("decoded symbol count mismatch")
         sp.set(bytes_out=int(out.nbytes))
         return out
 
@@ -444,14 +471,28 @@ def decode(enc: HuffmanEncoded, *, cache: bool = True) -> np.ndarray:
 def _decode_uncached(enc: HuffmanEncoded, *, cache: bool) -> np.ndarray:
     book = warm_decode_book(enc.lengths, enc.max_len, cache=cache)
     tsym, tlen = book.decode_tables()
-    out: list[np.ndarray] = []
+    entries: list[tuple[int, int, int, int]] = []
     offset = 0
     for nsyms, nbits in zip(enc.chunk_symbols, enc.chunk_bits):
         nbytes = (int(nbits) + 7) // 8
-        part = enc.payload[offset:offset + nbytes]
+        entries.append((offset, nbytes, int(nbits), int(nsyms)))
         offset += nbytes
-        out.append(_decode_chunk(part, int(nbits), int(nsyms), tsym, tlen,
-                                 enc.max_len))
+    budget = active_threads()
+    if budget > 1 and len(entries) > 1:
+        # chunk boundaries are known up front (byte-aligned starts from
+        # the bit-count table), so the wavefront decodes run
+        # concurrently; concatenation in chunk order keeps the symbol
+        # stream identical to the serial loop
+        def decode_one(entry: tuple[int, int, int, int]) -> np.ndarray:
+            off, nbytes, nbits, nsyms = entry
+            return _decode_chunk(enc.payload[off:off + nbytes], nbits,
+                                 nsyms, tsym, tlen, enc.max_len)
+
+        out = run_slabs(decode_one, entries, threads=budget)
+    else:
+        out = [_decode_chunk(enc.payload[off:off + nbytes], nbits, nsyms,
+                             tsym, tlen, enc.max_len)
+               for off, nbytes, nbits, nsyms in entries]
     if not out:
         return np.zeros(0, dtype=np.uint32)
     result = np.concatenate(out)

@@ -18,6 +18,7 @@ a server compressing a stream of similar fields.
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 from typing import Callable
@@ -162,6 +163,13 @@ def run_hotpath_suite(*, quick: bool = False,
         ``workers``-worker in-process sharded compression with small
         shards (so codebook construction is a meaningful fraction), cold
         vs warm, plus shared- vs per-shard-codebook size and time.
+    ``threaded``
+        slab-parallel compiled compress/decompress (``threads=4``) vs
+        ``threads=1`` on the same plan, with the byte-identity flag
+        asserted at every width (the speedup target is only gated on
+        machines with at least 4 cores — ``cpu_count`` is recorded).
+        The other sections pin ``threads=1`` so their numbers keep
+        meaning on any machine.
     ``hotpath``
         the live cache/pool/allocator counters after the warm runs
         (:func:`repro.core.inspect.hotpath_stats`).
@@ -192,19 +200,19 @@ def run_hotpath_suite(*, quick: bool = False,
 
     # ---- single-call compress ---------------------------------------- #
     set_pooling(False)
-    cold_c, cf = median_seconds(lambda: pipe.compress(data, eb),
+    cold_c, cf = median_seconds(lambda: pipe.compress(data, eb, threads=1),
                                 warmup=warmup, repeat=rep, setup=_cold_state)
     set_pooling(True)
-    warm_c, cf = median_seconds(lambda: pipe.compress(data, eb),
+    warm_c, cf = median_seconds(lambda: pipe.compress(data, eb, threads=1),
                                 warmup=max(1, warmup), repeat=rep)
     blob = cf.blob
 
     # ---- single-call decompress -------------------------------------- #
     set_pooling(False)
-    cold_d, out = median_seconds(lambda: decompress(blob),
+    cold_d, out = median_seconds(lambda: decompress(blob, threads=1),
                                  warmup=warmup, repeat=rep, setup=_cold_state)
     set_pooling(True)
-    warm_d, out = median_seconds(lambda: decompress(blob),
+    warm_d, out = median_seconds(lambda: decompress(blob, threads=1),
                                  warmup=max(1, warmup), repeat=rep)
     assert np.asarray(out).shape == data.shape
     report["single"] = {
@@ -220,10 +228,10 @@ def run_hotpath_suite(*, quick: bool = False,
 
     # ---- compiled plan vs interpreter (same engine, same bytes) ------- #
     warm_i, icf = median_seconds(
-        lambda: pipe.compress(data, eb, compile=False),
+        lambda: pipe.compress(data, eb, compile=False, threads=1),
         warmup=max(1, warmup), repeat=rep)
     warm_p, pcf = median_seconds(
-        lambda: pipe.compress(data, eb, compile=True),
+        lambda: pipe.compress(data, eb, compile=True, threads=1),
         warmup=max(1, warmup), repeat=rep)
     report["compiled"] = {
         "plan_key": pipe.compile().key,
@@ -239,10 +247,10 @@ def run_hotpath_suite(*, quick: bool = False,
     from ..core.header import peek_header
 
     warm_di, ifield = median_seconds(
-        lambda: decompress(blob, compile=False),
+        lambda: decompress(blob, compile=False, threads=1),
         warmup=max(1, warmup), repeat=rep)
     warm_dp, pfield = median_seconds(
-        lambda: decompress(blob, compile=True),
+        lambda: decompress(blob, compile=True, threads=1),
         warmup=max(1, warmup), repeat=rep)
     dplan = decode_plan_for_header(peek_header(blob))
     report["compiled_decompress"] = {
@@ -295,11 +303,11 @@ def run_hotpath_suite(*, quick: bool = False,
 
     prev = set_telemetry(True)
     GLOBAL_TRACER.clear()
-    cf_on = pipe.compress(data, eb)
+    cf_on = pipe.compress(data, eb, threads=1)
     spans_per_compress = len(GLOBAL_TRACER.records())
     GLOBAL_TRACER.clear()
     set_telemetry(False)
-    cf_off = pipe.compress(data, eb)
+    cf_off = pipe.compress(data, eb, threads=1)
     loops = 20_000 if quick else 100_000
 
     def noop_spans():
@@ -325,8 +333,10 @@ def run_hotpath_suite(*, quick: bool = False,
     # Persisted into BENCH_pipeline.json so a later run can self-attribute
     # a throughput delta with diff() instead of guessing which stage moved.
     report["stages"] = {
-        "compress": _traced_stages(lambda: pipe.compress(data, eb), mb),
-        "decompress": _traced_stages(lambda: decompress(blob), mb),
+        "compress": _traced_stages(
+            lambda: pipe.compress(data, eb, threads=1), mb),
+        "decompress": _traced_stages(
+            lambda: decompress(blob, threads=1), mb),
     }
 
     # ---- sampling profiler overhead (telemetry on in both arms, so the
@@ -339,13 +349,15 @@ def run_hotpath_suite(*, quick: bool = False,
     try:
         GLOBAL_TRACER.clear()
         prof_off_s, cf_prof_off = best_seconds(
-            lambda: pipe.compress(data, eb), warmup=max(1, warmup),
+            lambda: pipe.compress(data, eb, threads=1),
+            warmup=max(1, warmup),
             repeat=max(rep, 5))
         prof = Profiler(interval=DEFAULT_INTERVAL)
         prof.start()
         try:
             prof_on_s, cf_prof_on = best_seconds(
-                lambda: pipe.compress(data, eb), warmup=max(1, warmup),
+                lambda: pipe.compress(data, eb, threads=1),
+            warmup=max(1, warmup),
                 repeat=max(rep, 5))
         finally:
             prof.stop()
@@ -360,6 +372,41 @@ def run_hotpath_suite(*, quick: bool = False,
         "warm_on_s": prof_on_s,
         "overhead_fraction": max(0.0, prof_on_s / prof_off_s - 1.0),
         "blob_identical": cf_prof_on.blob == cf_prof_off.blob,
+    }
+
+    # ---- slab-parallel threads (same container bytes at every width) -- #
+    cpu_count = os.cpu_count() or 1
+    t_width = 4
+    warm_t1, tcf1 = median_seconds(
+        lambda: pipe.compress(data, eb, compile=True, threads=1),
+        warmup=max(1, warmup), repeat=rep)
+    warm_tn, tcfn = median_seconds(
+        lambda: pipe.compress(data, eb, compile=True, threads=t_width),
+        warmup=max(1, warmup), repeat=rep)
+    blob_t2 = pipe.compress(data, eb, compile=True, threads=2).blob
+    warm_dt1, tf1 = median_seconds(
+        lambda: decompress(blob, compile=True, threads=1),
+        warmup=max(1, warmup), repeat=rep)
+    warm_dtn, tfn = median_seconds(
+        lambda: decompress(blob, compile=True, threads=t_width),
+        warmup=max(1, warmup), repeat=rep)
+    report["threaded"] = {
+        "cpu_count": cpu_count,
+        "threads": t_width,
+        "compress": {
+            "warm_s_one_thread": warm_t1, "warm_s": warm_tn,
+            "warm_mb_s": mb / warm_tn,
+            "speedup_vs_one_thread": warm_t1 / warm_tn,
+        },
+        "decompress": {
+            "warm_s_one_thread": warm_dt1, "warm_s": warm_dtn,
+            "warm_mb_s": mb / warm_dtn,
+            "speedup_vs_one_thread": warm_dt1 / warm_dtn,
+        },
+        "blob_identical": bool(tcfn.blob == tcf1.blob
+                               and blob_t2 == tcf1.blob),
+        "value_identical": bool(np.asarray(tfn).tobytes()
+                                == np.asarray(tf1).tobytes()),
     }
 
     report["hotpath"] = hotpath_stats()
@@ -386,6 +433,12 @@ TELEMETRY_OVERHEAD_BUDGET = 0.03
 #: running the sampling profiler must cost under this fraction of a warm
 #: traced compress (and must never change the container bytes)
 PROFILER_OVERHEAD_BUDGET = 0.05
+#: the slab-parallelism tentpole's acceptance bar: warm compiled compress
+#: at threads=4 must beat threads=1 by this ratio.  Only gated when the
+#: machine actually has >= 4 cores (``threaded.cpu_count``); the
+#: byte-identity flags are gated everywhere, on any core count
+TARGET_THREADED = 1.7
+THREADED_GATE_MIN_CORES = 4
 
 
 def check_results(report: dict) -> dict:
@@ -433,6 +486,17 @@ def check_results(report: dict) -> dict:
         checks["target_compiled_decode_1.5x"] = (
             dcomp["decompress"]["speedup_vs_interpreted"]
             >= TARGET_COMPILED_DECODE)
+    thr = report.get("threaded")
+    if thr is not None:  # pre-threading reports lack the section
+        checks["threaded_blob_identical"] = bool(thr["blob_identical"])
+        checks["threaded_value_identical"] = bool(thr["value_identical"])
+        # the speedup is only a meaningful measurement on a full-size
+        # field and a machine with as many cores as slab threads; the
+        # identity flags above are gated everywhere, on any core count
+        if (thr["cpu_count"] >= THREADED_GATE_MIN_CORES
+                and not report.get("quick")):
+            checks["target_threaded_1.7x"] = (
+                thr["compress"]["speedup_vs_one_thread"] >= TARGET_THREADED)
     return checks
 
 
@@ -525,6 +589,22 @@ def check_regressions(report: dict, *, strict: bool = False) -> list[str]:
             f"compiled decompress is slower than interpreted "
             f"({dcomp['decompress']['warm_s']:.4f}s vs "
             f"{dcomp['interpreted']['warm_s']:.4f}s)")
+    if not checks.get("threaded_blob_identical", True):
+        failures.append(
+            "threaded slab-parallel compress changed the container bytes; "
+            "output must be byte-identical to threads=1 at every width")
+    if not checks.get("threaded_value_identical", True):
+        failures.append(
+            "threaded slab-parallel decompress diverged from the "
+            "threads=1 reconstruction; values must be identical at "
+            "every width")
+    if not checks.get("target_threaded_1.7x", True):
+        thr = report["threaded"]
+        failures.append(
+            f"threaded compress speedup "
+            f"{thr['compress']['speedup_vs_one_thread']:.2f}x at "
+            f"threads={thr['threads']} below the {TARGET_THREADED}x "
+            f"target ({thr['cpu_count']} cores)")
     if strict:
         if not checks.get("target_compiled_decode_1.5x", True):
             dcomp = report["compiled_decompress"]
@@ -668,6 +748,17 @@ def render_report(report: dict) -> str:
             f"{dcomp['interpreted']['warm_mb_s']:.1f} MB/s interpreted "
             f"({dcomp['decompress']['speedup_vs_interpreted']:.2f}x, "
             f"{ident}, plan {'-' if key is None else key[:12]})")
+    thr = report.get("threaded")
+    if thr is not None:
+        ident = ("byte-identical" if thr["blob_identical"]
+                 and thr["value_identical"] else "DIVERGED")
+        lines.append(
+            f"  threaded x{thr['threads']} "
+            f"compress {thr['compress']['warm_mb_s']:.1f} MB/s "
+            f"({thr['compress']['speedup_vs_one_thread']:.2f}x vs 1 "
+            f"thread), decode "
+            f"{thr['decompress']['speedup_vs_one_thread']:.2f}x, "
+            f"{ident}, {thr['cpu_count']} core(s)")
     tel = report.get("telemetry")
     if tel is not None:
         lines.append(
@@ -721,6 +812,8 @@ def _history_entry(report: dict) -> dict:
             .get("compress", {}).get("warm_mb_s"),
         "compiled_decode_speedup": report.get("compiled_decompress", {})
             .get("decompress", {}).get("speedup_vs_interpreted"),
+        "threaded_speedup": report.get("threaded", {})
+            .get("compress", {}).get("speedup_vs_one_thread"),
         "checks": report.get("checks", {}),
     }
 

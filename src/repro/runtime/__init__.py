@@ -13,6 +13,8 @@ from .memory import (SANITIZER, Allocator, Buffer, BufferPool, MemorySpace,
                      Sanitizer, default_pool, pooling_enabled,
                      sanitizing_enabled, set_pooling, set_sanitizing)
 from .stream import Event, OrderedWorkQueue, Stream
+from .threads import (SlabPool, active_threads, resolve_threads, run_slabs,
+                      shared_pool, slab_ranges, thread_arena, thread_budget)
 from .transfer import TransferStats, copy_to, transfer_seconds
 
 __all__ = [
@@ -21,4 +23,6 @@ __all__ = [
     "pooling_enabled", "set_pooling", "Sanitizer", "SANITIZER",
     "sanitizing_enabled", "set_sanitizing", "Event", "OrderedWorkQueue",
     "Stream", "TransferStats", "copy_to", "transfer_seconds",
+    "SlabPool", "active_threads", "resolve_threads", "run_slabs",
+    "shared_pool", "slab_ranges", "thread_arena", "thread_budget",
 ]

@@ -679,3 +679,65 @@ def test_fzl019_fires_on_byteless_data_spans(lint):
 
 def test_fzl019_silent_on_accounted_and_exempt_spans(lint):
     assert lint({"core/good.py": GOOD_BANDWIDTH}).findings == []
+
+
+# --------------------------------------------------------------------- #
+# FZL020 slab task isolation                                             #
+# --------------------------------------------------------------------- #
+BAD_SLAB = """
+from repro.runtime.threads import run_slabs
+from concurrent.futures import as_completed
+
+_PARTIALS = {}
+
+def coordinator(pool, items):
+    def task(item):
+        global _PARTIALS
+        _PARTIALS[item] = item * 2
+        return item
+
+    results = run_slabs(task, items)
+    futures = [pool.submit(task, it) for it in items]
+    pool.run_ordered(lambda it: _PARTIALS.update({it: 1}), items)
+    for fut in as_completed(futures):
+        results.append(fut.result())
+    return results
+"""
+
+GOOD_SLAB = """
+import numpy as np
+from repro.runtime.threads import run_slabs, thread_arena
+
+def coordinator(data, ranges, threads):
+    codes = np.empty(data.size, dtype=np.int64)
+    plane = data.size // data.shape[0]
+
+    def task(bounds):
+        s, e = bounds
+        arena = thread_arena()  # per-thread scratch, never shared
+        local = data[s:e] * 2
+        codes[s * plane:e * plane] = local.reshape(-1)  # disjoint slice
+        return int(local.sum())
+
+    partials = run_slabs(task, ranges, threads=threads)
+    return codes, sum(partials)  # merged in slab order
+"""
+
+
+def test_fzl020_fires_on_shared_state_and_unordered_merge(lint):
+    result = lint({"compile/bad.py": BAD_SLAB})
+    assert rules_fired(result) == {"FZL020"}
+    # global decl, subscript write, lambda .update(), as_completed
+    assert len(result.findings) == 4
+    msgs = " ".join(f.message for f in result.findings)
+    assert "global" in msgs and "as_completed" in msgs
+
+
+def test_fzl020_silent_on_disjoint_slab_views(lint):
+    assert lint({"compile/good.py": GOOD_SLAB}).findings == []
+
+
+def test_fzl020_silent_without_slab_scheduling(lint):
+    # module-state writes outside a scheduling file are other rules' turf
+    src = "TABLE = {}\ndef f(x):\n    TABLE[x] = x\n"
+    assert lint({"core/plain.py": src}).findings == []

@@ -198,3 +198,77 @@ class TestHuffmanPlans:
         assert np.array_equal(huffman.decode(enc), symbols)
         assert len(ENCODE_STREAM_CACHE) == 0
         assert len(DECODE_STREAM_CACHE) == 0
+
+
+class TestDecodeStreamCacheKey:
+    """The slim (payload, lengths, max_len, count) content key of PR 10.
+
+    The old key also hashed the chunk tables, so two containers
+    carrying the same payload (e.g. re-read shards) missed whenever any
+    derived metadata object differed — this pins the intended hit
+    behaviour, the count term (degenerate single-symbol streams pad to
+    identical payload bytes for different counts), the tamper guard
+    that makes the slim key safe, and the eviction accounting under a
+    tight byte budget.
+    """
+
+    def _encoded(self, symbols, counts):
+        return huffman.encode(symbols, huffman.build_codebook(counts))
+
+    def test_hit_on_same_content_different_objects(self, symbols, counts):
+        enc = self._encoded(symbols, counts)
+        clone = huffman.HuffmanEncoded(
+            payload=bytes(enc.payload), chunk_symbols=enc.chunk_symbols.copy(),
+            chunk_bits=enc.chunk_bits.copy(), count=enc.count,
+            lengths=enc.lengths.copy(), max_len=enc.max_len)
+        d1 = huffman.decode(enc)
+        d2 = huffman.decode(clone)
+        assert d1 is d2                      # content-addressed, not id()
+        assert DECODE_STREAM_CACHE.hits == 1
+        assert DECODE_STREAM_CACHE.misses == 1
+
+    def test_count_tamper_on_cached_payload_raises(self, symbols, counts):
+        enc = self._encoded(symbols, counts)
+        huffman.decode(enc)                  # prime with the honest count
+        bad = huffman.HuffmanEncoded(
+            payload=enc.payload, chunk_symbols=enc.chunk_symbols,
+            chunk_bits=enc.chunk_bits, count=enc.count + 1,
+            lengths=enc.lengths, max_len=enc.max_len)
+        with pytest.raises(CodecError, match="count mismatch"):
+            huffman.decode(bad)
+
+    def test_constant_streams_of_different_sizes_do_not_collide(self):
+        # a single-symbol stream packs to all-padding payload bytes, so
+        # counts 7 and 8 share payload *and* lengths — only the count
+        # term of the key keeps them apart
+        a = self._encoded(np.full(7, 3, dtype=np.uint32),
+                          np.bincount([3] * 7, minlength=8).astype(np.int64))
+        b = self._encoded(np.full(8, 3, dtype=np.uint32),
+                          np.bincount([3] * 8, minlength=8).astype(np.int64))
+        assert a.payload == b.payload
+        assert huffman.decode(a).size == 7
+        assert huffman.decode(b).size == 8
+
+    def test_eviction_accounting_under_byte_budget(self, counts, monkeypatch):
+        rng = np.random.default_rng(99)
+        streams = [rng.integers(0, 64, size=4096).astype(np.uint32)
+                   for _ in range(3)]
+        one_entry = streams[0].nbytes + 64
+        small = PlanCache("decode_stream_test", max_entries=64,
+                          max_bytes=int(one_entry * 1.5))
+        monkeypatch.setattr(huffman, "DECODE_STREAM_CACHE", small)
+        encs = [self._encoded(s, np.bincount(s, minlength=64)
+                              .astype(np.int64)) for s in streams]
+        for enc in encs:
+            huffman.decode(enc)
+        assert small.misses == 3
+        assert small.evictions == 2          # budget holds one entry
+        assert len(small) == 1
+        assert small.stats()["bytes"] <= small.max_bytes
+        # the survivor is the most recent stream; re-reading it is a hit,
+        # an evicted one is an honest (recounted) miss
+        assert huffman.decode(encs[-1]) is huffman.decode(encs[-1])
+        assert small.hits >= 1
+        out = huffman.decode(encs[0])
+        assert small.misses == 4
+        assert np.array_equal(out, streams[0])
